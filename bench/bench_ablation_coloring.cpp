@@ -1,0 +1,105 @@
+// E8 — algorithm ablation: the paper's structural algorithms versus generic
+// graph-coloring baselines (first-fit greedy, DSATUR, exact B&B) on the
+// same instances — colors used and time.
+//
+// The point the paper makes implicitly: on the equality regime the
+// structural algorithm is *certifiably* optimal at combinatorial-free cost,
+// while heuristics carry no certificate and exact search explodes.
+
+#include "bench_util.hpp"
+#include "conflict/coloring.hpp"
+#include "conflict/conflict_graph.hpp"
+#include "conflict/exact_color.hpp"
+#include "core/theorem1.hpp"
+#include "gen/family_gen.hpp"
+#include "gen/instance.hpp"
+#include "gen/random_dag.hpp"
+#include "paths/load.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace wdag;
+
+gen::Instance make_instance(std::uint64_t seed, std::size_t n,
+                            std::size_t num_paths) {
+  util::Xoshiro256 rng(seed);
+  auto g = gen::random_no_internal_cycle_dag(rng, n, 0.12);
+  auto inst = gen::Instance::over(std::move(g));
+  inst.family = gen::random_walk_family(rng, *inst.graph, num_paths, 1, 7);
+  return inst;
+}
+
+void print_table() {
+  util::Table t(
+      "E8 / ablation: colors (and ms) per algorithm on internal-cycle-free "
+      "instances",
+      {"n", "|P|", "pi", "theorem1", "greedy", "dsatur", "exact",
+       "t1 ms", "greedy ms", "dsatur ms", "exact ms"});
+  std::uint64_t seed = 8800;
+  for (const auto& [n, num_paths] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {16, 12}, {24, 20}, {32, 28}, {48, 36}, {64, 48}}) {
+    const auto inst = make_instance(seed++, n, num_paths);
+    const auto pi = paths::max_load(inst.family);
+
+    util::Timer tm1;
+    const auto t1 = core::color_equal_load(inst.family);
+    const double ms1 = tm1.millis();
+
+    const conflict::ConflictGraph cg(inst.family);
+    util::Timer tmg;
+    const auto greedy = conflict::greedy_coloring(cg);
+    const double msg = tmg.millis();
+    util::Timer tmd;
+    const auto dsatur = conflict::dsatur_coloring(cg);
+    const double msd = tmd.millis();
+    util::Timer tme;
+    const auto exact = conflict::chromatic_number(cg);
+    const double mse = tme.millis();
+
+    t.add_row({static_cast<long long>(n),
+               static_cast<long long>(inst.family.size()),
+               static_cast<long long>(pi),
+               static_cast<long long>(t1.wavelengths),
+               static_cast<long long>(conflict::num_colors(greedy)),
+               static_cast<long long>(conflict::num_colors(dsatur)),
+               static_cast<long long>(exact.chromatic_number), ms1, msg, msd,
+               mse});
+  }
+  bench::emit(t);
+}
+
+void BM_AblationTheorem1(benchmark::State& state) {
+  const auto inst = make_instance(1, static_cast<std::size_t>(state.range(0)),
+                                  static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::color_equal_load(inst.family).wavelengths);
+  }
+}
+BENCHMARK(BM_AblationTheorem1)->Arg(24)->Arg(48)->Arg(96);
+
+void BM_AblationDsatur(benchmark::State& state) {
+  const auto inst = make_instance(1, static_cast<std::size_t>(state.range(0)),
+                                  static_cast<std::size_t>(state.range(0)));
+  const conflict::ConflictGraph cg(inst.family);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conflict::dsatur_coloring(cg).size());
+  }
+}
+BENCHMARK(BM_AblationDsatur)->Arg(24)->Arg(48)->Arg(96);
+
+void BM_AblationExact(benchmark::State& state) {
+  const auto inst = make_instance(1, static_cast<std::size_t>(state.range(0)),
+                                  static_cast<std::size_t>(state.range(0)));
+  const conflict::ConflictGraph cg(inst.family);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conflict::chromatic_number(cg).chromatic_number);
+  }
+}
+BENCHMARK(BM_AblationExact)->Arg(24)->Arg(48);
+
+}  // namespace
+
+WDAG_BENCH_MAIN(print_table)

@@ -1,0 +1,60 @@
+// E1 — Figure 1: the pathological family where pi == 2 but w == k.
+//
+// Paper claim: "there are examples of topologies where there are at most 2
+// dipaths using an arc (pi = 2) but where we need as many wavelengths as we
+// want" — the w/pi ratio is unbounded on DAGs with internal cycles.
+//
+// The table regenerates the series (k, pi, w) and the ratio; the timings
+// measure the exact chromatic solver on the complete conflict graphs.
+
+#include "bench_util.hpp"
+#include "conflict/conflict_graph.hpp"
+#include "conflict/exact_color.hpp"
+#include "dag/internal_cycle.hpp"
+#include "gen/paper_instances.hpp"
+#include "paths/load.hpp"
+
+namespace {
+
+using namespace wdag;
+
+void print_table() {
+  util::Table t("E1 / Figure 1: pi = 2, w = k (unbounded ratio)",
+                {"k", "paths", "pi", "w (exact)", "w/pi", "internal cycles"});
+  for (std::size_t k = 2; k <= 12; ++k) {
+    const auto inst = gen::figure1_pathological(k);
+    const auto pi = paths::max_load(inst.family);
+    const auto chi =
+        conflict::chromatic_number(conflict::ConflictGraph(inst.family));
+    t.add_row({static_cast<long long>(k),
+               static_cast<long long>(inst.family.size()),
+               static_cast<long long>(pi),
+               static_cast<long long>(chi.chromatic_number),
+               static_cast<double>(chi.chromatic_number) / static_cast<double>(pi),
+               static_cast<long long>(
+                   dag::internal_cycle_count(*inst.graph))});
+  }
+  bench::emit(t);
+}
+
+void BM_Fig1ExactChromatic(benchmark::State& state) {
+  const auto inst =
+      gen::figure1_pathological(static_cast<std::size_t>(state.range(0)));
+  const conflict::ConflictGraph cg(inst.family);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conflict::chromatic_number(cg).chromatic_number);
+  }
+}
+BENCHMARK(BM_Fig1ExactChromatic)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_Fig1InstanceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gen::figure1_pathological(static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Fig1InstanceGeneration)->Arg(8)->Arg(16);
+
+}  // namespace
+
+WDAG_BENCH_MAIN(print_table)

@@ -1,0 +1,63 @@
+// E2 — Figure 3: the 5-dipath instance on a one-internal-cycle DAG with
+// pi == 2 and w == 3 (conflict graph C5).
+//
+// Paper claim (§2): "The load is 2 and the conflict graph is a cycle of
+// length 5 and so we need 3 colors."
+
+#include "bench_util.hpp"
+#include "conflict/conflict_graph.hpp"
+#include "conflict/exact_color.hpp"
+#include "core/solver.hpp"
+#include "dag/classify.hpp"
+#include "gen/paper_instances.hpp"
+#include "paths/load.hpp"
+
+namespace {
+
+using namespace wdag;
+
+void print_table() {
+  const auto inst = gen::figure3_instance();
+  const auto report = dag::classify(*inst.graph);
+  const conflict::ConflictGraph cg(inst.family);
+  const auto chi = conflict::chromatic_number(cg);
+  const auto solved = core::solve(inst.family);
+
+  util::Table t("E2 / Figure 3: one internal cycle, pi = 2, w = 3",
+                {"quantity", "paper", "measured"});
+  t.add_row({std::string("dipaths"), 5LL,
+             static_cast<long long>(inst.family.size())});
+  t.add_row({std::string("pi (load)"), 2LL,
+             static_cast<long long>(paths::max_load(inst.family))});
+  t.add_row({std::string("conflict graph edges (C5)"), 5LL,
+             static_cast<long long>(cg.num_edges())});
+  t.add_row({std::string("w (chromatic number)"), 3LL,
+             static_cast<long long>(chi.chromatic_number)});
+  t.add_row({std::string("solver wavelengths"), 3LL,
+             static_cast<long long>(solved.wavelengths)});
+  t.add_row({std::string("internal cycles"), 1LL,
+             static_cast<long long>(report.internal_cycles)});
+  t.add_row({std::string("UPP"), 0LL,
+             static_cast<long long>(report.is_upp ? 1 : 0)});
+  bench::emit(t);
+}
+
+void BM_Fig3Solve(benchmark::State& state) {
+  const auto inst = gen::figure3_instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve(inst.family).wavelengths);
+  }
+}
+BENCHMARK(BM_Fig3Solve);
+
+void BM_Fig3Classify(benchmark::State& state) {
+  const auto inst = gen::figure3_instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dag::classify(*inst.graph).internal_cycles);
+  }
+}
+BENCHMARK(BM_Fig3Classify);
+
+}  // namespace
+
+WDAG_BENCH_MAIN(print_table)

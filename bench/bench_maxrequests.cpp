@@ -1,0 +1,77 @@
+// E9 — the concluding remark: "for a given w, the maximum number of
+// satisfiable requests — our theorem shows that we have only to compute the
+// load." Exact versus greedy selection on internal-cycle-free instances.
+
+#include "bench_util.hpp"
+#include "core/maxrequests.hpp"
+#include "core/theorem1.hpp"
+#include "gen/family_gen.hpp"
+#include "gen/random_dag.hpp"
+#include "paths/load.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace wdag;
+
+void print_table() {
+  util::Table t(
+      "E9 / max requests under a wavelength budget w (load criterion, "
+      "Main Theorem) — greedy vs exact",
+      {"n", "|cand|", "w", "greedy", "exact", "proven", "colors used",
+       "exact nodes"});
+  util::Xoshiro256 rng(990099);
+  struct Row {
+    std::size_t n, cand, w;
+  };
+  const Row rows[] = {{14, 12, 1}, {14, 12, 2}, {18, 16, 2},
+                      {18, 16, 3}, {24, 20, 2}, {24, 20, 4}};
+  for (const Row& row : rows) {
+    const auto g = gen::random_no_internal_cycle_dag(rng, row.n, 0.2);
+    if (g.num_arcs() == 0) continue;
+    const auto cand = gen::random_walk_family(rng, g, row.cand, 1, 5);
+    const auto greedy = core::max_requests_greedy(cand, row.w);
+    const auto exact = core::max_requests_exact(cand, row.w);
+    // Main-Theorem consistency: the selected subfamily colors with <= w
+    // wavelengths via Theorem 1.
+    std::size_t colors = 0;
+    const auto chosen = cand.filter(exact.selected);
+    if (!chosen.empty()) colors = core::color_equal_load(chosen).wavelengths;
+    t.add_row({static_cast<long long>(row.n),
+               static_cast<long long>(cand.size()),
+               static_cast<long long>(row.w),
+               static_cast<long long>(greedy.count),
+               static_cast<long long>(exact.count),
+               std::string(exact.proven ? "yes" : "no"),
+               static_cast<long long>(colors),
+               static_cast<long long>(exact.nodes)});
+  }
+  bench::emit(t);
+}
+
+void BM_MaxRequestsGreedy(benchmark::State& state) {
+  util::Xoshiro256 rng(17);
+  const auto g = gen::random_no_internal_cycle_dag(rng, 24, 0.2);
+  const auto cand = gen::random_walk_family(
+      rng, g, static_cast<std::size_t>(state.range(0)), 1, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::max_requests_greedy(cand, 3).count);
+  }
+}
+BENCHMARK(BM_MaxRequestsGreedy)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_MaxRequestsExact(benchmark::State& state) {
+  util::Xoshiro256 rng(17);
+  const auto g = gen::random_no_internal_cycle_dag(rng, 24, 0.2);
+  const auto cand = gen::random_walk_family(
+      rng, g, static_cast<std::size_t>(state.range(0)), 1, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::max_requests_exact(cand, 3).count);
+  }
+}
+BENCHMARK(BM_MaxRequestsExact)->Arg(12)->Arg(16)->Arg(20);
+
+}  // namespace
+
+WDAG_BENCH_MAIN(print_table)

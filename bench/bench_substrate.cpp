@@ -1,0 +1,100 @@
+// E10 — substrate ablations: scaling of the structural primitives the
+// DESIGN calls out (internal-cycle detection via union–find, the UPP
+// path-multiplicity DP with and without the thread pool, bitset transitive
+// closure) plus regime classification of classic topologies.
+
+#include "bench_util.hpp"
+#include "dag/classify.hpp"
+#include "dag/internal_cycle.hpp"
+#include "dag/upp.hpp"
+#include "gen/random_dag.hpp"
+#include "gen/topologies.hpp"
+#include "graph/reachability.hpp"
+#include "graph/topo.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wdag;
+
+void print_table() {
+  util::Table t(
+      "E10 / classic topologies under the paper's taxonomy",
+      {"topology", "n", "m", "DAG", "UPP", "internal cycles", "regime"});
+  auto add = [&](const std::string& name, const graph::Digraph& g) {
+    const auto r = dag::classify(g);
+    std::string regime = r.wavelengths_equal_load() ? "w == load (Thm 1)"
+                         : r.theorem6_applies()     ? "<= 4/3 load (Thm 6)"
+                         : r.is_upp                 ? "UPP multi-cycle"
+                                                    : "unbounded (Fig 1)";
+    t.add_row({name, static_cast<long long>(r.num_vertices),
+               static_cast<long long>(r.num_arcs),
+               std::string(r.is_dag ? "yes" : "no"),
+               std::string(r.is_upp ? "yes" : "no"),
+               static_cast<long long>(r.internal_cycles), regime});
+  };
+  add("butterfly(1)", gen::butterfly(1));
+  add("butterfly(2)", gen::butterfly(2));
+  add("butterfly(3)", gen::butterfly(3));
+  add("butterfly(5)", gen::butterfly(5));
+  add("grid 1x8", gen::grid_dag(1, 8));
+  add("grid 4x4", gen::grid_dag(4, 4));
+  add("grid 8x8", gen::grid_dag(8, 8));
+  add("fat_chain(4, 1)", gen::fat_chain(4, 1));
+  add("fat_chain(4, 3)", gen::fat_chain(4, 3));
+  add("spine(16)", gen::spine_with_leaves(16));
+  bench::emit(t);
+}
+
+void BM_InternalCycleDetection(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  const auto g = gen::random_dag(
+      rng, static_cast<std::size_t>(state.range(0)), 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dag::has_internal_cycle(g));
+  }
+}
+BENCHMARK(BM_InternalCycleDetection)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_InternalCycleExtraction(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  const auto g = gen::random_dag(
+      rng, static_cast<std::size_t>(state.range(0)), 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dag::find_internal_cycle(g).has_value());
+  }
+}
+BENCHMARK(BM_InternalCycleExtraction)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_UppCheckParallel(benchmark::State& state) {
+  // is_upp fans the per-source DP out over the thread pool.
+  const auto g = gen::butterfly(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dag::is_upp(g));
+  }
+}
+BENCHMARK(BM_UppCheckParallel)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  util::Xoshiro256 rng(3);
+  const auto g = gen::random_dag(
+      rng, static_cast<std::size_t>(state.range(0)), 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::transitive_closure(g).size());
+  }
+}
+BENCHMARK(BM_TransitiveClosure)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_TopoSort(benchmark::State& state) {
+  util::Xoshiro256 rng(4);
+  const auto g = gen::random_dag(
+      rng, static_cast<std::size_t>(state.range(0)), 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::topological_sort(g).has_value());
+  }
+}
+BENCHMARK(BM_TopoSort)->RangeMultiplier(4)->Range(64, 4096);
+
+}  // namespace
+
+WDAG_BENCH_MAIN(print_table)

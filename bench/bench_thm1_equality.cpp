@@ -1,0 +1,80 @@
+// E4a — Theorem 1 (Main Theorem, forward direction): on random DAGs
+// without internal cycle, the constructive colorer always uses exactly
+// pi(G,P) wavelengths, and the exact chromatic number agrees.
+//
+// Paper claim: "Let G be a DAG without internal cycle. Then, for any family
+// of dipaths P, w(G,P) = pi(G,P)."
+
+#include "bench_util.hpp"
+#include "conflict/conflict_graph.hpp"
+#include "conflict/exact_color.hpp"
+#include "core/theorem1.hpp"
+#include "gen/family_gen.hpp"
+#include "gen/random_dag.hpp"
+#include "paths/load.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wdag;
+
+void print_table() {
+  util::Table t(
+      "E4a / Theorem 1: w == pi on random internal-cycle-free DAGs "
+      "(20 instances per row; exact chi cross-checked when |P| <= 32)",
+      {"n", "arc p", "|P|", "instances", "w==pi (alg)", "w==chi (exact)",
+       "max pi seen", "total chains"});
+  struct Row {
+    std::size_t n;
+    double p;
+    std::size_t paths;
+  };
+  const Row rows[] = {{12, 0.20, 10}, {16, 0.15, 16}, {24, 0.12, 24},
+                      {32, 0.10, 32}, {48, 0.08, 48}, {64, 0.06, 64},
+                      {96, 0.04, 96}};
+  util::Xoshiro256 rng(20070326);  // IPDPS'07 seed
+  for (const Row& row : rows) {
+    std::size_t eq_alg = 0, eq_exact = 0, exact_tried = 0, max_pi = 0,
+                chains = 0, instances = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto g = gen::random_no_internal_cycle_dag(rng, row.n, row.p);
+      if (g.num_arcs() == 0) continue;
+      ++instances;
+      const auto fam = gen::random_walk_family(rng, g, row.paths, 1, 6);
+      const auto res = core::color_equal_load(fam);
+      max_pi = std::max(max_pi, res.load);
+      chains += res.chain_recolorings;
+      if (res.wavelengths == res.load) ++eq_alg;
+      if (fam.size() <= 32) {
+        ++exact_tried;
+        const auto chi =
+            conflict::chromatic_number(conflict::ConflictGraph(fam));
+        if (chi.proven && chi.chromatic_number == res.wavelengths) ++eq_exact;
+      }
+    }
+    t.add_row({static_cast<long long>(row.n), row.p,
+               static_cast<long long>(row.paths),
+               static_cast<long long>(instances),
+               std::to_string(eq_alg) + "/" + std::to_string(instances),
+               std::to_string(eq_exact) + "/" + std::to_string(exact_tried),
+               static_cast<long long>(max_pi),
+               static_cast<long long>(chains)});
+  }
+  bench::emit(t);
+}
+
+void BM_Theorem1RandomInstance(benchmark::State& state) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(state.range(0)));
+  const auto g = gen::random_no_internal_cycle_dag(
+      rng, static_cast<std::size_t>(state.range(0)), 0.1);
+  const auto fam = gen::random_walk_family(
+      rng, g, static_cast<std::size_t>(state.range(0)), 1, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::color_equal_load(fam).wavelengths);
+  }
+}
+BENCHMARK(BM_Theorem1RandomInstance)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+WDAG_BENCH_MAIN(print_table)

@@ -1,0 +1,85 @@
+// E4b — runtime scaling of the Theorem 1 constructive colorer.
+//
+// The paper's proof is an induction over arcs with local recolorings; this
+// bench establishes the implementation's empirical scaling in the number of
+// vertices, arcs and dipaths (trees and repaired random DAGs), and compares
+// against the DSATUR heuristic on the same instances.
+
+#include "bench_util.hpp"
+#include "conflict/coloring.hpp"
+#include "conflict/conflict_graph.hpp"
+#include "core/theorem1.hpp"
+#include "gen/family_gen.hpp"
+#include "gen/random_dag.hpp"
+#include "paths/load.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace wdag;
+
+void print_table() {
+  util::Table t(
+      "E4b / Theorem 1 runtime scaling (random out-trees, 8-arc walks)",
+      {"n (tree)", "|P|", "pi", "theorem1 ms", "dsatur ms", "both == pi"});
+  util::Xoshiro256 rng(424242);
+  for (const std::size_t n : {100u, 200u, 400u, 800u, 1600u}) {
+    const auto g = gen::random_out_tree(rng, n);
+    const auto fam = gen::random_walk_family(rng, g, 4 * n, 1, 8);
+    util::Timer t1;
+    const auto res = core::color_equal_load(fam);
+    const double ms1 = t1.millis();
+    util::Timer t2;
+    const conflict::ConflictGraph cg(fam);
+    const auto ds = conflict::dsatur_coloring(cg);
+    const double ms2 = t2.millis();
+    t.add_row({static_cast<long long>(n), static_cast<long long>(fam.size()),
+               static_cast<long long>(res.load), ms1, ms2,
+               static_cast<long long>(
+                   (res.wavelengths == res.load &&
+                    conflict::num_colors(ds) == res.load)
+                       ? 1
+                       : 0)});
+  }
+  bench::emit(t);
+}
+
+void BM_Theorem1Tree(benchmark::State& state) {
+  util::Xoshiro256 rng(7);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = gen::random_out_tree(rng, n);
+  const auto fam = gen::random_walk_family(rng, g, 4 * n, 1, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::color_equal_load(fam).wavelengths);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Theorem1Tree)->RangeMultiplier(2)->Range(64, 1024)->Complexity();
+
+void BM_DsaturSameInstances(benchmark::State& state) {
+  util::Xoshiro256 rng(7);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = gen::random_out_tree(rng, n);
+  const auto fam = gen::random_walk_family(rng, g, 4 * n, 1, 8);
+  const conflict::ConflictGraph cg(fam);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conflict::dsatur_coloring(cg).size());
+  }
+}
+BENCHMARK(BM_DsaturSameInstances)->RangeMultiplier(2)->Range(64, 1024);
+
+void BM_ConflictGraphConstruction(benchmark::State& state) {
+  util::Xoshiro256 rng(9);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = gen::random_out_tree(rng, n);
+  const auto fam = gen::random_walk_family(rng, g, 4 * n, 1, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conflict::ConflictGraph(fam).num_edges());
+  }
+}
+BENCHMARK(BM_ConflictGraphConstruction)->RangeMultiplier(2)->Range(64, 1024);
+
+}  // namespace
+
+WDAG_BENCH_MAIN(print_table)

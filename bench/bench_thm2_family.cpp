@@ -1,0 +1,65 @@
+// E3 — Theorem 2 / Figure 5: every DAG with an internal cycle admits a
+// family with pi == 2 and w == 3.
+//
+// Paper claim: the gadget family forms an odd conflict cycle C_{2k+1},
+// forcing three wavelengths at load two for every k.
+
+#include "bench_util.hpp"
+#include "conflict/conflict_graph.hpp"
+#include "conflict/exact_color.hpp"
+#include "core/split_merge.hpp"
+#include "dag/classify.hpp"
+#include "gen/paper_instances.hpp"
+#include "paths/load.hpp"
+
+namespace {
+
+using namespace wdag;
+
+void print_table() {
+  util::Table t(
+      "E3 / Theorem 2 (Figure 5): internal-cycle gadget, pi = 2, w = 3",
+      {"k", "paths", "pi", "conflict C_{2k+1} edges", "w (exact)",
+       "split-merge w", "UPP"});
+  for (std::size_t k = 1; k <= 16; ++k) {
+    const auto inst = gen::theorem2_instance(k);
+    const conflict::ConflictGraph cg(inst.family);
+    const auto chi = conflict::chromatic_number(cg);
+    long long sm = -1;
+    if (k >= 2) {  // split-merge requires UPP, which needs k >= 2
+      sm = static_cast<long long>(
+          core::color_upp_split_merge(inst.family).wavelengths);
+    }
+    t.add_row({static_cast<long long>(k),
+               static_cast<long long>(inst.family.size()),
+               static_cast<long long>(paths::max_load(inst.family)),
+               static_cast<long long>(cg.num_edges()),
+               static_cast<long long>(chi.chromatic_number), sm,
+               static_cast<long long>(dag::classify(*inst.graph).is_upp)});
+  }
+  bench::emit(t);
+}
+
+void BM_Thm2SplitMerge(benchmark::State& state) {
+  const auto inst =
+      gen::theorem2_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::color_upp_split_merge(inst.family).wavelengths);
+  }
+}
+BENCHMARK(BM_Thm2SplitMerge)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_Thm2ExactChromatic(benchmark::State& state) {
+  const auto inst =
+      gen::theorem2_instance(static_cast<std::size_t>(state.range(0)));
+  const conflict::ConflictGraph cg(inst.family);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conflict::chromatic_number(cg).chromatic_number);
+  }
+}
+BENCHMARK(BM_Thm2ExactChromatic)->Arg(2)->Arg(8)->Arg(16);
+
+}  // namespace
+
+WDAG_BENCH_MAIN(print_table)

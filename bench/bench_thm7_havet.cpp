@@ -1,0 +1,116 @@
+// E7 — Theorem 7 / Figure 9: the Havet gadget replicated h times attains
+// the Theorem 6 bound: pi = 2h and w = ceil(8h/3) = ceil(4/3 * pi).
+//
+// The chromatic lower bound comes from the Wagner graph's independence
+// number 3 (8h vertices / 3 per class); the exact solver certifies equality
+// for small h and DSATUR witnesses achievability beyond.
+
+#include "bench_util.hpp"
+#include <array>
+
+#include "conflict/coloring.hpp"
+#include "conflict/conflict_graph.hpp"
+#include "conflict/exact_color.hpp"
+#include "core/split_merge.hpp"
+#include "gen/paper_instances.hpp"
+#include "paths/load.hpp"
+
+namespace {
+
+using namespace wdag;
+
+/// Optimal coloring of the h-fold replicated Havet family with exactly
+/// ceil(8h/3) colors, built from the Wagner graph's rotation-invariant
+/// independent triples S_i = {i, i+2, i+5} (mod 8): floor(h/3) copies of
+/// every rotation plus 3 (resp. 6) extra rotations when h % 3 is 1
+/// (resp. 2) cover every vertex h times.
+conflict::Coloring havet_replicated_coloring(std::size_t h) {
+  const std::size_t k = h / 3, r = h % 3;
+  std::vector<std::array<std::size_t, 3>> classes;
+  auto triple = [](std::size_t i) {
+    return std::array<std::size_t, 3>{i % 8, (i + 2) % 8, (i + 5) % 8};
+  };
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t c = 0; c < k; ++c) classes.push_back(triple(i));
+  }
+  // Remainder rotations: S_0..S_2 cover every vertex once; S_0..S_5 cover
+  // every vertex at least twice.
+  const std::size_t extras = (r == 1) ? 3 : (r == 2) ? 6 : 0;
+  for (std::size_t i = 0; i < extras; ++i) classes.push_back(triple(i));
+
+  // Path ids: DipathFamily::replicate blocks copies of V8-vertex v at
+  // [v*h, (v+1)*h).
+  conflict::Coloring colors(8 * h, UINT32_MAX);
+  std::vector<std::size_t> next_copy(8, 0);
+  for (std::size_t cls = 0; cls < classes.size(); ++cls) {
+    for (const std::size_t v : classes[cls]) {
+      if (next_copy[v] < h) {
+        colors[v * h + next_copy[v]++] = static_cast<std::uint32_t>(cls);
+      }
+    }
+  }
+  return colors;
+}
+
+void print_table() {
+  util::Table t(
+      "E7 / Theorem 7 (Figure 9): replicated Havet gadget, w = ceil(8h/3)",
+      {"h", "paths", "pi = 2h", "paper w", "w lower (alpha=3)", "w upper",
+       "upper witness", "w certified == paper"});
+  const auto base = gen::havet_instance();
+  for (std::size_t h = 1; h <= 10; ++h) {
+    const auto fam = base.family.replicate(h);
+    const auto pi = paths::max_load(fam);
+    const auto paper_w = bench::ceil_eight_thirds(h);
+    const conflict::ConflictGraph cg(fam);
+
+    // Lower bound: V8 has independence number 3 (verified in the tests),
+    // so any proper coloring needs >= ceil(8h/3) classes.
+    const std::size_t lower = paper_w;
+    // Upper bound: the rotation-class construction, validated here; the
+    // exact solver cross-checks small h.
+    const auto witness_coloring = havet_replicated_coloring(h);
+    std::size_t upper = conflict::is_valid_assignment(fam, witness_coloring)
+                            ? conflict::num_colors(witness_coloring)
+                            : SIZE_MAX;
+    std::string witness = "rotation classes";
+    if (h <= 3) {
+      const auto chi = conflict::chromatic_number(cg);
+      if (chi.proven) {
+        upper = std::min(upper, chi.chromatic_number);
+        witness += "+exact";
+      }
+    }
+    t.add_row({static_cast<long long>(h), static_cast<long long>(fam.size()),
+               static_cast<long long>(pi), static_cast<long long>(paper_w),
+               static_cast<long long>(lower), static_cast<long long>(upper),
+               witness,
+               std::string(lower == upper ? "yes" : "no")});
+  }
+  bench::emit(t);
+}
+
+void BM_HavetExactChromatic(benchmark::State& state) {
+  const auto base = gen::havet_instance();
+  const auto fam =
+      base.family.replicate(static_cast<std::size_t>(state.range(0)));
+  const conflict::ConflictGraph cg(fam);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conflict::chromatic_number(cg).chromatic_number);
+  }
+}
+BENCHMARK(BM_HavetExactChromatic)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_HavetSplitMerge(benchmark::State& state) {
+  const auto base = gen::havet_instance();
+  const auto fam =
+      base.family.replicate(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::color_upp_split_merge(fam).wavelengths);
+  }
+}
+BENCHMARK(BM_HavetSplitMerge)->Arg(1)->Arg(4)->Arg(8);
+
+}  // namespace
+
+WDAG_BENCH_MAIN(print_table)

@@ -1,0 +1,77 @@
+// E5 — Property 3: on UPP-DAGs the load equals the clique number of the
+// conflict graph (and by Corollary 5 the conflict graph has no K_{2,3}
+// with independent sides).
+
+#include "bench_util.hpp"
+#include "conflict/clique.hpp"
+#include "conflict/conflict_graph.hpp"
+#include "conflict/helly.hpp"
+#include "gen/family_gen.hpp"
+#include "gen/upp_gen.hpp"
+#include "paths/load.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wdag;
+
+void print_table() {
+  util::Table t(
+      "E5 / Property 3 + Corollary 5 on random UPP one-cycle instances "
+      "(15 instances per row)",
+      {"gadget k", "run len", "|P|", "clique==pi", "no K_{2,3}",
+       "no K5-2e", "Helly triples"});
+  util::Xoshiro256 rng(55555);
+  struct Row {
+    std::size_t k, run, paths;
+  };
+  const Row rows[] = {{2, 1, 12}, {2, 2, 18}, {3, 1, 18},
+                      {3, 2, 24}, {4, 1, 24}, {5, 2, 30}};
+  for (const Row& row : rows) {
+    std::size_t eq = 0, nok23 = 0, nok5 = 0, helly = 0;
+    constexpr int kTrials = 15;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const auto inst = gen::random_upp_one_cycle_instance(
+          rng, gen::UppCycleParams{row.k, row.run, 1, 1}, row.paths);
+      const conflict::ConflictGraph cg(inst.family);
+      if (conflict::clique_number(cg) == paths::max_load(inst.family)) ++eq;
+      if (!conflict::find_k23(cg)) ++nok23;
+      if (!conflict::find_k5_minus_two_edges(cg)) ++nok5;
+      if (conflict::triples_satisfy_helly(inst.family)) ++helly;
+    }
+    auto frac = [&](std::size_t x) {
+      return std::to_string(x) + "/" + std::to_string(kTrials);
+    };
+    t.add_row({static_cast<long long>(row.k), static_cast<long long>(row.run),
+               static_cast<long long>(row.paths), frac(eq), frac(nok23),
+               frac(nok5), frac(helly)});
+  }
+  bench::emit(t);
+}
+
+void BM_ExactClique(benchmark::State& state) {
+  util::Xoshiro256 rng(5);
+  const auto inst = gen::random_upp_one_cycle_instance(
+      rng, gen::UppCycleParams{3, 2, 1, 1},
+      static_cast<std::size_t>(state.range(0)));
+  const conflict::ConflictGraph cg(inst.family);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conflict::clique_number(cg));
+  }
+}
+BENCHMARK(BM_ExactClique)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_LoadComputation(benchmark::State& state) {
+  util::Xoshiro256 rng(5);
+  const auto inst = gen::random_upp_one_cycle_instance(
+      rng, gen::UppCycleParams{3, 2, 1, 1},
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(paths::max_load(inst.family));
+  }
+}
+BENCHMARK(BM_LoadComputation)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+WDAG_BENCH_MAIN(print_table)

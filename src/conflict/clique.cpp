@@ -1,0 +1,122 @@
+#include "conflict/clique.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace wdag::conflict {
+
+namespace {
+
+using util::DynamicBitset;
+
+/// Greedy coloring of the candidate set; returns for each candidate (in a
+/// branching-friendly order) the color index + 1 as an upper bound on the
+/// clique extension possible within the candidates up to that point.
+void color_sort(const ConflictGraph& cg, const DynamicBitset& cand,
+                std::vector<std::size_t>& order, std::vector<std::size_t>& bound) {
+  order.clear();
+  bound.clear();
+  std::vector<DynamicBitset> classes;  // independent sets
+  for (std::size_t v = cand.find_first(); v < cg.size();
+       v = cand.find_next(v)) {
+    bool placed = false;
+    for (std::size_t k = 0; k < classes.size() && !placed; ++k) {
+      if (!classes[k].intersects(cg.neighbors(v))) {
+        classes[k].set(v);  // no neighbor of v in class k: stays independent
+        placed = true;
+      }
+    }
+    if (!placed) {
+      classes.emplace_back(cg.size());
+      classes.back().set(v);
+    }
+  }
+  for (std::size_t k = 0; k < classes.size(); ++k) {
+    for (std::size_t v = classes[k].find_first(); v < cg.size();
+         v = classes[k].find_next(v)) {
+      order.push_back(v);
+      bound.push_back(k + 1);
+    }
+  }
+}
+
+struct CliqueSearch {
+  const ConflictGraph& cg;
+  std::vector<std::size_t> best;
+  std::vector<std::size_t> current;
+
+  void expand(const DynamicBitset& cand) {
+    std::vector<std::size_t> order, bound;
+    color_sort(cg, cand, order, bound);
+    for (std::size_t i = order.size(); i-- > 0;) {
+      if (current.size() + bound[i] <= best.size()) return;  // pruned
+      const std::size_t v = order[i];
+      current.push_back(v);
+      DynamicBitset next = cand;
+      next &= cg.neighbors(v);
+      // Restrict to candidates earlier in the color order to avoid
+      // revisiting: clear v and all later-visited vertices.
+      for (std::size_t j = i; j < order.size(); ++j) next.reset(order[j]);
+      if (next.none()) {
+        if (current.size() > best.size()) best = current;
+      } else {
+        expand(next);
+      }
+      current.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::size_t> greedy_clique(const ConflictGraph& cg) {
+  const std::size_t n = cg.size();
+  std::vector<std::size_t> best;
+  std::vector<std::size_t> verts(n);
+  for (std::size_t i = 0; i < n; ++i) verts[i] = i;
+  std::sort(verts.begin(), verts.end(), [&](std::size_t a, std::size_t b) {
+    return cg.degree(a) > cg.degree(b);
+  });
+  for (std::size_t seed : verts) {
+    std::vector<std::size_t> clique = {seed};
+    DynamicBitset cand = cg.neighbors(seed);
+    for (std::size_t v = cand.find_first(); v < n; v = cand.find_next(v)) {
+      bool ok = true;
+      for (std::size_t u : clique) {
+        if (!cg.adjacent(u, v)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) clique.push_back(v);
+    }
+    if (clique.size() > best.size()) best = clique;
+  }
+  return best;
+}
+
+std::vector<std::size_t> max_clique(const ConflictGraph& cg) {
+  if (cg.size() == 0) return {};
+  CliqueSearch search{cg, greedy_clique(cg), {}};
+  DynamicBitset all(cg.size());
+  all.set_all();
+  search.expand(all);
+  WDAG_ASSERT(is_clique(cg, search.best), "max_clique: result is not a clique");
+  return search.best;
+}
+
+std::size_t clique_number(const ConflictGraph& cg) {
+  return max_clique(cg).size();
+}
+
+bool is_clique(const ConflictGraph& cg, const std::vector<std::size_t>& vs) {
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    for (std::size_t j = i + 1; j < vs.size(); ++j) {
+      if (!cg.adjacent(vs[i], vs[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace wdag::conflict

@@ -1,0 +1,29 @@
+#pragma once
+// Max-clique search on conflict graphs.
+//
+// pi(G,P) is always a lower bound on the clique number (the pi dipaths
+// through a max-load arc are pairwise in conflict); Property 3 upgrades
+// this to equality on UPP-DAGs. The exact solver below lets the benches
+// verify that equality empirically.
+
+#include <vector>
+
+#include "conflict/conflict_graph.hpp"
+
+namespace wdag::conflict {
+
+/// A greedy clique (lower bound): grow from each vertex by highest degree.
+std::vector<std::size_t> greedy_clique(const ConflictGraph& cg);
+
+/// Exact maximum clique via Tomita-style branch and bound with greedy
+/// coloring upper bounds. Exponential worst case; intended for the
+/// conflict-graph sizes used in tests and benches (hundreds of vertices).
+std::vector<std::size_t> max_clique(const ConflictGraph& cg);
+
+/// Size of a maximum clique.
+std::size_t clique_number(const ConflictGraph& cg);
+
+/// True when `vs` is a clique of cg.
+bool is_clique(const ConflictGraph& cg, const std::vector<std::size_t>& vs);
+
+}  // namespace wdag::conflict

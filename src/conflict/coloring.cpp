@@ -1,0 +1,114 @@
+#include "conflict/coloring.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace wdag::conflict {
+
+std::size_t num_colors(const Coloring& c) {
+  return std::set<std::uint32_t>(c.begin(), c.end()).size();
+}
+
+std::size_t normalize_colors(Coloring& c) {
+  std::vector<std::uint32_t> remap;
+  for (auto& col : c) {
+    auto it = std::find(remap.begin(), remap.end(), col);
+    if (it == remap.end()) {
+      remap.push_back(col);
+      col = static_cast<std::uint32_t>(remap.size() - 1);
+    } else {
+      col = static_cast<std::uint32_t>(it - remap.begin());
+    }
+  }
+  return remap.size();
+}
+
+bool is_valid_coloring(const ConflictGraph& cg, const Coloring& c) {
+  if (c.size() != cg.size()) return false;
+  for (std::size_t u = 0; u < cg.size(); ++u) {
+    const auto& row = cg.neighbors(u);
+    for (std::size_t v = row.find_first(); v < cg.size();
+         v = row.find_next(v)) {
+      if (v > u && c[u] == c[v]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_valid_assignment(const paths::DipathFamily& family, const Coloring& c) {
+  if (c.size() != family.size()) return false;
+  for (const auto& on_arc : paths::arc_incidence(family)) {
+    std::set<std::uint32_t> seen;
+    for (const paths::PathId id : on_arc) {
+      if (!seen.insert(c[id]).second) return false;
+    }
+  }
+  return true;
+}
+
+Coloring greedy_coloring(const ConflictGraph& cg,
+                         const std::vector<std::size_t>& order) {
+  WDAG_REQUIRE(order.size() == cg.size(),
+               "greedy_coloring: order size mismatch");
+  constexpr std::uint32_t kUncolored = UINT32_MAX;
+  Coloring colors(cg.size(), kUncolored);
+  std::vector<bool> used;
+  for (const std::size_t u : order) {
+    WDAG_REQUIRE(u < cg.size(), "greedy_coloring: bad vertex in order");
+    used.assign(cg.size() + 1, false);
+    const auto& row = cg.neighbors(u);
+    for (std::size_t v = row.find_first(); v < cg.size();
+         v = row.find_next(v)) {
+      if (colors[v] != kUncolored) used[colors[v]] = true;
+    }
+    std::uint32_t c = 0;
+    while (used[c]) ++c;
+    colors[u] = c;
+  }
+  return colors;
+}
+
+Coloring greedy_coloring(const ConflictGraph& cg) {
+  std::vector<std::size_t> order(cg.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  return greedy_coloring(cg, order);
+}
+
+Coloring dsatur_coloring(const ConflictGraph& cg) {
+  const std::size_t n = cg.size();
+  constexpr std::uint32_t kUncolored = UINT32_MAX;
+  Coloring colors(n, kUncolored);
+  // saturation[v] = set of neighbor colors (as bitset over color ids).
+  std::vector<util::DynamicBitset> sat;
+  sat.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) sat.emplace_back(n + 1);
+
+  for (std::size_t step = 0; step < n; ++step) {
+    // Pick uncolored vertex with max saturation, tie-break by degree, id.
+    std::size_t best = n;
+    std::size_t best_sat = 0, best_deg = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (colors[v] != kUncolored) continue;
+      const std::size_t s = sat[v].count();
+      const std::size_t d = cg.degree(v);
+      if (best == n || s > best_sat || (s == best_sat && d > best_deg)) {
+        best = v;
+        best_sat = s;
+        best_deg = d;
+      }
+    }
+    WDAG_ASSERT(best < n, "dsatur: no vertex selected");
+    std::uint32_t c = 0;
+    while (sat[best].test(c)) ++c;
+    colors[best] = c;
+    const auto& row = cg.neighbors(best);
+    for (std::size_t v = row.find_first(); v < n; v = row.find_next(v)) {
+      sat[v].set(c);
+    }
+  }
+  return colors;
+}
+
+}  // namespace wdag::conflict

@@ -1,0 +1,57 @@
+#include "conflict/conflict_graph.hpp"
+
+#include "util/check.hpp"
+
+namespace wdag::conflict {
+
+ConflictGraph::ConflictGraph(const paths::DipathFamily& family) {
+  const std::size_t n = family.size();
+  rows_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) rows_.emplace_back(n);
+  for (const auto& on_arc : paths::arc_incidence(family)) {
+    for (std::size_t i = 0; i < on_arc.size(); ++i) {
+      for (std::size_t j = i + 1; j < on_arc.size(); ++j) {
+        add_edge(on_arc[i], on_arc[j]);
+      }
+    }
+  }
+}
+
+ConflictGraph::ConflictGraph(
+    std::size_t n,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges) {
+  rows_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) rows_.emplace_back(n);
+  for (const auto& [u, v] : edges) {
+    WDAG_REQUIRE(u < n && v < n && u != v,
+                 "ConflictGraph: bad edge in explicit edge list");
+    add_edge(u, v);
+  }
+}
+
+void ConflictGraph::add_edge(std::size_t u, std::size_t v) {
+  rows_[u].set(v);
+  rows_[v].set(u);
+}
+
+bool ConflictGraph::adjacent(std::size_t u, std::size_t v) const {
+  WDAG_REQUIRE(u < size() && v < size(), "ConflictGraph::adjacent: out of range");
+  return u != v && rows_[u].test(v);
+}
+
+const util::DynamicBitset& ConflictGraph::neighbors(std::size_t u) const {
+  WDAG_REQUIRE(u < size(), "ConflictGraph::neighbors: out of range");
+  return rows_[u];
+}
+
+std::size_t ConflictGraph::degree(std::size_t u) const {
+  return neighbors(u).count();
+}
+
+std::size_t ConflictGraph::num_edges() const {
+  std::size_t twice = 0;
+  for (const auto& row : rows_) twice += row.count();
+  return twice / 2;
+}
+
+}  // namespace wdag::conflict

@@ -1,0 +1,48 @@
+#pragma once
+// The conflict graph of a dipath family (paper §2): one vertex per dipath,
+// an edge when two dipaths share an arc. w(G,P) is its chromatic number;
+// pi(G,P) is at most its clique number, with equality on UPP-DAGs
+// (Property 3).
+
+#include <vector>
+
+#include "paths/family.hpp"
+#include "util/dynamic_bitset.hpp"
+
+namespace wdag::conflict {
+
+/// Undirected graph over path ids with bitset adjacency rows.
+class ConflictGraph {
+ public:
+  ConflictGraph() = default;
+
+  /// Builds the conflict graph of `family` via its arc incidence index:
+  /// all dipaths through a common arc are pairwise adjacent.
+  explicit ConflictGraph(const paths::DipathFamily& family);
+
+  /// Builds from an explicit edge list over n vertices (used by tests).
+  ConflictGraph(std::size_t n,
+                const std::vector<std::pair<std::size_t, std::size_t>>& edges);
+
+  /// Number of vertices (dipaths).
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+  /// True when u and v conflict. u == v returns false.
+  [[nodiscard]] bool adjacent(std::size_t u, std::size_t v) const;
+
+  /// Adjacency row of u as a bitset.
+  [[nodiscard]] const util::DynamicBitset& neighbors(std::size_t u) const;
+
+  /// Degree of u.
+  [[nodiscard]] std::size_t degree(std::size_t u) const;
+
+  /// Number of edges.
+  [[nodiscard]] std::size_t num_edges() const;
+
+ private:
+  void add_edge(std::size_t u, std::size_t v);
+
+  std::vector<util::DynamicBitset> rows_;
+};
+
+}  // namespace wdag::conflict

@@ -1,0 +1,170 @@
+#include "conflict/exact_color.hpp"
+
+#include <algorithm>
+
+#include "conflict/clique.hpp"
+#include "util/check.hpp"
+
+namespace wdag::conflict {
+
+namespace {
+
+constexpr std::uint32_t kUncolored = UINT32_MAX;
+
+/// Backtracking k-colorability with DSATUR vertex selection.
+struct KColorSearch {
+  const ConflictGraph& cg;
+  std::size_t k;
+  std::size_t budget;
+  std::size_t nodes = 0;
+  bool budget_hit = false;
+  Coloring colors;
+  // sat[v]: bitset of colors used by v's neighbors.
+  std::vector<util::DynamicBitset> sat;
+  std::size_t colored = 0;
+  std::uint32_t max_used = 0;  // highest color index assigned so far + 1
+
+  explicit KColorSearch(const ConflictGraph& g, std::size_t kk, std::size_t b)
+      : cg(g), k(kk), budget(b), colors(g.size(), kUncolored) {
+    sat.reserve(g.size());
+    for (std::size_t i = 0; i < g.size(); ++i) sat.emplace_back(kk + 1);
+  }
+
+  /// Pre-colors a clique 0..|clique|-1 (requires |clique| <= k).
+  void seed(const std::vector<std::size_t>& clique) {
+    for (std::size_t i = 0; i < clique.size(); ++i) {
+      assign(clique[i], static_cast<std::uint32_t>(i));
+    }
+  }
+
+  void assign(std::size_t v, std::uint32_t c) {
+    colors[v] = c;
+    ++colored;
+    max_used = std::max(max_used, c + 1);
+    const auto& row = cg.neighbors(v);
+    for (std::size_t u = row.find_first(); u < cg.size();
+         u = row.find_next(u)) {
+      sat[u].set(c);
+    }
+  }
+
+  void unassign(std::size_t v, std::uint32_t c, std::uint32_t prev_max) {
+    colors[v] = kUncolored;
+    --colored;
+    max_used = prev_max;
+    const auto& row = cg.neighbors(v);
+    for (std::size_t u = row.find_first(); u < cg.size();
+         u = row.find_next(u)) {
+      // Recompute membership: another neighbor may still use c.
+      bool still = false;
+      const auto& urow = cg.neighbors(u);
+      for (std::size_t w = urow.find_first(); w < cg.size();
+           w = urow.find_next(w)) {
+        if (colors[w] == c) {
+          still = true;
+          break;
+        }
+      }
+      if (!still) sat[u].reset(c);
+    }
+  }
+
+  /// Most saturated uncolored vertex (ties: degree, then id); n when done.
+  std::size_t pick() const {
+    std::size_t best = cg.size(), bs = 0, bd = 0;
+    for (std::size_t v = 0; v < cg.size(); ++v) {
+      if (colors[v] != kUncolored) continue;
+      const std::size_t s = sat[v].count();
+      const std::size_t d = cg.degree(v);
+      if (best == cg.size() || s > bs || (s == bs && d > bd)) {
+        best = v;
+        bs = s;
+        bd = d;
+      }
+    }
+    return best;
+  }
+
+  bool solve() {
+    if (colored == cg.size()) return true;
+    if (++nodes > budget) {
+      budget_hit = true;
+      return false;
+    }
+    const std::size_t v = pick();
+    // Forward check: if v has no admissible color, fail fast.
+    // Symmetry break: allow at most one brand-new color (max_used), never a
+    // color beyond it.
+    const std::uint32_t limit =
+        static_cast<std::uint32_t>(std::min<std::size_t>(k, max_used + 1));
+    for (std::uint32_t c = 0; c < limit; ++c) {
+      if (sat[v].test(c)) continue;
+      const std::uint32_t prev_max = max_used;
+      assign(v, c);
+      if (solve()) return true;
+      unassign(v, c, prev_max);
+      if (budget_hit) return false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<Coloring> try_color_with(const ConflictGraph& cg, std::size_t k,
+                                       std::size_t node_budget) {
+  if (cg.size() == 0) return Coloring{};
+  const auto clique = greedy_clique(cg);
+  if (clique.size() > k) return std::nullopt;  // clique certifies infeasible
+  KColorSearch search(cg, k, node_budget);
+  search.seed(clique);
+  // Seeded clique vertices could already be in conflict with the bound k
+  // through saturation; solve() handles it.
+  if (search.solve()) {
+    WDAG_ASSERT(is_valid_coloring(cg, search.colors),
+                "try_color_with: produced an invalid coloring");
+    WDAG_ASSERT(num_colors(search.colors) <= k,
+                "try_color_with: used more than k colors");
+    return search.colors;
+  }
+  WDAG_ASSERT(!search.budget_hit,
+              "try_color_with: node budget exhausted; result would be unsound");
+  return std::nullopt;
+}
+
+ChromaticResult chromatic_number(const ConflictGraph& cg,
+                                 std::size_t node_budget) {
+  ChromaticResult res;
+  if (cg.size() == 0) {
+    res.chromatic_number = 0;
+    return res;
+  }
+  // Bounds: exact clique below, DSATUR above.
+  const std::size_t lb = max_clique(cg).size();
+  Coloring best = dsatur_coloring(cg);
+  std::size_t ub = num_colors(best);
+
+  // Tighten from below: first satisfiable k in [lb, ub] is chi.
+  for (std::size_t k = lb; k < ub; ++k) {
+    KColorSearch search(cg, k, node_budget);
+    search.seed(greedy_clique(cg));
+    const bool ok = search.solve();
+    res.nodes += search.nodes;
+    if (search.budget_hit) {
+      res.proven = false;
+      break;
+    }
+    if (ok) {
+      best = search.colors;
+      ub = k;
+      break;
+    }
+  }
+  res.chromatic_number = ub;
+  res.coloring = std::move(best);
+  WDAG_ASSERT(is_valid_coloring(cg, res.coloring),
+              "chromatic_number: invalid optimal coloring");
+  return res;
+}
+
+}  // namespace wdag::conflict

@@ -1,0 +1,39 @@
+#pragma once
+// Exact chromatic number of a conflict graph.
+//
+// w(G,P) is NP-hard in general (paper §1), so "w equals ..." claims in the
+// benches are certified by this exact branch-and-bound solver on instance
+// sizes where it is fast. The search is DSATUR-ordered backtracking with a
+// clique seed (its vertices are pre-colored, fixing color symmetry) and the
+// usual "at most one new color per step" symmetry break.
+
+#include <cstddef>
+#include <optional>
+
+#include "conflict/coloring.hpp"
+#include "conflict/conflict_graph.hpp"
+
+namespace wdag::conflict {
+
+/// Result of an exact chromatic computation.
+struct ChromaticResult {
+  std::size_t chromatic_number = 0;
+  Coloring coloring;        ///< an optimal proper coloring
+  std::size_t nodes = 0;    ///< search-tree nodes explored
+  bool proven = true;       ///< false when the node budget was exhausted
+};
+
+/// Computes the chromatic number exactly.
+/// `node_budget` bounds the search; when exhausted, `proven` is false and
+/// the best coloring found so far is returned (still valid).
+ChromaticResult chromatic_number(const ConflictGraph& cg,
+                                 std::size_t node_budget = 50'000'000);
+
+/// Decision variant: can cg be colored with at most k colors?
+/// Returns a coloring when satisfiable, nullopt otherwise (within budget;
+/// throws wdag::InternalError when the budget is hit, since a wrong answer
+/// would poison the benches).
+std::optional<Coloring> try_color_with(const ConflictGraph& cg, std::size_t k,
+                                       std::size_t node_budget = 50'000'000);
+
+}  // namespace wdag::conflict

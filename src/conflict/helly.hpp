@@ -1,0 +1,48 @@
+#pragma once
+// Structural properties of UPP conflict graphs (paper §4):
+//
+//  * Property 3 (Helly): pairwise-intersecting dipaths of a UPP-DAG share a
+//    common sub-dipath; hence clique number == max load.
+//  * Lemma 4 (crossing lemma) and Corollary 5: the conflict graph of a
+//    UPP-DAG contains no K_{2,3} with independent sides, nor a K5 minus two
+//    independent edges.
+//
+// These checkers are used by property tests and by the E5 bench to verify
+// the claims on randomly generated UPP instances.
+
+#include <optional>
+#include <vector>
+
+#include "conflict/conflict_graph.hpp"
+#include "paths/family.hpp"
+
+namespace wdag::conflict {
+
+/// The intersection of two dipaths as the arc set shared by both, verified
+/// to be a contiguous interval of each; nullopt when they do not conflict.
+/// Throws wdag::DomainError when the intersection is not an interval
+/// (impossible on UPP-DAGs by Property 3).
+std::optional<paths::Dipath> conflict_interval(const paths::DipathFamily& family,
+                                               paths::PathId p, paths::PathId q);
+
+/// Checks Property 3 on every pairwise-conflicting *triple*: the three
+/// dipaths must share at least one common arc. (For interval systems on a
+/// path, pairwise + triple-wise Helly implies the general property; the
+/// tests exercise exactly this consequence.)
+bool triples_satisfy_helly(const paths::DipathFamily& family);
+
+/// Checks that every conflicting pair intersects in a single contiguous
+/// interval of arcs (the two-path consequence of Property 3).
+bool pairwise_intersections_are_intervals(const paths::DipathFamily& family);
+
+/// A K_{2,3} with independent sides: vertices u, v non-adjacent and three
+/// pairwise non-adjacent common neighbors. Returns one witness
+/// {u, v, w1, w2, w3} or nullopt. Corollary 5: never present for UPP-DAGs.
+std::optional<std::vector<std::size_t>> find_k23(const ConflictGraph& cg);
+
+/// A K5 minus two independent edges as an induced subgraph; returns the 5
+/// vertices or nullopt. Also impossible for UPP-DAGs (paper §4).
+std::optional<std::vector<std::size_t>> find_k5_minus_two_edges(
+    const ConflictGraph& cg);
+
+}  // namespace wdag::conflict

@@ -1,0 +1,45 @@
+#pragma once
+// The paper's concluding application: given a wavelength budget w, find the
+// maximum number of requests (dipaths of a candidate family) that can be
+// satisfied simultaneously.
+//
+// On a DAG without internal cycle the Main Theorem reduces "colorable with
+// w wavelengths" to "load at most w" — no coloring search is needed to
+// *check* a candidate subfamily, only a load computation. Maximizing the
+// subfamily is still a combinatorial search; we provide an exact
+// branch-and-bound over that load test plus a greedy baseline.
+
+#include <cstddef>
+#include <vector>
+
+#include "paths/family.hpp"
+
+namespace wdag::core {
+
+/// Result of a max-requests computation.
+struct MaxRequestsResult {
+  std::vector<bool> selected;  ///< mask over the candidate family
+  std::size_t count = 0;       ///< number of selected dipaths
+  bool proven = false;         ///< true when optimality is certified
+  std::size_t nodes = 0;       ///< branch-and-bound nodes explored
+};
+
+/// Greedy baseline: consider candidates by increasing length (shorter
+/// dipaths burn less capacity), adding each when the load stays <= w.
+MaxRequestsResult max_requests_greedy(const paths::DipathFamily& candidates,
+                                      std::size_t w);
+
+/// Exact maximum subfamily of load <= w via include/exclude search with a
+/// simple remaining-count bound. Exponential worst case; `node_budget`
+/// caps the search, after which the best-so-far is returned with
+/// proven == false.
+///
+/// Precondition (checked): the host graph must be a DAG *without internal
+/// cycle*, because only then does "load <= w" certify "w wavelengths
+/// suffice" (Main Theorem); on other graphs the load test would be
+/// unsound as a satisfiability proxy.
+MaxRequestsResult max_requests_exact(const paths::DipathFamily& candidates,
+                                     std::size_t w,
+                                     std::size_t node_budget = 5'000'000);
+
+}  // namespace wdag::core

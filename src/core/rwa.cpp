@@ -1,0 +1,35 @@
+#include "core/rwa.hpp"
+
+#include <sstream>
+
+#include "paths/load.hpp"
+
+namespace wdag::core {
+
+RwaResult solve_rwa(const graph::Digraph& g,
+                    const std::vector<paths::Request>& requests,
+                    paths::RoutePolicy policy, const SolveOptions& options) {
+  RwaResult res;
+  res.routed = paths::route_requests(g, requests, policy);
+  res.assignment = solve(res.routed, options);
+  return res;
+}
+
+std::string rwa_report(const RwaResult& r) {
+  std::ostringstream os;
+  const auto& g = r.routed.graph();
+  os << "requests:    " << r.routed.size() << '\n'
+     << "load (pi):   " << r.assignment.load << '\n'
+     << "wavelengths: " << r.assignment.wavelengths << '\n'
+     << "method:      " << method_name(r.assignment.method) << '\n'
+     << "optimal:     " << (r.assignment.optimal ? "proven" : "not proven")
+     << '\n';
+  for (std::size_t i = 0; i < r.routed.size(); ++i) {
+    os << "  [" << i << "] lambda=" << r.wavelength(i) << "  "
+       << paths::path_to_string(g, r.routed.path(static_cast<paths::PathId>(i)))
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace wdag::core

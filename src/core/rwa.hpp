@@ -1,0 +1,35 @@
+#pragma once
+// End-to-end Routing and Wavelength Assignment (RWA), the paper's
+// motivating pipeline (§1): a traffic matrix of requests is first routed
+// into dipaths, then the dipaths are colored so that arc-sharing dipaths
+// get different wavelengths.
+
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "paths/route.hpp"
+
+namespace wdag::core {
+
+/// A fully-solved RWA instance.
+struct RwaResult {
+  paths::DipathFamily routed;          ///< one dipath per request, in order
+  SolveResult assignment;              ///< wavelength assignment of `routed`
+  /// Wavelength of request i (alias of assignment.coloring[i]).
+  [[nodiscard]] std::uint32_t wavelength(std::size_t i) const {
+    return assignment.coloring.at(i);
+  }
+};
+
+/// Routes `requests` on g (unique routes on UPP graphs, shortest otherwise
+/// per `policy`) and solves the wavelength assignment.
+RwaResult solve_rwa(const graph::Digraph& g,
+                    const std::vector<paths::Request>& requests,
+                    paths::RoutePolicy policy = paths::RoutePolicy::kShortest,
+                    const SolveOptions& options = {});
+
+/// Multi-line human-readable report of an RWA solution.
+std::string rwa_report(const RwaResult& r);
+
+}  // namespace wdag::core

@@ -1,0 +1,92 @@
+#include "core/solver.hpp"
+
+#include "conflict/conflict_graph.hpp"
+#include "conflict/exact_color.hpp"
+#include "core/split_merge.hpp"
+#include "core/theorem1.hpp"
+#include "paths/load.hpp"
+#include "util/check.hpp"
+
+namespace wdag::core {
+
+std::string method_name(Method m) {
+  switch (m) {
+    case Method::kTheorem1:
+      return "theorem1";
+    case Method::kSplitMerge:
+      return "split-merge";
+    case Method::kDsatur:
+      return "dsatur";
+    case Method::kExact:
+      return "exact";
+  }
+  return "unknown";
+}
+
+SolveResult solve(const paths::DipathFamily& family,
+                  const SolveOptions& options) {
+  SolveResult res;
+  res.report = dag::classify(family.graph());
+  res.load = paths::max_load(family);
+  WDAG_DOMAIN(res.report.is_dag, "solve: the host graph must be a DAG");
+
+  const Method chosen = options.force.value_or(
+      res.report.wavelengths_equal_load() ? Method::kTheorem1
+      : res.report.is_upp                 ? Method::kSplitMerge
+                                          : Method::kDsatur);
+
+  switch (chosen) {
+    case Method::kTheorem1: {
+      auto r = color_equal_load(family);
+      res.coloring = std::move(r.coloring);
+      res.wavelengths = r.wavelengths;
+      res.method = Method::kTheorem1;
+      res.optimal = true;  // w == pi by Theorem 1
+      return res;
+    }
+    case Method::kSplitMerge: {
+      auto r = color_upp_split_merge(family);
+      res.coloring = std::move(r.coloring);
+      res.wavelengths = r.wavelengths;
+      res.method = Method::kSplitMerge;
+      res.optimal = (res.wavelengths == res.load);
+      break;
+    }
+    case Method::kDsatur: {
+      const conflict::ConflictGraph cg(family);
+      res.coloring = conflict::dsatur_coloring(cg);
+      conflict::normalize_colors(res.coloring);
+      res.wavelengths = conflict::num_colors(res.coloring);
+      res.method = Method::kDsatur;
+      res.optimal = (res.wavelengths == res.load);
+      break;
+    }
+    case Method::kExact: {
+      const conflict::ConflictGraph cg(family);
+      auto r = conflict::chromatic_number(cg, options.exact_node_budget);
+      res.coloring = std::move(r.coloring);
+      res.wavelengths = r.chromatic_number;
+      res.method = Method::kExact;
+      res.optimal = r.proven;
+      return res;
+    }
+  }
+
+  // Optional exact certification / improvement for small instances.
+  if (!res.optimal && options.exact_threshold > 0 &&
+      family.size() <= options.exact_threshold) {
+    const conflict::ConflictGraph cg(family);
+    auto r = conflict::chromatic_number(cg, options.exact_node_budget);
+    if (r.proven && r.chromatic_number <= res.wavelengths) {
+      res.coloring = std::move(r.coloring);
+      res.wavelengths = r.chromatic_number;
+      res.method = Method::kExact;
+      res.optimal = true;
+    }
+  }
+  WDAG_ASSERT(conflict::is_valid_assignment(family, res.coloring),
+              "solve: invalid assignment escaped the dispatcher");
+  return res;
+}
+
+}  // namespace wdag::core

@@ -1,0 +1,64 @@
+#pragma once
+// Top-level wavelength-assignment solver.
+//
+// Dispatches on the structural classification of the host graph:
+//
+//   no internal cycle        -> Theorem 1: exactly pi wavelengths, optimal.
+//   UPP, internal cycles     -> split-merge (Theorem 6 and its recursion).
+//   general                  -> DSATUR heuristic, optionally certified by
+//                               the exact branch-and-bound when the
+//                               conflict graph is small.
+//
+// Every result carries the load lower bound and an optimality verdict.
+
+#include <optional>
+#include <string>
+
+#include "conflict/coloring.hpp"
+#include "dag/classify.hpp"
+#include "paths/family.hpp"
+
+namespace wdag::core {
+
+/// Algorithm that produced a solution.
+enum class Method {
+  kTheorem1,    ///< constructive equality w == pi
+  kSplitMerge,  ///< UPP split-merge (Theorem 6 generalization)
+  kDsatur,      ///< DSATUR heuristic on the conflict graph
+  kExact,       ///< exact branch-and-bound chromatic number
+};
+
+/// Name of a Method for reports.
+std::string method_name(Method m);
+
+/// Solver knobs.
+struct SolveOptions {
+  /// Run the exact solver when the conflict graph has at most this many
+  /// vertices and the structural algorithms do not already certify
+  /// optimality. 0 disables exact certification.
+  std::size_t exact_threshold = 48;
+  /// Node budget handed to the exact solver.
+  std::size_t exact_node_budget = 20'000'000;
+  /// Force a specific method (bypasses dispatch); kTheorem1/kSplitMerge
+  /// still check their structural preconditions.
+  std::optional<Method> force;
+};
+
+/// A solved instance.
+struct SolveResult {
+  conflict::Coloring coloring;   ///< wavelength per path id
+  std::size_t wavelengths = 0;   ///< colors used
+  std::size_t load = 0;          ///< pi(G,P), always a lower bound on w
+  Method method = Method::kTheorem1;
+  bool optimal = false;          ///< true when wavelengths is provably w(G,P)
+  dag::DagReport report;         ///< structural classification of the host
+};
+
+/// Solves the wavelength assignment problem for `family`.
+/// The returned coloring is always valid; `optimal` reports whether the
+/// number of wavelengths is provably minimum (it always is when the host
+/// has no internal cycle, by the Main Theorem).
+SolveResult solve(const paths::DipathFamily& family,
+                  const SolveOptions& options = {});
+
+}  // namespace wdag::core

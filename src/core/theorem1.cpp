@@ -1,0 +1,230 @@
+#include "core/theorem1.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "dag/internal_cycle.hpp"
+#include "graph/topo.hpp"
+#include "paths/load.hpp"
+#include "util/check.hpp"
+
+namespace wdag::core {
+
+using graph::ArcId;
+using graph::Digraph;
+using paths::Dipath;
+using paths::DipathFamily;
+using paths::PathId;
+
+namespace {
+
+constexpr std::uint32_t kNone = UINT32_MAX;
+
+/// Incremental state of the reverse arc-replay.
+struct Replay {
+  const DipathFamily& family;
+  const Digraph& g;
+  /// incidence[a]: (path id, position of a within that path's arc list).
+  std::vector<std::vector<std::pair<PathId, std::uint32_t>>> incidence;
+  /// begin[p]: index of the first *active* arc of path p (== length when
+  /// the path has not appeared yet).
+  std::vector<std::uint32_t> begin;
+  /// Current color per path (kNone while inactive).
+  std::vector<std::uint32_t> color;
+  /// Current palette size (running max load == pi of the replayed graph).
+  std::uint32_t palette = 0;
+
+  std::size_t chain_recolorings = 0;
+  std::size_t paths_flipped = 0;
+
+  explicit Replay(const DipathFamily& fam)
+      : family(fam), g(fam.graph()), incidence(g.num_arcs()) {
+    begin.resize(family.size());
+    color.assign(family.size(), kNone);
+    for (PathId p = 0; p < family.size(); ++p) {
+      const auto& arcs = family.path(p).arcs;
+      begin[p] = static_cast<std::uint32_t>(arcs.size());
+      for (std::uint32_t i = 0; i < arcs.size(); ++i) {
+        incidence[arcs[i]].emplace_back(p, i);
+      }
+    }
+  }
+
+  /// True when path p currently has at least one active arc.
+  [[nodiscard]] bool active(PathId p) const {
+    return begin[p] < family.path(p).arcs.size();
+  }
+
+  /// Paths with the given color sharing an active arc with path p
+  /// (excluding p itself). Only active arcs of p are scanned; an arc is
+  /// active for every path containing it as soon as it is replayed.
+  [[nodiscard]] std::vector<PathId> conflicts_with_color(
+      PathId p, std::uint32_t wanted) const {
+    std::vector<PathId> out;
+    const auto& arcs = family.path(p).arcs;
+    for (std::uint32_t i = begin[p]; i < arcs.size(); ++i) {
+      for (const auto& [q, pos] : incidence[arcs[i]]) {
+        if (q == p || color[q] != wanted) continue;
+        if (begin[q] > pos) continue;  // arc not yet active for q
+        if (std::find(out.begin(), out.end(), q) == out.end()) out.push_back(q);
+      }
+    }
+    return out;
+  }
+
+  /// The paper's alpha/beta chain: flips `start` from alpha to beta and
+  /// propagates, keeping `kept` (colored alpha) untouched. Throws
+  /// InternalError if the chain would flip an already-flipped path (case B)
+  /// or the kept path (case C) — both impossible without internal cycles.
+  void chain_flip(PathId kept, PathId start, std::uint32_t alpha,
+                  std::uint32_t beta) {
+    ++chain_recolorings;
+    std::vector<bool> flipped(family.size(), false);
+    std::vector<PathId> frontier = {start};
+    color[start] = beta;
+    flipped[start] = true;
+    ++paths_flipped;
+    std::uint32_t from = beta;  // color whose holders now conflict with the
+                                // frontier (they kept `from`, frontier holds
+                                // it now too)
+    std::uint32_t to = alpha;
+    while (!frontier.empty()) {
+      // All paths colored `from` that intersect a frontier member must flip
+      // to `to`.
+      std::vector<PathId> next;
+      for (const PathId f : frontier) {
+        for (const PathId q : conflicts_with_color(f, from)) {
+          WDAG_ASSERT(!flipped[q],
+                      "theorem1 chain: case B (re-flip) occurred; the host "
+                      "graph must contain an internal cycle");
+          WDAG_ASSERT(q != kept,
+                      "theorem1 chain: case C (kept path hit) occurred; the "
+                      "host graph must contain an internal cycle");
+          if (std::find(next.begin(), next.end(), q) == next.end()) {
+            next.push_back(q);
+          }
+        }
+      }
+      for (const PathId q : next) {
+        color[q] = to;
+        flipped[q] = true;
+        ++paths_flipped;
+      }
+      frontier = std::move(next);
+      std::swap(from, to);
+    }
+  }
+
+  /// Restores arc e: makes the suffix colors of the paths through e
+  /// pairwise distinct, prepends e to them, and colors the paths that
+  /// consist of e alone.
+  void add_arc(ArcId e) {
+    const auto& through = incidence[e];
+    if (through.empty()) return;
+    palette = std::max(palette, static_cast<std::uint32_t>(through.size()));
+
+    std::vector<PathId> actives;   // non-empty suffixes, already colored
+    std::vector<PathId> newborns;  // paths reduced to the single arc e
+    for (const auto& [p, pos] : through) {
+      WDAG_ASSERT(begin[p] == pos + 1,
+                  "theorem1 replay: arc order violates front-removal");
+      if (active(p)) {
+        actives.push_back(p);
+      } else {
+        newborns.push_back(p);
+      }
+    }
+
+    // Make the active suffix colors pairwise distinct (paper's recoloring).
+    // Each successful chain strictly increases the number of distinct
+    // colors used by `actives`, so at most |actives| rounds run.
+    for (std::size_t guard = 0;; ++guard) {
+      WDAG_ASSERT(guard <= actives.size() + 1,
+                  "theorem1: distinct-color loop failed to make progress");
+      // Find a duplicated color alpha with its two paths.
+      PathId kept = kNone, dup = kNone;
+      {
+        std::vector<std::uint32_t> owner(palette, kNone);
+        for (const PathId p : actives) {
+          const std::uint32_t c = color[p];
+          WDAG_ASSERT(c != kNone && c < palette,
+                      "theorem1: active path without a palette color");
+          if (owner[c] == kNone) {
+            owner[c] = p;
+          } else if (dup == kNone) {
+            kept = owner[c];
+            dup = p;
+          }
+        }
+      }
+      if (dup == kNone) break;  // all distinct
+
+      // beta: a palette color used by no active suffix. It exists because
+      // the actives use at most |actives|-1 <= |through|-1 < palette colors.
+      std::vector<bool> used(palette, false);
+      for (const PathId p : actives) used[color[p]] = true;
+      std::uint32_t beta = kNone;
+      for (std::uint32_t c = 0; c < palette; ++c) {
+        if (!used[c]) {
+          beta = c;
+          break;
+        }
+      }
+      WDAG_ASSERT(beta != kNone, "theorem1: no free color for the chain");
+      chain_flip(kept, dup, color[dup], beta);
+    }
+
+    // Prepend e to every path through it.
+    for (const auto& [p, pos] : through) begin[p] = pos;
+
+    // Color the newborn single-arc paths with colors unused on e.
+    if (!newborns.empty()) {
+      std::vector<bool> used(palette, false);
+      for (const PathId p : actives) used[color[p]] = true;
+      std::size_t next = 0;
+      for (const PathId p : newborns) {
+        while (next < palette && used[next]) ++next;
+        WDAG_ASSERT(next < palette,
+                    "theorem1: palette exhausted while coloring newborns");
+        color[p] = static_cast<std::uint32_t>(next);
+        used[next] = true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Theorem1Result color_equal_load(const DipathFamily& family) {
+  const Digraph& g = family.graph();
+  WDAG_DOMAIN(graph::is_dag(g), "color_equal_load: host graph is not a DAG");
+  WDAG_DOMAIN(!dag::has_internal_cycle(g),
+              "color_equal_load: host graph has an internal cycle; "
+              "Theorem 1 does not apply (use the split-merge solver)");
+
+  Theorem1Result res;
+  if (family.empty()) return res;
+
+  Replay replay(family);
+  const auto removal_order = graph::arcs_in_tail_topo_order(g);
+  for (auto it = removal_order.rbegin(); it != removal_order.rend(); ++it) {
+    replay.add_arc(*it);
+  }
+
+  res.coloring.assign(replay.color.begin(), replay.color.end());
+  for (PathId p = 0; p < family.size(); ++p) {
+    WDAG_ASSERT(res.coloring[p] != kNone, "theorem1: uncolored path remains");
+  }
+  res.load = paths::max_load(family);
+  res.wavelengths = conflict::num_colors(res.coloring);
+  res.chain_recolorings = replay.chain_recolorings;
+  res.paths_flipped = replay.paths_flipped;
+
+  WDAG_ASSERT(conflict::is_valid_assignment(family, res.coloring),
+              "theorem1: produced an invalid wavelength assignment");
+  WDAG_ASSERT(res.wavelengths == res.load,
+              "theorem1: wavelength count differs from the load");
+  return res;
+}
+
+}  // namespace wdag::core

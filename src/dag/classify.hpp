@@ -1,0 +1,44 @@
+#pragma once
+// One-call structural classification of a digraph with respect to the
+// paper's taxonomy. The core solver dispatches on this report:
+//
+//   no internal cycle          -> Theorem 1: w == pi, constructive
+//   UPP + internal cycles      -> Theorem 6 / split-merge: w <= ceil(4/3 pi)
+//                                 per cycle level
+//   otherwise                  -> heuristics + exact search, w unbounded
+//                                 relative to pi (Figure 1)
+
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace wdag::dag {
+
+/// Structural facts about a digraph relevant to wavelength assignment.
+struct DagReport {
+  bool is_dag = false;            ///< no directed cycle
+  bool is_upp = false;            ///< unique-dipath property (only set for DAGs)
+  std::size_t internal_cycles = 0;///< cyclomatic count of internal cycles
+  std::size_t num_vertices = 0;
+  std::size_t num_arcs = 0;
+  std::size_t num_sources = 0;
+  std::size_t num_sinks = 0;
+
+  /// True when Theorem 1 guarantees w == pi for every family.
+  [[nodiscard]] bool wavelengths_equal_load() const {
+    return is_dag && internal_cycles == 0;
+  }
+
+  /// True when Theorem 6's bound applies (UPP, exactly one internal cycle).
+  [[nodiscard]] bool theorem6_applies() const {
+    return is_dag && is_upp && internal_cycles == 1;
+  }
+};
+
+/// Computes the full report. UPP is only evaluated when g is a DAG.
+DagReport classify(const graph::Digraph& g);
+
+/// Human-readable multi-line summary of a report.
+std::string report_to_string(const DagReport& r);
+
+}  // namespace wdag::dag

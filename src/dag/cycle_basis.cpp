@@ -1,0 +1,85 @@
+#include "dag/cycle_basis.hpp"
+
+#include <algorithm>
+
+#include "dag/internal_cycle.hpp"
+#include "graph/properties.hpp"
+#include "util/check.hpp"
+#include "util/union_find.hpp"
+
+namespace wdag::dag {
+
+using graph::ArcId;
+using graph::Digraph;
+using graph::VertexId;
+
+std::vector<OrientedCycle> internal_cycle_basis(const Digraph& g) {
+  const auto mask = graph::internal_vertex_mask(g);
+
+  // Partition internal arcs into a spanning forest and chords.
+  util::UnionFind uf(g.num_vertices());
+  std::vector<ArcId> tree, chords;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    if (!mask[g.tail(a)] || !mask[g.head(a)]) continue;
+    if (uf.unite(g.tail(a), g.head(a))) {
+      tree.push_back(a);
+    } else {
+      chords.push_back(a);
+    }
+  }
+
+  // Undirected adjacency of the forest.
+  struct Edge {
+    VertexId to;
+    ArcId arc;
+    bool forward;
+  };
+  std::vector<std::vector<Edge>> adj(g.num_vertices());
+  for (ArcId a : tree) {
+    adj[g.tail(a)].push_back(Edge{g.head(a), a, true});
+    adj[g.head(a)].push_back(Edge{g.tail(a), a, false});
+  }
+
+  // Walk the forest path between two vertices (BFS, deterministic).
+  auto forest_path = [&](VertexId from, VertexId to) {
+    std::vector<CycleStep> entry(g.num_vertices());
+    std::vector<VertexId> parent(g.num_vertices(), graph::kNoVertex);
+    std::vector<bool> seen(g.num_vertices(), false);
+    std::vector<VertexId> queue = {from};
+    seen[from] = true;
+    for (std::size_t qi = 0; qi < queue.size() && !seen[to]; ++qi) {
+      const VertexId u = queue[qi];
+      for (const Edge& e : adj[u]) {
+        if (!seen[e.to]) {
+          seen[e.to] = true;
+          parent[e.to] = u;
+          entry[e.to] = CycleStep{e.arc, e.forward};
+          queue.push_back(e.to);
+        }
+      }
+    }
+    WDAG_ASSERT(seen[to], "internal_cycle_basis: chord endpoints not in the "
+                          "same forest component");
+    std::vector<CycleStep> steps;
+    for (VertexId v = to; v != from; v = parent[v]) steps.push_back(entry[v]);
+    std::reverse(steps.begin(), steps.end());
+    return steps;
+  };
+
+  std::vector<OrientedCycle> basis;
+  basis.reserve(chords.size());
+  for (ArcId chord : chords) {
+    OrientedCycle cyc;
+    cyc.steps.push_back(CycleStep{chord, true});           // tail -> head
+    auto back = forest_path(g.head(chord), g.tail(chord)); // head ~> tail
+    cyc.steps.insert(cyc.steps.end(), back.begin(), back.end());
+    WDAG_ASSERT(is_internal_cycle(g, cyc),
+                "internal_cycle_basis: fundamental cycle is not internal");
+    basis.push_back(std::move(cyc));
+  }
+  WDAG_ASSERT(basis.size() == internal_cycle_count(g),
+              "internal_cycle_basis: basis size mismatch");
+  return basis;
+}
+
+}  // namespace wdag::dag

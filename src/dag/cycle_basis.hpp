@@ -1,0 +1,24 @@
+#pragma once
+// A fundamental basis of the internal-cycle space.
+//
+// internal_cycle_count() (cyclomatic number) says *how many* independent
+// internal cycles exist; this module materializes one representative per
+// independent cycle: a spanning forest of the internal sub-multigraph plus
+// one fundamental cycle per non-tree arc. The recursive split-merge solver
+// needs only one cycle at a time, but audits and the multi-cycle benches
+// want the whole basis.
+
+#include <vector>
+
+#include "dag/oriented_cycle.hpp"
+#include "graph/digraph.hpp"
+
+namespace wdag::dag {
+
+/// One fundamental internal cycle per independent cycle of g
+/// (exactly internal_cycle_count(g) entries). Each returned cycle is a
+/// valid internal OrientedCycle of g; together they form a cycle basis of
+/// the internal sub-multigraph. Deterministic for a given graph.
+std::vector<OrientedCycle> internal_cycle_basis(const graph::Digraph& g);
+
+}  // namespace wdag::dag

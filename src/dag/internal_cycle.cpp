@@ -1,0 +1,132 @@
+#include "dag/internal_cycle.hpp"
+
+#include <algorithm>
+
+#include "graph/properties.hpp"
+#include "util/check.hpp"
+#include "util/union_find.hpp"
+
+namespace wdag::dag {
+
+using graph::ArcId;
+using graph::Digraph;
+using graph::VertexId;
+
+namespace {
+
+/// Arcs whose endpoints are both internal vertices of g.
+std::vector<ArcId> internal_arcs(const Digraph& g) {
+  const auto mask = graph::internal_vertex_mask(g);
+  std::vector<ArcId> arcs;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    if (mask[g.tail(a)] && mask[g.head(a)]) arcs.push_back(a);
+  }
+  return arcs;
+}
+
+}  // namespace
+
+bool has_internal_cycle(const Digraph& g) {
+  util::UnionFind uf(g.num_vertices());
+  for (ArcId a : internal_arcs(g)) {
+    if (!uf.unite(g.tail(a), g.head(a))) return true;
+  }
+  return false;
+}
+
+std::size_t internal_cycle_count(const Digraph& g) {
+  // Cyclomatic number of the internal sub-multigraph = number of arcs that
+  // close a cycle during union-find, i.e. m' - (n' - c').
+  util::UnionFind uf(g.num_vertices());
+  std::size_t closing = 0;
+  for (ArcId a : internal_arcs(g)) {
+    if (!uf.unite(g.tail(a), g.head(a))) ++closing;
+  }
+  return closing;
+}
+
+std::optional<OrientedCycle> find_internal_cycle(const Digraph& g) {
+  const auto mask = graph::internal_vertex_mask(g);
+  const auto arcs = internal_arcs(g);
+  if (arcs.empty()) return std::nullopt;
+
+  // Undirected incidence restricted to internal arcs.
+  struct Edge {
+    VertexId to;
+    ArcId arc;
+    bool forward;  // true: walk tail->head
+  };
+  std::vector<std::vector<Edge>> adj(g.num_vertices());
+  for (ArcId a : arcs) {
+    adj[g.tail(a)].push_back(Edge{g.head(a), a, true});
+    adj[g.head(a)].push_back(Edge{g.tail(a), a, false});
+  }
+
+  // Iterative DFS. For each visited vertex remember the (arc, forward) step
+  // used to enter it and its DFS parent; the first non-parent edge to a
+  // visited *active* vertex closes a cycle.
+  const std::size_t n = g.num_vertices();
+  std::vector<std::uint8_t> state(n, 0);  // 0 unvisited, 1 active, 2 done
+  std::vector<CycleStep> entry(n);
+  std::vector<VertexId> parent(n, graph::kNoVertex);
+  std::vector<std::size_t> edge_it(n, 0);
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (!mask[root] || state[root] != 0 || adj[root].empty()) continue;
+    std::vector<VertexId> stack = {root};
+    state[root] = 1;
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      if (edge_it[u] == adj[u].size()) {
+        state[u] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const Edge e = adj[u][edge_it[u]++];
+      if (parent[u] != graph::kNoVertex && e.arc == entry[u].arc) {
+        continue;  // do not reuse the entering edge
+      }
+      if (state[e.to] == 0) {
+        state[e.to] = 1;
+        parent[e.to] = u;
+        entry[e.to] = CycleStep{e.arc, e.forward};
+        stack.push_back(e.to);
+      } else if (state[e.to] == 1) {
+        // Cycle: e.to is an ancestor of u on the DFS stack. Walk u's parent
+        // chain back to e.to, then close with edge e.
+        OrientedCycle cyc;
+        std::vector<CycleStep> up;  // steps from e.to down to u
+        VertexId w = u;
+        while (w != e.to) {
+          up.push_back(entry[w]);
+          w = parent[w];
+          WDAG_ASSERT(w != graph::kNoVertex,
+                      "find_internal_cycle: broken parent chain");
+        }
+        std::reverse(up.begin(), up.end());
+        cyc.steps = std::move(up);
+        cyc.steps.push_back(CycleStep{e.arc, e.forward});
+        // The closing step walks u -> e.to; orientation flag already
+        // matches because Edge.forward describes the u -> e.to direction.
+        WDAG_ASSERT(is_valid_oriented_cycle(g, cyc),
+                    "find_internal_cycle: extracted cycle is invalid");
+        WDAG_ASSERT(is_internal_cycle(g, cyc),
+                    "find_internal_cycle: extracted cycle is not internal");
+        return cyc;
+      }
+      // state[e.to] == 2: finished component part; no cycle through here.
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_internal_cycle(const Digraph& g, const OrientedCycle& c) {
+  if (!is_valid_oriented_cycle(g, c)) return false;
+  const auto mask = graph::internal_vertex_mask(g);
+  for (const VertexId v : cycle_vertices(g, c)) {
+    if (!mask[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace wdag::dag

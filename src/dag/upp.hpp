@@ -1,0 +1,42 @@
+#pragma once
+// The Unique-diPath Property (UPP).
+//
+// A DAG is a UPP-DAG when there is at most one dipath between any ordered
+// pair of vertices (paper §2). For UPP-DAGs requests and dipaths are
+// interchangeable, the conflict relation satisfies the Helly property, and
+// the load equals the clique number of the conflict graph (Property 3).
+//
+// The test is a saturating path-count dynamic program per start vertex,
+// O(n*m) total, fanned out over the thread pool for large graphs.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace wdag::dag {
+
+/// Number of distinct dipaths from u to v, saturated at `cap`.
+/// u == v counts the empty dipath (1). Requires a DAG.
+std::uint64_t count_dipaths(const graph::Digraph& g, graph::VertexId u,
+                            graph::VertexId v, std::uint64_t cap = 2);
+
+/// A pair of vertices joined by two or more distinct dipaths, with two
+/// explicit witnesses (as arc sequences).
+struct UppViolation {
+  graph::VertexId from = graph::kNoVertex;
+  graph::VertexId to = graph::kNoVertex;
+  std::vector<graph::ArcId> path1;
+  std::vector<graph::ArcId> path2;
+};
+
+/// True when g is a UPP-DAG. Requires a DAG (throws DomainError otherwise).
+bool is_upp(const graph::Digraph& g);
+
+/// Returns a violation witness, or nullopt when g is UPP.
+/// The witness pair is the lexicographically smallest (from, to) violating
+/// pair; the two paths differ in at least one arc.
+std::optional<UppViolation> find_upp_violation(const graph::Digraph& g);
+
+}  // namespace wdag::dag

@@ -1,0 +1,39 @@
+#pragma once
+// Dipath family generators: random walks, all-to-all, multicast — the
+// request patterns the paper's introduction motivates.
+
+#include <cstddef>
+
+#include "graph/digraph.hpp"
+#include "paths/family.hpp"
+#include "util/rng.hpp"
+
+namespace wdag::gen {
+
+/// `count` random dipaths: each starts at a uniformly random arc and
+/// extends forward through uniformly random out-arcs, stopping at a sink
+/// or after max_len arcs (whichever first), with at least min_len arcs
+/// when the walk allows it.
+paths::DipathFamily random_walk_family(util::Xoshiro256& rng,
+                                       const graph::Digraph& g,
+                                       std::size_t count, std::size_t min_len,
+                                       std::size_t max_len);
+
+/// The all-to-all instance on a UPP-DAG: the unique dipath for every
+/// reachable ordered pair (u, v), u != v. Throws wdag::DomainError when
+/// some pair has two routes (host not UPP).
+paths::DipathFamily all_to_all_family(const graph::Digraph& g);
+
+/// Multicast: shortest dipaths from `root` to every other reachable
+/// vertex (the instance class of [Beauquier, Hell, Pérennes 1998] cited
+/// in the paper, for which w == pi on any digraph).
+paths::DipathFamily multicast_family(const graph::Digraph& g,
+                                     graph::VertexId root);
+
+/// `count` random requests between distinct reachable pairs, routed by
+/// shortest path. Throws wdag::InvalidArgument when g has no reachable pair.
+paths::DipathFamily random_request_family(util::Xoshiro256& rng,
+                                          const graph::Digraph& g,
+                                          std::size_t count);
+
+}  // namespace wdag::gen

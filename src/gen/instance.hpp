@@ -1,0 +1,38 @@
+#pragma once
+// A self-contained problem instance: a digraph plus a dipath family on it.
+//
+// DipathFamily references its host graph, so Instance keeps the graph on
+// the heap behind a shared_ptr; copies and moves of Instance never
+// invalidate the family's reference.
+
+#include <memory>
+
+#include "graph/digraph.hpp"
+#include "paths/family.hpp"
+
+namespace wdag::gen {
+
+/// Graph + family bundle returned by every generator.
+struct Instance {
+  std::shared_ptr<const graph::Digraph> graph;
+  paths::DipathFamily family;
+
+  /// Starts an instance over a freshly-built graph with an empty family.
+  static Instance over(graph::Digraph g) {
+    Instance inst;
+    inst.graph = std::make_shared<const graph::Digraph>(std::move(g));
+    inst.family = paths::DipathFamily(*inst.graph);
+    return inst;
+  }
+
+  /// Same graph, family replaced by `h`-fold replication (paper's
+  /// thickening used in Theorems 6/7 tightness arguments).
+  [[nodiscard]] Instance replicate(std::size_t h) const {
+    Instance inst;
+    inst.graph = graph;
+    inst.family = family.replicate(h);
+    return inst;
+  }
+};
+
+}  // namespace wdag::gen

@@ -1,0 +1,40 @@
+#pragma once
+// Random digraph generators used by property tests and benchmark sweeps.
+//
+// All generators are deterministic functions of the RNG passed in; reusing
+// a seed reproduces the instance bit-for-bit (see util/rng.hpp).
+
+#include <cstddef>
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace wdag::gen {
+
+/// Layered DAG: `layers` layers of `width` vertices; each vertex draws an
+/// arc to each vertex of the next layer independently with probability p,
+/// plus one guaranteed out-arc per non-final-layer vertex so no spurious
+/// sinks appear mid-graph.
+graph::Digraph random_layered_dag(util::Xoshiro256& rng, std::size_t layers,
+                                  std::size_t width, double p);
+
+/// Random rooted out-tree on n vertices: vertex 0 is the root; vertex v
+/// picks a uniform parent among 0..v-1. Rooted trees are the paper's §1
+/// special case (w == pi for every family) — a tree has no cycle at all.
+graph::Digraph random_out_tree(util::Xoshiro256& rng, std::size_t n);
+
+/// Random in-tree (arcs towards the root 0): the reverse of an out-tree.
+graph::Digraph random_in_tree(util::Xoshiro256& rng, std::size_t n);
+
+/// Random DAG on n vertices: arcs u -> v for u < v under a random
+/// relabeling, each present with probability p.
+graph::Digraph random_dag(util::Xoshiro256& rng, std::size_t n, double p);
+
+/// Random DAG **without internal cycle**: draws random_dag(n, p) and then
+/// repairs it by removing one arc of each remaining internal cycle until
+/// none is left. Arcs shrink monotonically, so the repair terminates; the
+/// result is exercised by Theorem-1 property tests (E4).
+graph::Digraph random_no_internal_cycle_dag(util::Xoshiro256& rng,
+                                            std::size_t n, double p);
+
+}  // namespace wdag::gen

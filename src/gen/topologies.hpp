@@ -1,0 +1,44 @@
+#pragma once
+// Classic optical / parallel-computing topologies as DAGs.
+//
+// These are the network shapes the optical-networks literature cited by
+// the paper actually deploys; each is annotated with its place in the
+// paper's taxonomy:
+//
+//  * butterfly(k):  the k-dimensional butterfly. UPP (routing is the
+//    unique bit-fixing path); internal-cycle-free up to k == 2, full of
+//    internal cycles from k == 3 on — a crisp regime boundary.
+//  * grid_dag(r,c): rectangular grid with right/down arcs. NOT UPP
+//    (Manhattan paths commute) and its inner faces are internal cycles:
+//    the unbounded-ratio regime of Figure 1.
+//  * fat_chain(stages, width): consecutive stages joined by `width`
+//    internally-disjoint length-2 paths ("fiber bundles"); non-UPP and
+//    each bundle contributes width-1 internal cycles.
+//  * spine_with_leaves(n): a chain with pendant leaves — a tree, so never
+//    an internal cycle (Theorem 1 regime), used as the easy contrast.
+
+#include <cstddef>
+
+#include "graph/digraph.hpp"
+
+namespace wdag::gen {
+
+/// k-dimensional butterfly: (k+1) levels of 2^k vertices; level l vertex x
+/// connects to level l+1 vertices x and x XOR 2^l ("straight" and "cross").
+/// 2^k * (k+1) vertices. UPP for every k.
+graph::Digraph butterfly(std::size_t k);
+
+/// r x c grid, arcs rightwards and downwards. Source (0,0) corner region;
+/// vertex (i,j) has id i*c + j.
+graph::Digraph grid_dag(std::size_t rows, std::size_t cols);
+
+/// A chain of `n` stages where consecutive stages are joined by `width`
+/// internally-disjoint length-2 paths (a "bundle"); guarded by an entry
+/// and exit arc so the bundles' cycles are internal for width >= 2.
+graph::Digraph fat_chain(std::size_t stages, std::size_t width);
+
+/// Chain of length n with one pendant leaf hanging off every interior
+/// vertex; never has an internal cycle.
+graph::Digraph spine_with_leaves(std::size_t n);
+
+}  // namespace wdag::gen

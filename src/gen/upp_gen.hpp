@@ -1,0 +1,40 @@
+#pragma once
+// Generators for UPP-DAGs with a controlled number of internal cycles,
+// used to exercise Theorem 6 (one cycle) and the recursive split-merge
+// bound (several cycles).
+
+#include <cstddef>
+
+#include "gen/instance.hpp"
+#include "util/rng.hpp"
+
+namespace wdag::gen {
+
+/// Parameters of the UPP one-internal-cycle skeleton.
+struct UppCycleParams {
+  std::size_t k = 2;          ///< cycle sources/sinks pairs (>= 2 for UPP)
+  std::size_t run_len = 1;    ///< arcs per cycle run (subdivision factor)
+  std::size_t chain_in = 1;   ///< length of the pendant chain into each b_i
+  std::size_t chain_out = 1;  ///< length of the pendant chain out of each c_i
+};
+
+/// A UPP-DAG with exactly one internal cycle, generalizing the Theorem 2
+/// skeleton: the cycle's 2k runs are dipaths of `run_len` arcs; chains of
+/// `chain_in`/`chain_out` arcs attach to every cycle source/sink so the
+/// cycle is internal. The returned instance has an empty family.
+Instance upp_one_cycle_skeleton(const UppCycleParams& params);
+
+/// Random dipath family on a one-cycle skeleton: `count` dipaths, each the
+/// unique route between a random reachable pair. The instance is UPP with
+/// exactly one internal cycle, so Theorem 6 applies.
+Instance random_upp_one_cycle_instance(util::Xoshiro256& rng,
+                                       const UppCycleParams& params,
+                                       std::size_t count);
+
+/// A UPP-DAG with `cycles` internal cycles chained in series: gadget i's
+/// sink chain feeds gadget i+1's source chain. Exercises the recursive
+/// split-merge bound (paper's (4/3)^C remark).
+Instance upp_multi_cycle_skeleton(std::size_t cycles,
+                                  const UppCycleParams& params);
+
+}  // namespace wdag::gen

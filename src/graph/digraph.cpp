@@ -1,0 +1,111 @@
+#include "graph/digraph.hpp"
+
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace wdag::graph {
+
+const Arc& Digraph::arc(ArcId a) const {
+  WDAG_REQUIRE(a < arcs_.size(), "Digraph::arc: arc id out of range");
+  return arcs_[a];
+}
+
+std::span<const ArcId> Digraph::out_arcs(VertexId v) const {
+  WDAG_REQUIRE(v < num_vertices(), "Digraph::out_arcs: vertex out of range");
+  return {out_list_.data() + out_begin_[v],
+          out_list_.data() + out_begin_[v + 1]};
+}
+
+std::span<const ArcId> Digraph::in_arcs(VertexId v) const {
+  WDAG_REQUIRE(v < num_vertices(), "Digraph::in_arcs: vertex out of range");
+  return {in_list_.data() + in_begin_[v], in_list_.data() + in_begin_[v + 1]};
+}
+
+ArcId Digraph::find_arc(VertexId u, VertexId v) const {
+  WDAG_REQUIRE(u < num_vertices() && v < num_vertices(),
+               "Digraph::find_arc: vertex out of range");
+  ArcId best = kNoArc;
+  for (ArcId a : out_arcs(u)) {
+    if (arcs_[a].head == v && (best == kNoArc || a < best)) best = a;
+  }
+  return best;
+}
+
+const std::string& Digraph::vertex_name(VertexId v) const {
+  WDAG_REQUIRE(v < num_vertices(), "Digraph::vertex_name: vertex out of range");
+  return names_[v];
+}
+
+std::string Digraph::vertex_label(VertexId v) const {
+  const std::string& n = vertex_name(v);
+  return n.empty() ? "v" + std::to_string(v) : n;
+}
+
+std::optional<VertexId> Digraph::vertex_by_name(const std::string& name) const {
+  if (name.empty()) return std::nullopt;
+  for (VertexId v = 0; v < names_.size(); ++v) {
+    if (names_[v] == name) return v;
+  }
+  return std::nullopt;
+}
+
+VertexId DigraphBuilder::add_vertex(const std::string& name) {
+  names_.push_back(name);
+  return static_cast<VertexId>(names_.size() - 1);
+}
+
+VertexId DigraphBuilder::vertex(const std::string& name) {
+  WDAG_REQUIRE(!name.empty(), "DigraphBuilder::vertex: name must be non-empty");
+  for (VertexId v = 0; v < names_.size(); ++v) {
+    if (names_[v] == name) return v;
+  }
+  return add_vertex(name);
+}
+
+void DigraphBuilder::ensure_vertex(VertexId v) {
+  if (v == kNoVertex) return;
+  while (names_.size() <= v) names_.emplace_back();
+}
+
+ArcId DigraphBuilder::add_arc(VertexId u, VertexId v) {
+  WDAG_REQUIRE(u != v, "DigraphBuilder::add_arc: self-loops are not allowed");
+  ensure_vertex(u);
+  ensure_vertex(v);
+  arcs_.push_back(Arc{u, v});
+  return static_cast<ArcId>(arcs_.size() - 1);
+}
+
+ArcId DigraphBuilder::add_arc(const std::string& u, const std::string& v) {
+  const VertexId a = vertex(u);
+  const VertexId b = vertex(v);
+  return add_arc(a, b);
+}
+
+Digraph DigraphBuilder::build() const {
+  Digraph g;
+  g.arcs_ = arcs_;
+  g.names_ = names_;
+  const std::size_t n = names_.size();
+  g.out_begin_.assign(n + 1, 0);
+  g.in_begin_.assign(n + 1, 0);
+  for (const Arc& a : arcs_) {
+    ++g.out_begin_[a.tail + 1];
+    ++g.in_begin_[a.head + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    g.out_begin_[v + 1] += g.out_begin_[v];
+    g.in_begin_[v + 1] += g.in_begin_[v];
+  }
+  g.out_list_.resize(arcs_.size());
+  g.in_list_.resize(arcs_.size());
+  std::vector<std::uint32_t> oc(g.out_begin_.begin(), g.out_begin_.end() - 1);
+  std::vector<std::uint32_t> ic(g.in_begin_.begin(), g.in_begin_.end() - 1);
+  for (ArcId id = 0; id < arcs_.size(); ++id) {
+    g.out_list_[oc[arcs_[id].tail]++] = id;
+    g.in_list_[ic[arcs_[id].head]++] = id;
+  }
+  return g;
+}
+
+}  // namespace wdag::graph

@@ -1,0 +1,86 @@
+#include "graph/graphio.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "graph/properties.hpp"
+#include "util/check.hpp"
+
+namespace wdag::graph {
+
+std::string to_edge_list(const Digraph& g) {
+  std::ostringstream os;
+  for (const Arc& a : g.arcs()) {
+    os << g.vertex_label(a.tail) << ' ' << g.vertex_label(a.head) << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+bool is_number(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+}  // namespace
+
+Digraph parse_edge_list(const std::string& text) {
+  DigraphBuilder b;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string u, v;
+    if (!(ls >> u)) continue;  // blank line
+    WDAG_REQUIRE(static_cast<bool>(ls >> v),
+                 "parse_edge_list: line " + std::to_string(line_no) +
+                     " has a tail but no head");
+    std::string extra;
+    WDAG_REQUIRE(!(ls >> extra),
+                 "parse_edge_list: line " + std::to_string(line_no) +
+                     " has trailing tokens");
+    auto resolve = [&](const std::string& tok) -> VertexId {
+      if (is_number(tok)) {
+        const unsigned long id = std::stoul(tok);
+        WDAG_REQUIRE(id < (1UL << 31), "parse_edge_list: vertex id too large");
+        return static_cast<VertexId>(id);
+      }
+      return b.vertex(tok);
+    };
+    const VertexId uv = resolve(u);
+    const VertexId vv = resolve(v);
+    b.add_arc(uv, vv);
+  }
+  return b.build();
+}
+
+std::string to_dot(const Digraph& g, const std::string& name) {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n";
+  os << "  rankdir=LR;\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    os << "  \"" << g.vertex_label(v) << "\"";
+    if (g.in_degree(v) == 0 && g.out_degree(v) > 0) {
+      os << " [shape=box]";
+    } else if (g.out_degree(v) == 0 && g.in_degree(v) > 0) {
+      os << " [shape=doublecircle]";
+    } else {
+      os << " [shape=circle]";
+    }
+    os << ";\n";
+  }
+  for (const Arc& a : g.arcs()) {
+    os << "  \"" << g.vertex_label(a.tail) << "\" -> \""
+       << g.vertex_label(a.head) << "\";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace wdag::graph

@@ -1,0 +1,24 @@
+#pragma once
+// Serialization: plain edge lists (one "tail head" pair per line, names or
+// numeric ids) and Graphviz DOT export for visual inspection of instances.
+
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace wdag::graph {
+
+/// Renders g as "u v" arc lines using vertex labels.
+std::string to_edge_list(const Digraph& g);
+
+/// Parses an edge list produced by to_edge_list (or hand-written). Tokens
+/// are whitespace-separated; lines starting with '#' are comments. Vertex
+/// tokens that parse as non-negative integers become numeric ids; anything
+/// else becomes a named vertex.
+Digraph parse_edge_list(const std::string& text);
+
+/// Graphviz DOT rendering (digraph). Sources are drawn as boxes, sinks as
+/// double circles, internal vertices as plain circles.
+std::string to_dot(const Digraph& g, const std::string& name = "G");
+
+}  // namespace wdag::graph

@@ -1,0 +1,68 @@
+#include "graph/reachability.hpp"
+
+#include <vector>
+
+#include "graph/topo.hpp"
+#include "util/check.hpp"
+
+namespace wdag::graph {
+
+namespace {
+
+/// Generic DFS over out- or in-arcs.
+util::DynamicBitset closure_from(const Digraph& g, VertexId v, bool forward) {
+  WDAG_REQUIRE(v < g.num_vertices(), "closure_from: vertex out of range");
+  util::DynamicBitset seen(g.num_vertices());
+  std::vector<VertexId> stack = {v};
+  seen.set(v);
+  while (!stack.empty()) {
+    const VertexId u = stack.back();
+    stack.pop_back();
+    const auto arcs = forward ? g.out_arcs(u) : g.in_arcs(u);
+    for (ArcId a : arcs) {
+      const VertexId w = forward ? g.head(a) : g.tail(a);
+      if (!seen.test(w)) {
+        seen.set(w);
+        stack.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+util::DynamicBitset descendants(const Digraph& g, VertexId v) {
+  return closure_from(g, v, /*forward=*/true);
+}
+
+util::DynamicBitset ancestors(const Digraph& g, VertexId v) {
+  return closure_from(g, v, /*forward=*/false);
+}
+
+std::vector<util::DynamicBitset> transitive_closure(const Digraph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<util::DynamicBitset> rows;
+  rows.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) rows.emplace_back(n);
+
+  if (const auto order = topological_sort(g)) {
+    // DAG: process in reverse topological order so successors are complete.
+    for (auto it = order->rbegin(); it != order->rend(); ++it) {
+      const VertexId v = *it;
+      rows[v].set(v);
+      for (ArcId a : g.out_arcs(v)) rows[v] |= rows[g.head(a)];
+    }
+  } else {
+    for (VertexId v = 0; v < n; ++v) rows[v] = descendants(g, v);
+  }
+  return rows;
+}
+
+bool reaches(const Digraph& g, VertexId u, VertexId v) {
+  WDAG_REQUIRE(u < g.num_vertices() && v < g.num_vertices(),
+               "reaches: vertex out of range");
+  return descendants(g, u).test(v);
+}
+
+}  // namespace wdag::graph

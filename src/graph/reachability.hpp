@@ -1,0 +1,28 @@
+#pragma once
+// Reachability queries on digraphs: per-vertex descendant/ancestor sets and
+// full transitive closures. Theorem 6 needs the sets A_a (ancestors of a)
+// and S_b (descendants of b); the UPP routing layer uses closures to answer
+// request-feasibility queries.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/dynamic_bitset.hpp"
+
+namespace wdag::graph {
+
+/// Vertices reachable from v by a (possibly empty) dipath; includes v.
+util::DynamicBitset descendants(const Digraph& g, VertexId v);
+
+/// Vertices that reach v by a (possibly empty) dipath; includes v.
+util::DynamicBitset ancestors(const Digraph& g, VertexId v);
+
+/// Full transitive closure: row v is descendants(g, v).
+/// Computed with bitset DP over the reverse topological order when g is a
+/// DAG (O(n*m/64)), falling back to per-vertex DFS otherwise.
+std::vector<util::DynamicBitset> transitive_closure(const Digraph& g);
+
+/// True when there is a dipath (possibly empty) from u to v.
+bool reaches(const Digraph& g, VertexId u, VertexId v);
+
+}  // namespace wdag::graph

@@ -1,0 +1,51 @@
+#include "graph/subgraph.hpp"
+
+#include "util/check.hpp"
+
+namespace wdag::graph {
+
+Subgraph induced_subgraph(const Digraph& g, const std::vector<bool>& mask) {
+  WDAG_REQUIRE(mask.size() == g.num_vertices(),
+               "induced_subgraph: mask size mismatch");
+  Subgraph s;
+  s.from_parent_vertex.assign(g.num_vertices(), kNoVertex);
+  DigraphBuilder b;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (mask[v]) {
+      s.from_parent_vertex[v] = b.add_vertex(g.vertex_name(v));
+      s.to_parent_vertex.push_back(v);
+    }
+  }
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const Arc& arc = g.arc(a);
+    if (mask[arc.tail] && mask[arc.head]) {
+      b.add_arc(s.from_parent_vertex[arc.tail], s.from_parent_vertex[arc.head]);
+      s.to_parent_arc.push_back(a);
+    }
+  }
+  s.graph = b.build();
+  return s;
+}
+
+Subgraph arc_subgraph(const Digraph& g, const std::vector<bool>& arc_mask) {
+  WDAG_REQUIRE(arc_mask.size() == g.num_arcs(),
+               "arc_subgraph: mask size mismatch");
+  Subgraph s;
+  DigraphBuilder b(g.num_vertices());
+  s.to_parent_vertex.resize(g.num_vertices());
+  s.from_parent_vertex.resize(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    s.to_parent_vertex[v] = v;
+    s.from_parent_vertex[v] = v;
+  }
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    if (arc_mask[a]) {
+      b.add_arc(g.tail(a), g.head(a));
+      s.to_parent_arc.push_back(a);
+    }
+  }
+  s.graph = b.build();
+  return s;
+}
+
+}  // namespace wdag::graph

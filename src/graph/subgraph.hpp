@@ -1,0 +1,31 @@
+#pragma once
+// Induced subgraphs with id mappings. The internal-cycle machinery works on
+// the subgraph induced by internal vertices; the Theorem-6 split builds a
+// modified copy of the host graph.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace wdag::graph {
+
+/// An induced subgraph together with the vertex/arc id translations.
+struct Subgraph {
+  Digraph graph;
+  /// original vertex id of each subgraph vertex.
+  std::vector<VertexId> to_parent_vertex;
+  /// subgraph vertex id per original vertex, kNoVertex when excluded.
+  std::vector<VertexId> from_parent_vertex;
+  /// original arc id of each subgraph arc.
+  std::vector<ArcId> to_parent_arc;
+};
+
+/// Subgraph induced by the vertices with mask[v] == true: keeps every arc
+/// whose endpoints are both selected.
+Subgraph induced_subgraph(const Digraph& g, const std::vector<bool>& mask);
+
+/// Subgraph keeping exactly the arcs with arc_mask[a] == true and all
+/// vertices (vertex ids are preserved; from/to maps are identities).
+Subgraph arc_subgraph(const Digraph& g, const std::vector<bool>& arc_mask);
+
+}  // namespace wdag::graph

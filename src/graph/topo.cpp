@@ -1,0 +1,62 @@
+#include "graph/topo.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace wdag::graph {
+
+std::optional<std::vector<VertexId>> topological_sort(const Digraph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::uint32_t> indeg(n);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    indeg[v] = static_cast<std::uint32_t>(g.in_degree(v));
+    if (indeg[v] == 0) order.push_back(v);
+  }
+  // `order` doubles as the BFS queue: elements are never removed.
+  for (std::size_t qi = 0; qi < order.size(); ++qi) {
+    const VertexId u = order[qi];
+    for (ArcId a : g.out_arcs(u)) {
+      const VertexId w = g.head(a);
+      if (--indeg[w] == 0) order.push_back(w);
+    }
+  }
+  if (order.size() != n) return std::nullopt;  // directed cycle
+  return order;
+}
+
+bool is_dag(const Digraph& g) { return topological_sort(g).has_value(); }
+
+std::vector<std::uint32_t> topo_positions(const Digraph& g,
+                                          const std::vector<VertexId>& order) {
+  WDAG_REQUIRE(order.size() == g.num_vertices(),
+               "topo_positions: order size mismatch");
+  std::vector<std::uint32_t> pos(order.size(), UINT32_MAX);
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    WDAG_REQUIRE(order[i] < order.size(), "topo_positions: bad vertex id");
+    WDAG_REQUIRE(pos[order[i]] == UINT32_MAX,
+                 "topo_positions: order is not a permutation");
+    pos[order[i]] = i;
+  }
+  return pos;
+}
+
+std::vector<ArcId> arcs_in_tail_topo_order(const Digraph& g) {
+  const auto order = topological_sort(g);
+  WDAG_REQUIRE(order.has_value(), "arcs_in_tail_topo_order: input is not a DAG");
+  std::vector<ArcId> arcs;
+  arcs.reserve(g.num_arcs());
+  for (VertexId v : *order) {
+    auto out = g.out_arcs(v);
+    std::vector<ArcId> sorted(out.begin(), out.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (ArcId a : sorted) arcs.push_back(a);
+  }
+  WDAG_ASSERT(arcs.size() == g.num_arcs(),
+              "arcs_in_tail_topo_order: arc count mismatch");
+  return arcs;
+}
+
+}  // namespace wdag::graph

@@ -1,0 +1,99 @@
+#include "paths/dipath.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace wdag::paths {
+
+using graph::ArcId;
+using graph::Digraph;
+using graph::VertexId;
+
+VertexId path_source(const Digraph& g, const Dipath& p) {
+  WDAG_REQUIRE(!p.empty(), "path_source: dipath is empty");
+  return g.tail(p.arcs.front());
+}
+
+VertexId path_target(const Digraph& g, const Dipath& p) {
+  WDAG_REQUIRE(!p.empty(), "path_target: dipath is empty");
+  return g.head(p.arcs.back());
+}
+
+std::vector<VertexId> path_vertices(const Digraph& g, const Dipath& p) {
+  WDAG_REQUIRE(!p.empty(), "path_vertices: dipath is empty");
+  std::vector<VertexId> out;
+  out.reserve(p.length() + 1);
+  out.push_back(g.tail(p.arcs.front()));
+  for (ArcId a : p.arcs) out.push_back(g.head(a));
+  return out;
+}
+
+bool is_valid_dipath(const Digraph& g, const Dipath& p) {
+  if (p.empty()) return false;
+  std::set<VertexId> seen;
+  for (std::size_t i = 0; i < p.arcs.size(); ++i) {
+    if (p.arcs[i] >= g.num_arcs()) return false;
+    if (i > 0 && g.head(p.arcs[i - 1]) != g.tail(p.arcs[i])) return false;
+    if (!seen.insert(g.tail(p.arcs[i])).second) return false;
+  }
+  return seen.insert(g.head(p.arcs.back())).second;
+}
+
+bool contains_arc(const Dipath& p, ArcId a) {
+  return std::find(p.arcs.begin(), p.arcs.end(), a) != p.arcs.end();
+}
+
+bool paths_conflict(const Dipath& p, const Dipath& q) {
+  for (ArcId a : p.arcs) {
+    if (contains_arc(q, a)) return true;
+  }
+  return false;
+}
+
+std::vector<ArcId> shared_arcs(const Dipath& p, const Dipath& q) {
+  std::vector<ArcId> out;
+  for (ArcId a : p.arcs) {
+    if (contains_arc(q, a)) out.push_back(a);
+  }
+  return out;
+}
+
+Dipath dipath_through(const Digraph& g, const std::vector<VertexId>& vertices) {
+  WDAG_REQUIRE(vertices.size() >= 2,
+               "dipath_through: need at least two vertices");
+  Dipath p;
+  p.arcs.reserve(vertices.size() - 1);
+  for (std::size_t i = 0; i + 1 < vertices.size(); ++i) {
+    const ArcId a = g.find_arc(vertices[i], vertices[i + 1]);
+    WDAG_REQUIRE(a != graph::kNoArc,
+                 "dipath_through: missing arc " + g.vertex_label(vertices[i]) +
+                     " -> " + g.vertex_label(vertices[i + 1]));
+    p.arcs.push_back(a);
+  }
+  return p;
+}
+
+Dipath dipath_through_names(const Digraph& g,
+                            const std::vector<std::string>& names) {
+  std::vector<VertexId> vs;
+  vs.reserve(names.size());
+  for (const auto& n : names) {
+    const auto v = g.vertex_by_name(n);
+    WDAG_REQUIRE(v.has_value(), "dipath_through_names: unknown vertex '" + n + "'");
+    vs.push_back(*v);
+  }
+  return dipath_through(g, vs);
+}
+
+std::string path_to_string(const Digraph& g, const Dipath& p) {
+  if (p.empty()) return "(empty)";
+  std::ostringstream os;
+  os << g.vertex_label(g.tail(p.arcs.front()));
+  for (ArcId a : p.arcs) os << " -> " << g.vertex_label(g.head(a));
+  return os.str();
+}
+
+}  // namespace wdag::paths

@@ -1,0 +1,60 @@
+#include "paths/family.hpp"
+
+#include "util/check.hpp"
+
+namespace wdag::paths {
+
+const graph::Digraph& DipathFamily::graph() const {
+  WDAG_REQUIRE(graph_ != nullptr, "DipathFamily: no host graph set");
+  return *graph_;
+}
+
+PathId DipathFamily::add(Dipath p) {
+  WDAG_REQUIRE(graph_ != nullptr, "DipathFamily::add: no host graph set");
+  WDAG_REQUIRE(is_valid_dipath(*graph_, p),
+               "DipathFamily::add: not a valid dipath of the host graph");
+  paths_.push_back(std::move(p));
+  return static_cast<PathId>(paths_.size() - 1);
+}
+
+PathId DipathFamily::add_through(const std::vector<graph::VertexId>& vertices) {
+  return add(dipath_through(graph(), vertices));
+}
+
+PathId DipathFamily::add_through_names(const std::vector<std::string>& names) {
+  return add(dipath_through_names(graph(), names));
+}
+
+const Dipath& DipathFamily::path(PathId id) const {
+  WDAG_REQUIRE(id < paths_.size(), "DipathFamily::path: id out of range");
+  return paths_[id];
+}
+
+DipathFamily DipathFamily::replicate(std::size_t h) const {
+  WDAG_REQUIRE(h >= 1, "DipathFamily::replicate: h must be >= 1");
+  DipathFamily out(graph());
+  for (const Dipath& p : paths_) {
+    for (std::size_t c = 0; c < h; ++c) out.add(p);
+  }
+  return out;
+}
+
+DipathFamily DipathFamily::filter(const std::vector<bool>& keep) const {
+  WDAG_REQUIRE(keep.size() == paths_.size(),
+               "DipathFamily::filter: mask size mismatch");
+  DipathFamily out(graph());
+  for (PathId id = 0; id < paths_.size(); ++id) {
+    if (keep[id]) out.add(paths_[id]);
+  }
+  return out;
+}
+
+std::vector<std::vector<PathId>> arc_incidence(const DipathFamily& family) {
+  std::vector<std::vector<PathId>> inc(family.graph().num_arcs());
+  for (PathId id = 0; id < family.size(); ++id) {
+    for (graph::ArcId a : family.path(id).arcs) inc[a].push_back(id);
+  }
+  return inc;
+}
+
+}  // namespace wdag::paths

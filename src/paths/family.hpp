@@ -1,0 +1,64 @@
+#pragma once
+// Families of dipaths with multiset semantics.
+//
+// Replicated copies of the same dipath are meaningful — the tight examples
+// of Theorems 6/7 replace each dipath by h identical copies — so the family
+// stores paths by index and never deduplicates.
+
+#include <vector>
+
+#include "paths/dipath.hpp"
+
+namespace wdag::paths {
+
+/// Index of a dipath within a family.
+using PathId = std::uint32_t;
+
+/// An ordered multiset of dipaths over a fixed host graph.
+class DipathFamily {
+ public:
+  DipathFamily() = default;
+
+  /// Starts an empty family over g (the graph must outlive the family).
+  explicit DipathFamily(const graph::Digraph& g) : graph_(&g) {}
+
+  /// Host graph. Throws when the family was default-constructed.
+  [[nodiscard]] const graph::Digraph& graph() const;
+
+  /// Adds a dipath (validated); returns its id.
+  PathId add(Dipath p);
+
+  /// Adds a dipath through the given vertices.
+  PathId add_through(const std::vector<graph::VertexId>& vertices);
+
+  /// Adds a dipath through the given vertex names.
+  PathId add_through_names(const std::vector<std::string>& names);
+
+  /// Number of dipaths (counting copies).
+  [[nodiscard]] std::size_t size() const { return paths_.size(); }
+  [[nodiscard]] bool empty() const { return paths_.empty(); }
+
+  /// The dipath with the given id.
+  [[nodiscard]] const Dipath& path(PathId id) const;
+
+  /// All dipaths, indexed by PathId.
+  [[nodiscard]] const std::vector<Dipath>& paths() const { return paths_; }
+
+  /// New family with every dipath replaced by `h` identical copies,
+  /// in blocks: copies of path i occupy ids [i*h, (i+1)*h).
+  [[nodiscard]] DipathFamily replicate(std::size_t h) const;
+
+  /// New family keeping only the dipaths with keep[id] == true.
+  [[nodiscard]] DipathFamily filter(const std::vector<bool>& keep) const;
+
+ private:
+  const graph::Digraph* graph_ = nullptr;
+  std::vector<Dipath> paths_;
+};
+
+/// For each arc of the host graph, the ids of the dipaths containing it.
+/// This inverted index is the workhorse for load computation, conflict
+/// graph construction and the Theorem-1 chain recoloring.
+std::vector<std::vector<PathId>> arc_incidence(const DipathFamily& family);
+
+}  // namespace wdag::paths

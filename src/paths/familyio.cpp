@@ -1,0 +1,117 @@
+#include "paths/familyio.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "paths/dipath.hpp"
+#include "util/check.hpp"
+
+namespace wdag::paths {
+
+using graph::Digraph;
+using graph::DigraphBuilder;
+using graph::VertexId;
+
+std::string to_instance_text(const DipathFamily& family) {
+  const Digraph& g = family.graph();
+  std::ostringstream os;
+  for (const auto& arc : g.arcs()) {
+    os << "arc " << g.vertex_label(arc.tail) << ' ' << g.vertex_label(arc.head)
+       << '\n';
+  }
+  for (const Dipath& p : family.paths()) {
+    os << "path";
+    for (const VertexId v : path_vertices(g, p)) {
+      os << ' ' << g.vertex_label(v);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+bool is_number(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+}  // namespace
+
+ParsedInstance parse_instance_text(const std::string& text) {
+  DigraphBuilder b;
+  std::vector<std::vector<std::string>> path_lines;
+
+  auto resolve = [&](const std::string& tok) -> VertexId {
+    if (is_number(tok)) {
+      const unsigned long id = std::stoul(tok);
+      WDAG_REQUIRE(id < (1UL << 31), "parse_instance_text: vertex id too big");
+      return static_cast<VertexId>(id);
+    }
+    return b.vertex(tok);
+  };
+
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;
+    if (kind == "arc") {
+      std::string u, v, extra;
+      WDAG_REQUIRE(static_cast<bool>(ls >> u >> v),
+                   "parse_instance_text: line " + std::to_string(line_no) +
+                       ": arc needs tail and head");
+      WDAG_REQUIRE(!(ls >> extra),
+                   "parse_instance_text: line " + std::to_string(line_no) +
+                       ": trailing tokens after arc");
+      const VertexId uu = resolve(u);
+      const VertexId vv = resolve(v);
+      b.add_arc(uu, vv);
+    } else if (kind == "path") {
+      std::vector<std::string> tokens;
+      std::string tok;
+      while (ls >> tok) tokens.push_back(tok);
+      WDAG_REQUIRE(tokens.size() >= 2,
+                   "parse_instance_text: line " + std::to_string(line_no) +
+                       ": path needs at least two vertices");
+      path_lines.push_back(std::move(tokens));
+    } else {
+      WDAG_REQUIRE(false, "parse_instance_text: line " +
+                              std::to_string(line_no) + ": unknown keyword '" +
+                              kind + "'");
+    }
+  }
+
+  ParsedInstance out;
+  out.graph = std::make_shared<const Digraph>(b.build());
+  out.family = DipathFamily(*out.graph);
+  const Digraph& g = *out.graph;
+  for (const auto& tokens : path_lines) {
+    std::vector<VertexId> walk;
+    walk.reserve(tokens.size());
+    for (const auto& tok : tokens) {
+      if (is_number(tok)) {
+        const unsigned long id = std::stoul(tok);
+        WDAG_REQUIRE(id < g.num_vertices(),
+                     "parse_instance_text: path vertex id out of range");
+        walk.push_back(static_cast<VertexId>(id));
+      } else {
+        const auto v = g.vertex_by_name(tok);
+        WDAG_REQUIRE(v.has_value(),
+                     "parse_instance_text: unknown path vertex '" + tok + "'");
+        walk.push_back(*v);
+      }
+    }
+    out.family.add(dipath_through(g, walk));
+  }
+  return out;
+}
+
+}  // namespace wdag::paths

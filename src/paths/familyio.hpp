@@ -1,0 +1,35 @@
+#pragma once
+// Serialization of whole instances (graph + dipath family).
+//
+// Text format, line oriented:
+//   arc <tail> <head>          — one per arc, in arc-id order
+//   path <v0> <v1> ... <vk>    — one per dipath, as a vertex walk
+// '#' starts a comment; vertex tokens follow graph/graphio.hpp rules
+// (non-negative integers are ids, anything else a name).
+//
+// Round-trips instances for the examples and lets users ship test cases.
+
+#include <memory>
+#include <string>
+
+#include "graph/digraph.hpp"
+#include "paths/family.hpp"
+
+namespace wdag::paths {
+
+/// Renders the host graph's arcs and every dipath of the family.
+std::string to_instance_text(const DipathFamily& family);
+
+/// A parsed instance: the graph plus the family over it. The graph lives
+/// behind a shared_ptr so the family's reference stays valid under moves.
+struct ParsedInstance {
+  std::shared_ptr<const graph::Digraph> graph;
+  DipathFamily family;
+};
+
+/// Parses an instance written by to_instance_text (or by hand).
+/// Throws wdag::InvalidArgument on malformed lines, unknown vertices, or
+/// paths that do not follow arcs of the graph.
+ParsedInstance parse_instance_text(const std::string& text);
+
+}  // namespace wdag::paths

@@ -1,0 +1,44 @@
+#include "paths/load.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace wdag::paths {
+
+std::vector<std::size_t> arc_loads(const DipathFamily& family) {
+  std::vector<std::size_t> loads(family.graph().num_arcs(), 0);
+  for (const Dipath& p : family.paths()) {
+    for (graph::ArcId a : p.arcs) ++loads[a];
+  }
+  return loads;
+}
+
+std::size_t max_load(const DipathFamily& family) {
+  const auto loads = arc_loads(family);
+  return loads.empty() ? 0 : *std::max_element(loads.begin(), loads.end());
+}
+
+graph::ArcId max_load_arc(const DipathFamily& family) {
+  const auto loads = arc_loads(family);
+  if (loads.empty()) return graph::kNoArc;
+  const auto it = std::max_element(loads.begin(), loads.end());
+  if (*it == 0) return graph::kNoArc;
+  return static_cast<graph::ArcId>(it - loads.begin());
+}
+
+RestrictedLoad max_load_on(const DipathFamily& family,
+                           const std::vector<graph::ArcId>& arcs) {
+  const auto loads = arc_loads(family);
+  RestrictedLoad best;
+  for (graph::ArcId a : arcs) {
+    WDAG_REQUIRE(a < loads.size(), "max_load_on: arc id out of range");
+    if (best.arc == graph::kNoArc || loads[a] > best.load) {
+      best.load = loads[a];
+      best.arc = a;
+    }
+  }
+  return best;
+}
+
+}  // namespace wdag::paths

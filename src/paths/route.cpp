@@ -1,0 +1,104 @@
+#include "paths/route.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/reachability.hpp"
+#include "util/check.hpp"
+
+namespace wdag::paths {
+
+using graph::ArcId;
+using graph::Digraph;
+using graph::VertexId;
+
+std::optional<Dipath> unique_route(const Digraph& g, VertexId u, VertexId v) {
+  WDAG_REQUIRE(u < g.num_vertices() && v < g.num_vertices(),
+               "unique_route: vertex out of range");
+  WDAG_REQUIRE(u != v, "unique_route: requests must have distinct endpoints");
+  // Cone of vertices that still reach v; in a UPP-DAG each cone vertex has
+  // at most one out-arc staying inside the cone (two would yield two
+  // dipaths to v), so the route is a greedy walk.
+  const auto cone = graph::ancestors(g, v);
+  if (!cone.test(u)) return std::nullopt;
+  Dipath p;
+  VertexId cur = u;
+  while (cur != v) {
+    ArcId next = graph::kNoArc;
+    for (ArcId a : g.out_arcs(cur)) {
+      if (cone.test(g.head(a))) {
+        WDAG_DOMAIN(next == graph::kNoArc,
+                    "unique_route: two distinct dipaths exist from " +
+                        g.vertex_label(u) + " to " + g.vertex_label(v) +
+                        " (graph is not UPP)");
+        next = a;
+      }
+    }
+    WDAG_ASSERT(next != graph::kNoArc, "unique_route: cone walk got stuck");
+    p.arcs.push_back(next);
+    cur = g.head(next);
+  }
+  return p;
+}
+
+std::optional<Dipath> shortest_route(const Digraph& g, VertexId u, VertexId v) {
+  WDAG_REQUIRE(u < g.num_vertices() && v < g.num_vertices(),
+               "shortest_route: vertex out of range");
+  WDAG_REQUIRE(u != v, "shortest_route: requests must have distinct endpoints");
+  // BFS from u; the parent arc of each vertex is the smallest-id arc from
+  // the earliest-reached predecessor, which yields the lexicographically
+  // smallest shortest path when arcs are scanned in id order.
+  std::vector<ArcId> parent(g.num_vertices(), graph::kNoArc);
+  std::vector<std::int32_t> dist(g.num_vertices(), -1);
+  std::queue<VertexId> q;
+  dist[u] = 0;
+  q.push(u);
+  while (!q.empty()) {
+    const VertexId x = q.front();
+    q.pop();
+    if (x == v) break;
+    std::vector<ArcId> out(g.out_arcs(x).begin(), g.out_arcs(x).end());
+    std::sort(out.begin(), out.end());
+    for (ArcId a : out) {
+      const VertexId w = g.head(a);
+      if (dist[w] == -1) {
+        dist[w] = dist[x] + 1;
+        parent[w] = a;
+        q.push(w);
+      }
+    }
+  }
+  if (dist[v] == -1) return std::nullopt;
+  Dipath p;
+  for (VertexId cur = v; cur != u;) {
+    const ArcId a = parent[cur];
+    p.arcs.push_back(a);
+    cur = g.tail(a);
+  }
+  std::reverse(p.arcs.begin(), p.arcs.end());
+  return p;
+}
+
+DipathFamily route_requests(const Digraph& g,
+                            const std::vector<Request>& requests,
+                            RoutePolicy policy) {
+  DipathFamily fam(g);
+  for (const Request& r : requests) {
+    std::optional<Dipath> route;
+    switch (policy) {
+      case RoutePolicy::kUnique:
+        route = unique_route(g, r.from, r.to);
+        break;
+      case RoutePolicy::kShortest:
+        route = shortest_route(g, r.from, r.to);
+        break;
+    }
+    WDAG_REQUIRE(route.has_value(),
+                 "route_requests: no dipath from " + g.vertex_label(r.from) +
+                     " to " + g.vertex_label(r.to));
+    fam.add(std::move(*route));
+  }
+  return fam;
+}
+
+}  // namespace wdag::paths

@@ -1,0 +1,104 @@
+#include "util/dynamic_bitset.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace wdag::util {
+
+DynamicBitset::DynamicBitset(std::size_t bits)
+    : data_((bits + 63) / 64, 0), bits_(bits) {}
+
+void DynamicBitset::clear_all() {
+  for (auto& w : data_) w = 0;
+}
+
+void DynamicBitset::set_all() {
+  for (auto& w : data_) w = ~std::uint64_t{0};
+  if (bits_ % 64 != 0 && !data_.empty()) {
+    data_.back() &= (std::uint64_t{1} << (bits_ % 64)) - 1;
+  }
+}
+
+void DynamicBitset::set(std::size_t i) {
+  WDAG_REQUIRE(i < bits_, "DynamicBitset::set: index out of range");
+  data_[i / 64] |= std::uint64_t{1} << (i % 64);
+}
+
+void DynamicBitset::reset(std::size_t i) {
+  WDAG_REQUIRE(i < bits_, "DynamicBitset::reset: index out of range");
+  data_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+}
+
+bool DynamicBitset::test(std::size_t i) const {
+  WDAG_REQUIRE(i < bits_, "DynamicBitset::test: index out of range");
+  return (data_[i / 64] >> (i % 64)) & 1;
+}
+
+std::size_t DynamicBitset::count() const {
+  std::size_t c = 0;
+  for (auto w : data_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+bool DynamicBitset::none() const {
+  for (auto w : data_)
+    if (w != 0) return false;
+  return true;
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& other) const {
+  const std::size_t n = std::min(data_.size(), other.data_.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (data_[i] & other.data_[i]) return true;
+  return false;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  WDAG_REQUIRE(bits_ == other.bits_, "DynamicBitset: size mismatch in |=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] |= other.data_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  WDAG_REQUIRE(bits_ == other.bits_, "DynamicBitset: size mismatch in &=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] &= other.data_[i];
+  return *this;
+}
+
+void DynamicBitset::and_not(const DynamicBitset& other) {
+  WDAG_REQUIRE(bits_ == other.bits_, "DynamicBitset: size mismatch in and_not");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] &= ~other.data_[i];
+}
+
+std::size_t DynamicBitset::find_first() const {
+  for (std::size_t w = 0; w < data_.size(); ++w) {
+    if (data_[w] != 0) {
+      return w * 64 + static_cast<std::size_t>(std::countr_zero(data_[w]));
+    }
+  }
+  return bits_;
+}
+
+std::size_t DynamicBitset::find_next(std::size_t i) const {
+  ++i;
+  if (i >= bits_) return bits_;
+  std::size_t w = i / 64;
+  std::uint64_t cur = data_[w] & (~std::uint64_t{0} << (i % 64));
+  while (true) {
+    if (cur != 0) {
+      return w * 64 + static_cast<std::size_t>(std::countr_zero(cur));
+    }
+    if (++w >= data_.size()) return bits_;
+    cur = data_[w];
+  }
+}
+
+std::vector<std::size_t> DynamicBitset::to_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for (std::size_t i = find_first(); i < bits_; i = find_next(i)) out.push_back(i);
+  return out;
+}
+
+}  // namespace wdag::util

@@ -1,0 +1,69 @@
+#pragma once
+// Compact dynamic bitset used for conflict-graph adjacency rows and
+// reachability closures. Only the operations the library needs are
+// provided; everything is bounds-checked in the throwing API and raw in
+// the *_unchecked variants used by inner loops.
+
+#include <cstdint>
+#include <vector>
+
+namespace wdag::util {
+
+/// Fixed-capacity-after-construction bitset backed by 64-bit words.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates a bitset of `bits` zero bits.
+  explicit DynamicBitset(std::size_t bits);
+
+  /// Number of bits.
+  [[nodiscard]] std::size_t size() const { return bits_; }
+
+  /// Sets every bit to zero.
+  void clear_all();
+
+  /// Sets every bit to one (tail bits stay zero).
+  void set_all();
+
+  void set(std::size_t i);
+  void reset(std::size_t i);
+  [[nodiscard]] bool test(std::size_t i) const;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const;
+
+  /// True when no bit is set.
+  [[nodiscard]] bool none() const;
+
+  /// True when this and other share at least one set bit.
+  [[nodiscard]] bool intersects(const DynamicBitset& other) const;
+
+  /// this |= other (sizes must match).
+  DynamicBitset& operator|=(const DynamicBitset& other);
+
+  /// this &= other (sizes must match).
+  DynamicBitset& operator&=(const DynamicBitset& other);
+
+  /// this &= ~other (sizes must match).
+  void and_not(const DynamicBitset& other);
+
+  /// Index of the first set bit, or size() when none.
+  [[nodiscard]] std::size_t find_first() const;
+
+  /// Index of the first set bit strictly after i, or size() when none.
+  [[nodiscard]] std::size_t find_next(std::size_t i) const;
+
+  /// Indices of all set bits in increasing order.
+  [[nodiscard]] std::vector<std::size_t> to_indices() const;
+
+  bool operator==(const DynamicBitset& other) const = default;
+
+ private:
+  [[nodiscard]] std::size_t words() const { return data_.size(); }
+
+  std::vector<std::uint64_t> data_;
+  std::size_t bits_ = 0;
+};
+
+}  // namespace wdag::util

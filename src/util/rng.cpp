@@ -1,0 +1,88 @@
+#include "util/rng.hpp"
+
+#include "util/check.hpp"
+
+namespace wdag::util {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+  // All-zero state is the one fixed point of xoshiro; splitmix cannot
+  // produce four zero outputs in a row, but guard anyway.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) {
+  WDAG_REQUIRE(bound > 0, "Xoshiro256::below: bound must be positive");
+  // Lemire's method: multiply into a 128-bit product; reject the biased
+  // low fringe so every residue is equally likely.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Xoshiro256::range(std::int64_t lo, std::int64_t hi) {
+  WDAG_REQUIRE(lo <= hi, "Xoshiro256::range: lo must be <= hi");
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + below(span));
+}
+
+double Xoshiro256::uniform() {
+  // 53 high-quality bits -> double in [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::size_t Xoshiro256::index(std::size_t n) {
+  WDAG_REQUIRE(n > 0, "Xoshiro256::index: container must be non-empty");
+  return static_cast<std::size_t>(below(n));
+}
+
+Xoshiro256 Xoshiro256::split() {
+  // Derive a child seed from fresh output; streams are effectively
+  // independent for our instance-generation purposes.
+  return Xoshiro256((*this)() ^ 0xD2B74407B1CE6E93ULL);
+}
+
+}  // namespace wdag::util

@@ -1,0 +1,130 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.hpp"
+
+namespace wdag::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    WDAG_REQUIRE(!stop_, "ThreadPool::submit after shutdown");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_task_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool* pool = new ThreadPool();  // intentionally leaked
+  return *pool;
+}
+
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t grain) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t total = end - begin;
+  ThreadPool& pool = global_pool();
+  const std::size_t target_chunks =
+      std::max<std::size_t>(1, std::min(total / grain, pool.size() * 4));
+  const std::size_t chunk = (total + target_chunks - 1) / target_chunks;
+
+  if (target_chunks == 1) {
+    body(begin, end);
+    return;
+  }
+
+  std::atomic<std::size_t> remaining{0};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  const std::size_t launched = (total + chunk - 1) / chunk;
+  remaining.store(launched);
+
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    pool.submit([&, lo, hi] {
+      try {
+        body(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // Decrement and notify under the mutex: the waiter's predicate check
+      // is serialized with this block, so it cannot observe zero, return,
+      // and destroy the stack-allocated mutex/cv while any worker still
+      // needs them.
+      {
+        std::lock_guard<std::mutex> lk(done_mu);
+        if (remaining.fetch_sub(1) == 1) done_cv.notify_all();
+      }
+    });
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(done_mu);
+    done_cv.wait(lk, [&] { return remaining.load() == 0; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  parallel_for_chunks(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+}  // namespace wdag::util

@@ -1,0 +1,76 @@
+#pragma once
+// Fixed-size thread pool plus a blocking parallel_for, used to fan out
+// benchmark sweeps and the per-source UPP dynamic program.
+//
+// Design notes (per the HPC guides): parallelism is explicit and
+// deterministic — work is partitioned by index range, no work stealing, and
+// all randomness is seeded per-chunk, so results never depend on thread
+// scheduling.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wdag::util {
+
+/// A fixed pool of worker threads executing submitted tasks FIFO.
+/// Threads are joined in the destructor; submitting after shutdown throws.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task. Tasks must not throw through the pool; wrap and store
+  /// exceptions yourself (parallel_for below does this for you).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Shared process-wide pool (lazily constructed, never destroyed before
+/// main exits). Use for ad-hoc parallel_for calls.
+ThreadPool& global_pool();
+
+/// Runs body(i) for i in [begin, end) across the pool, blocking until done.
+/// Work is split into contiguous chunks (at most 4 per worker) to keep
+/// per-chunk state (e.g. RNGs) cheap. The first exception thrown by any
+/// chunk is rethrown in the calling thread.
+///
+/// `grain` caps how small a chunk may be; use it when body(i) is tiny.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+/// Chunked variant: body(lo, hi) receives a contiguous index range.
+/// Prefer this when per-chunk setup (RNG, scratch buffers) matters.
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t grain = 1);
+
+}  // namespace wdag::util

@@ -1,0 +1,33 @@
+#pragma once
+// Lightweight wall-clock timing used by the benchmark harness and examples.
+
+#include <chrono>
+#include <cstdint>
+
+namespace wdag::util {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time in seconds since construction / last reset.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace wdag::util

@@ -1,0 +1,38 @@
+#include "util/union_find.hpp"
+
+#include "util/check.hpp"
+
+namespace wdag::util {
+
+UnionFind::UnionFind(std::size_t n) { reset(n); }
+
+void UnionFind::reset(std::size_t n) {
+  WDAG_REQUIRE(n <= UINT32_MAX, "UnionFind supports up to 2^32-1 elements");
+  parent_.resize(n);
+  rank_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<std::uint32_t>(i);
+  num_sets_ = n;
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  WDAG_REQUIRE(x < parent_.size(), "UnionFind::find: index out of range");
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a), rb = find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = static_cast<std::uint32_t>(ra);
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return true;
+}
+
+bool UnionFind::same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+}  // namespace wdag::util

@@ -1,0 +1,64 @@
+#pragma once
+// Shared fixtures for the wdag test suite: small canonical graphs used
+// across modules.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace wdag::test {
+
+/// Chain 0 -> 1 -> ... -> n-1.
+inline graph::Digraph chain(std::size_t n) {
+  graph::DigraphBuilder b(n);
+  for (graph::VertexId v = 0; v + 1 < n; ++v) b.add_arc(v, v + 1);
+  return b.build();
+}
+
+/// Diamond: 0 -> 1 -> 3, 0 -> 2 -> 3. The smallest non-UPP DAG; its only
+/// cycle touches the source 0 and sink 3, so it is NOT internal.
+inline graph::Digraph diamond() {
+  graph::DigraphBuilder b(4);
+  b.add_arc(0, 1);
+  b.add_arc(0, 2);
+  b.add_arc(1, 3);
+  b.add_arc(2, 3);
+  return b.build();
+}
+
+/// Guarded diamond: s -> 0 -> {1,2} -> 3 -> t. The inner diamond cycle is
+/// internal (all four vertices have both a predecessor and a successor).
+inline graph::Digraph guarded_diamond() {
+  graph::DigraphBuilder b(6);
+  // 4 = s (guard source), 5 = t (guard sink)
+  b.add_arc(4, 0);
+  b.add_arc(0, 1);
+  b.add_arc(0, 2);
+  b.add_arc(1, 3);
+  b.add_arc(2, 3);
+  b.add_arc(3, 5);
+  return b.build();
+}
+
+/// Binary out-tree of given depth (root 0); 2^(depth+1) - 1 vertices.
+inline graph::Digraph binary_out_tree(std::size_t depth) {
+  graph::DigraphBuilder b;
+  const std::size_t n = (std::size_t{1} << (depth + 1)) - 1;
+  for (std::size_t v = 0; v < n; ++v) b.add_vertex();
+  for (std::size_t v = 1; v < n; ++v) {
+    b.add_arc(static_cast<graph::VertexId>((v - 1) / 2),
+              static_cast<graph::VertexId>(v));
+  }
+  return b.build();
+}
+
+/// Directed triangle 0 -> 1 -> 2 -> 0 (not a DAG).
+inline graph::Digraph directed_triangle() {
+  graph::DigraphBuilder b(3);
+  b.add_arc(0, 1);
+  b.add_arc(1, 2);
+  b.add_arc(2, 0);
+  return b.build();
+}
+
+}  // namespace wdag::test

@@ -1,0 +1,79 @@
+// Unit tests for the CLI flag parser.
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using wdag::util::Cli;
+
+Cli parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return Cli(static_cast<int>(v.size()), v.data());
+}
+
+TEST(CliTest, ProgramName) {
+  const auto cli = parse({"prog"});
+  EXPECT_EQ(cli.program(), "prog");
+  EXPECT_TRUE(cli.positional().empty());
+}
+
+TEST(CliTest, EqualsSyntax) {
+  const auto cli = parse({"prog", "--n=12", "--name=alpha"});
+  EXPECT_EQ(cli.get_int("n", 0), 12);
+  EXPECT_EQ(cli.get("name", ""), "alpha");
+}
+
+TEST(CliTest, SpaceSyntax) {
+  const auto cli = parse({"prog", "--n", "7"});
+  EXPECT_EQ(cli.get_int("n", 0), 7);
+}
+
+TEST(CliTest, BooleanFlag) {
+  const auto cli = parse({"prog", "--verbose"});
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_FALSE(cli.has("quiet"));
+}
+
+TEST(CliTest, BooleanFlagBeforeAnotherFlag) {
+  const auto cli = parse({"prog", "--verbose", "--n", "3"});
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_EQ(cli.get_int("n", 0), 3);
+}
+
+TEST(CliTest, Positional) {
+  const auto cli = parse({"prog", "input.txt", "--n", "1", "more"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.positional()[1], "more");
+}
+
+TEST(CliTest, Defaults) {
+  const auto cli = parse({"prog"});
+  EXPECT_EQ(cli.get("missing", "dft"), "dft");
+  EXPECT_EQ(cli.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 2.5), 2.5);
+}
+
+TEST(CliTest, DoubleParsing) {
+  const auto cli = parse({"prog", "--p=0.25"});
+  EXPECT_DOUBLE_EQ(cli.get_double("p", 0), 0.25);
+}
+
+TEST(CliTest, NonNumericIntThrows) {
+  const auto cli = parse({"prog", "--n=abc"});
+  EXPECT_THROW((void)cli.get_int("n", 0), wdag::InvalidArgument);
+}
+
+TEST(CliTest, BareDoubleDashThrows) {
+  EXPECT_THROW(parse({"prog", "--"}), wdag::InvalidArgument);
+}
+
+TEST(CliTest, NegativeNumbers) {
+  const auto cli = parse({"prog", "--n=-5"});
+  EXPECT_EQ(cli.get_int("n", 0), -5);
+}
+
+}  // namespace

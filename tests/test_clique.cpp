@@ -1,0 +1,108 @@
+// Unit tests for clique computations.
+
+#include <gtest/gtest.h>
+
+#include "conflict/clique.hpp"
+#include "gen/paper_instances.hpp"
+#include "paths/load.hpp"
+
+namespace {
+
+using namespace wdag::conflict;
+
+ConflictGraph complete(std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  }
+  return ConflictGraph(n, edges);
+}
+
+ConflictGraph cycle(std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return ConflictGraph(n, edges);
+}
+
+ConflictGraph petersen() {
+  // Outer C5, inner 5-star polygon, spokes.
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < 5; ++i) {
+    edges.emplace_back(i, (i + 1) % 5);          // outer
+    edges.emplace_back(5 + i, 5 + (i + 2) % 5);  // inner
+    edges.emplace_back(i, 5 + i);                // spoke
+  }
+  return ConflictGraph(10, edges);
+}
+
+TEST(CliqueTest, EmptyGraph) {
+  const ConflictGraph cg(0, {});
+  EXPECT_TRUE(max_clique(cg).empty());
+  EXPECT_EQ(clique_number(cg), 0u);
+}
+
+TEST(CliqueTest, EdgelessGraph) {
+  const ConflictGraph cg(4, {});
+  EXPECT_EQ(clique_number(cg), 1u);
+}
+
+TEST(CliqueTest, CompleteGraphs) {
+  for (std::size_t n : {2u, 3u, 5u, 8u}) {
+    EXPECT_EQ(clique_number(complete(n)), n) << n;
+  }
+}
+
+TEST(CliqueTest, Cycles) {
+  EXPECT_EQ(clique_number(cycle(5)), 2u);
+  EXPECT_EQ(clique_number(cycle(3)), 3u);
+  EXPECT_EQ(clique_number(cycle(8)), 2u);
+}
+
+TEST(CliqueTest, PetersenIsTriangleFree) {
+  EXPECT_EQ(clique_number(petersen()), 2u);
+}
+
+TEST(CliqueTest, ResultIsAClique) {
+  const auto cg = petersen();
+  const auto c = max_clique(cg);
+  EXPECT_TRUE(is_clique(cg, c));
+}
+
+TEST(CliqueTest, GreedyIsLowerBound) {
+  for (const auto& cg : {complete(6), cycle(7), petersen()}) {
+    const auto g = greedy_clique(cg);
+    EXPECT_TRUE(is_clique(cg, g));
+    EXPECT_LE(g.size(), clique_number(cg));
+    EXPECT_GE(g.size(), 1u);
+  }
+}
+
+TEST(CliqueTest, IsCliqueRejectsNonCliques) {
+  const auto cg = cycle(5);
+  EXPECT_FALSE(is_clique(cg, {0, 1, 2}));
+  EXPECT_TRUE(is_clique(cg, {0, 1}));
+  EXPECT_TRUE(is_clique(cg, {3}));
+  EXPECT_TRUE(is_clique(cg, {}));
+}
+
+TEST(CliqueTest, WheelGraph) {
+  // Hub 0 adjacent to C6 rim 1..6: clique number 3.
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 1; i <= 6; ++i) {
+    edges.emplace_back(0, i);
+    edges.emplace_back(i, i == 6 ? 1 : i + 1);
+  }
+  EXPECT_EQ(clique_number(ConflictGraph(7, edges)), 3u);
+}
+
+TEST(CliqueTest, PaperInstanceCliques) {
+  // Figure 1: complete conflict graph -> clique == k while load == 2.
+  const auto fig1 = wdag::gen::figure1_pathological(5);
+  EXPECT_EQ(clique_number(ConflictGraph(fig1.family)), 5u);
+  EXPECT_EQ(wdag::paths::max_load(fig1.family), 2u);
+  // Figure 3 (C5): clique 2 == load 2.
+  const auto fig3 = wdag::gen::figure3_instance();
+  EXPECT_EQ(clique_number(ConflictGraph(fig3.family)), 2u);
+}
+
+}  // namespace

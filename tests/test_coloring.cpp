@@ -1,0 +1,124 @@
+// Unit tests for coloring heuristics and validation.
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "conflict/coloring.hpp"
+#include "gen/paper_instances.hpp"
+#include "gen/random_dag.hpp"
+#include "gen/family_gen.hpp"
+#include "helpers.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wdag::conflict;
+using wdag::paths::Dipath;
+using wdag::paths::DipathFamily;
+
+ConflictGraph c5() {
+  return ConflictGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+}
+
+TEST(ColoringBasicsTest, NumColorsAndNormalize) {
+  Coloring c = {5, 9, 5, 2};
+  EXPECT_EQ(num_colors(c), 3u);
+  EXPECT_EQ(normalize_colors(c), 3u);
+  EXPECT_EQ(c, (Coloring{0, 1, 0, 2}));
+}
+
+TEST(ColoringBasicsTest, ValidityChecks) {
+  const auto cg = c5();
+  EXPECT_TRUE(is_valid_coloring(cg, {0, 1, 0, 1, 2}));
+  EXPECT_FALSE(is_valid_coloring(cg, {0, 0, 1, 0, 1}));  // edge (0,1) mono
+  EXPECT_FALSE(is_valid_coloring(cg, {0, 1}));           // wrong size
+}
+
+TEST(ColoringBasicsTest, AssignmentValidationAgainstFamily) {
+  const auto g = wdag::test::chain(4);
+  DipathFamily fam(g);
+  fam.add(Dipath({0, 1}));
+  fam.add(Dipath({1, 2}));
+  fam.add(Dipath({2}));
+  EXPECT_TRUE(is_valid_assignment(fam, {0, 1, 0}));
+  EXPECT_FALSE(is_valid_assignment(fam, {0, 0, 1}));
+  EXPECT_FALSE(is_valid_assignment(fam, {0, 1}));
+}
+
+TEST(GreedyColoringTest, ValidOnC5) {
+  const auto cg = c5();
+  const auto col = greedy_coloring(cg);
+  EXPECT_TRUE(is_valid_coloring(cg, col));
+  EXPECT_LE(num_colors(col), 3u);
+}
+
+TEST(GreedyColoringTest, OrderMatters) {
+  // A path P4 colored in a bad order uses 3 colors; natural order uses 2.
+  const ConflictGraph cg(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto natural = greedy_coloring(cg);
+  EXPECT_EQ(num_colors(natural), 2u);
+  const auto bad = greedy_coloring(cg, {0, 3, 1, 2});
+  EXPECT_TRUE(is_valid_coloring(cg, bad));
+}
+
+TEST(GreedyColoringTest, RejectsBadOrder) {
+  const auto cg = c5();
+  EXPECT_THROW(greedy_coloring(cg, {0, 1}), wdag::InvalidArgument);
+  EXPECT_THROW(greedy_coloring(cg, {0, 1, 2, 3, 9}), wdag::InvalidArgument);
+}
+
+TEST(DsaturTest, OptimalOnOddCycle) {
+  const auto col = dsatur_coloring(c5());
+  EXPECT_TRUE(is_valid_coloring(c5(), col));
+  EXPECT_EQ(num_colors(col), 3u);  // chi(C5) == 3 and DSATUR achieves it
+}
+
+TEST(DsaturTest, OptimalOnEvenCycle) {
+  const ConflictGraph c6(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+  const auto col = dsatur_coloring(c6);
+  EXPECT_EQ(num_colors(col), 2u);  // DSATUR is exact on bipartite graphs
+}
+
+TEST(DsaturTest, CompleteGraphNeedsN) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) edges.emplace_back(i, j);
+  }
+  const ConflictGraph k6(6, edges);
+  EXPECT_EQ(num_colors(dsatur_coloring(k6)), 6u);
+}
+
+TEST(DsaturTest, ValidOnRandomInstances) {
+  wdag::util::Xoshiro256 rng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = wdag::gen::random_layered_dag(rng, 5, 4, 0.4);
+    const auto fam = wdag::gen::random_walk_family(rng, g, 30, 1, 6);
+    const ConflictGraph cg(fam);
+    const auto col = dsatur_coloring(cg);
+    EXPECT_TRUE(is_valid_coloring(cg, col));
+    EXPECT_TRUE(is_valid_assignment(fam, col));
+  }
+}
+
+TEST(ColoringCrossCheckTest, GraphAndFamilyValidatorsAgree) {
+  wdag::util::Xoshiro256 rng(18);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = wdag::gen::random_layered_dag(rng, 4, 4, 0.5);
+    const auto fam = wdag::gen::random_walk_family(rng, g, 20, 1, 5);
+    const ConflictGraph cg(fam);
+    // Random (mostly invalid) colorings must get identical verdicts.
+    for (int probe = 0; probe < 20; ++probe) {
+      Coloring col(fam.size());
+      for (auto& c : col) c = static_cast<std::uint32_t>(rng.below(4));
+      EXPECT_EQ(is_valid_coloring(cg, col), is_valid_assignment(fam, col));
+    }
+  }
+}
+
+TEST(ColoringBasicsTest, EmptyColoring) {
+  Coloring c;
+  EXPECT_EQ(num_colors(c), 0u);
+  EXPECT_EQ(normalize_colors(c), 0u);
+}
+
+}  // namespace

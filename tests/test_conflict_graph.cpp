@@ -1,0 +1,97 @@
+// Unit tests for conflict-graph construction.
+
+#include <gtest/gtest.h>
+
+#include "conflict/conflict_graph.hpp"
+#include "gen/paper_instances.hpp"
+#include "helpers.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using wdag::conflict::ConflictGraph;
+using wdag::paths::Dipath;
+using wdag::paths::DipathFamily;
+
+TEST(ConflictGraphTest, EmptyFamily) {
+  const auto g = wdag::test::chain(3);
+  const ConflictGraph cg{DipathFamily(g)};
+  EXPECT_EQ(cg.size(), 0u);
+  EXPECT_EQ(cg.num_edges(), 0u);
+}
+
+TEST(ConflictGraphTest, ChainOverlaps) {
+  const auto g = wdag::test::chain(5);
+  DipathFamily fam(g);
+  fam.add(Dipath({0, 1}));
+  fam.add(Dipath({1, 2}));
+  fam.add(Dipath({3}));
+  const ConflictGraph cg(fam);
+  EXPECT_TRUE(cg.adjacent(0, 1));
+  EXPECT_FALSE(cg.adjacent(0, 2));
+  EXPECT_FALSE(cg.adjacent(1, 2));
+  EXPECT_EQ(cg.num_edges(), 1u);
+  EXPECT_EQ(cg.degree(0), 1u);
+  EXPECT_EQ(cg.degree(2), 0u);
+}
+
+TEST(ConflictGraphTest, SelfIsNeverAdjacent) {
+  const auto g = wdag::test::chain(3);
+  DipathFamily fam(g);
+  fam.add(Dipath({0, 1}));
+  const ConflictGraph cg(fam);
+  EXPECT_FALSE(cg.adjacent(0, 0));
+}
+
+TEST(ConflictGraphTest, IdenticalCopiesConflict) {
+  const auto g = wdag::test::chain(3);
+  DipathFamily fam(g);
+  fam.add(Dipath({0}));
+  fam.add(Dipath({0}));
+  const ConflictGraph cg(fam);
+  EXPECT_TRUE(cg.adjacent(0, 1));
+}
+
+TEST(ConflictGraphTest, Figure3IsC5) {
+  const auto inst = wdag::gen::figure3_instance();
+  const ConflictGraph cg(inst.family);
+  ASSERT_EQ(cg.size(), 5u);
+  EXPECT_EQ(cg.num_edges(), 5u);
+  for (std::size_t v = 0; v < 5; ++v) EXPECT_EQ(cg.degree(v), 2u) << v;
+  // C5 (odd cycle): exactly the paper's example.
+  EXPECT_TRUE(cg.adjacent(0, 1));
+  EXPECT_TRUE(cg.adjacent(1, 2));
+  EXPECT_TRUE(cg.adjacent(2, 3));
+  EXPECT_TRUE(cg.adjacent(3, 4));
+  EXPECT_TRUE(cg.adjacent(4, 0));
+}
+
+TEST(ConflictGraphTest, Figure1IsComplete) {
+  for (std::size_t k : {2u, 4u, 6u}) {
+    const auto inst = wdag::gen::figure1_pathological(k);
+    const ConflictGraph cg(inst.family);
+    ASSERT_EQ(cg.size(), k);
+    EXPECT_EQ(cg.num_edges(), k * (k - 1) / 2) << "k=" << k;
+  }
+}
+
+TEST(ConflictGraphTest, ExplicitEdgeListConstructor) {
+  const ConflictGraph cg(4, {{0, 1}, {2, 3}});
+  EXPECT_TRUE(cg.adjacent(0, 1));
+  EXPECT_TRUE(cg.adjacent(3, 2));
+  EXPECT_FALSE(cg.adjacent(1, 2));
+  EXPECT_EQ(cg.num_edges(), 2u);
+}
+
+TEST(ConflictGraphTest, ExplicitEdgeListValidation) {
+  EXPECT_THROW(ConflictGraph(2, {{0, 2}}), wdag::InvalidArgument);
+  EXPECT_THROW(ConflictGraph(2, {{1, 1}}), wdag::InvalidArgument);
+}
+
+TEST(ConflictGraphTest, NeighborsBitset) {
+  const ConflictGraph cg(5, {{0, 1}, {0, 2}, {0, 4}});
+  const auto idx = cg.neighbors(0).to_indices();
+  EXPECT_EQ(idx, (std::vector<std::size_t>{1, 2, 4}));
+}
+
+}  // namespace

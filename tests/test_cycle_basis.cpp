@@ -1,0 +1,73 @@
+// Unit tests for the internal-cycle basis.
+
+#include <gtest/gtest.h>
+
+#include "dag/cycle_basis.hpp"
+#include "dag/internal_cycle.hpp"
+#include "gen/paper_instances.hpp"
+#include "gen/random_dag.hpp"
+#include "gen/topologies.hpp"
+#include "gen/upp_gen.hpp"
+#include "helpers.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wdag::dag;
+
+TEST(CycleBasisTest, EmptyOnCleanGraphs) {
+  EXPECT_TRUE(internal_cycle_basis(wdag::test::chain(6)).empty());
+  EXPECT_TRUE(internal_cycle_basis(wdag::test::diamond()).empty());
+  EXPECT_TRUE(internal_cycle_basis(wdag::test::binary_out_tree(3)).empty());
+}
+
+TEST(CycleBasisTest, GuardedDiamondSingleton) {
+  const auto basis = internal_cycle_basis(wdag::test::guarded_diamond());
+  ASSERT_EQ(basis.size(), 1u);
+  EXPECT_TRUE(is_internal_cycle(wdag::test::guarded_diamond(), basis[0]));
+}
+
+TEST(CycleBasisTest, SizeMatchesCountEverywhere) {
+  wdag::util::Xoshiro256 rng(77);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto g = wdag::gen::random_dag(rng, 22, 0.15);
+    const auto basis = internal_cycle_basis(g);
+    EXPECT_EQ(basis.size(), internal_cycle_count(g));
+    for (const auto& c : basis) EXPECT_TRUE(is_internal_cycle(g, c));
+  }
+}
+
+TEST(CycleBasisTest, MultiCycleGadget) {
+  const auto inst =
+      wdag::gen::upp_multi_cycle_skeleton(4, wdag::gen::UppCycleParams{2, 1, 1, 1});
+  const auto basis = internal_cycle_basis(*inst.graph);
+  EXPECT_EQ(basis.size(), 4u);
+}
+
+TEST(CycleBasisTest, FatChainBundleCount) {
+  // Each of the `stages` bundles of width w contributes w-1 fundamental
+  // internal cycles.
+  for (std::size_t w : {2u, 3u, 4u}) {
+    const auto g = wdag::gen::fat_chain(3, w);
+    EXPECT_EQ(internal_cycle_basis(g).size(), 3 * (w - 1)) << "width " << w;
+  }
+}
+
+TEST(CycleBasisTest, ButterflyRegimeBoundary) {
+  // k <= 2: no internal cycle; k == 3: suddenly plenty.
+  EXPECT_TRUE(internal_cycle_basis(wdag::gen::butterfly(1)).empty());
+  EXPECT_TRUE(internal_cycle_basis(wdag::gen::butterfly(2)).empty());
+  EXPECT_FALSE(internal_cycle_basis(wdag::gen::butterfly(3)).empty());
+}
+
+TEST(CycleBasisTest, BasisCyclesAreDistinct) {
+  const auto g = wdag::gen::fat_chain(2, 3);
+  const auto basis = internal_cycle_basis(g);
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    for (std::size_t j = i + 1; j < basis.size(); ++j) {
+      EXPECT_FALSE(basis[i].steps == basis[j].steps);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Unit tests for Dipath construction and validation.
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "paths/dipath.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace wdag::paths;
+using wdag::graph::Digraph;
+using wdag::graph::DigraphBuilder;
+
+TEST(DipathTest, ValidChainPath) {
+  const Digraph g = wdag::test::chain(4);
+  const Dipath p({0, 1, 2});
+  EXPECT_TRUE(is_valid_dipath(g, p));
+  EXPECT_EQ(path_source(g, p), 0u);
+  EXPECT_EQ(path_target(g, p), 3u);
+  EXPECT_EQ(p.length(), 3u);
+}
+
+TEST(DipathTest, EmptyPathIsInvalid) {
+  const Digraph g = wdag::test::chain(3);
+  EXPECT_FALSE(is_valid_dipath(g, Dipath{}));
+  EXPECT_THROW(path_source(g, Dipath{}), wdag::InvalidArgument);
+}
+
+TEST(DipathTest, DisconnectedArcsAreInvalid) {
+  const Digraph g = wdag::test::chain(4);
+  EXPECT_FALSE(is_valid_dipath(g, Dipath({0, 2})));  // skips arc 1
+}
+
+TEST(DipathTest, OutOfRangeArcIsInvalid) {
+  const Digraph g = wdag::test::chain(3);
+  EXPECT_FALSE(is_valid_dipath(g, Dipath({7})));
+}
+
+TEST(DipathTest, RepeatedVertexIsInvalid) {
+  // In a DAG repetition cannot happen along real arcs, but the validator
+  // must still reject a doubled arc sequence.
+  const Digraph g = wdag::test::chain(3);
+  EXPECT_FALSE(is_valid_dipath(g, Dipath({0, 0})));
+}
+
+TEST(DipathTest, PathVertices) {
+  const Digraph g = wdag::test::chain(4);
+  const auto vs = path_vertices(g, Dipath({1, 2}));
+  EXPECT_EQ(vs, (std::vector<wdag::graph::VertexId>{1, 2, 3}));
+}
+
+TEST(DipathTest, ContainsArc) {
+  const Dipath p({3, 5, 9});
+  EXPECT_TRUE(contains_arc(p, 5));
+  EXPECT_FALSE(contains_arc(p, 4));
+}
+
+TEST(DipathTest, ConflictIsSharedArc) {
+  const Dipath p({0, 1, 2}), q({2, 3}), r({3, 4});
+  EXPECT_TRUE(paths_conflict(p, q));
+  EXPECT_FALSE(paths_conflict(p, r));
+  EXPECT_TRUE(paths_conflict(q, r));
+  EXPECT_EQ(shared_arcs(p, q), (std::vector<wdag::graph::ArcId>{2}));
+  EXPECT_TRUE(shared_arcs(p, r).empty());
+}
+
+TEST(DipathTest, VertexIntersectionIsNotConflict) {
+  // Two dipaths meeting only at a vertex do NOT conflict (paper §2:
+  // conflicts are arc-sharing).
+  const Digraph g = wdag::test::diamond();
+  const Dipath via1({g.find_arc(0, 1), g.find_arc(1, 3)});
+  const Dipath via2({g.find_arc(0, 2), g.find_arc(2, 3)});
+  EXPECT_TRUE(is_valid_dipath(g, via1));
+  EXPECT_TRUE(is_valid_dipath(g, via2));
+  EXPECT_FALSE(paths_conflict(via1, via2));
+}
+
+TEST(DipathTest, DipathThrough) {
+  const Digraph g = wdag::test::diamond();
+  const Dipath p = dipath_through(g, {0, 1, 3});
+  EXPECT_TRUE(is_valid_dipath(g, p));
+  EXPECT_EQ(p.length(), 2u);
+  EXPECT_THROW(dipath_through(g, {0, 3}), wdag::InvalidArgument);  // no arc
+  EXPECT_THROW(dipath_through(g, {0}), wdag::InvalidArgument);     // too short
+}
+
+TEST(DipathTest, DipathThroughNames) {
+  DigraphBuilder b;
+  b.add_arc("x", "y");
+  b.add_arc("y", "z");
+  const Digraph g = b.build();
+  const Dipath p = dipath_through_names(g, {"x", "y", "z"});
+  EXPECT_EQ(p.length(), 2u);
+  EXPECT_THROW(dipath_through_names(g, {"x", "nope"}), wdag::InvalidArgument);
+}
+
+TEST(DipathTest, ToString) {
+  const Digraph g = wdag::test::chain(3);
+  EXPECT_EQ(path_to_string(g, Dipath({0, 1})), "v0 -> v1 -> v2");
+  EXPECT_EQ(path_to_string(g, Dipath{}), "(empty)");
+}
+
+}  // namespace

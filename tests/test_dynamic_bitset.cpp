@@ -1,0 +1,126 @@
+// Unit tests for DynamicBitset.
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/dynamic_bitset.hpp"
+
+namespace {
+
+using wdag::util::DynamicBitset;
+
+TEST(DynamicBitsetTest, StartsClear) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DynamicBitsetTest, SetResetTest) {
+  DynamicBitset b(100);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(99));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynamicBitsetTest, OutOfRangeThrows) {
+  DynamicBitset b(10);
+  EXPECT_THROW(b.set(10), wdag::InvalidArgument);
+  EXPECT_THROW((void)b.test(10), wdag::InvalidArgument);
+  EXPECT_THROW(b.reset(10), wdag::InvalidArgument);
+}
+
+TEST(DynamicBitsetTest, SetAllRespectsTail) {
+  DynamicBitset b(70);
+  b.set_all();
+  EXPECT_EQ(b.count(), 70u);
+  b.clear_all();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(DynamicBitsetTest, FindFirstAndNext) {
+  DynamicBitset b(200);
+  EXPECT_EQ(b.find_first(), 200u);
+  b.set(5);
+  b.set(64);
+  b.set(199);
+  EXPECT_EQ(b.find_first(), 5u);
+  EXPECT_EQ(b.find_next(5), 64u);
+  EXPECT_EQ(b.find_next(64), 199u);
+  EXPECT_EQ(b.find_next(199), 200u);
+}
+
+TEST(DynamicBitsetTest, IterationMatchesToIndices) {
+  DynamicBitset b(150);
+  const std::vector<std::size_t> want = {0, 1, 63, 64, 65, 127, 128, 149};
+  for (auto i : want) b.set(i);
+  EXPECT_EQ(b.to_indices(), want);
+  std::vector<std::size_t> got;
+  for (std::size_t i = b.find_first(); i < b.size(); i = b.find_next(i)) {
+    got.push_back(i);
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(DynamicBitsetTest, Intersects) {
+  DynamicBitset a(100), b(100);
+  a.set(3);
+  b.set(4);
+  EXPECT_FALSE(a.intersects(b));
+  b.set(3);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(DynamicBitsetTest, OrAndAndNot) {
+  DynamicBitset a(80), b(80);
+  a.set(1);
+  a.set(70);
+  b.set(70);
+  b.set(2);
+  DynamicBitset c = a;
+  c |= b;
+  EXPECT_EQ(c.count(), 3u);
+  DynamicBitset d = a;
+  d &= b;
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(70));
+  DynamicBitset e = a;
+  e.and_not(b);
+  EXPECT_EQ(e.count(), 1u);
+  EXPECT_TRUE(e.test(1));
+}
+
+TEST(DynamicBitsetTest, SizeMismatchThrows) {
+  DynamicBitset a(10), b(20);
+  EXPECT_THROW(a |= b, wdag::InvalidArgument);
+  EXPECT_THROW(a &= b, wdag::InvalidArgument);
+  EXPECT_THROW(a.and_not(b), wdag::InvalidArgument);
+}
+
+TEST(DynamicBitsetTest, EqualityComparesContent) {
+  DynamicBitset a(64), b(64);
+  EXPECT_EQ(a, b);
+  a.set(10);
+  EXPECT_NE(a, b);
+  b.set(10);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DynamicBitsetTest, EmptyBitset) {
+  DynamicBitset b(0);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.find_first(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Unit tests for the exact chromatic-number solver — the oracle the benches
+// use to certify every "w equals ..." claim.
+
+#include <gtest/gtest.h>
+
+#include "conflict/clique.hpp"
+#include "conflict/exact_color.hpp"
+#include "gen/paper_instances.hpp"
+#include "gen/family_gen.hpp"
+#include "gen/random_dag.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wdag::conflict;
+
+ConflictGraph cycle(std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return ConflictGraph(n, edges);
+}
+
+ConflictGraph complete(std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  }
+  return ConflictGraph(n, edges);
+}
+
+TEST(ExactColorTest, EmptyAndEdgeless) {
+  EXPECT_EQ(chromatic_number(ConflictGraph(0, {})).chromatic_number, 0u);
+  EXPECT_EQ(chromatic_number(ConflictGraph(5, {})).chromatic_number, 1u);
+}
+
+TEST(ExactColorTest, OddAndEvenCycles) {
+  EXPECT_EQ(chromatic_number(cycle(5)).chromatic_number, 3u);
+  EXPECT_EQ(chromatic_number(cycle(6)).chromatic_number, 2u);
+  EXPECT_EQ(chromatic_number(cycle(9)).chromatic_number, 3u);
+  EXPECT_EQ(chromatic_number(cycle(3)).chromatic_number, 3u);
+}
+
+TEST(ExactColorTest, CompleteGraphs) {
+  for (std::size_t n : {1u, 2u, 4u, 7u}) {
+    EXPECT_EQ(chromatic_number(complete(n)).chromatic_number, n);
+  }
+}
+
+TEST(ExactColorTest, ReturnsValidOptimalColoring) {
+  const auto cg = cycle(7);
+  const auto res = chromatic_number(cg);
+  EXPECT_TRUE(res.proven);
+  EXPECT_TRUE(is_valid_coloring(cg, res.coloring));
+  EXPECT_EQ(num_colors(res.coloring), res.chromatic_number);
+}
+
+TEST(ExactColorTest, WagnerGraphNeedsThree) {
+  // V8 = C8 + antipodal chords — the conflict graph of the Havet instance.
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < 8; ++i) edges.emplace_back(i, (i + 1) % 8);
+  for (std::size_t i = 0; i < 4; ++i) edges.emplace_back(i, i + 4);
+  EXPECT_EQ(chromatic_number(ConflictGraph(8, edges)).chromatic_number, 3u);
+}
+
+TEST(ExactColorTest, HavetReplicatedMatchesCeil8hOver3) {
+  const auto base = wdag::gen::havet_instance();
+  for (std::size_t h = 1; h <= 3; ++h) {
+    const auto fam = base.family.replicate(h);
+    const auto res = chromatic_number(ConflictGraph(fam));
+    ASSERT_TRUE(res.proven);
+    EXPECT_EQ(res.chromatic_number, (8 * h + 2) / 3) << "h=" << h;
+  }
+}
+
+TEST(TryColorWithTest, DecisionBoundary) {
+  const auto cg = cycle(5);
+  EXPECT_FALSE(try_color_with(cg, 2).has_value());
+  const auto col = try_color_with(cg, 3);
+  ASSERT_TRUE(col.has_value());
+  EXPECT_TRUE(is_valid_coloring(cg, *col));
+  EXPECT_LE(num_colors(*col), 3u);
+}
+
+TEST(TryColorWithTest, CliqueShortCircuit) {
+  EXPECT_FALSE(try_color_with(complete(6), 5).has_value());
+}
+
+TEST(TryColorWithTest, EmptyGraph) {
+  const auto col = try_color_with(ConflictGraph(0, {}), 0);
+  ASSERT_TRUE(col.has_value());
+  EXPECT_TRUE(col->empty());
+}
+
+TEST(ExactColorTest, AgreesWithCliqueOnPerfectLikeInstances) {
+  // Interval-like conflict graphs of dipaths on a chain are perfect:
+  // chi == clique.
+  wdag::util::Xoshiro256 rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = wdag::gen::random_out_tree(rng, 20);
+    const auto fam = wdag::gen::random_walk_family(rng, g, 18, 1, 6);
+    const ConflictGraph cg(fam);
+    const auto res = chromatic_number(cg);
+    ASSERT_TRUE(res.proven);
+    EXPECT_EQ(res.chromatic_number, clique_number(cg));
+  }
+}
+
+TEST(ExactColorTest, NeverBelowCliqueNeverAboveDsatur) {
+  wdag::util::Xoshiro256 rng(12);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto g = wdag::gen::random_layered_dag(rng, 4, 4, 0.5);
+    const auto fam = wdag::gen::random_walk_family(rng, g, 20, 1, 5);
+    const ConflictGraph cg(fam);
+    const auto res = chromatic_number(cg);
+    ASSERT_TRUE(res.proven);
+    EXPECT_GE(res.chromatic_number, clique_number(cg));
+    EXPECT_LE(res.chromatic_number, num_colors(dsatur_coloring(cg)));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+// Unit tests for graph serialization.
+
+#include <gtest/gtest.h>
+
+#include "graph/graphio.hpp"
+#include "helpers.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace wdag::graph;
+
+TEST(GraphIoTest, EdgeListRoundTripNumeric) {
+  const Digraph g = wdag::test::diamond();
+  const Digraph h = parse_edge_list(to_edge_list(g));
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_arcs(), g.num_arcs());
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    // Labels of unnamed vertices are "v<i>", parsed back as names; compare
+    // structurally via labels.
+    EXPECT_EQ(h.vertex_label(h.tail(a)), g.vertex_label(g.tail(a)));
+    EXPECT_EQ(h.vertex_label(h.head(a)), g.vertex_label(g.head(a)));
+  }
+}
+
+TEST(GraphIoTest, ParseNumericIds) {
+  const Digraph g = parse_edge_list("0 1\n1 2\n0 2\n");
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_arcs(), 3u);
+  EXPECT_NE(g.find_arc(0, 2), kNoArc);
+}
+
+TEST(GraphIoTest, ParseNames) {
+  const Digraph g = parse_edge_list("alpha beta\nbeta gamma\n");
+  EXPECT_EQ(g.num_vertices(), 3u);
+  ASSERT_TRUE(g.vertex_by_name("beta").has_value());
+  EXPECT_EQ(g.out_degree(*g.vertex_by_name("beta")), 1u);
+}
+
+TEST(GraphIoTest, ParseSkipsCommentsAndBlanks) {
+  const Digraph g = parse_edge_list("# header\n\n0 1\n# mid\n1 2  # trailing\n");
+  EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+TEST(GraphIoTest, ParseRejectsDanglingTail) {
+  EXPECT_THROW(parse_edge_list("0\n"), wdag::InvalidArgument);
+}
+
+TEST(GraphIoTest, ParseRejectsExtraTokens) {
+  EXPECT_THROW(parse_edge_list("0 1 2\n"), wdag::InvalidArgument);
+}
+
+TEST(GraphIoTest, DotContainsAllArcsAndShapes) {
+  const Digraph g = wdag::test::chain(3);
+  const std::string dot = to_dot(g, "Chain");
+  EXPECT_NE(dot.find("digraph Chain"), std::string::npos);
+  EXPECT_NE(dot.find("\"v0\" -> \"v1\""), std::string::npos);
+  EXPECT_NE(dot.find("\"v1\" -> \"v2\""), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);           // source
+  EXPECT_NE(dot.find("shape=doublecircle"), std::string::npos);  // sink
+  EXPECT_NE(dot.find("shape=circle"), std::string::npos);        // internal
+}
+
+TEST(GraphIoTest, EmptyTextYieldsEmptyGraph) {
+  const Digraph g = parse_edge_list("");
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Unit tests for Property 3 (Helly), Lemma 4 and Corollary 5 consequences.
+
+#include <gtest/gtest.h>
+
+#include "conflict/clique.hpp"
+#include "conflict/helly.hpp"
+#include "gen/family_gen.hpp"
+#include "gen/paper_instances.hpp"
+#include "gen/upp_gen.hpp"
+#include "helpers.hpp"
+#include "paths/load.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wdag::conflict;
+using wdag::paths::Dipath;
+using wdag::paths::DipathFamily;
+
+TEST(ConflictIntervalTest, SharedSubpath) {
+  const auto g = wdag::test::chain(6);
+  DipathFamily fam(g);
+  fam.add(Dipath({0, 1, 2, 3}));
+  fam.add(Dipath({2, 3, 4}));
+  const auto inter = conflict_interval(fam, 0, 1);
+  ASSERT_TRUE(inter.has_value());
+  EXPECT_EQ(inter->arcs, (std::vector<wdag::graph::ArcId>{2, 3}));
+}
+
+TEST(ConflictIntervalTest, DisjointPathsGiveNullopt) {
+  const auto g = wdag::test::chain(6);
+  DipathFamily fam(g);
+  fam.add(Dipath({0, 1}));
+  fam.add(Dipath({3, 4}));
+  EXPECT_FALSE(conflict_interval(fam, 0, 1).has_value());
+}
+
+TEST(ConflictIntervalTest, NonContiguousIntersectionThrows) {
+  // Host graph deliberately violates UPP: P and Q share arcs 0 and 3 but
+  // run through different middles (parallel arcs).
+  wdag::graph::DigraphBuilder b(5);
+  const auto e0 = b.add_arc(0, 1);
+  const auto mid1 = b.add_arc(1, 2);
+  const auto mid2 = b.add_arc(1, 2);  // parallel
+  const auto e2 = b.add_arc(2, 3);
+  const auto g = b.build();
+  DipathFamily fam(g);
+  fam.add(Dipath({e0, mid1, e2}));
+  fam.add(Dipath({e0, mid2, e2}));
+  EXPECT_THROW(conflict_interval(fam, 0, 1), wdag::DomainError);
+}
+
+TEST(HellyTest, UppInstancesPassAllChecks) {
+  for (std::size_t k : {2u, 3u, 4u}) {
+    const auto inst = wdag::gen::theorem2_instance(k);
+    EXPECT_TRUE(pairwise_intersections_are_intervals(inst.family));
+    EXPECT_TRUE(triples_satisfy_helly(inst.family));
+  }
+  const auto havet = wdag::gen::havet_instance();
+  EXPECT_TRUE(pairwise_intersections_are_intervals(havet.family));
+  EXPECT_TRUE(triples_satisfy_helly(havet.family));
+}
+
+TEST(HellyTest, RandomUppFamiliesSatisfyHelly) {
+  wdag::util::Xoshiro256 rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto inst = wdag::gen::random_upp_one_cycle_instance(
+        rng, wdag::gen::UppCycleParams{3, 2, 2, 2}, 25);
+    EXPECT_TRUE(pairwise_intersections_are_intervals(inst.family));
+    EXPECT_TRUE(triples_satisfy_helly(inst.family));
+    // Property 3's headline consequence: clique number == load.
+    const ConflictGraph cg(inst.family);
+    EXPECT_EQ(clique_number(cg), wdag::paths::max_load(inst.family));
+  }
+}
+
+TEST(K23Test, AbsentFromUppConflictGraphs) {
+  const auto havet = wdag::gen::havet_instance();
+  EXPECT_FALSE(find_k23(ConflictGraph(havet.family)).has_value());
+  wdag::util::Xoshiro256 rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto inst = wdag::gen::random_upp_one_cycle_instance(
+        rng, wdag::gen::UppCycleParams{2, 2, 1, 1}, 20);
+    EXPECT_FALSE(find_k23(ConflictGraph(inst.family)).has_value());
+  }
+}
+
+TEST(K23Test, DetectsPlantedK23) {
+  // Explicit K_{2,3} with independent sides: u,v = 0,1; w = 2,3,4.
+  const ConflictGraph cg(
+      5, {{0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}});
+  const auto w = find_k23(cg);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->size(), 5u);
+}
+
+TEST(K23Test, RequiresIndependentSides) {
+  // Same K_{2,3} plus the edge {2,3}: the triple is no longer independent,
+  // but {2,4} x ... let's block everything: add edges {2,3},{2,4},{3,4}.
+  const ConflictGraph cg(5, {{0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4},
+                             {2, 3}, {2, 4}, {3, 4}});
+  EXPECT_FALSE(find_k23(cg).has_value());
+}
+
+TEST(K5MinusTwoTest, DetectsPlanted) {
+  // K5 on {0..4} minus edges {0,1} and {2,3}.
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      if ((i == 0 && j == 1) || (i == 2 && j == 3)) continue;
+      edges.emplace_back(i, j);
+    }
+  }
+  EXPECT_TRUE(find_k5_minus_two_edges(ConflictGraph(5, edges)).has_value());
+}
+
+TEST(K5MinusTwoTest, AbsentFromUppConflictGraphs) {
+  const auto havet = wdag::gen::havet_instance();
+  EXPECT_FALSE(
+      find_k5_minus_two_edges(ConflictGraph(havet.family)).has_value());
+  for (std::size_t k : {2u, 4u}) {
+    const auto inst = wdag::gen::theorem2_instance(k);
+    EXPECT_FALSE(
+        find_k5_minus_two_edges(ConflictGraph(inst.family)).has_value());
+  }
+}
+
+TEST(K5MinusTwoTest, AbsentFromSmallCliques) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) edges.emplace_back(i, j);
+  }
+  // Full K5 is NOT "K5 minus two independent edges" (no missing edges).
+  EXPECT_FALSE(find_k5_minus_two_edges(ConflictGraph(5, edges)).has_value());
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Unit tests for exact independent-set computations.
+
+#include <gtest/gtest.h>
+
+#include "conflict/independent_set.hpp"
+#include "gen/paper_instances.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace wdag::conflict;
+
+ConflictGraph cycle(std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return ConflictGraph(n, edges);
+}
+
+TEST(IndependentSetTest, EmptyAndEdgeless) {
+  EXPECT_EQ(independence_number(ConflictGraph(0, {})), 0u);
+  EXPECT_EQ(independence_number(ConflictGraph(5, {})), 5u);
+}
+
+TEST(IndependentSetTest, Cycles) {
+  EXPECT_EQ(independence_number(cycle(5)), 2u);
+  EXPECT_EQ(independence_number(cycle(6)), 3u);
+  EXPECT_EQ(independence_number(cycle(9)), 4u);
+}
+
+TEST(IndependentSetTest, CompleteGraph) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) edges.emplace_back(i, j);
+  }
+  EXPECT_EQ(independence_number(ConflictGraph(6, edges)), 1u);
+}
+
+TEST(IndependentSetTest, ResultIsIndependent) {
+  const auto cg = cycle(11);
+  const auto set = max_independent_set(cg);
+  EXPECT_TRUE(is_independent_set(cg, set));
+  EXPECT_EQ(set.size(), 5u);
+}
+
+TEST(IndependentSetTest, WagnerGraphAlphaIsThree) {
+  // The key fact behind Theorem 7's lower bound.
+  const auto inst = wdag::gen::havet_instance();
+  EXPECT_EQ(independence_number(ConflictGraph(inst.family)), 3u);
+}
+
+TEST(IndependentSetTest, ComplementInvolution) {
+  const auto cg = cycle(7);
+  const auto cc = complement(complement(cg));
+  for (std::size_t u = 0; u < 7; ++u) {
+    for (std::size_t v = 0; v < 7; ++v) {
+      EXPECT_EQ(cg.adjacent(u, v), cc.adjacent(u, v));
+    }
+  }
+}
+
+TEST(IndependentSetTest, IsIndependentRejects) {
+  const auto cg = cycle(5);
+  EXPECT_FALSE(is_independent_set(cg, {0, 1}));
+  EXPECT_TRUE(is_independent_set(cg, {0, 2}));
+  EXPECT_TRUE(is_independent_set(cg, {}));
+}
+
+TEST(ReplicationLowerBoundTest, Theorem7Series) {
+  const auto inst = wdag::gen::havet_instance();
+  const ConflictGraph cg(inst.family);
+  for (std::size_t h = 1; h <= 6; ++h) {
+    EXPECT_EQ(replication_lower_bound(cg, h), (8 * h + 2) / 3) << h;
+  }
+}
+
+TEST(ReplicationLowerBoundTest, Validation) {
+  const auto cg = cycle(5);
+  EXPECT_THROW(replication_lower_bound(cg, 0), wdag::InvalidArgument);
+  EXPECT_EQ(replication_lower_bound(ConflictGraph(0, {}), 3), 0u);
+  // C5: alpha == 2, so h copies of 5 vertices need >= ceil(5h/2) colors.
+  EXPECT_EQ(replication_lower_bound(cg, 2), 5u);
+}
+
+}  // namespace

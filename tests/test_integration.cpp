@@ -1,0 +1,126 @@
+// Cross-module integration scenarios exercising the full public API the way
+// a downstream user would.
+
+#include <gtest/gtest.h>
+
+#include "conflict/coloring.hpp"
+#include "core/maxrequests.hpp"
+#include "core/rwa.hpp"
+#include "core/solver.hpp"
+#include "core/theorem1.hpp"
+#include "dag/classify.hpp"
+#include "gen/family_gen.hpp"
+#include "gen/random_dag.hpp"
+#include "gen/upp_gen.hpp"
+#include "graph/graphio.hpp"
+#include "graph/reachability.hpp"
+#include "paths/load.hpp"
+#include "paths/route.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using wdag::util::Xoshiro256;
+
+TEST(IntegrationTest, ParseClassifySolveRoundTrip) {
+  // A small optical backbone written as an edge list.
+  const std::string topology =
+      "# two PoPs feeding a protected core\n"
+      "pop1 core1\n"
+      "pop2 core1\n"
+      "core1 core2\n"
+      "core2 exit1\n"
+      "core2 exit2\n";
+  const auto g = wdag::graph::parse_edge_list(topology);
+  const auto report = wdag::dag::classify(g);
+  EXPECT_TRUE(report.is_dag);
+  EXPECT_TRUE(report.is_upp);
+  EXPECT_TRUE(report.wavelengths_equal_load());
+
+  std::vector<wdag::paths::Request> reqs;
+  reqs.push_back({*g.vertex_by_name("pop1"), *g.vertex_by_name("exit1")});
+  reqs.push_back({*g.vertex_by_name("pop2"), *g.vertex_by_name("exit2")});
+  reqs.push_back({*g.vertex_by_name("pop1"), *g.vertex_by_name("exit2")});
+  const auto rwa = wdag::core::solve_rwa(g, reqs, wdag::paths::RoutePolicy::kUnique);
+  // All three requests traverse core1 -> core2.
+  EXPECT_EQ(rwa.assignment.load, 3u);
+  EXPECT_EQ(rwa.assignment.wavelengths, 3u);
+  EXPECT_TRUE(rwa.assignment.optimal);
+}
+
+TEST(IntegrationTest, MaxRequestsSelectionIsColorableWithBudget) {
+  // Main-Theorem pipeline: select a max subfamily of load <= w, then prove
+  // it really needs only w wavelengths by coloring it with Theorem 1.
+  Xoshiro256 rng(2718);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto g = wdag::gen::random_no_internal_cycle_dag(rng, 16, 0.25);
+    if (g.num_arcs() == 0) continue;
+    const auto cand = wdag::gen::random_walk_family(rng, g, 16, 1, 5);
+    for (std::size_t w : {1u, 2u, 3u}) {
+      const auto sel = wdag::core::max_requests_exact(cand, w);
+      ASSERT_TRUE(sel.proven);
+      const auto chosen = cand.filter(sel.selected);
+      if (chosen.empty()) continue;
+      const auto colored = wdag::core::color_equal_load(chosen);
+      EXPECT_LE(colored.wavelengths, w)
+          << "selected subfamily not satisfiable with the budget";
+    }
+  }
+}
+
+TEST(IntegrationTest, SolverAgreesWithTheorem1OnEqualityRegime) {
+  Xoshiro256 rng(1618);
+  const auto g = wdag::gen::random_out_tree(rng, 40);
+  const auto fam = wdag::gen::random_walk_family(rng, g, 60, 1, 7);
+  const auto direct = wdag::core::color_equal_load(fam);
+  const auto dispatched = wdag::core::solve(fam);
+  EXPECT_EQ(dispatched.method, wdag::core::Method::kTheorem1);
+  EXPECT_EQ(direct.wavelengths, dispatched.wavelengths);
+  EXPECT_EQ(direct.load, dispatched.load);
+}
+
+TEST(IntegrationTest, AllToAllOnUppCycleNetwork) {
+  // The concluding remark's "all to all" instance on a UPP-DAG.
+  const auto skel = wdag::gen::upp_one_cycle_skeleton(
+      wdag::gen::UppCycleParams{2, 1, 1, 1});
+  const auto fam = wdag::gen::all_to_all_family(*skel.graph);
+  const auto res = wdag::core::solve(fam);
+  EXPECT_TRUE(wdag::conflict::is_valid_assignment(fam, res.coloring));
+  EXPECT_GE(res.wavelengths, res.load);
+  EXPECT_LE(res.wavelengths, (4 * res.load + 2) / 3);
+}
+
+TEST(IntegrationTest, LargeTreeStress) {
+  // A scale check: 2000 dipaths on a 500-vertex tree must color to exactly
+  // the load in reasonable time.
+  Xoshiro256 rng(31415);
+  const auto g = wdag::gen::random_out_tree(rng, 500);
+  const auto fam = wdag::gen::random_walk_family(rng, g, 2000, 1, 12);
+  const auto res = wdag::core::color_equal_load(fam);
+  EXPECT_EQ(res.wavelengths, res.load);
+  EXPECT_TRUE(wdag::conflict::is_valid_assignment(fam, res.coloring));
+}
+
+TEST(IntegrationTest, LargeLayeredStress) {
+  Xoshiro256 rng(92653);
+  const auto g = wdag::gen::random_layered_dag(rng, 12, 8, 0.25);
+  // Layered graphs with width > 1 typically contain internal cycles; the
+  // general solver must still produce a valid (possibly heuristic)
+  // assignment at this size.
+  const auto fam = wdag::gen::random_request_family(rng, g, 300);
+  wdag::core::SolveOptions opt;
+  opt.exact_threshold = 0;
+  const auto res = wdag::core::solve(fam, opt);
+  EXPECT_TRUE(wdag::conflict::is_valid_assignment(fam, res.coloring));
+  EXPECT_GE(res.wavelengths, res.load);
+}
+
+TEST(IntegrationTest, DotExportOfSolvedInstance) {
+  const auto skel = wdag::gen::upp_one_cycle_skeleton(
+      wdag::gen::UppCycleParams{2, 1, 1, 1});
+  const auto dot = wdag::graph::to_dot(*skel.graph, "gadget");
+  EXPECT_NE(dot.find("digraph gadget"), std::string::npos);
+  EXPECT_NE(dot.find("b1"), std::string::npos);
+}
+
+}  // namespace

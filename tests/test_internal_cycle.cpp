@@ -1,0 +1,177 @@
+// Unit tests for internal-cycle detection — the paper's central criterion.
+
+#include <gtest/gtest.h>
+
+#include "dag/internal_cycle.hpp"
+#include "gen/paper_instances.hpp"
+#include "gen/random_dag.hpp"
+#include "graph/properties.hpp"
+#include "helpers.hpp"
+#include "util/rng.hpp"
+#include "util/union_find.hpp"
+
+namespace {
+
+using namespace wdag::dag;
+using wdag::graph::Digraph;
+using wdag::graph::DigraphBuilder;
+
+TEST(InternalCycleTest, TreesHaveNone) {
+  EXPECT_FALSE(has_internal_cycle(wdag::test::chain(10)));
+  EXPECT_FALSE(has_internal_cycle(wdag::test::binary_out_tree(4)));
+  EXPECT_EQ(internal_cycle_count(wdag::test::chain(10)), 0u);
+}
+
+TEST(InternalCycleTest, PlainDiamondHasNone) {
+  // The diamond's 4-cycle touches the source 0 and the sink 3, so it is an
+  // oriented cycle but NOT an internal one.
+  EXPECT_FALSE(has_internal_cycle(wdag::test::diamond()));
+  EXPECT_FALSE(find_internal_cycle(wdag::test::diamond()).has_value());
+}
+
+TEST(InternalCycleTest, GuardedDiamondHasOne) {
+  const Digraph g = wdag::test::guarded_diamond();
+  EXPECT_TRUE(has_internal_cycle(g));
+  EXPECT_EQ(internal_cycle_count(g), 1u);
+  const auto c = find_internal_cycle(g);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(is_internal_cycle(g, *c));
+  EXPECT_EQ(c->size(), 4u);
+}
+
+TEST(InternalCycleTest, Figure3HasExactlyOne) {
+  const auto inst = wdag::gen::figure3_instance();
+  EXPECT_TRUE(has_internal_cycle(*inst.graph));
+  EXPECT_EQ(internal_cycle_count(*inst.graph), 1u);
+}
+
+TEST(InternalCycleTest, Theorem2InstanceHasExactlyOne) {
+  for (std::size_t k = 1; k <= 5; ++k) {
+    const auto inst = wdag::gen::theorem2_instance(k);
+    EXPECT_EQ(internal_cycle_count(*inst.graph), 1u) << "k=" << k;
+    const auto c = find_internal_cycle(*inst.graph);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_TRUE(is_internal_cycle(*inst.graph, *c));
+    EXPECT_EQ(c->size(), 2 * k);
+  }
+}
+
+TEST(InternalCycleTest, HavetInstanceHasExactlyOne) {
+  const auto inst = wdag::gen::havet_instance();
+  EXPECT_EQ(internal_cycle_count(*inst.graph), 1u);
+}
+
+TEST(InternalCycleTest, Figure1HasMany) {
+  const auto inst = wdag::gen::figure1_pathological(4);
+  EXPECT_TRUE(has_internal_cycle(*inst.graph));
+  EXPECT_GE(internal_cycle_count(*inst.graph), 2u);
+}
+
+TEST(InternalCycleTest, GuardedParallelArcs) {
+  // s -> a, two parallel arcs a -> b, b -> t: the parallel pair forms an
+  // internal 2-cycle.
+  DigraphBuilder bld;
+  const auto s = bld.vertex("s"), a = bld.vertex("a"), b = bld.vertex("b"),
+             t = bld.vertex("t");
+  bld.add_arc(s, a);
+  bld.add_arc(a, b);
+  bld.add_arc(a, b);
+  bld.add_arc(b, t);
+  const Digraph g = bld.build();
+  EXPECT_TRUE(has_internal_cycle(g));
+  EXPECT_EQ(internal_cycle_count(g), 1u);
+  const auto c = find_internal_cycle(g);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->size(), 2u);
+}
+
+TEST(InternalCycleTest, UnguardedParallelArcsAreNotInternal) {
+  DigraphBuilder bld(2);
+  bld.add_arc(0, 1);
+  bld.add_arc(0, 1);
+  EXPECT_FALSE(has_internal_cycle(bld.build()));
+}
+
+TEST(InternalCycleTest, CycleNeedsAllFourGuards) {
+  // Removing any single guard arc of the guarded diamond exposes a source
+  // or sink on the cycle, destroying internality.
+  const Digraph full = wdag::test::guarded_diamond();
+  ASSERT_TRUE(has_internal_cycle(full));
+  // Guards are arcs 0 (4->0) and 5 (3->5).
+  for (wdag::graph::ArcId doomed : {wdag::graph::ArcId{0}, wdag::graph::ArcId{5}}) {
+    DigraphBuilder b(full.num_vertices());
+    for (wdag::graph::ArcId a = 0; a < full.num_arcs(); ++a) {
+      if (a != doomed) b.add_arc(full.tail(a), full.head(a));
+    }
+    EXPECT_FALSE(has_internal_cycle(b.build())) << "without arc " << doomed;
+  }
+}
+
+TEST(InternalCycleTest, CountMatchesCyclomaticFormula) {
+  wdag::util::Xoshiro256 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Digraph g = wdag::gen::random_dag(rng, 25, 0.12);
+    // Count internal-arc cyclomatic number independently.
+    const auto mask = wdag::graph::internal_vertex_mask(g);
+    std::size_t m = 0;
+    wdag::util::UnionFind uf(g.num_vertices());
+    std::size_t touched_verts = 0;
+    std::vector<bool> touched(g.num_vertices(), false);
+    for (wdag::graph::ArcId a = 0; a < g.num_arcs(); ++a) {
+      if (mask[g.tail(a)] && mask[g.head(a)]) {
+        ++m;
+        for (auto v : {g.tail(a), g.head(a)}) {
+          if (!touched[v]) {
+            touched[v] = true;
+            ++touched_verts;
+          }
+        }
+        uf.unite(g.tail(a), g.head(a));
+      }
+    }
+    // components among touched vertices:
+    std::size_t comps = 0;
+    std::vector<bool> seen_root(g.num_vertices(), false);
+    for (wdag::graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (touched[v]) {
+        const auto r = uf.find(v);
+        if (!seen_root[r]) {
+          seen_root[r] = true;
+          ++comps;
+        }
+      }
+    }
+    EXPECT_EQ(internal_cycle_count(g), m - touched_verts + comps);
+    EXPECT_EQ(has_internal_cycle(g), internal_cycle_count(g) > 0);
+  }
+}
+
+TEST(InternalCycleTest, ExtractedCycleIsAlwaysInternalAndValid) {
+  wdag::util::Xoshiro256 rng(77);
+  int found = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Digraph g = wdag::gen::random_dag(rng, 20, 0.15);
+    const auto c = find_internal_cycle(g);
+    EXPECT_EQ(c.has_value(), has_internal_cycle(g));
+    if (c) {
+      ++found;
+      EXPECT_TRUE(is_internal_cycle(g, *c));
+    }
+  }
+  EXPECT_GT(found, 0) << "random sweep never produced an internal cycle";
+}
+
+TEST(InternalCycleTest, IsInternalCycleRejectsBoundaryCycles) {
+  const Digraph g = wdag::test::diamond();
+  OrientedCycle c;
+  c.steps = {
+      {g.find_arc(0, 1), true},
+      {g.find_arc(1, 3), true},
+      {g.find_arc(2, 3), false},
+      {g.find_arc(0, 2), false},
+  };
+  ASSERT_TRUE(is_valid_oriented_cycle(g, c));
+  EXPECT_FALSE(is_internal_cycle(g, c));  // touches source 0 and sink 3
+}
+
+}  // namespace

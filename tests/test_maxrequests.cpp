@@ -1,0 +1,128 @@
+// Tests for the max-requests-under-w application (paper's concluding
+// remark).
+
+#include <gtest/gtest.h>
+
+#include "core/maxrequests.hpp"
+#include "gen/family_gen.hpp"
+#include "gen/paper_instances.hpp"
+#include "gen/random_dag.hpp"
+#include "helpers.hpp"
+#include "paths/load.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wdag::core;
+using wdag::paths::Dipath;
+using wdag::paths::DipathFamily;
+
+std::size_t selected_load(const DipathFamily& fam,
+                          const std::vector<bool>& mask) {
+  return wdag::paths::max_load(fam.filter(mask));
+}
+
+TEST(MaxRequestsGreedyTest, RespectsBudget) {
+  const auto g = wdag::test::chain(6);
+  DipathFamily fam(g);
+  fam.add(Dipath({0, 1, 2, 3, 4}));
+  fam.add(Dipath({1, 2}));
+  fam.add(Dipath({2, 3}));
+  fam.add(Dipath({2}));
+  const auto res = max_requests_greedy(fam, 2);
+  EXPECT_LE(selected_load(fam, res.selected), 2u);
+  // Every candidate crosses arc 2, so no selection can exceed the budget 2
+  // there — and greedy reaches that cap.
+  EXPECT_EQ(res.count, 2u);
+}
+
+TEST(MaxRequestsGreedyTest, ZeroBudgetSelectsNothing) {
+  const auto g = wdag::test::chain(3);
+  DipathFamily fam(g);
+  fam.add(Dipath({0, 1}));
+  const auto res = max_requests_greedy(fam, 0);
+  EXPECT_EQ(res.count, 0u);
+}
+
+TEST(MaxRequestsExactTest, BeatsOrMatchesGreedy) {
+  wdag::util::Xoshiro256 rng(55);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = wdag::gen::random_no_internal_cycle_dag(rng, 14, 0.2);
+    if (g.num_arcs() == 0) continue;
+    const auto fam = wdag::gen::random_walk_family(rng, g, 14, 1, 5);
+    for (std::size_t w : {1u, 2u, 3u}) {
+      const auto greedy = max_requests_greedy(fam, w);
+      const auto exact = max_requests_exact(fam, w);
+      ASSERT_TRUE(exact.proven);
+      EXPECT_GE(exact.count, greedy.count);
+      EXPECT_LE(selected_load(fam, exact.selected), w);
+      EXPECT_LE(selected_load(fam, greedy.selected), w);
+    }
+  }
+}
+
+TEST(MaxRequestsExactTest, FullBudgetTakesEverything) {
+  const auto g = wdag::test::chain(4);
+  DipathFamily fam(g);
+  fam.add(Dipath({0, 1}));
+  fam.add(Dipath({0, 1}));
+  fam.add(Dipath({1, 2}));
+  const auto res = max_requests_exact(fam, 10);
+  ASSERT_TRUE(res.proven);
+  EXPECT_EQ(res.count, 3u);
+}
+
+TEST(MaxRequestsExactTest, TightPackingOnChain) {
+  // Four copies of the same arc path under w == 2: exactly 2 fit.
+  const auto g = wdag::test::chain(3);
+  DipathFamily fam(g);
+  for (int i = 0; i < 4; ++i) fam.add(Dipath({0, 1}));
+  const auto res = max_requests_exact(fam, 2);
+  ASSERT_TRUE(res.proven);
+  EXPECT_EQ(res.count, 2u);
+}
+
+TEST(MaxRequestsExactTest, PrefersManyShortOverOneLong) {
+  const auto g = wdag::test::chain(7);
+  DipathFamily fam(g);
+  fam.add(Dipath({0, 1, 2, 3, 4, 5}));  // blocks everything at w == 1
+  fam.add(Dipath({0, 1}));
+  fam.add(Dipath({2, 3}));
+  fam.add(Dipath({4, 5}));
+  const auto res = max_requests_exact(fam, 1);
+  ASSERT_TRUE(res.proven);
+  EXPECT_EQ(res.count, 3u);
+  EXPECT_FALSE(res.selected[0]);
+}
+
+TEST(MaxRequestsExactTest, DomainChecks) {
+  // Internal-cycle hosts are rejected: the load test would be unsound.
+  const auto inst = wdag::gen::figure3_instance();
+  EXPECT_THROW(max_requests_exact(inst.family, 2), wdag::DomainError);
+  const auto tri = wdag::test::directed_triangle();
+  DipathFamily fam(tri);
+  fam.add(Dipath({0}));
+  EXPECT_THROW(max_requests_exact(fam, 1), wdag::DomainError);
+}
+
+TEST(MaxRequestsExactTest, EmptyFamily) {
+  const auto g = wdag::test::chain(3);
+  const auto res = max_requests_exact(DipathFamily(g), 2);
+  EXPECT_TRUE(res.proven);
+  EXPECT_EQ(res.count, 0u);
+}
+
+TEST(MaxRequestsTest, SelectionSatisfiableWithWWavelengths) {
+  // End-to-end consistency with the Main Theorem: on a no-internal-cycle
+  // DAG, the selected subfamily (load <= w) must be colorable with w
+  // wavelengths — verified via the Theorem-1 colorer in test_integration.
+  wdag::util::Xoshiro256 rng(77);
+  const auto g = wdag::gen::random_out_tree(rng, 20);
+  const auto fam = wdag::gen::random_walk_family(rng, g, 20, 1, 6);
+  const auto res = max_requests_exact(fam, 2);
+  ASSERT_TRUE(res.proven);
+  EXPECT_LE(selected_load(fam, res.selected), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Unit tests for oriented cycles and their alternating-run decomposition.
+
+#include <gtest/gtest.h>
+
+#include "dag/oriented_cycle.hpp"
+#include "helpers.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace wdag::dag;
+using wdag::graph::Digraph;
+using wdag::graph::DigraphBuilder;
+
+/// The diamond's underlying 4-cycle as an oriented cycle:
+/// 0 ->(a0) 1 ->? no: 1 <- nothing... walk 0 ->(0,1)-> 1 <-(1,3 fwd) 3 ...
+/// Use: 0 ->(0->1), (1->3), back (2->3) reversed, (0->2) reversed.
+OrientedCycle diamond_cycle(const Digraph& g) {
+  OrientedCycle c;
+  c.steps = {
+      {g.find_arc(0, 1), true},   // 0 -> 1
+      {g.find_arc(1, 3), true},   // 1 -> 3
+      {g.find_arc(2, 3), false},  // 3 -> 2 (backward)
+      {g.find_arc(0, 2), false},  // 2 -> 0 (backward)
+  };
+  return c;
+}
+
+TEST(OrientedCycleTest, StepEndpoints) {
+  const Digraph g = wdag::test::diamond();
+  const CycleStep fwd{g.find_arc(0, 1), true};
+  EXPECT_EQ(step_start(g, fwd), 0u);
+  EXPECT_EQ(step_end(g, fwd), 1u);
+  const CycleStep bwd{g.find_arc(0, 1), false};
+  EXPECT_EQ(step_start(g, bwd), 1u);
+  EXPECT_EQ(step_end(g, bwd), 0u);
+}
+
+TEST(OrientedCycleTest, DiamondCycleIsValid) {
+  const Digraph g = wdag::test::diamond();
+  EXPECT_TRUE(is_valid_oriented_cycle(g, diamond_cycle(g)));
+}
+
+TEST(OrientedCycleTest, BrokenChainIsInvalid) {
+  const Digraph g = wdag::test::diamond();
+  OrientedCycle c = diamond_cycle(g);
+  std::swap(c.steps[1], c.steps[2]);  // breaks the walk continuity
+  EXPECT_FALSE(is_valid_oriented_cycle(g, c));
+}
+
+TEST(OrientedCycleTest, RepeatedArcIsInvalid) {
+  const Digraph g = wdag::test::diamond();
+  OrientedCycle c;
+  c.steps = {{g.find_arc(0, 1), true}, {g.find_arc(0, 1), false}};
+  EXPECT_FALSE(is_valid_oriented_cycle(g, c));
+}
+
+TEST(OrientedCycleTest, ParallelArcsFormATwoCycle) {
+  DigraphBuilder b(2);
+  const auto a1 = b.add_arc(0, 1);
+  const auto a2 = b.add_arc(0, 1);
+  const Digraph g = b.build();
+  OrientedCycle c;
+  c.steps = {{a1, true}, {a2, false}};
+  EXPECT_TRUE(is_valid_oriented_cycle(g, c));
+}
+
+TEST(OrientedCycleTest, TooShortIsInvalid) {
+  const Digraph g = wdag::test::diamond();
+  OrientedCycle c;
+  c.steps = {{g.find_arc(0, 1), true}};
+  EXPECT_FALSE(is_valid_oriented_cycle(g, c));
+}
+
+TEST(OrientedCycleTest, CycleVerticesWalkOrder) {
+  const Digraph g = wdag::test::diamond();
+  const auto vs = cycle_vertices(g, diamond_cycle(g));
+  EXPECT_EQ(vs, (std::vector<wdag::graph::VertexId>{0, 1, 3, 2}));
+}
+
+TEST(DecomposeCycleTest, DiamondDecomposition) {
+  const Digraph g = wdag::test::diamond();
+  const auto d = decompose_cycle(g, diamond_cycle(g));
+  // One cycle source (0, both arcs leave) and one sink (3)? No: the walk
+  // has direction changes at 3 (fwd->bwd) and 0 (bwd->fwd) AND at 1? 1 is
+  // pass-through (fwd->fwd)... runs: [0->1->3] forward, [3->2->0] backward:
+  // k == 1.
+  ASSERT_EQ(d.k(), 1u);
+  EXPECT_EQ(d.b[0], 0u);
+  EXPECT_EQ(d.c[0], 3u);
+  ASSERT_EQ(d.run_a[0].size(), 2u);  // 0->1, 1->3
+  ASSERT_EQ(d.run_b[0].size(), 2u);  // 0->2, 2->3 (as a forward dipath)
+  EXPECT_EQ(g.tail(d.run_b[0].front()), 0u);
+  EXPECT_EQ(g.head(d.run_b[0].back()), 3u);
+}
+
+TEST(DecomposeCycleTest, RotationIndependence) {
+  const Digraph g = wdag::test::diamond();
+  OrientedCycle c = diamond_cycle(g);
+  // Rotate the step list; decomposition must still find the same structure.
+  std::rotate(c.steps.begin(), c.steps.begin() + 2, c.steps.end());
+  ASSERT_TRUE(is_valid_oriented_cycle(g, c));
+  const auto d = decompose_cycle(g, c);
+  ASSERT_EQ(d.k(), 1u);
+  EXPECT_EQ(d.b[0], 0u);
+  EXPECT_EQ(d.c[0], 3u);
+}
+
+TEST(DecomposeCycleTest, TwoSourceCycle) {
+  // b1 -> c1 <- b2 -> c2 <- b1: a 4-run cycle with k == 2.
+  DigraphBuilder bld;
+  const auto b1 = bld.vertex("b1"), c1 = bld.vertex("c1"),
+             b2 = bld.vertex("b2"), c2 = bld.vertex("c2");
+  const auto a11 = bld.add_arc(b1, c1);
+  const auto a21 = bld.add_arc(b2, c1);
+  const auto a22 = bld.add_arc(b2, c2);
+  const auto a12 = bld.add_arc(b1, c2);
+  const Digraph g = bld.build();
+  OrientedCycle c;
+  c.steps = {{a11, true}, {a21, false}, {a22, true}, {a12, false}};
+  ASSERT_TRUE(is_valid_oriented_cycle(g, c));
+  const auto d = decompose_cycle(g, c);
+  EXPECT_EQ(d.k(), 2u);
+  // run_b[i] must go b_i -> c_{i-1 mod k}.
+  for (std::size_t i = 0; i < d.k(); ++i) {
+    EXPECT_EQ(g.tail(d.run_b[i].front()), d.b[i]);
+    EXPECT_EQ(g.head(d.run_b[i].back()), d.c[(i + d.k() - 1) % d.k()]);
+    EXPECT_EQ(g.tail(d.run_a[i].front()), d.b[i]);
+    EXPECT_EQ(g.head(d.run_a[i].back()), d.c[i]);
+  }
+}
+
+TEST(DecomposeCycleTest, InvalidCycleThrows) {
+  const Digraph g = wdag::test::diamond();
+  OrientedCycle c;
+  c.steps = {{g.find_arc(0, 1), true}};
+  EXPECT_THROW(decompose_cycle(g, c), wdag::InvalidArgument);
+}
+
+TEST(OrientedCycleTest, ToStringMentionsVertices) {
+  const Digraph g = wdag::test::diamond();
+  const auto s = cycle_to_string(g, diamond_cycle(g));
+  EXPECT_NE(s.find("v0"), std::string::npos);
+  EXPECT_NE(s.find("v3"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Structural verification of every worked example in the paper.
+
+#include <gtest/gtest.h>
+
+#include "conflict/clique.hpp"
+#include "conflict/conflict_graph.hpp"
+#include "conflict/exact_color.hpp"
+#include "dag/classify.hpp"
+#include "gen/paper_instances.hpp"
+#include "paths/load.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using wdag::conflict::ConflictGraph;
+
+/// Largest independent set, brute force (for the small paper gadgets).
+std::size_t independence_number(const ConflictGraph& cg) {
+  const std::size_t n = cg.size();
+  std::size_t best = 0;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    bool ok = true;
+    for (std::size_t i = 0; i < n && ok; ++i) {
+      if (!(mask >> i & 1)) continue;
+      for (std::size_t j = i + 1; j < n && ok; ++j) {
+        if ((mask >> j & 1) && cg.adjacent(i, j)) ok = false;
+      }
+    }
+    if (ok) {
+      best = std::max(best,
+                      static_cast<std::size_t>(__builtin_popcountll(mask)));
+    }
+  }
+  return best;
+}
+
+// ---- Figure 1 -------------------------------------------------------------
+
+TEST(Figure1Test, LoadTwoCompleteConflicts) {
+  for (std::size_t k = 1; k <= 7; ++k) {
+    const auto inst = wdag::gen::figure1_pathological(k);
+    EXPECT_EQ(inst.family.size(), k);
+    EXPECT_EQ(wdag::paths::max_load(inst.family), k >= 2 ? 2u : 1u);
+    const ConflictGraph cg(inst.family);
+    EXPECT_EQ(cg.num_edges(), k * (k - 1) / 2) << "k=" << k;
+  }
+}
+
+TEST(Figure1Test, IsDagAndNotEqualityRegime) {
+  const auto inst = wdag::gen::figure1_pathological(5);
+  const auto r = wdag::dag::classify(*inst.graph);
+  EXPECT_TRUE(r.is_dag);
+  EXPECT_FALSE(r.wavelengths_equal_load());  // has internal cycles
+  EXPECT_FALSE(r.is_upp);
+}
+
+TEST(Figure1Test, WavelengthsEqualK) {
+  for (std::size_t k : {2u, 4u, 6u}) {
+    const auto inst = wdag::gen::figure1_pathological(k);
+    const auto chi =
+        wdag::conflict::chromatic_number(ConflictGraph(inst.family));
+    ASSERT_TRUE(chi.proven);
+    EXPECT_EQ(chi.chromatic_number, k);
+  }
+}
+
+TEST(Figure1Test, RejectsZero) {
+  EXPECT_THROW(wdag::gen::figure1_pathological(0), wdag::InvalidArgument);
+}
+
+// ---- Figure 3 -------------------------------------------------------------
+
+TEST(Figure3Test, StructureMatchesPaper) {
+  const auto inst = wdag::gen::figure3_instance();
+  const auto r = wdag::dag::classify(*inst.graph);
+  EXPECT_TRUE(r.is_dag);
+  EXPECT_FALSE(r.is_upp);               // two dipaths b -> d
+  EXPECT_EQ(r.internal_cycles, 1u);
+  EXPECT_EQ(inst.family.size(), 5u);
+  EXPECT_EQ(wdag::paths::max_load(inst.family), 2u);
+}
+
+TEST(Figure3Test, ConflictGraphIsC5WithChiThree) {
+  const auto inst = wdag::gen::figure3_instance();
+  const ConflictGraph cg(inst.family);
+  EXPECT_EQ(cg.size(), 5u);
+  EXPECT_EQ(cg.num_edges(), 5u);
+  const auto chi = wdag::conflict::chromatic_number(cg);
+  EXPECT_EQ(chi.chromatic_number, 3u);  // w == 3 > pi == 2
+}
+
+// ---- Theorem 2 gadget (Figure 5) ------------------------------------------
+
+class Theorem2Gadget : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Theorem2Gadget, OddConflictCycleForcesThreeColors) {
+  const std::size_t k = GetParam();
+  const auto inst = wdag::gen::theorem2_instance(k);
+  EXPECT_EQ(inst.family.size(), 2 * k + 1);
+  EXPECT_EQ(wdag::paths::max_load(inst.family), 2u);
+
+  const ConflictGraph cg(inst.family);
+  // Conflict graph is the odd cycle C_{2k+1}: every degree is 2 and the
+  // graph is connected with 2k+1 edges.
+  EXPECT_EQ(cg.num_edges(), 2 * k + 1);
+  for (std::size_t v = 0; v < cg.size(); ++v) EXPECT_EQ(cg.degree(v), 2u);
+  const auto chi = wdag::conflict::chromatic_number(cg);
+  EXPECT_EQ(chi.chromatic_number, 3u);
+
+  const auto r = wdag::dag::classify(*inst.graph);
+  EXPECT_EQ(r.internal_cycles, 1u);
+  EXPECT_EQ(r.is_upp, k >= 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, Theorem2Gadget,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10));
+
+// ---- Theorem 7 / Figure 9 (Havet gadget) -----------------------------------
+
+TEST(HavetTest, StructureMatchesPaper) {
+  const auto inst = wdag::gen::havet_instance();
+  const auto r = wdag::dag::classify(*inst.graph);
+  EXPECT_TRUE(r.is_dag);
+  EXPECT_TRUE(r.is_upp);
+  EXPECT_EQ(r.internal_cycles, 1u);
+  EXPECT_TRUE(r.theorem6_applies());
+  EXPECT_EQ(inst.family.size(), 8u);
+  EXPECT_EQ(wdag::paths::max_load(inst.family), 2u);
+}
+
+TEST(HavetTest, ConflictGraphIsWagnerV8) {
+  const auto inst = wdag::gen::havet_instance();
+  const ConflictGraph cg(inst.family);
+  ASSERT_EQ(cg.size(), 8u);
+  EXPECT_EQ(cg.num_edges(), 12u);  // C8 + 4 antipodal chords
+  for (std::size_t v = 0; v < 8; ++v) EXPECT_EQ(cg.degree(v), 3u);
+  // Key invariants of V8 used by Theorem 7:
+  EXPECT_EQ(independence_number(cg), 3u);
+  EXPECT_EQ(wdag::conflict::clique_number(cg), 2u);  // triangle-free
+  EXPECT_EQ(wdag::conflict::chromatic_number(cg).chromatic_number, 3u);
+}
+
+TEST(HavetTest, ReplicationAttainsTheTightBound) {
+  // pi = 2h and w = ceil(8h/3) = ceil(4/3 * pi): Theorem 7.
+  const auto base = wdag::gen::havet_instance();
+  for (std::size_t h = 1; h <= 3; ++h) {
+    const auto fam = base.family.replicate(h);
+    EXPECT_EQ(wdag::paths::max_load(fam), 2 * h);
+    const auto chi = wdag::conflict::chromatic_number(ConflictGraph(fam));
+    ASSERT_TRUE(chi.proven);
+    EXPECT_EQ(chi.chromatic_number, (8 * h + 2) / 3) << "h=" << h;
+    EXPECT_EQ(chi.chromatic_number, (4 * (2 * h) + 2) / 3) << "h=" << h;
+  }
+}
+
+TEST(InstanceTest, ReplicateSharesGraph) {
+  const auto base = wdag::gen::havet_instance();
+  const auto rep = base.replicate(2);
+  EXPECT_EQ(rep.graph.get(), base.graph.get());
+  EXPECT_EQ(rep.family.size(), 16u);
+}
+
+}  // namespace

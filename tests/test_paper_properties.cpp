@@ -1,0 +1,155 @@
+// Randomized property tests tying the paper's statements together across
+// modules: the Main Theorem equivalence, Property 3, Corollary 5 and the
+// Theorem 6 bound, each checked on generated instances against exact
+// oracles.
+
+#include <gtest/gtest.h>
+
+#include "conflict/clique.hpp"
+#include "conflict/conflict_graph.hpp"
+#include "conflict/exact_color.hpp"
+#include "conflict/helly.hpp"
+#include "core/solver.hpp"
+#include "core/theorem1.hpp"
+#include "dag/classify.hpp"
+#include "dag/internal_cycle.hpp"
+#include "gen/family_gen.hpp"
+#include "gen/paper_instances.hpp"
+#include "gen/random_dag.hpp"
+#include "gen/upp_gen.hpp"
+#include "paths/load.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using wdag::conflict::chromatic_number;
+using wdag::conflict::clique_number;
+using wdag::conflict::ConflictGraph;
+using wdag::util::Xoshiro256;
+
+// --- Main Theorem, forward direction: no internal cycle => w == pi --------
+
+class MainTheoremForward : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MainTheoremForward, EqualityHoldsForRandomFamilies) {
+  Xoshiro256 rng(GetParam());
+  const auto g = wdag::gen::random_no_internal_cycle_dag(rng, 16, 0.2);
+  if (g.num_arcs() == 0) GTEST_SKIP();
+  const auto fam = wdag::gen::random_walk_family(rng, g, 16, 1, 5);
+  const auto pi = wdag::paths::max_load(fam);
+  const auto chi = chromatic_number(ConflictGraph(fam));
+  ASSERT_TRUE(chi.proven);
+  EXPECT_EQ(chi.chromatic_number, pi)
+      << "w != pi on an internal-cycle-free DAG";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MainTheoremForward,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// --- Main Theorem, reverse direction: internal cycle => some family with
+// --- w > pi (Theorem 2's construction via the solver's own gadget).
+
+TEST(MainTheoremReverse, GadgetFamilyBreaksEquality) {
+  for (std::size_t k : {1u, 2u, 3u, 5u}) {
+    const auto inst = wdag::gen::theorem2_instance(k);
+    const auto pi = wdag::paths::max_load(inst.family);
+    const auto chi = chromatic_number(ConflictGraph(inst.family));
+    EXPECT_EQ(pi, 2u);
+    EXPECT_EQ(chi.chromatic_number, 3u) << "k=" << k;
+  }
+}
+
+// --- Property 3: on UPP-DAGs, clique number == load ------------------------
+
+class Property3Sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Property3Sweep, CliqueEqualsLoadOnUpp) {
+  Xoshiro256 rng(GetParam());
+  const wdag::gen::UppCycleParams params{
+      2 + static_cast<std::size_t>(rng.below(4)),
+      1 + static_cast<std::size_t>(rng.below(3)),
+      1 + static_cast<std::size_t>(rng.below(2)),
+      1 + static_cast<std::size_t>(rng.below(2))};
+  const auto inst = wdag::gen::random_upp_one_cycle_instance(rng, params, 24);
+  const ConflictGraph cg(inst.family);
+  EXPECT_EQ(clique_number(cg), wdag::paths::max_load(inst.family));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Property3Sweep,
+                         ::testing::Range<std::uint64_t>(100, 115));
+
+TEST(Property3, TreesAlsoSatisfyCliqueEqualsLoad) {
+  Xoshiro256 rng(404);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = wdag::gen::random_out_tree(rng, 25);
+    const auto fam = wdag::gen::random_walk_family(rng, g, 20, 1, 6);
+    EXPECT_EQ(clique_number(ConflictGraph(fam)), wdag::paths::max_load(fam));
+  }
+}
+
+TEST(Property3, CanFailWithoutUpp) {
+  // Figure 1 separates clique (== k) from load (== 2), witnessing that the
+  // UPP hypothesis is necessary.
+  const auto inst = wdag::gen::figure1_pathological(5);
+  const ConflictGraph cg(inst.family);
+  EXPECT_EQ(clique_number(cg), 5u);
+  EXPECT_EQ(wdag::paths::max_load(inst.family), 2u);
+}
+
+// --- Corollary 5: UPP conflict graphs are K_{2,3}-free ---------------------
+
+class Corollary5Sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Corollary5Sweep, NoK23WithIndependentSides) {
+  Xoshiro256 rng(GetParam());
+  const wdag::gen::UppCycleParams params{
+      2 + static_cast<std::size_t>(rng.below(3)), 1, 1, 1};
+  const auto inst = wdag::gen::random_upp_one_cycle_instance(rng, params, 20);
+  EXPECT_FALSE(wdag::conflict::find_k23(ConflictGraph(inst.family)).has_value());
+  EXPECT_FALSE(wdag::conflict::find_k5_minus_two_edges(ConflictGraph(inst.family))
+                   .has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Corollary5Sweep,
+                         ::testing::Range<std::uint64_t>(200, 212));
+
+// --- Theorem 6 bound via the exact oracle ----------------------------------
+
+class Theorem6BoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem6BoundSweep, ExactChromaticWithinFourThirdsLoad) {
+  Xoshiro256 rng(GetParam());
+  const wdag::gen::UppCycleParams params{
+      2 + static_cast<std::size_t>(rng.below(3)),
+      1 + static_cast<std::size_t>(rng.below(2)), 1, 1};
+  const auto inst = wdag::gen::random_upp_one_cycle_instance(rng, params, 18);
+  const auto pi = wdag::paths::max_load(inst.family);
+  const auto chi = chromatic_number(ConflictGraph(inst.family));
+  ASSERT_TRUE(chi.proven);
+  EXPECT_LE(chi.chromatic_number, (4 * pi + 2) / 3)
+      << "Theorem 6 bound violated: pi=" << pi;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem6BoundSweep,
+                         ::testing::Range<std::uint64_t>(300, 315));
+
+// --- Solver end-to-end consistency -----------------------------------------
+
+TEST(SolverConsistency, OptimalFlagNeverLies) {
+  Xoshiro256 rng(999);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = wdag::gen::random_dag(rng, 14, 0.2);
+    if (g.num_arcs() == 0) continue;
+    const auto fam = wdag::gen::random_walk_family(rng, g, 12, 1, 4);
+    const auto res = wdag::core::solve(fam);
+    const auto chi = chromatic_number(ConflictGraph(fam));
+    ASSERT_TRUE(chi.proven);
+    EXPECT_GE(res.wavelengths, chi.chromatic_number);
+    if (res.optimal) {
+      EXPECT_EQ(res.wavelengths, chi.chromatic_number)
+          << "solver claimed optimality with a suboptimal coloring";
+    }
+  }
+}
+
+}  // namespace

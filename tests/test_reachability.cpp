@@ -1,0 +1,89 @@
+// Unit tests for reachability queries.
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "gen/random_dag.hpp"
+#include "graph/reachability.hpp"
+#include "helpers.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using wdag::graph::ancestors;
+using wdag::graph::descendants;
+using wdag::graph::Digraph;
+using wdag::graph::reaches;
+using wdag::graph::transitive_closure;
+
+TEST(ReachabilityTest, ChainDescendants) {
+  const Digraph g = wdag::test::chain(5);
+  const auto d = descendants(g, 1);
+  EXPECT_FALSE(d.test(0));
+  for (std::size_t v = 1; v < 5; ++v) EXPECT_TRUE(d.test(v));
+}
+
+TEST(ReachabilityTest, ChainAncestors) {
+  const Digraph g = wdag::test::chain(5);
+  const auto a = ancestors(g, 3);
+  for (std::size_t v = 0; v <= 3; ++v) EXPECT_TRUE(a.test(v));
+  EXPECT_FALSE(a.test(4));
+}
+
+TEST(ReachabilityTest, SelfIsAlwaysReachable) {
+  const Digraph g = wdag::test::diamond();
+  for (wdag::graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_TRUE(descendants(g, v).test(v));
+    EXPECT_TRUE(ancestors(g, v).test(v));
+    EXPECT_TRUE(reaches(g, v, v));
+  }
+}
+
+TEST(ReachabilityTest, DiamondReaches) {
+  const Digraph g = wdag::test::diamond();
+  EXPECT_TRUE(reaches(g, 0, 3));
+  EXPECT_TRUE(reaches(g, 0, 1));
+  EXPECT_FALSE(reaches(g, 1, 2));
+  EXPECT_FALSE(reaches(g, 3, 0));
+}
+
+TEST(ReachabilityTest, ClosureMatchesPerVertexDfs) {
+  wdag::util::Xoshiro256 rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Digraph g = wdag::gen::random_dag(rng, 30, 0.1);
+    const auto closure = transitive_closure(g);
+    ASSERT_EQ(closure.size(), g.num_vertices());
+    for (wdag::graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(closure[v], descendants(g, v)) << "vertex " << v;
+    }
+  }
+}
+
+TEST(ReachabilityTest, ClosureWorksOnNonDags) {
+  const Digraph g = wdag::test::directed_triangle();
+  const auto closure = transitive_closure(g);
+  for (wdag::graph::VertexId u = 0; u < 3; ++u) {
+    for (wdag::graph::VertexId v = 0; v < 3; ++v) {
+      EXPECT_TRUE(closure[u].test(v));
+    }
+  }
+}
+
+TEST(ReachabilityTest, AncestorsDescendantsAreDual) {
+  wdag::util::Xoshiro256 rng(29);
+  const Digraph g = wdag::gen::random_dag(rng, 25, 0.12);
+  for (wdag::graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto du = descendants(g, u);
+    for (wdag::graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(du.test(v), ancestors(g, v).test(u));
+    }
+  }
+}
+
+TEST(ReachabilityTest, OutOfRangeThrows) {
+  const Digraph g = wdag::test::chain(3);
+  EXPECT_THROW(descendants(g, 5), wdag::InvalidArgument);
+  EXPECT_THROW(reaches(g, 0, 5), wdag::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Unit tests for the deterministic RNG layer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using wdag::util::SplitMix64;
+using wdag::util::Xoshiro256;
+
+TEST(SplitMix64Test, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  bool differ = false;
+  for (int i = 0; i < 10 && !differ; ++i) differ = a.next() != b.next();
+  EXPECT_TRUE(differ);
+}
+
+TEST(Xoshiro256Test, IsDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256Test, BelowRespectsBound) {
+  Xoshiro256 rng(123);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256Test, BelowOneAlwaysZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256Test, BelowZeroThrows) {
+  Xoshiro256 rng(5);
+  EXPECT_THROW(rng.below(0), wdag::InvalidArgument);
+}
+
+TEST(Xoshiro256Test, BelowCoversSmallRange) {
+  Xoshiro256 rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Xoshiro256Test, RangeIsInclusive) {
+  Xoshiro256 rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Xoshiro256Test, RangeSingleton) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.range(3, 3), 3);
+}
+
+TEST(Xoshiro256Test, UniformInUnitInterval) {
+  Xoshiro256 rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // crude mean check
+}
+
+TEST(Xoshiro256Test, ChanceEdgeCases) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Xoshiro256Test, ChanceApproximatesProbability) {
+  Xoshiro256 rng(21);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Xoshiro256Test, ShuffleIsPermutation) {
+  Xoshiro256 rng(31);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), w.begin()));  // astronomically sure
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Xoshiro256Test, ShuffleEmptyAndSingleton) {
+  Xoshiro256 rng(31);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Xoshiro256Test, IndexRequiresNonEmpty) {
+  Xoshiro256 rng(31);
+  EXPECT_THROW(rng.index(0), wdag::InvalidArgument);
+  EXPECT_EQ(rng.index(1), 0u);
+}
+
+TEST(Xoshiro256Test, SplitProducesIndependentStream) {
+  Xoshiro256 a(55);
+  Xoshiro256 child = a.split();
+  // The child stream should differ from the parent's continuation.
+  bool differ = false;
+  for (int i = 0; i < 10 && !differ; ++i) differ = a() != child();
+  EXPECT_TRUE(differ);
+}
+
+TEST(Xoshiro256Test, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~std::uint64_t{0});
+  Xoshiro256 rng(1);
+  (void)rng();
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Tests for the end-to-end RWA pipeline.
+
+#include <gtest/gtest.h>
+
+#include "conflict/coloring.hpp"
+#include "core/rwa.hpp"
+#include "gen/paper_instances.hpp"
+#include "graph/reachability.hpp"
+#include "gen/random_dag.hpp"
+#include "helpers.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wdag::core;
+using wdag::paths::Request;
+using wdag::paths::RoutePolicy;
+
+TEST(RwaTest, ChainRequests) {
+  const auto g = wdag::test::chain(6);
+  const std::vector<Request> reqs = {{0, 3}, {1, 4}, {2, 5}, {0, 5}};
+  const auto res = solve_rwa(g, reqs, RoutePolicy::kUnique);
+  ASSERT_EQ(res.routed.size(), 4u);
+  EXPECT_EQ(res.assignment.method, Method::kTheorem1);
+  EXPECT_TRUE(res.assignment.optimal);
+  // All four requests cross arc 2 -> 3: load 4, so 4 wavelengths.
+  EXPECT_EQ(res.assignment.load, 4u);
+  EXPECT_EQ(res.assignment.wavelengths, 4u);
+  // Wavelength accessor matches the coloring.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(res.wavelength(i), res.assignment.coloring[i]);
+  }
+}
+
+TEST(RwaTest, UppNetworkUniqueRouting) {
+  const auto inst = wdag::gen::havet_instance();
+  const auto& g = *inst.graph;
+  const std::vector<Request> reqs = {
+      {*g.vertex_by_name("a1"), *g.vertex_by_name("d1")},
+      {*g.vertex_by_name("a2"), *g.vertex_by_name("d2")},
+      {*g.vertex_by_name("a1'"), *g.vertex_by_name("d1'")},
+  };
+  const auto res = solve_rwa(g, reqs, RoutePolicy::kUnique);
+  EXPECT_TRUE(wdag::conflict::is_valid_assignment(res.routed,
+                                                  res.assignment.coloring));
+}
+
+TEST(RwaTest, ShortestRoutingOnGeneralDag) {
+  wdag::util::Xoshiro256 rng(5);
+  const auto g = wdag::gen::random_layered_dag(rng, 4, 3, 0.5);
+  // Use actually-reachable pairs so routing cannot fail.
+  std::vector<Request> reqs;
+  for (wdag::graph::VertexId u = 0; u < 3 && reqs.size() < 5; ++u) {
+    const auto reach = wdag::graph::descendants(g, u);
+    for (wdag::graph::VertexId v = 9; v < 12; ++v) {
+      if (reach.test(v)) reqs.push_back({u, v});
+    }
+  }
+  ASSERT_FALSE(reqs.empty());
+  const auto res = solve_rwa(g, reqs, RoutePolicy::kShortest);
+  EXPECT_EQ(res.routed.size(), reqs.size());
+  EXPECT_TRUE(wdag::conflict::is_valid_assignment(res.routed,
+                                                  res.assignment.coloring));
+  EXPECT_GE(res.assignment.wavelengths, res.assignment.load);
+}
+
+TEST(RwaTest, ReportMentionsKeyFigures) {
+  const auto g = wdag::test::chain(4);
+  const auto res = solve_rwa(g, {{0, 2}, {1, 3}}, RoutePolicy::kUnique);
+  const auto report = rwa_report(res);
+  EXPECT_NE(report.find("requests:    2"), std::string::npos);
+  EXPECT_NE(report.find("wavelengths:"), std::string::npos);
+  EXPECT_NE(report.find("lambda="), std::string::npos);
+  EXPECT_NE(report.find("theorem1"), std::string::npos);
+}
+
+TEST(RwaTest, EmptyRequestList) {
+  const auto g = wdag::test::chain(3);
+  const auto res = solve_rwa(g, {}, RoutePolicy::kUnique);
+  EXPECT_EQ(res.routed.size(), 0u);
+  EXPECT_EQ(res.assignment.wavelengths, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Tests for the top-level dispatching solver.
+
+#include <gtest/gtest.h>
+
+#include "conflict/coloring.hpp"
+#include "core/solver.hpp"
+#include "gen/family_gen.hpp"
+#include "gen/paper_instances.hpp"
+#include "gen/random_dag.hpp"
+#include "helpers.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wdag::core;
+using wdag::paths::Dipath;
+using wdag::paths::DipathFamily;
+
+TEST(SolverTest, DispatchesToTheorem1OnCleanDags) {
+  const auto g = wdag::test::chain(5);
+  DipathFamily fam(g);
+  fam.add(Dipath({0, 1, 2}));
+  fam.add(Dipath({1, 2, 3}));
+  const auto res = solve(fam);
+  EXPECT_EQ(res.method, Method::kTheorem1);
+  EXPECT_TRUE(res.optimal);
+  EXPECT_EQ(res.wavelengths, res.load);
+  EXPECT_TRUE(res.report.wavelengths_equal_load());
+}
+
+TEST(SolverTest, DispatchesToSplitMergeOnUppCycles) {
+  const auto inst = wdag::gen::theorem2_instance(3);
+  const auto res = solve(inst.family);
+  // Exact certification may upgrade the method; either way the coloring is
+  // valid and uses at most ceil(4/3 * pi) colors.
+  EXPECT_TRUE(res.method == Method::kSplitMerge || res.method == Method::kExact);
+  EXPECT_TRUE(wdag::conflict::is_valid_assignment(inst.family, res.coloring));
+  EXPECT_EQ(res.wavelengths, 3u);  // chi(C7) == 3, and 3 == ceil(4/3 * 2)
+}
+
+TEST(SolverTest, DispatchesToDsaturOnGeneralDags) {
+  const auto inst = wdag::gen::figure3_instance();
+  SolveOptions opt;
+  opt.exact_threshold = 0;  // keep the heuristic result
+  const auto res = solve(inst.family, opt);
+  EXPECT_EQ(res.method, Method::kDsatur);
+  EXPECT_TRUE(wdag::conflict::is_valid_assignment(inst.family, res.coloring));
+}
+
+TEST(SolverTest, ExactCertificationUpgradesSmallInstances) {
+  const auto inst = wdag::gen::figure3_instance();
+  const auto res = solve(inst.family);  // default options allow exact
+  EXPECT_EQ(res.wavelengths, 3u);
+  EXPECT_TRUE(res.optimal);
+  EXPECT_EQ(res.method, Method::kExact);
+}
+
+TEST(SolverTest, ForcedMethodIsRespected) {
+  const auto g = wdag::test::chain(5);
+  DipathFamily fam(g);
+  fam.add(Dipath({0, 1}));
+  fam.add(Dipath({1, 2}));
+  for (const Method m :
+       {Method::kTheorem1, Method::kSplitMerge, Method::kDsatur, Method::kExact}) {
+    SolveOptions opt;
+    opt.force = m;
+    const auto res = solve(fam, opt);
+    EXPECT_EQ(res.wavelengths, 2u) << method_name(m);
+    EXPECT_TRUE(wdag::conflict::is_valid_assignment(fam, res.coloring));
+  }
+}
+
+TEST(SolverTest, ForcedTheorem1StillChecksDomain) {
+  const auto inst = wdag::gen::figure3_instance();
+  SolveOptions opt;
+  opt.force = Method::kTheorem1;
+  EXPECT_THROW(solve(inst.family, opt), wdag::DomainError);
+}
+
+TEST(SolverTest, RejectsNonDagHosts) {
+  const auto g = wdag::test::directed_triangle();
+  DipathFamily fam(g);
+  fam.add(Dipath({0}));
+  EXPECT_THROW(solve(fam), wdag::DomainError);
+}
+
+TEST(SolverTest, Figure1NeedsKColors) {
+  // The unbounded-ratio example: pi == 2 but w == k.
+  for (std::size_t k : {3u, 5u, 7u}) {
+    const auto inst = wdag::gen::figure1_pathological(k);
+    const auto res = solve(inst.family);
+    EXPECT_EQ(res.load, 2u);
+    EXPECT_EQ(res.wavelengths, k);
+    EXPECT_TRUE(res.optimal);  // exact certification fires (small instance)
+  }
+}
+
+TEST(SolverTest, MethodNames) {
+  EXPECT_EQ(method_name(Method::kTheorem1), "theorem1");
+  EXPECT_EQ(method_name(Method::kSplitMerge), "split-merge");
+  EXPECT_EQ(method_name(Method::kDsatur), "dsatur");
+  EXPECT_EQ(method_name(Method::kExact), "exact");
+}
+
+TEST(SolverTest, ReportIsPopulated) {
+  const auto inst = wdag::gen::havet_instance();
+  const auto res = solve(inst.family);
+  EXPECT_TRUE(res.report.is_dag);
+  EXPECT_TRUE(res.report.is_upp);
+  EXPECT_EQ(res.report.internal_cycles, 1u);
+}
+
+TEST(SolverTest, RandomDagsAlwaysGetValidColorings) {
+  wdag::util::Xoshiro256 rng(314);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto g = wdag::gen::random_dag(rng, 20, 0.15);
+    if (g.num_arcs() == 0) continue;
+    const auto fam = wdag::gen::random_walk_family(rng, g, 18, 1, 5);
+    const auto res = solve(fam);
+    EXPECT_TRUE(wdag::conflict::is_valid_assignment(fam, res.coloring));
+    EXPECT_GE(res.wavelengths, res.load);
+  }
+}
+
+}  // namespace

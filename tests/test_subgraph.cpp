@@ -1,0 +1,77 @@
+// Unit tests for induced/arc subgraphs.
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "graph/properties.hpp"
+#include "graph/subgraph.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace wdag::graph;
+
+TEST(SubgraphTest, InducedKeepsInternalDiamond) {
+  const Digraph g = wdag::test::guarded_diamond();
+  const auto sub = induced_subgraph(g, internal_vertex_mask(g));
+  EXPECT_EQ(sub.graph.num_vertices(), 4u);
+  EXPECT_EQ(sub.graph.num_arcs(), 4u);  // the diamond arcs, not the guards
+  for (VertexId v = 0; v < sub.graph.num_vertices(); ++v) {
+    const VertexId orig = sub.to_parent_vertex[v];
+    EXPECT_EQ(sub.from_parent_vertex[orig], v);
+  }
+}
+
+TEST(SubgraphTest, InducedArcMappingIsConsistent) {
+  const Digraph g = wdag::test::guarded_diamond();
+  const auto sub = induced_subgraph(g, internal_vertex_mask(g));
+  for (ArcId a = 0; a < sub.graph.num_arcs(); ++a) {
+    const ArcId orig = sub.to_parent_arc[a];
+    EXPECT_EQ(sub.to_parent_vertex[sub.graph.tail(a)], g.tail(orig));
+    EXPECT_EQ(sub.to_parent_vertex[sub.graph.head(a)], g.head(orig));
+  }
+}
+
+TEST(SubgraphTest, EmptyMaskYieldsEmptyGraph) {
+  const Digraph g = wdag::test::diamond();
+  const auto sub = induced_subgraph(g, std::vector<bool>(4, false));
+  EXPECT_EQ(sub.graph.num_vertices(), 0u);
+  EXPECT_EQ(sub.graph.num_arcs(), 0u);
+}
+
+TEST(SubgraphTest, FullMaskIsIdentity) {
+  const Digraph g = wdag::test::diamond();
+  const auto sub = induced_subgraph(g, std::vector<bool>(4, true));
+  EXPECT_EQ(sub.graph.num_vertices(), g.num_vertices());
+  EXPECT_EQ(sub.graph.num_arcs(), g.num_arcs());
+}
+
+TEST(SubgraphTest, MaskSizeMismatchThrows) {
+  const Digraph g = wdag::test::diamond();
+  EXPECT_THROW(induced_subgraph(g, std::vector<bool>(3, true)),
+               wdag::InvalidArgument);
+}
+
+TEST(SubgraphTest, ArcSubgraphKeepsVertices) {
+  const Digraph g = wdag::test::diamond();
+  std::vector<bool> keep(g.num_arcs(), false);
+  keep[0] = true;
+  const auto sub = arc_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.num_vertices(), g.num_vertices());
+  EXPECT_EQ(sub.graph.num_arcs(), 1u);
+  EXPECT_EQ(sub.to_parent_arc[0], 0u);
+  EXPECT_EQ(sub.graph.tail(0), g.tail(0));
+}
+
+TEST(SubgraphTest, NamesSurviveInduction) {
+  DigraphBuilder b;
+  b.add_arc("p", "q");
+  b.add_arc("q", "r");
+  const Digraph g = b.build();
+  std::vector<bool> mask = {true, true, false};
+  const auto sub = induced_subgraph(g, mask);
+  EXPECT_EQ(sub.graph.vertex_label(0), "p");
+  EXPECT_EQ(sub.graph.vertex_label(1), "q");
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Unit tests for the thread pool and parallel_for.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using wdag::util::parallel_for;
+using wdag::util::parallel_for_chunks;
+using wdag::util::ThreadPool;
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPoolTest, DefaultSizeIsPositive) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t n = 10007;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  bool ran = false;
+  parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  parallel_for(7, 3, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, SumMatchesSerial) {
+  constexpr std::size_t n = 5000;
+  std::atomic<long long> sum{0};
+  parallel_for(0, n, [&](std::size_t i) { sum.fetch_add(static_cast<long long>(i)); });
+  EXPECT_EQ(sum.load(), static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(ParallelForTest, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(0, 1000,
+                   [&](std::size_t i) {
+                     if (i == 517) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelForChunksTest, ChunksPartitionTheRange) {
+  constexpr std::size_t n = 1234;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_chunks(0, n, [&](std::size_t lo, std::size_t hi) {
+    ASSERT_LE(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForChunksTest, GrainLimitsChunkCount) {
+  std::atomic<int> chunks{0};
+  parallel_for_chunks(
+      0, 100,
+      [&](std::size_t, std::size_t) { chunks.fetch_add(1); },
+      /*grain=*/100);
+  EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST(ParallelForTest, NestedParallelismDoesNotDeadlock) {
+  // Inner calls run on the same global pool; the implementation must not
+  // block a worker waiting for tasks that need that worker.
+  std::atomic<int> total{0};
+  parallel_for_chunks(
+      0, 4,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          total.fetch_add(static_cast<int>(i));
+        }
+      },
+      /*grain=*/1);
+  EXPECT_EQ(total.load(), 0 + 1 + 2 + 3);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Unit tests for topological ordering utilities.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "gen/random_dag.hpp"
+#include "graph/topo.hpp"
+#include "helpers.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using wdag::graph::arcs_in_tail_topo_order;
+using wdag::graph::Digraph;
+using wdag::graph::is_dag;
+using wdag::graph::topo_positions;
+using wdag::graph::topological_sort;
+
+void expect_valid_topo(const Digraph& g, const std::vector<wdag::graph::VertexId>& order) {
+  const auto pos = topo_positions(g, order);
+  for (const auto& arc : g.arcs()) {
+    EXPECT_LT(pos[arc.tail], pos[arc.head]);
+  }
+}
+
+TEST(TopoTest, ChainOrder) {
+  const Digraph g = wdag::test::chain(6);
+  const auto order = topological_sort(g);
+  ASSERT_TRUE(order.has_value());
+  expect_valid_topo(g, *order);
+}
+
+TEST(TopoTest, DiamondOrder) {
+  const Digraph g = wdag::test::diamond();
+  const auto order = topological_sort(g);
+  ASSERT_TRUE(order.has_value());
+  expect_valid_topo(g, *order);
+}
+
+TEST(TopoTest, CycleDetected) {
+  EXPECT_FALSE(topological_sort(wdag::test::directed_triangle()).has_value());
+  EXPECT_FALSE(is_dag(wdag::test::directed_triangle()));
+}
+
+TEST(TopoTest, IsDagOnDags) {
+  EXPECT_TRUE(is_dag(wdag::test::chain(5)));
+  EXPECT_TRUE(is_dag(wdag::test::diamond()));
+  EXPECT_TRUE(is_dag(wdag::test::binary_out_tree(3)));
+}
+
+TEST(TopoTest, EmptyAndSingleton) {
+  const Digraph empty = wdag::graph::DigraphBuilder().build();
+  ASSERT_TRUE(topological_sort(empty).has_value());
+  EXPECT_TRUE(topological_sort(empty)->empty());
+  const Digraph one = wdag::graph::DigraphBuilder(1).build();
+  ASSERT_EQ(topological_sort(one)->size(), 1u);
+}
+
+TEST(TopoTest, TopoPositionsIsInverse) {
+  const Digraph g = wdag::test::diamond();
+  const auto order = *topological_sort(g);
+  const auto pos = topo_positions(g, order);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(pos[order[i]], i);
+}
+
+TEST(TopoTest, ArcsInTailTopoOrderContainsAllArcs) {
+  const Digraph g = wdag::test::guarded_diamond();
+  const auto arcs = arcs_in_tail_topo_order(g);
+  EXPECT_EQ(arcs.size(), g.num_arcs());
+  auto sorted = arcs;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(TopoTest, ArcsInTailTopoOrderRemovalInvariant) {
+  // Removing arcs in the returned order, the tail of the arc removed next
+  // must always be a source of the remaining graph — the Theorem-1
+  // induction's requirement.
+  wdag::util::Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Digraph g = wdag::gen::random_dag(rng, 30, 0.15);
+    const auto order = arcs_in_tail_topo_order(g);
+    std::vector<std::size_t> indeg(g.num_vertices(), 0);
+    for (const auto& arc : g.arcs()) ++indeg[arc.head];
+    for (const auto a : order) {
+      EXPECT_EQ(indeg[g.tail(a)], 0u)
+          << "arc " << a << " removed while its tail still has indegree";
+      --indeg[g.head(a)];
+    }
+  }
+}
+
+TEST(TopoTest, ArcsInTailTopoOrderRejectsCycles) {
+  EXPECT_THROW(arcs_in_tail_topo_order(wdag::test::directed_triangle()),
+               wdag::InvalidArgument);
+}
+
+TEST(TopoTest, RandomDagsAlwaysSort) {
+  wdag::util::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Digraph g = wdag::gen::random_dag(rng, 40, 0.1);
+    const auto order = topological_sort(g);
+    ASSERT_TRUE(order.has_value());
+    expect_valid_topo(g, *order);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Tests for the classic-topology generators and their paper-taxonomy
+// placement.
+
+#include <gtest/gtest.h>
+
+#include "dag/classify.hpp"
+#include "dag/internal_cycle.hpp"
+#include "dag/upp.hpp"
+#include "gen/topologies.hpp"
+#include "graph/properties.hpp"
+#include "graph/reachability.hpp"
+#include "graph/topo.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace wdag::gen;
+
+TEST(ButterflyTest, Shape) {
+  for (std::size_t k : {1u, 2u, 3u, 4u}) {
+    const auto g = butterfly(k);
+    const std::size_t row = std::size_t{1} << k;
+    EXPECT_EQ(g.num_vertices(), row * (k + 1));
+    EXPECT_EQ(g.num_arcs(), 2 * row * k);
+    EXPECT_TRUE(wdag::graph::is_dag(g));
+  }
+}
+
+TEST(ButterflyTest, IsUpp) {
+  for (std::size_t k : {1u, 2u, 3u}) {
+    EXPECT_TRUE(wdag::dag::is_upp(butterfly(k))) << "k=" << k;
+  }
+}
+
+TEST(ButterflyTest, RegimeBoundaryAtKThree) {
+  EXPECT_FALSE(wdag::dag::has_internal_cycle(butterfly(1)));
+  EXPECT_FALSE(wdag::dag::has_internal_cycle(butterfly(2)));
+  EXPECT_TRUE(wdag::dag::has_internal_cycle(butterfly(3)));
+  EXPECT_TRUE(wdag::dag::has_internal_cycle(butterfly(4)));
+}
+
+TEST(ButterflyTest, EveryLevel0ReachesEveryTopLevel) {
+  const auto g = butterfly(3);
+  // Level 0 vertex 0 must reach all 8 level-3 vertices (bit fixing).
+  const auto reach = wdag::graph::descendants(g, 0);
+  for (std::size_t x = 0; x < 8; ++x) {
+    EXPECT_TRUE(reach.test(3 * 8 + x)) << x;
+  }
+}
+
+TEST(GridTest, ShapeAndClassification) {
+  const auto g = grid_dag(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_arcs(), 31u);  // 4 rows x 4 right + 3 x 5 down
+  EXPECT_TRUE(wdag::graph::is_dag(g));
+  const auto r = wdag::dag::classify(g);
+  EXPECT_FALSE(r.is_upp);            // Manhattan paths commute
+  EXPECT_GT(r.internal_cycles, 0u);  // inner faces
+}
+
+TEST(GridTest, DegenerateRowsAndCols) {
+  // A 1 x n grid is a chain: UPP, no internal cycle.
+  const auto r = wdag::dag::classify(grid_dag(1, 6));
+  EXPECT_TRUE(r.is_upp);
+  EXPECT_TRUE(r.wavelengths_equal_load());
+}
+
+TEST(FatChainTest, CycleBudget) {
+  for (std::size_t stages : {1u, 3u}) {
+    for (std::size_t width : {1u, 2u, 4u}) {
+      const auto g = fat_chain(stages, width);
+      EXPECT_EQ(wdag::dag::internal_cycle_count(g), stages * (width - 1))
+          << stages << "x" << width;
+      EXPECT_EQ(wdag::dag::is_upp(g), width == 1);
+    }
+  }
+}
+
+TEST(SpineTest, AlwaysCleanRegime) {
+  for (std::size_t n : {2u, 5u, 12u}) {
+    const auto r = wdag::dag::classify(spine_with_leaves(n));
+    EXPECT_TRUE(r.wavelengths_equal_load()) << n;
+    EXPECT_TRUE(r.is_upp);
+  }
+}
+
+TEST(TopologiesTest, Validation) {
+  EXPECT_THROW(butterfly(0), wdag::InvalidArgument);
+  EXPECT_THROW(grid_dag(0, 3), wdag::InvalidArgument);
+  EXPECT_THROW(fat_chain(0, 2), wdag::InvalidArgument);
+  EXPECT_THROW(spine_with_leaves(1), wdag::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Unit tests for the disjoint-set forest.
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/union_find.hpp"
+
+namespace {
+
+using wdag::util::UnionFind;
+
+TEST(UnionFindTest, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.size(), 5u);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(uf.find(i), i);
+}
+
+TEST(UnionFindTest, UniteMergesAndReports) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+}
+
+TEST(UnionFindTest, RepeatedUniteReturnsFalse) {
+  UnionFind uf(3);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_FALSE(uf.unite(0, 1));
+  EXPECT_EQ(uf.num_sets(), 2u);
+}
+
+TEST(UnionFindTest, TransitiveUnion) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  EXPECT_FALSE(uf.same(1, 2));
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.same(0, 3));
+  EXPECT_EQ(uf.num_sets(), 3u);  // {0,1,2,3} {4} {5}
+}
+
+TEST(UnionFindTest, CycleDetectionPattern) {
+  // The internal-cycle detector relies on "unite returns false iff the
+  // edge closes a cycle": a triangle's third edge must return false.
+  UnionFind uf(3);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(2, 0));
+}
+
+TEST(UnionFindTest, ResetRestoresSingletons) {
+  UnionFind uf(3);
+  uf.unite(0, 1);
+  uf.reset(4);
+  EXPECT_EQ(uf.size(), 4u);
+  EXPECT_EQ(uf.num_sets(), 4u);
+  EXPECT_FALSE(uf.same(0, 1));
+}
+
+TEST(UnionFindTest, OutOfRangeThrows) {
+  UnionFind uf(2);
+  EXPECT_THROW((void)uf.find(2), wdag::InvalidArgument);
+}
+
+TEST(UnionFindTest, LargeChainCollapses) {
+  constexpr std::size_t n = 10000;
+  UnionFind uf(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) EXPECT_TRUE(uf.unite(i, i + 1));
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_TRUE(uf.same(0, n - 1));
+}
+
+}  // namespace

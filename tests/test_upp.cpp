@@ -1,0 +1,117 @@
+// Unit tests for the Unique-diPath Property.
+
+#include <gtest/gtest.h>
+
+#include "dag/upp.hpp"
+#include "gen/paper_instances.hpp"
+#include "gen/random_dag.hpp"
+#include "helpers.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wdag::dag;
+using wdag::graph::Digraph;
+using wdag::graph::DigraphBuilder;
+
+TEST(CountDipathsTest, ChainCounts) {
+  const Digraph g = wdag::test::chain(5);
+  EXPECT_EQ(count_dipaths(g, 0, 4), 1u);
+  EXPECT_EQ(count_dipaths(g, 4, 0), 0u);
+  EXPECT_EQ(count_dipaths(g, 2, 2), 1u);  // the empty dipath
+}
+
+TEST(CountDipathsTest, DiamondHasTwo) {
+  const Digraph g = wdag::test::diamond();
+  EXPECT_EQ(count_dipaths(g, 0, 3), 2u);
+  EXPECT_EQ(count_dipaths(g, 0, 3, /*cap=*/10), 2u);
+}
+
+TEST(CountDipathsTest, SaturatesAtCap) {
+  // Three stacked diamonds: 2^3 = 8 paths, capped at 3.
+  DigraphBuilder b;
+  wdag::graph::VertexId cur = b.add_vertex();
+  for (int d = 0; d < 3; ++d) {
+    const auto l = b.add_vertex(), r = b.add_vertex(), m = b.add_vertex();
+    b.add_arc(cur, l);
+    b.add_arc(cur, r);
+    b.add_arc(l, m);
+    b.add_arc(r, m);
+    cur = m;
+  }
+  const Digraph g = b.build();
+  EXPECT_EQ(count_dipaths(g, 0, cur, 3), 3u);
+  EXPECT_EQ(count_dipaths(g, 0, cur, 100), 8u);
+}
+
+TEST(CountDipathsTest, RejectsNonDag) {
+  EXPECT_THROW(count_dipaths(wdag::test::directed_triangle(), 0, 1),
+               wdag::DomainError);
+}
+
+TEST(IsUppTest, TreesAndChainsAreUpp) {
+  EXPECT_TRUE(is_upp(wdag::test::chain(8)));
+  EXPECT_TRUE(is_upp(wdag::test::binary_out_tree(4)));
+}
+
+TEST(IsUppTest, DiamondIsNotUpp) {
+  EXPECT_FALSE(is_upp(wdag::test::diamond()));
+}
+
+TEST(IsUppTest, ParallelArcsAreNotUpp) {
+  DigraphBuilder b(2);
+  b.add_arc(0, 1);
+  b.add_arc(0, 1);
+  EXPECT_FALSE(is_upp(b.build()));
+}
+
+TEST(IsUppTest, PaperInstances) {
+  EXPECT_TRUE(is_upp(*wdag::gen::theorem2_instance(2).graph));
+  EXPECT_TRUE(is_upp(*wdag::gen::theorem2_instance(5).graph));
+  EXPECT_TRUE(is_upp(*wdag::gen::havet_instance().graph));
+  // Figure 3 has the chord b->d next to b->c->d: not UPP.
+  EXPECT_FALSE(is_upp(*wdag::gen::figure3_instance().graph));
+  // k == 1 theorem-2 gadget degenerates to parallel arcs: not UPP.
+  EXPECT_FALSE(is_upp(*wdag::gen::theorem2_instance(1).graph));
+}
+
+TEST(IsUppTest, RejectsNonDag) {
+  EXPECT_THROW(is_upp(wdag::test::directed_triangle()), wdag::DomainError);
+}
+
+TEST(UppViolationTest, NoneOnUppGraphs) {
+  EXPECT_FALSE(find_upp_violation(wdag::test::chain(5)).has_value());
+  EXPECT_FALSE(
+      find_upp_violation(*wdag::gen::havet_instance().graph).has_value());
+}
+
+TEST(UppViolationTest, DiamondWitness) {
+  const Digraph g = wdag::test::diamond();
+  const auto v = find_upp_violation(g);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->from, 0u);
+  EXPECT_EQ(v->to, 3u);
+  EXPECT_NE(v->path1, v->path2);
+  // Both witnesses really go from 0 to 3.
+  for (const auto* p : {&v->path1, &v->path2}) {
+    ASSERT_FALSE(p->empty());
+    EXPECT_EQ(g.tail(p->front()), 0u);
+    EXPECT_EQ(g.head(p->back()), 3u);
+  }
+}
+
+TEST(UppViolationTest, AgreesWithIsUppOnRandomGraphs) {
+  wdag::util::Xoshiro256 rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Digraph g = wdag::gen::random_dag(rng, 18, 0.15);
+    EXPECT_EQ(is_upp(g), !find_upp_violation(g).has_value());
+  }
+}
+
+TEST(IsUppTest, EmptyAndSingletonGraphs) {
+  EXPECT_TRUE(is_upp(DigraphBuilder().build()));
+  EXPECT_TRUE(is_upp(DigraphBuilder(1).build()));
+}
+
+}  // namespace
