@@ -1,0 +1,110 @@
+// Batch-solve throughput harness: how many instances per second the
+// parallel batch engine sustains per workload family and thread count.
+//
+// The table pass emits one BENCH_batch.json-compatible line
+// (`{"bench":"batch_throughput","rows":[...]}`) so the perf trajectory can
+// be tracked across PRs, then google-benchmark measures the same batches
+// under its timing harness.
+
+#include "bench_util.hpp"
+#include "core/batch.hpp"
+#include "gen/instance.hpp"
+#include "gen/workloads.hpp"
+#include "util/rng.hpp"
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace wdag;
+using core::BatchOptions;
+using core::BatchReport;
+using gen::Instance;
+using util::Xoshiro256;
+
+gen::WorkloadParams bench_params() {
+  gen::WorkloadParams params;
+  params.size = 32;
+  params.paths = 20;
+  params.rows = 4;
+  params.cols = 5;
+  return params;
+}
+
+BatchReport run_batch(const std::string& workload, std::size_t count,
+                      std::size_t threads) {
+  BatchOptions options;
+  options.threads = threads;
+  options.seed = 20260730;
+  const gen::WorkloadParams params = bench_params();
+  return core::solve_generated_batch(
+      count,
+      [&workload, &params](Xoshiro256& rng, std::size_t) {
+        return gen::workload_instance(workload, params, rng);
+      },
+      core::SolveOptions{}, options);
+}
+
+void print_table() {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  util::Table t("batch throughput (instances/sec, 512-instance batches)",
+                {"workload", "threads", "inst_per_s", "p50_ms", "p99_ms",
+                 "theorem1", "split_merge", "dsatur", "exact"});
+  for (const std::string workload : {"tree", "random-upp", "grid"}) {
+    for (const std::size_t threads : {std::size_t{1}, hw}) {
+      const BatchReport report = run_batch(workload, 512, threads);
+      t.add_row({workload, static_cast<long long>(report.threads_used),
+                 report.instances_per_second(), report.latency.p50,
+                 report.latency.p99,
+                 static_cast<long long>(report.count(core::Method::kTheorem1)),
+                 static_cast<long long>(
+                     report.count(core::Method::kSplitMerge)),
+                 static_cast<long long>(report.count(core::Method::kDsatur)),
+                 static_cast<long long>(report.count(core::Method::kExact))});
+    }
+  }
+  bench::emit(t);
+  bench::emit_json("batch_throughput", t);
+}
+
+void BM_BatchSolve(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  std::size_t instances = 0;
+  for (auto _ : state) {
+    const BatchReport report = run_batch("random-upp", 128, threads);
+    benchmark::DoNotOptimize(report.total_wavelengths);
+    instances += report.entries.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instances));
+}
+BENCHMARK(BM_BatchSolve)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_BatchSolvePrebuilt(benchmark::State& state) {
+  // Isolates solver throughput from generation: instances built once.
+  Xoshiro256 rng(99);
+  const gen::WorkloadParams params = bench_params();
+  std::vector<Instance> instances;
+  std::vector<paths::DipathFamily> families;
+  for (std::size_t i = 0; i < 128; ++i) {
+    instances.push_back(gen::workload_instance("grid", params, rng));
+    families.push_back(instances.back().family);
+  }
+  BatchOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  std::size_t solved = 0;
+  for (auto _ : state) {
+    const BatchReport report =
+        core::solve_batch(families, core::SolveOptions{}, options);
+    benchmark::DoNotOptimize(report.total_wavelengths);
+    solved += report.entries.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(solved));
+}
+BENCHMARK(BM_BatchSolvePrebuilt)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+}  // namespace
+
+WDAG_BENCH_MAIN(print_table)

@@ -33,6 +33,13 @@ inline void emit(const util::Table& table) {
   std::fputs("\n", stdout);
 }
 
+/// Emits a one-line BENCH_<name>.json-compatible record: the table's rows
+/// as a JSON array under a bench key, for cross-PR perf tracking.
+inline void emit_json(const std::string& name, const util::Table& table) {
+  std::printf("{\"bench\":\"%s\",\"rows\":%s}\n", name.c_str(),
+              table.to_json_rows().c_str());
+}
+
 }  // namespace wdag::bench
 
 #define WDAG_BENCH_MAIN(print_fn)                                   \

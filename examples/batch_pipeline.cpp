@@ -1,0 +1,51 @@
+// Example: drive the parallel batch engine from code.
+//
+// Generates a mixed UPP workload with the shared workload factory, fans it
+// out over the thread pool with deterministic per-chunk seeding, and
+// prints the dispatch histogram plus the aggregate JSON report — the
+// library-level equivalent of `wdag batch --gen random-upp`.
+
+#include <cstddef>
+#include <iostream>
+
+#include "core/batch.hpp"
+#include "gen/workloads.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace wdag;
+
+  const gen::WorkloadParams params;  // defaults; tune like the CLI flags
+  core::BatchOptions batch_options;
+  batch_options.seed = 42;
+  batch_options.chunk = 16;
+  batch_options.threads = 0;  // hardware concurrency
+
+  const core::BatchReport report = core::solve_generated_batch(
+      400,
+      [&params](util::Xoshiro256& rng, std::size_t) {
+        return gen::workload_instance("random-upp", params, rng);
+      },
+      core::SolveOptions{}, batch_options);
+
+  std::cout << report.histogram_table();
+  std::cout << "throughput: " << report.instances_per_second()
+            << " instances/sec on " << report.threads_used << " threads\n";
+  std::cout << report.to_json() << "\n";
+
+  // The per-instance rows (without latency) are reproducible: the same
+  // seed gives byte-identical CSV on any machine and thread count.
+  const core::BatchReport again = core::solve_generated_batch(
+      400,
+      [&params](util::Xoshiro256& rng, std::size_t) {
+        return gen::workload_instance("random-upp", params, rng);
+      },
+      core::SolveOptions{}, batch_options);
+  std::cout << "deterministic: "
+            << (report.rows_table(false).to_csv() ==
+                        again.rows_table(false).to_csv()
+                    ? "yes"
+                    : "NO — this is a bug")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,333 @@
+// The wdag command-line driver.
+//
+//   wdag solve  — build (or load) one instance, solve it, print the verdict
+//   wdag batch  — fan a generated workload out over the thread pool and
+//                 report the dispatch histogram, latency percentiles and
+//                 throughput; optionally stream per-instance CSV / JSON
+//   wdag sweep  — run a batch per point of a parameter range and print one
+//                 summary row per point
+//
+// Every generated workload is a deterministic function of --seed: the batch
+// engine seeds each chunk independently, so identical seeds give identical
+// CSV output no matter how many threads run the batch.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/solver.hpp"
+#include "dag/classify.hpp"
+#include "gen/instance.hpp"
+#include "gen/workloads.hpp"
+#include "paths/familyio.hpp"
+#include "paths/load.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using wdag::core::BatchOptions;
+using wdag::core::BatchReport;
+using wdag::core::Method;
+using wdag::core::SolveOptions;
+using wdag::gen::Instance;
+using wdag::util::Cli;
+using wdag::util::Xoshiro256;
+
+int usage(std::ostream& os) {
+  os << "wdag — wavelength assignment on DAGs (Bermond & Coudert)\n"
+        "\n"
+        "usage:\n"
+        "  wdag solve --gen NAME [generator flags] [solver flags]\n"
+        "  wdag solve --file INSTANCE.txt [solver flags]\n"
+        "  wdag batch --gen NAME --count N [--threads T] [--seed S]\n"
+        "             [--csv PATH|-] [--json PATH|-] [--rows]\n"
+        "  wdag sweep --gen NAME --count N --param NAME --from A --to B\n"
+        "             [--step S] [--threads T] [--seed S]\n"
+        "\n"
+        "generators (--gen):\n"
+        "  random-upp   mixed random UPP workload: trees, one- and\n"
+        "               multi-cycle skeletons, odd-cycle gadgets\n"
+        "               (--k, --run-len, --chain, --paths, --size)\n"
+        "  random-dag   random DAG + random walks (--size, --density, --paths)\n"
+        "  no-internal  random DAG repaired to zero internal cycles\n"
+        "               (--size, --density, --paths)\n"
+        "  layered      layered DAG + random walks (--layers, --width-l,\n"
+        "               --density, --paths)\n"
+        "  tree         random out-tree + random requests (--size, --paths)\n"
+        "  grid         rows x cols grid + random requests (--rows-g, --cols,\n"
+        "               --paths)\n"
+        "  butterfly    k-dimensional butterfly + random requests (--dim,\n"
+        "               --paths)\n"
+        "  fat-chain    stage chain with fiber bundles + random walks\n"
+        "               (--stages, --width-l, --paths)\n"
+        "  spine        spine with leaves + random requests (--size, --paths)\n"
+        "  odd-cycle    Theorem 2 gadget, conflict graph C_{2k+1} (--k)\n"
+        "  c5 | c7      odd-cycle with k=2 / k=3\n"
+        "  figure1      Figure 1 pathological family (--k)\n"
+        "  figure3      Figure 3 instance (pi=2, w=3)\n"
+        "  havet        Theorem 7 / Wagner-graph instance (--h replication)\n"
+        "\n"
+        "solver flags:\n"
+        "  --exact-threshold N   exact certification cutoff (default 48)\n"
+        "  --exact-budget N      exact solver node budget\n"
+        "  --force METHOD        theorem1 | split-merge | dsatur | exact\n"
+        "\n"
+        "batch flags:\n"
+        "  --count N      instances in the batch (default 100)\n"
+        "  --threads T    worker threads, 0 = hardware (default 0)\n"
+        "  --chunk C      instances per deterministic chunk (default 16)\n"
+        "  --seed S       base seed (default 1)\n"
+        "  --csv PATH     write per-instance rows as CSV ('-' = stdout);\n"
+        "                 deterministic for a fixed seed\n"
+        "  --json PATH    write the aggregate report as JSON ('-' = stdout)\n"
+        "  --rows         also print the per-instance table to stdout\n"
+        "\n"
+        "sweep flags:\n"
+        "  --param NAME   paths | size | density | k (generator knob to vary)\n"
+        "  --from A --to B --step S   inclusive range of the parameter\n";
+  return 2;
+}
+
+/// The generator family name plus its knobs, read once from the CLI.
+struct GenParams {
+  std::string name;
+  wdag::gen::WorkloadParams knobs;
+};
+
+/// Rejects unknown --gen names up front, before a batch fans out and
+/// records the same error once per instance.
+void require_known_workload(const std::string& name) {
+  const auto& names = wdag::gen::workload_names();
+  if (std::find(names.begin(), names.end(), name) == names.end()) {
+    throw wdag::InvalidArgument("unknown generator '" + name +
+                                "' (see `wdag --help` for the list)");
+  }
+}
+
+GenParams read_gen_params(const Cli& cli) {
+  GenParams g;
+  g.name = cli.get("gen", "");
+  auto& p = g.knobs;
+  p.paths = static_cast<std::size_t>(cli.get_int("paths", 32));
+  p.size = static_cast<std::size_t>(cli.get_int("size", 24));
+  p.density = cli.get_double("density", 0.2);
+  p.k = static_cast<std::size_t>(cli.get_int("k", 3));
+  p.run_len = static_cast<std::size_t>(cli.get_int("run-len", 1));
+  p.chain = static_cast<std::size_t>(cli.get_int("chain", 1));
+  p.layers = static_cast<std::size_t>(cli.get_int("layers", 5));
+  p.width = static_cast<std::size_t>(cli.get_int("width-l", 4));
+  p.rows = static_cast<std::size_t>(cli.get_int("rows-g", 4));
+  p.cols = static_cast<std::size_t>(cli.get_int("cols", 6));
+  p.dim = static_cast<std::size_t>(cli.get_int("dim", 3));
+  p.stages = static_cast<std::size_t>(cli.get_int("stages", 4));
+  p.h = static_cast<std::size_t>(cli.get_int("h", 2));
+  return g;
+}
+
+/// Builds one instance of the named family from `rng` (gen/workloads.hpp;
+/// paper instances ignore the RNG, random families consume it).
+Instance make_instance(const GenParams& g, Xoshiro256& rng) {
+  return wdag::gen::workload_instance(g.name, g.knobs, rng);
+}
+
+SolveOptions read_solve_options(const Cli& cli) {
+  SolveOptions opt;
+  opt.exact_threshold =
+      static_cast<std::size_t>(cli.get_int("exact-threshold", 48));
+  opt.exact_node_budget =
+      static_cast<std::size_t>(cli.get_int("exact-budget", 20'000'000));
+  if (cli.has("force")) {
+    const std::string f = cli.get("force", "");
+    if (f == "theorem1") opt.force = Method::kTheorem1;
+    else if (f == "split-merge") opt.force = Method::kSplitMerge;
+    else if (f == "dsatur") opt.force = Method::kDsatur;
+    else if (f == "exact") opt.force = Method::kExact;
+    else throw wdag::InvalidArgument("unknown --force method '" + f + "'");
+  }
+  return opt;
+}
+
+BatchOptions read_batch_options(const Cli& cli) {
+  BatchOptions opt;
+  opt.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  opt.chunk = static_cast<std::size_t>(cli.get_int("chunk", 16));
+  opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  return opt;
+}
+
+/// Writes `text` to the path, with '-' meaning stdout.
+void write_output(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::cout << text;
+    return;
+  }
+  std::ofstream out(path);
+  WDAG_REQUIRE(out.good(), "cannot open output file '" + path + "'");
+  out << text;
+}
+
+int cmd_solve(const Cli& cli) {
+  const SolveOptions solve_options = read_solve_options(cli);
+  Instance inst;
+  if (cli.has("file")) {
+    const std::string path = cli.get("file", "");
+    std::ifstream in(path);
+    WDAG_REQUIRE(in.good(), "cannot open instance file '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto parsed = wdag::paths::parse_instance_text(buf.str());
+    inst.graph = parsed.graph;
+    inst.family = std::move(parsed.family);
+  } else {
+    Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+    inst = make_instance(read_gen_params(cli), rng);
+  }
+
+  const auto result = wdag::core::solve(inst.family, solve_options);
+  std::cout << wdag::dag::report_to_string(result.report) << "\n";
+  wdag::util::Table verdict("solve verdict",
+                            {"method", "paths", "load", "wavelengths",
+                             "optimal"});
+  verdict.add_row({wdag::core::method_name(result.method),
+                   static_cast<long long>(inst.family.size()),
+                   static_cast<long long>(result.load),
+                   static_cast<long long>(result.wavelengths),
+                   static_cast<long long>(result.optimal ? 1 : 0)});
+  std::cout << verdict;
+  if (cli.has("show-coloring")) {
+    std::cout << "coloring:";
+    for (const auto c : result.coloring) std::cout << ' ' << c;
+    std::cout << "\n";
+  }
+  if (cli.has("dump")) {
+    std::cout << wdag::paths::to_instance_text(inst.family);
+  }
+  return 0;
+}
+
+int cmd_batch(const Cli& cli) {
+  const GenParams params = read_gen_params(cli);
+  WDAG_REQUIRE(!params.name.empty(), "batch requires --gen NAME");
+  require_known_workload(params.name);
+  const SolveOptions solve_options = read_solve_options(cli);
+  const BatchOptions batch_options = read_batch_options(cli);
+  const std::size_t count =
+      static_cast<std::size_t>(cli.get_int("count", 100));
+
+  const BatchReport report = wdag::core::solve_generated_batch(
+      count,
+      [&params](Xoshiro256& rng, std::size_t) {
+        return make_instance(params, rng);
+      },
+      solve_options, batch_options);
+
+  if (cli.has("rows")) std::cout << report.rows_table();
+  std::cout << report.histogram_table();
+  wdag::util::Table summary(
+      "batch summary",
+      {"instances", "failures", "optimal", "wall_s", "inst_per_s", "p50_ms",
+       "p99_ms"});
+  summary.add_row({static_cast<long long>(report.entries.size()),
+                   static_cast<long long>(report.failure_count),
+                   static_cast<long long>(report.optimal_count),
+                   report.wall_seconds, report.instances_per_second(),
+                   report.latency.p50, report.latency.p99});
+  std::cout << summary;
+
+  if (cli.has("csv")) {
+    write_output(cli.get("csv", "-"),
+                 report.rows_table(/*with_latency=*/false).to_csv());
+  }
+  if (cli.has("json")) {
+    write_output(cli.get("json", "-"), report.to_json() + "\n");
+  }
+  return report.failure_count == 0 ? 0 : 1;
+}
+
+int cmd_sweep(const Cli& cli) {
+  GenParams params = read_gen_params(cli);
+  WDAG_REQUIRE(!params.name.empty(), "sweep requires --gen NAME");
+  require_known_workload(params.name);
+  const SolveOptions solve_options = read_solve_options(cli);
+  const BatchOptions batch_options = read_batch_options(cli);
+  const std::size_t count = static_cast<std::size_t>(cli.get_int("count", 64));
+  const std::string param = cli.get("param", "paths");
+  const double from = cli.get_double("from", 8);
+  const double to = cli.get_double("to", 64);
+  const double step = cli.get_double("step", param == "density" ? 0.1 : 8);
+  WDAG_REQUIRE(step > 0, "sweep --step must be positive");
+  WDAG_REQUIRE(from <= to, "sweep needs --from <= --to");
+
+  wdag::util::Table table(
+      "sweep over --" + param + " (" + params.name + ")",
+      {param, "instances", "theorem1", "split-merge", "dsatur", "exact",
+       "failures", "avg_load", "avg_w", "inst_per_s"});
+  for (double value = from; value <= to + 1e-9; value += step) {
+    if (param == "paths") params.knobs.paths = static_cast<std::size_t>(value);
+    else if (param == "size") params.knobs.size = static_cast<std::size_t>(value);
+    else if (param == "density") params.knobs.density = value;
+    else if (param == "k") params.knobs.k = static_cast<std::size_t>(value);
+    else throw wdag::InvalidArgument("unknown sweep --param '" + param + "'");
+
+    const BatchReport report = wdag::core::solve_generated_batch(
+        count,
+        [&params](Xoshiro256& rng, std::size_t) {
+          return make_instance(params, rng);
+        },
+        solve_options, batch_options);
+    const double solved = static_cast<double>(report.entries.size() -
+                                              report.failure_count);
+    std::vector<wdag::util::Cell> row;
+    row.emplace_back(value);
+    row.emplace_back(static_cast<long long>(report.entries.size()));
+    row.emplace_back(static_cast<long long>(report.count(Method::kTheorem1)));
+    row.emplace_back(
+        static_cast<long long>(report.count(Method::kSplitMerge)));
+    row.emplace_back(static_cast<long long>(report.count(Method::kDsatur)));
+    row.emplace_back(static_cast<long long>(report.count(Method::kExact)));
+    row.emplace_back(static_cast<long long>(report.failure_count));
+    row.emplace_back(
+        solved > 0 ? static_cast<double>(report.total_load) / solved : 0.0);
+    row.emplace_back(
+        solved > 0 ? static_cast<double>(report.total_wavelengths) / solved
+                   : 0.0);
+    row.emplace_back(report.instances_per_second());
+    table.add_row(std::move(row));
+  }
+  std::cout << table;
+  if (cli.has("csv")) write_output(cli.get("csv", "-"), table.to_csv());
+  if (cli.has("json")) {
+    write_output(cli.get("json", "-"), table.to_json_rows() + "\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Cli cli(argc, argv);
+    if (cli.has("help")) {
+      usage(std::cout);
+      return 0;
+    }
+    if (cli.positional().empty()) return usage(std::cerr);
+    const std::string& command = cli.positional().front();
+    if (command == "solve") return cmd_solve(cli);
+    if (command == "batch") return cmd_batch(cli);
+    if (command == "sweep") return cmd_sweep(cli);
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage(std::cerr);
+  } catch (const std::exception& e) {
+    std::cerr << "wdag: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,225 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "conflict/coloring.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace wdag::core {
+
+namespace {
+
+/// Mixes the batch seed with a chunk index into an independent RNG stream.
+util::Xoshiro256 chunk_rng(std::uint64_t seed, std::size_t chunk_index) {
+  util::SplitMix64 mix(seed ^ (0x9E3779B97F4A7C15ULL * (chunk_index + 1)));
+  return util::Xoshiro256(mix.next());
+}
+
+/// Solves one instance into its pre-allocated entry slot; never throws.
+void solve_into(BatchEntry& entry, const paths::DipathFamily& family,
+                const SolveOptions& solve_options, bool keep_coloring) {
+  const util::Timer timer;
+  try {
+    SolveResult result = solve(family, solve_options);
+    entry.method = result.method;
+    entry.paths = family.size();
+    entry.load = result.load;
+    entry.wavelengths = result.wavelengths;
+    entry.optimal = result.optimal;
+    if (keep_coloring) entry.coloring = std::move(result.coloring);
+  } catch (const std::exception& e) {
+    entry.failed = true;
+    entry.error = e.what();
+    entry.paths = family.size();
+  }
+  entry.millis = timer.millis();
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const std::size_t idx =
+      std::min(sorted.size() - 1,
+               static_cast<std::size_t>(std::max(rank - 1.0, 0.0)));
+  return sorted[idx];
+}
+
+/// Fills the aggregate fields of a report whose entries are complete.
+void aggregate(BatchReport& report, double wall_seconds,
+               std::size_t threads_used, std::uint64_t seed) {
+  std::vector<double> latencies;
+  latencies.reserve(report.entries.size());
+  double latency_sum = 0.0;
+  for (const BatchEntry& e : report.entries) {
+    if (e.failed) {
+      ++report.failure_count;
+      continue;
+    }
+    ++report.method_counts[static_cast<std::size_t>(e.method)];
+    if (e.optimal) ++report.optimal_count;
+    report.total_wavelengths += e.wavelengths;
+    report.total_load += e.load;
+    latencies.push_back(e.millis);
+    latency_sum += e.millis;
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    report.latency.mean = latency_sum / static_cast<double>(latencies.size());
+    report.latency.p50 = percentile(latencies, 0.50);
+    report.latency.p90 = percentile(latencies, 0.90);
+    report.latency.p99 = percentile(latencies, 0.99);
+    report.latency.max = latencies.back();
+  }
+  report.wall_seconds = wall_seconds;
+  report.threads_used = threads_used;
+  report.seed = seed;
+}
+
+/// Runs body(chunk_index, lo, hi) over fixed chunks of `options.chunk`
+/// instances on a dedicated pool sized by `options.threads`.
+void run_chunked(std::size_t count, const BatchOptions& options,
+                 const std::function<void(std::size_t, std::size_t,
+                                          std::size_t)>& body,
+                 std::size_t& threads_used) {
+  WDAG_REQUIRE(options.chunk >= 1, "BatchOptions::chunk must be >= 1");
+  util::ThreadPool pool(options.threads);
+  threads_used = pool.size();
+  util::parallel_fixed_chunks(pool, 0, count, options.chunk, body);
+}
+
+}  // namespace
+
+double BatchReport::instances_per_second() const {
+  if (entries.empty() || wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(entries.size()) / wall_seconds;
+}
+
+util::Table BatchReport::rows_table(bool with_latency) const {
+  std::vector<std::string> header = {"index",       "method",  "paths",
+                                     "load",        "wavelengths", "optimal"};
+  if (with_latency) header.push_back("millis");
+  util::Table table("batch results", std::move(header));
+  for (const BatchEntry& e : entries) {
+    std::vector<util::Cell> row = {
+        static_cast<long long>(e.index),
+        e.failed ? std::string("error") : method_name(e.method),
+        static_cast<long long>(e.paths),
+        static_cast<long long>(e.load),
+        static_cast<long long>(e.wavelengths),
+        static_cast<long long>(e.optimal ? 1 : 0)};
+    if (with_latency) row.push_back(e.millis);
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+util::Table BatchReport::histogram_table() const {
+  util::Table table("dispatch histogram", {"method", "count", "share"});
+  // One denominator for every row (total entries) so the column sums to 1
+  // even when some instances failed.
+  const double total = static_cast<double>(entries.size());
+  for (const Method m : {Method::kTheorem1, Method::kSplitMerge,
+                         Method::kDsatur, Method::kExact}) {
+    const std::size_t c = count(m);
+    const double share = total == 0 ? 0.0 : static_cast<double>(c) / total;
+    table.add_row({method_name(m), static_cast<long long>(c), share});
+  }
+  if (failure_count > 0) {
+    table.add_row({std::string("error"),
+                   static_cast<long long>(failure_count),
+                   static_cast<double>(failure_count) / total});
+  }
+  return table;
+}
+
+std::string BatchReport::to_json() const {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{";
+  os << "\"instances\":" << entries.size();
+  os << ",\"seed\":" << seed;
+  os << ",\"threads\":" << threads_used;
+  os << ",\"failures\":" << failure_count;
+  os << ",\"optimal\":" << optimal_count;
+  os << ",\"total_load\":" << total_load;
+  os << ",\"total_wavelengths\":" << total_wavelengths;
+  os << ",\"wall_seconds\":" << wall_seconds;
+  os << ",\"instances_per_second\":" << instances_per_second();
+  os << ",\"methods\":{";
+  bool first = true;
+  for (const Method m : {Method::kTheorem1, Method::kSplitMerge,
+                         Method::kDsatur, Method::kExact}) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << method_name(m) << "\":" << count(m);
+  }
+  os << "}";
+  os << ",\"latency_ms\":{";
+  os << "\"mean\":" << latency.mean;
+  os << ",\"p50\":" << latency.p50;
+  os << ",\"p90\":" << latency.p90;
+  os << ",\"p99\":" << latency.p99;
+  os << ",\"max\":" << latency.max;
+  os << "}";
+  os << "}";
+  return os.str();
+}
+
+BatchReport solve_batch(std::span<const paths::DipathFamily> families,
+                        const SolveOptions& solve_options,
+                        const BatchOptions& batch_options) {
+  BatchReport report;
+  report.entries.resize(families.size());
+  const util::Timer timer;
+  std::size_t threads_used = 0;
+  run_chunked(
+      families.size(), batch_options,
+      [&](std::size_t /*chunk_index*/, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          report.entries[i].index = i;
+          solve_into(report.entries[i], families[i], solve_options,
+                     batch_options.keep_colorings);
+        }
+      },
+      threads_used);
+  aggregate(report, timer.seconds(), threads_used, batch_options.seed);
+  return report;
+}
+
+BatchReport solve_generated_batch(std::size_t count,
+                                  const InstanceGenerator& generate,
+                                  const SolveOptions& solve_options,
+                                  const BatchOptions& batch_options) {
+  WDAG_REQUIRE(generate != nullptr, "generator must be callable");
+  BatchReport report;
+  report.entries.resize(count);
+  const util::Timer timer;
+  std::size_t threads_used = 0;
+  run_chunked(
+      count, batch_options,
+      [&](std::size_t chunk_index, std::size_t lo, std::size_t hi) {
+        util::Xoshiro256 rng = chunk_rng(batch_options.seed, chunk_index);
+        for (std::size_t i = lo; i < hi; ++i) {
+          report.entries[i].index = i;
+          try {
+            const gen::Instance inst = generate(rng, i);
+            solve_into(report.entries[i], inst.family, solve_options,
+                       batch_options.keep_colorings);
+          } catch (const std::exception& e) {
+            report.entries[i].failed = true;
+            report.entries[i].error = e.what();
+          }
+        }
+      },
+      threads_used);
+  aggregate(report, timer.seconds(), threads_used, batch_options.seed);
+  return report;
+}
+
+}  // namespace wdag::core

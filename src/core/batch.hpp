@@ -1,0 +1,120 @@
+#pragma once
+// Parallel batch solving: fan a workload of dipath-family instances out
+// over a thread pool, solve each with the dispatching solver, and
+// aggregate per-method counts and latency percentiles into a report.
+//
+// Determinism contract (matches util/thread_pool.hpp): work is
+// partitioned into fixed contiguous chunks, every chunk derives its RNG
+// from (options.seed, chunk index) via splitmix64, and results are
+// written into per-instance slots — so a batch's report is identical for
+// identical seeds no matter how many threads run it or how the OS
+// schedules them.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "gen/instance.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace wdag::core {
+
+/// Knobs of the batch driver (solver knobs live in SolveOptions).
+struct BatchOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  /// Instances per work chunk (also the granularity of deterministic
+  /// seeding for generated batches). Must be >= 1.
+  std::size_t chunk = 16;
+  /// Base seed; chunk c works with splitmix64(seed, c)-derived randomness.
+  std::uint64_t seed = 1;
+  /// Keep every instance's coloring in the report (memory-heavy; off by
+  /// default so million-instance sweeps stay lean).
+  bool keep_colorings = false;
+};
+
+/// Outcome of one instance inside a batch.
+struct BatchEntry {
+  std::size_t index = 0;        ///< position in the input span / generation order
+  Method method = Method::kTheorem1;
+  std::size_t paths = 0;        ///< family size
+  std::size_t load = 0;         ///< pi(G,P)
+  std::size_t wavelengths = 0;  ///< colors used
+  bool optimal = false;
+  bool failed = false;          ///< solver threw; see `error`
+  std::string error;            ///< exception message when failed
+  double millis = 0.0;          ///< wall-clock solve latency
+  conflict::Coloring coloring;  ///< only populated with keep_colorings
+};
+
+/// Latency summary in milliseconds over the successful entries.
+struct LatencyStats {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Aggregated outcome of a batch solve.
+struct BatchReport {
+  std::vector<BatchEntry> entries;      ///< indexed by instance order
+  std::size_t method_counts[4] = {0, 0, 0, 0};  ///< indexed by Method
+  std::size_t optimal_count = 0;
+  std::size_t failure_count = 0;
+  std::size_t total_wavelengths = 0;    ///< sum over successful entries
+  std::size_t total_load = 0;
+  LatencyStats latency;                 ///< per-instance solve latency
+  double wall_seconds = 0.0;            ///< end-to-end batch wall clock
+  std::size_t threads_used = 0;
+  std::uint64_t seed = 0;
+
+  /// Instances solved per wall-clock second (0 for an empty batch).
+  [[nodiscard]] double instances_per_second() const;
+
+  /// Count for one dispatch method.
+  [[nodiscard]] std::size_t count(Method m) const {
+    return method_counts[static_cast<std::size_t>(m)];
+  }
+
+  /// Per-instance rows (index, method, paths, load, wavelengths, optimal
+  /// and, with `with_latency`, millis) as a util::Table — render with
+  /// to_csv()/to_text()/to_markdown(). Pass with_latency = false when the
+  /// output must be byte-identical across runs of the same seed.
+  [[nodiscard]] util::Table rows_table(bool with_latency = true) const;
+
+  /// One-row-per-method dispatch histogram as a util::Table.
+  [[nodiscard]] util::Table histogram_table() const;
+
+  /// The aggregate report as a JSON object (stable key order).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Solves every family in `families` (already built; host graphs must
+/// outlive the call) and aggregates the outcomes. Exceptions thrown by the
+/// solver on an instance are captured into that instance's entry rather
+/// than aborting the batch.
+BatchReport solve_batch(std::span<const paths::DipathFamily> families,
+                        const SolveOptions& solve_options = {},
+                        const BatchOptions& batch_options = {});
+
+/// Generator callback: produces instance `index` from a deterministic
+/// per-chunk RNG. Must be callable concurrently from multiple threads.
+using InstanceGenerator =
+    std::function<gen::Instance(util::Xoshiro256& rng, std::size_t index)>;
+
+/// Generate-and-solve fusion: materializes `count` instances on the
+/// workers (instance i is built inside its chunk with the chunk's RNG,
+/// keeping peak memory at one chunk per worker) and solves each
+/// immediately. Deterministic for a fixed (seed, chunk) regardless of
+/// thread count.
+BatchReport solve_generated_batch(std::size_t count,
+                                  const InstanceGenerator& generate,
+                                  const SolveOptions& solve_options = {},
+                                  const BatchOptions& batch_options = {});
+
+}  // namespace wdag::core

@@ -1,0 +1,115 @@
+#include "gen/workloads.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "gen/family_gen.hpp"
+#include "gen/paper_instances.hpp"
+#include "gen/random_dag.hpp"
+#include "gen/topologies.hpp"
+#include "gen/upp_gen.hpp"
+#include "util/check.hpp"
+
+namespace wdag::gen {
+
+namespace {
+
+using util::Xoshiro256;
+
+Instance random_upp_mix(const WorkloadParams& p, Xoshiro256& rng) {
+  // A mixed UPP workload covering every dispatch regime a UPP host can
+  // reach: cycle-free trees (Theorem 1), one- and multi-cycle skeletons
+  // of varying size (split-merge), and odd-cycle gadgets whose conflict
+  // graph forces w > pi (exact certification).
+  UppCycleParams up;
+  up.k = 2 + static_cast<std::size_t>(rng.below(p.k >= 2 ? p.k - 1 : 1));
+  up.run_len = p.run_len;
+  up.chain_in = p.chain;
+  up.chain_out = p.chain;
+  const std::size_t count = 1 + static_cast<std::size_t>(rng.below(
+                                    std::max<std::size_t>(1, p.paths)));
+  const std::uint64_t pick = rng.below(10);
+  if (pick < 4) return random_upp_one_cycle_instance(rng, up, count);
+  if (pick < 6) {
+    Instance inst = Instance::over(random_out_tree(rng, p.size));
+    inst.family = random_request_family(rng, *inst.graph, count);
+    return inst;
+  }
+  if (pick < 8) {
+    return theorem2_instance(2 + static_cast<std::size_t>(rng.below(3)));
+  }
+  Instance inst = upp_multi_cycle_skeleton(
+      2 + static_cast<std::size_t>(rng.below(2)), up);
+  inst.family = random_request_family(rng, *inst.graph, count);
+  return inst;
+}
+
+}  // namespace
+
+Instance workload_instance(const std::string& name,
+                           const WorkloadParams& p, Xoshiro256& rng) {
+  if (name == "random-upp") return random_upp_mix(p, rng);
+  if (name == "random-dag" || name == "no-internal") {
+    auto g = name == "random-dag"
+                 ? random_dag(rng, p.size, p.density)
+                 : random_no_internal_cycle_dag(rng, p.size, p.density);
+    Instance inst = Instance::over(std::move(g));
+    if (inst.graph->num_arcs() > 0) {
+      inst.family = random_walk_family(rng, *inst.graph, p.paths, 1, 6);
+    }
+    return inst;
+  }
+  if (name == "layered") {
+    Instance inst =
+        Instance::over(random_layered_dag(rng, p.layers, p.width, p.density));
+    if (inst.graph->num_arcs() > 0) {
+      inst.family = random_walk_family(rng, *inst.graph, p.paths, 1, 8);
+    }
+    return inst;
+  }
+  if (name == "tree") {
+    Instance inst = Instance::over(random_out_tree(rng, p.size));
+    inst.family = random_request_family(rng, *inst.graph, p.paths);
+    return inst;
+  }
+  if (name == "grid") {
+    Instance inst = Instance::over(grid_dag(p.rows, p.cols));
+    inst.family = random_request_family(rng, *inst.graph, p.paths);
+    return inst;
+  }
+  if (name == "butterfly") {
+    Instance inst = Instance::over(butterfly(p.dim));
+    inst.family = random_request_family(rng, *inst.graph, p.paths);
+    return inst;
+  }
+  if (name == "fat-chain") {
+    Instance inst = Instance::over(fat_chain(p.stages, p.width));
+    if (inst.graph->num_arcs() > 0) {
+      inst.family = random_walk_family(rng, *inst.graph, p.paths, 1, 8);
+    }
+    return inst;
+  }
+  if (name == "spine") {
+    Instance inst = Instance::over(spine_with_leaves(p.size));
+    inst.family = random_request_family(rng, *inst.graph, p.paths);
+    return inst;
+  }
+  if (name == "odd-cycle") return theorem2_instance(p.k);
+  if (name == "c5") return theorem2_instance(2);
+  if (name == "c7") return theorem2_instance(3);
+  if (name == "figure1") return figure1_pathological(p.k);
+  if (name == "figure3") return figure3_instance();
+  if (name == "havet") return havet_instance().replicate(p.h);
+  throw wdag::InvalidArgument("unknown workload '" + name +
+                              "' (see gen::workload_names())");
+}
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names = {
+      "random-upp", "random-dag", "no-internal", "layered",  "tree",
+      "grid",       "butterfly",  "fat-chain",   "spine",    "odd-cycle",
+      "c5",         "c7",         "figure1",     "figure3",  "havet"};
+  return names;
+}
+
+}  // namespace wdag::gen

@@ -1,0 +1,46 @@
+#pragma once
+// Named workload families: one string-keyed factory over every generator
+// in src/gen, shared by the wdag CLI, the batch benches, and tests.
+//
+// Each family is a deterministic function of the RNG passed in, so a
+// seeded stream of calls reproduces the same instance sequence anywhere —
+// the contract the batch engine's per-chunk seeding relies on. Random
+// families draw fresh shapes per call; the paper instances ("figure1",
+// "havet", ...) ignore the RNG and return their fixed construction.
+
+#include <string>
+#include <vector>
+
+#include "gen/instance.hpp"
+#include "util/rng.hpp"
+
+namespace wdag::gen {
+
+/// Shared knobs of the named workload families. Every family reads only
+/// the fields relevant to it and ignores the rest.
+struct WorkloadParams {
+  std::size_t paths = 32;     ///< requests per instance (upper bound)
+  std::size_t size = 24;      ///< vertices of random hosts
+  double density = 0.2;       ///< arc probability of random hosts
+  std::size_t k = 3;          ///< cycle pairs (UPP gadgets, figure1)
+  std::size_t run_len = 1;    ///< arcs per UPP cycle run
+  std::size_t chain = 1;      ///< pendant chain length of UPP skeletons
+  std::size_t layers = 5;     ///< layers of the layered DAG
+  std::size_t width = 4;      ///< width of layered DAGs / fat chains
+  std::size_t rows = 4;       ///< grid rows
+  std::size_t cols = 6;       ///< grid columns
+  std::size_t dim = 3;        ///< butterfly dimension
+  std::size_t stages = 4;     ///< fat-chain stages
+  std::size_t h = 2;          ///< replication factor (havet)
+};
+
+/// Builds one instance of the named family from `rng`.
+/// Throws wdag::InvalidArgument for an unknown name.
+Instance workload_instance(const std::string& name,
+                           const WorkloadParams& params,
+                           util::Xoshiro256& rng);
+
+/// Every name workload_instance accepts, in display order.
+const std::vector<std::string>& workload_names();
+
+}  // namespace wdag::gen

@@ -39,7 +39,10 @@ const std::string& Digraph::vertex_name(VertexId v) const {
 
 std::string Digraph::vertex_label(VertexId v) const {
   const std::string& n = vertex_name(v);
-  return n.empty() ? "v" + std::to_string(v) : n;
+  if (!n.empty()) return n;
+  std::string label = "v";
+  label += std::to_string(v);
+  return label;
 }
 
 std::optional<VertexId> Digraph::vertex_by_name(const std::string& name) const {

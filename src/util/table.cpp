@@ -1,6 +1,7 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -113,6 +114,55 @@ std::string Table::to_markdown() const {
     for (const auto& cell : row) os << ' ' << cell_to_string(cell) << " |";
     os << '\n';
   }
+  return os.str();
+}
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string Table::to_json_rows() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r) os << ',';
+    os << '{';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c) os << ',';
+      os << '"' << json_escape(header_[c]) << "\":";
+      const Cell& cell = rows_[r][c];
+      if (const auto* s = std::get_if<std::string>(&cell)) {
+        os << '"' << json_escape(*s) << '"';
+      } else {
+        // Integers print exactly; doubles reuse the table formatting so
+        // every rendering of a cell agrees.
+        os << cell_to_string(cell);
+      }
+    }
+    os << '}';
+  }
+  os << ']';
   return os.str();
 }
 

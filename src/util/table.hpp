@@ -33,6 +33,11 @@ class Table {
   /// Renders as a GitHub-flavored markdown table.
   [[nodiscard]] std::string to_markdown() const;
 
+  /// Renders as a JSON array of objects keyed by the header (one object
+  /// per row, numbers unquoted) — the row format of the BENCH_*.json
+  /// records tracked across PRs.
+  [[nodiscard]] std::string to_json_rows() const;
+
   /// Convenience: stream the text rendering.
   friend std::ostream& operator<<(std::ostream& os, const Table& t);
 

@@ -80,28 +80,39 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
     body(begin, end);
     return;
   }
+  parallel_fixed_chunks(pool, begin, end, chunk,
+                        [&body](std::size_t, std::size_t lo, std::size_t hi) {
+                          body(lo, hi);
+                        });
+}
+
+void parallel_fixed_chunks(
+    ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  WDAG_REQUIRE(chunk >= 1, "parallel_fixed_chunks: chunk must be >= 1");
+  if (begin >= end) return;
 
   std::atomic<std::size_t> remaining{0};
   std::exception_ptr first_error;
   std::mutex err_mu;
   std::mutex done_mu;
   std::condition_variable done_cv;
-  const std::size_t launched = (total + chunk - 1) / chunk;
-  remaining.store(launched);
+  const std::size_t total = end - begin;
+  remaining.store((total + chunk - 1) / chunk);
 
-  for (std::size_t lo = begin; lo < end; lo += chunk) {
+  std::size_t chunk_index = 0;
+  for (std::size_t lo = begin; lo < end; lo += chunk, ++chunk_index) {
     const std::size_t hi = std::min(end, lo + chunk);
-    pool.submit([&, lo, hi] {
+    pool.submit([&, chunk_index, lo, hi] {
       try {
-        body(lo, hi);
+        body(chunk_index, lo, hi);
       } catch (...) {
         std::lock_guard<std::mutex> lk(err_mu);
         if (!first_error) first_error = std::current_exception();
       }
-      // Decrement and notify under the mutex: the waiter's predicate check
-      // is serialized with this block, so it cannot observe zero, return,
-      // and destroy the stack-allocated mutex/cv while any worker still
-      // needs them.
+      // Same mutex-serialized completion protocol as parallel_for_chunks:
+      // the waiter cannot observe zero and unwind while a worker still
+      // holds the stack-allocated mutex/cv.
       {
         std::lock_guard<std::mutex> lk(done_mu);
         if (remaining.fetch_sub(1) == 1) done_cv.notify_all();

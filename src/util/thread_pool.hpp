@@ -73,4 +73,16 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t, std::size_t)>& body,
                          std::size_t grain = 1);
 
+/// Deterministic-partition variant on a caller-owned pool: the range is
+/// split into FIXED chunks of exactly `chunk` indices (the last may be
+/// short), and body(chunk_index, lo, hi) runs once per chunk. Because the
+/// partition depends only on `chunk` — never on the pool size — a
+/// chunk_index always covers the same indices no matter how many workers
+/// execute it, which is what per-chunk seeded RNG streams need to stay
+/// reproducible across machines (see core/batch.cpp). Blocks until every
+/// chunk finishes; the first exception thrown by any chunk is rethrown.
+void parallel_fixed_chunks(
+    ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
 }  // namespace wdag::util

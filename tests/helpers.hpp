@@ -1,10 +1,16 @@
 #pragma once
 // Shared fixtures for the wdag test suite: small canonical graphs used
-// across modules.
+// across modules, plus the mixed-regime instance stream the randomized
+// cross-check tiers sample from.
 
 #include <vector>
 
+#include "gen/family_gen.hpp"
+#include "gen/instance.hpp"
+#include "gen/random_dag.hpp"
+#include "gen/upp_gen.hpp"
 #include "graph/digraph.hpp"
+#include "util/rng.hpp"
 
 namespace wdag::test {
 
@@ -59,6 +65,42 @@ inline graph::Digraph directed_triangle() {
   b.add_arc(1, 2);
   b.add_arc(2, 0);
   return b.build();
+}
+
+/// A small instance touching every dispatch regime: index i rotates
+/// through trees (Theorem 1), UPP one-cycle skeletons (split-merge),
+/// repaired random DAGs (Theorem 1 at density) and general random DAGs
+/// (heuristic/exact). Deterministic in (rng state, index) — the workhorse
+/// of the randomized cross-check tiers.
+inline gen::Instance mixed_regime_instance(util::Xoshiro256& rng,
+                                           std::size_t index) {
+  switch (index % 4) {
+    case 0: {
+      gen::Instance inst = gen::Instance::over(gen::random_out_tree(rng, 14));
+      inst.family = gen::random_request_family(rng, *inst.graph, 10);
+      return inst;
+    }
+    case 1: {
+      gen::UppCycleParams params;
+      params.k = 2 + static_cast<std::size_t>(rng.below(2));
+      return gen::random_upp_one_cycle_instance(rng, params, 8);
+    }
+    case 2: {
+      gen::Instance inst = gen::Instance::over(
+          gen::random_no_internal_cycle_dag(rng, 16, 0.2));
+      if (inst.graph->num_arcs() > 0) {
+        inst.family = gen::random_walk_family(rng, *inst.graph, 12, 1, 5);
+      }
+      return inst;
+    }
+    default: {
+      gen::Instance inst = gen::Instance::over(gen::random_dag(rng, 14, 0.25));
+      if (inst.graph->num_arcs() > 0) {
+        inst.family = gen::random_walk_family(rng, *inst.graph, 10, 1, 4);
+      }
+      return inst;
+    }
+  }
 }
 
 }  // namespace wdag::test

@@ -1,0 +1,214 @@
+// Parameterized matrix locking the solver's dispatch contract
+// (src/core/solver.hpp): every structural regime of every generator family
+// must land on its documented Method, and all four Method outcomes must be
+// reachable.
+//
+//   no internal cycle        -> kTheorem1 (always optimal)
+//   UPP + internal cycles    -> kSplitMerge (exact certification disabled)
+//   general                  -> kDsatur (exact certification disabled)
+//   small conflict graph     -> kExact upgrade under default options
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "conflict/coloring.hpp"
+#include "core/solver.hpp"
+#include "gen/family_gen.hpp"
+#include "gen/instance.hpp"
+#include "gen/paper_instances.hpp"
+#include "gen/random_dag.hpp"
+#include "gen/topologies.hpp"
+#include "gen/upp_gen.hpp"
+#include "helpers.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wdag;
+using core::Method;
+using core::SolveOptions;
+using gen::Instance;
+
+/// One cell of the dispatch matrix: a generator family plus the method the
+/// solver must pick for it (under the given exact-certification cutoff).
+struct DispatchCase {
+  std::string name;                       ///< test-name suffix
+  std::function<Instance()> make;         ///< builds the instance
+  std::size_t exact_threshold;            ///< SolveOptions::exact_threshold
+  Method expected;                        ///< required dispatch outcome
+  bool expect_optimal;                    ///< must the result be certified?
+};
+
+std::ostream& operator<<(std::ostream& os, const DispatchCase& c) {
+  return os << c.name;
+}
+
+Instance tree_instance() {
+  util::Xoshiro256 rng(11);
+  Instance inst = Instance::over(gen::random_out_tree(rng, 20));
+  inst.family = gen::random_request_family(rng, *inst.graph, 16);
+  return inst;
+}
+
+Instance repaired_dag_instance() {
+  util::Xoshiro256 rng(5);
+  Instance inst =
+      Instance::over(gen::random_no_internal_cycle_dag(rng, 18, 0.25));
+  inst.family = gen::random_walk_family(rng, *inst.graph, 14, 1, 5);
+  return inst;
+}
+
+Instance spine_instance() {
+  util::Xoshiro256 rng(3);
+  Instance inst = Instance::over(gen::spine_with_leaves(9));
+  inst.family = gen::random_request_family(rng, *inst.graph, 12);
+  return inst;
+}
+
+Instance upp_cycle_instance() {
+  util::Xoshiro256 rng(23);
+  gen::UppCycleParams params;
+  params.k = 3;
+  return gen::random_upp_one_cycle_instance(rng, params, 10);
+}
+
+Instance grid_instance() {
+  util::Xoshiro256 rng(17);
+  Instance inst = Instance::over(gen::grid_dag(3, 4));
+  inst.family = gen::random_request_family(rng, *inst.graph, 14);
+  return inst;
+}
+
+class SolverDispatchMatrixTest
+    : public ::testing::TestWithParam<DispatchCase> {};
+
+TEST_P(SolverDispatchMatrixTest, DispatchesToDocumentedMethod) {
+  const DispatchCase& c = GetParam();
+  const Instance inst = c.make();
+  SolveOptions options;
+  options.exact_threshold = c.exact_threshold;
+  const auto result = core::solve(inst.family, options);
+
+  EXPECT_EQ(result.method, c.expected)
+      << "got " << core::method_name(result.method);
+  if (c.expect_optimal) {
+    EXPECT_TRUE(result.optimal);
+  }
+  // The contract's unconditional half: validity and the load lower bound.
+  EXPECT_TRUE(conflict::is_valid_assignment(inst.family, result.coloring));
+  EXPECT_GE(result.wavelengths, result.load);
+  // Theorem 1 dispatch additionally certifies equality with the load.
+  if (result.method == Method::kTheorem1) {
+    EXPECT_EQ(result.wavelengths, result.load);
+    EXPECT_TRUE(result.report.wavelengths_equal_load());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SolverDispatchMatrixTest,
+    ::testing::Values(
+        // --- kTheorem1: every internal-cycle-free family, regardless of
+        //     the certification cutoff (the structural proof wins).
+        DispatchCase{"Theorem1_RandomOutTree", tree_instance, 0,
+                     Method::kTheorem1, true},
+        DispatchCase{"Theorem1_RepairedRandomDag", repaired_dag_instance, 0,
+                     Method::kTheorem1, true},
+        DispatchCase{"Theorem1_SpineWithLeaves", spine_instance, 48,
+                     Method::kTheorem1, true},
+        // --- kSplitMerge: UPP hosts with internal cycles, certification off.
+        DispatchCase{"SplitMerge_Theorem2Gadget",
+                     [] { return gen::theorem2_instance(3); }, 0,
+                     Method::kSplitMerge, false},
+        DispatchCase{"SplitMerge_RandomUppOneCycle", upp_cycle_instance, 0,
+                     Method::kSplitMerge, false},
+        DispatchCase{"SplitMerge_HavetWagnerGraph",
+                     [] { return gen::havet_instance(); }, 0,
+                     Method::kSplitMerge, false},
+        // --- kDsatur: general (non-UPP) hosts with internal cycles,
+        //     certification off.
+        DispatchCase{"Dsatur_Figure3", [] { return gen::figure3_instance(); },
+                     0, Method::kDsatur, false},
+        DispatchCase{"Dsatur_GridRequests", grid_instance, 0, Method::kDsatur,
+                     false},
+        DispatchCase{"Dsatur_Figure1Pathological",
+                     [] { return gen::figure1_pathological(6); }, 0,
+                     Method::kDsatur, false},
+        // --- kExact: small conflict graphs upgrade under default options.
+        DispatchCase{"Exact_Figure3Certified",
+                     [] { return gen::figure3_instance(); }, 48,
+                     Method::kExact, true},
+        DispatchCase{"Exact_Theorem2Certified",
+                     [] { return gen::theorem2_instance(2); }, 48,
+                     Method::kExact, true},
+        DispatchCase{"Exact_Figure1Certified",
+                     [] { return gen::figure1_pathological(5); }, 48,
+                     Method::kExact, true}),
+    [](const ::testing::TestParamInfo<DispatchCase>& info) {
+      return info.param.name;
+    });
+
+// Forcing a method bypasses dispatch for every family where the method's
+// structural preconditions hold.
+class SolverForcedMethodTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(SolverForcedMethodTest, ForcedMethodProducesValidColorings) {
+  const Method forced = GetParam();
+  util::Xoshiro256 rng(29);
+  Instance inst = Instance::over(gen::random_out_tree(rng, 16));
+  inst.family = gen::random_request_family(rng, *inst.graph, 12);
+  SolveOptions options;
+  options.force = forced;
+  const auto result = core::solve(inst.family, options);
+  EXPECT_EQ(result.method, forced);
+  EXPECT_TRUE(conflict::is_valid_assignment(inst.family, result.coloring));
+  EXPECT_GE(result.wavelengths, result.load);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, SolverForcedMethodTest,
+                         ::testing::Values(Method::kTheorem1,
+                                           Method::kSplitMerge,
+                                           Method::kDsatur, Method::kExact),
+                         [](const ::testing::TestParamInfo<Method>& info) {
+                           // gtest param names must be alphanumeric, so the
+                           // display names ("split-merge") are out.
+                           switch (info.param) {
+                             case Method::kTheorem1: return "Theorem1";
+                             case Method::kSplitMerge: return "SplitMerge";
+                             case Method::kDsatur: return "Dsatur";
+                             case Method::kExact: return "Exact";
+                           }
+                           return "Unknown";
+                         });
+
+// Structural preconditions survive forcing: Theorem 1 refuses hosts with
+// internal cycles, split-merge refuses non-UPP hosts.
+TEST(SolverDispatchContractTest, ForcedStructuralMethodsCheckTheirDomain) {
+  SolveOptions force_t1;
+  force_t1.force = Method::kTheorem1;
+  EXPECT_THROW(core::solve(gen::figure3_instance().family, force_t1),
+               wdag::DomainError);
+
+  SolveOptions force_sm;
+  force_sm.force = Method::kSplitMerge;
+  EXPECT_THROW(core::solve(gen::figure3_instance().family, force_sm),
+               wdag::DomainError);
+}
+
+// The exact upgrade must never fire above the cutoff: a conflict graph
+// larger than exact_threshold keeps the heuristic method.
+TEST(SolverDispatchContractTest, ExactUpgradeRespectsThreshold) {
+  const Instance inst = gen::figure1_pathological(12);  // 12-vertex K_12
+  SolveOptions options;
+  options.exact_threshold = 11;
+  const auto result = core::solve(inst.family, options);
+  EXPECT_EQ(result.method, Method::kDsatur);
+  options.exact_threshold = 12;
+  const auto upgraded = core::solve(inst.family, options);
+  EXPECT_EQ(upgraded.method, Method::kExact);
+  EXPECT_TRUE(upgraded.optimal);
+}
+
+}  // namespace

@@ -56,6 +56,27 @@ TEST(TableTest, MarkdownShape) {
   EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
 }
 
+TEST(TableTest, JsonRowsShape) {
+  Table t("ignored title", {"name", "count", "ratio"});
+  t.add_row({Cell{std::string("grid")}, Cell{3LL}, Cell{0.5}});
+  t.add_row({Cell{std::string("tree")}, Cell{7LL}, Cell{1.0}});
+  EXPECT_EQ(t.to_json_rows(),
+            "[{\"name\":\"grid\",\"count\":3,\"ratio\":0.5},"
+            "{\"name\":\"tree\",\"count\":7,\"ratio\":1.0}]");
+}
+
+TEST(TableTest, JsonRowsEscapesStrings) {
+  Table t("", {"v"});
+  t.add_row({Cell{std::string("say \"hi\"\nback\\slash")}});
+  EXPECT_EQ(t.to_json_rows(),
+            "[{\"v\":\"say \\\"hi\\\"\\nback\\\\slash\"}]");
+}
+
+TEST(TableTest, JsonRowsEmptyTable) {
+  Table t("T", {"a"});
+  EXPECT_EQ(t.to_json_rows(), "[]");
+}
+
 TEST(CellToStringTest, TrimsTrailingZeros) {
   EXPECT_EQ(wdag::util::cell_to_string(Cell{1.5}), "1.5");
   EXPECT_EQ(wdag::util::cell_to_string(Cell{2.0}), "2.0");

@@ -5,8 +5,10 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -88,6 +90,66 @@ TEST(ParallelForChunksTest, GrainLimitsChunkCount) {
       [&](std::size_t, std::size_t) { chunks.fetch_add(1); },
       /*grain=*/100);
   EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST(ParallelFixedChunksTest, PartitionDependsOnlyOnChunkSize) {
+  // The fixed partition is the determinism anchor of the batch engine: a
+  // chunk index must cover the same index range on a 1-thread and an
+  // 8-thread pool.
+  auto partition_of = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<std::pair<std::size_t, std::size_t>> ranges(4);
+    wdag::util::parallel_fixed_chunks(
+        pool, 0, 10, 3,
+        [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+          ranges[chunk] = {lo, hi};
+        });
+    return ranges;
+  };
+  const auto one = partition_of(1);
+  const auto eight = partition_of(8);
+  EXPECT_EQ(one, eight);
+  EXPECT_EQ(one[0], (std::pair<std::size_t, std::size_t>{0, 3}));
+  EXPECT_EQ(one[3], (std::pair<std::size_t, std::size_t>{9, 10}));
+}
+
+TEST(ParallelFixedChunksTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  wdag::util::parallel_fixed_chunks(
+      pool, 0, 257, 16, [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFixedChunksTest, RethrowsFirstChunkError) {
+  ThreadPool pool(2);
+  EXPECT_THROW(wdag::util::parallel_fixed_chunks(
+                   pool, 0, 8, 2,
+                   [](std::size_t chunk, std::size_t, std::size_t) {
+                     if (chunk == 1) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+  // The pool is still usable after the failed loop.
+  std::atomic<int> ok{0};
+  wdag::util::parallel_fixed_chunks(
+      pool, 0, 4, 1,
+      [&](std::size_t, std::size_t, std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ParallelFixedChunksTest, EmptyRangeAndBadChunkSize) {
+  ThreadPool pool(2);
+  int calls = 0;
+  wdag::util::parallel_fixed_chunks(
+      pool, 5, 5, 4,
+      [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_THROW(wdag::util::parallel_fixed_chunks(
+                   pool, 0, 4, 0,
+                   [](std::size_t, std::size_t, std::size_t) {}),
+               wdag::InvalidArgument);
 }
 
 TEST(ParallelForTest, NestedParallelismDoesNotDeadlock) {

@@ -1,0 +1,99 @@
+// Tests for the named workload factory (gen/workloads.hpp) the CLI,
+// benches and batch driver all share.
+
+#include <gtest/gtest.h>
+
+#include "conflict/coloring.hpp"
+#include "core/solver.hpp"
+#include "dag/classify.hpp"
+#include "gen/workloads.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wdag;
+using gen::Instance;
+using gen::WorkloadParams;
+using util::Xoshiro256;
+
+TEST(WorkloadsTest, EveryNamedFamilyBuildsASolvableInstance) {
+  const WorkloadParams params;
+  for (const std::string& name : gen::workload_names()) {
+    Xoshiro256 rng(7);
+    const Instance inst = gen::workload_instance(name, params, rng);
+    ASSERT_NE(inst.graph, nullptr) << name;
+    EXPECT_GT(inst.graph->num_vertices(), 0u) << name;
+    // Every family must produce an instance the dispatcher accepts.
+    const auto result = core::solve(inst.family);
+    EXPECT_TRUE(conflict::is_valid_assignment(inst.family, result.coloring))
+        << name;
+    EXPECT_GE(result.wavelengths, result.load) << name;
+  }
+}
+
+TEST(WorkloadsTest, SameSeedSameInstanceStream) {
+  const WorkloadParams params;
+  for (const std::string& name : {std::string("random-upp"),
+                                  std::string("random-dag"),
+                                  std::string("grid")}) {
+    Xoshiro256 a(123), b(123);
+    for (int i = 0; i < 8; ++i) {
+      const Instance x = gen::workload_instance(name, params, a);
+      const Instance y = gen::workload_instance(name, params, b);
+      ASSERT_EQ(x.graph->num_vertices(), y.graph->num_vertices()) << name;
+      ASSERT_EQ(x.graph->num_arcs(), y.graph->num_arcs()) << name;
+      ASSERT_EQ(x.family.size(), y.family.size()) << name;
+      for (std::size_t p = 0; p < x.family.size(); ++p) {
+        EXPECT_EQ(x.family.path(static_cast<paths::PathId>(p)).arcs,
+                  y.family.path(static_cast<paths::PathId>(p)).arcs)
+            << name << " instance " << i << " path " << p;
+      }
+    }
+  }
+}
+
+TEST(WorkloadsTest, RandomUppMixStaysUpp) {
+  // Everything the "random-upp" family emits must actually be UPP — the
+  // mix spans regimes (trees, skeletons, gadgets) but never leaves the
+  // unique-dipath class it is named for.
+  const WorkloadParams params;
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 40; ++i) {
+    const Instance inst = gen::workload_instance("random-upp", params, rng);
+    const auto report = dag::classify(*inst.graph);
+    EXPECT_TRUE(report.is_dag) << "instance " << i;
+    EXPECT_TRUE(report.is_upp) << "instance " << i;
+  }
+}
+
+TEST(WorkloadsTest, PaperInstancesIgnoreTheRng) {
+  const WorkloadParams params;
+  Xoshiro256 a(1), b(999);
+  const Instance x = gen::workload_instance("figure3", params, a);
+  const Instance y = gen::workload_instance("figure3", params, b);
+  EXPECT_EQ(x.family.size(), y.family.size());
+  EXPECT_EQ(x.graph->num_arcs(), y.graph->num_arcs());
+}
+
+TEST(WorkloadsTest, KnobsReachTheGenerators) {
+  WorkloadParams params;
+  params.rows = 2;
+  params.cols = 3;
+  Xoshiro256 rng(5);
+  const Instance grid = gen::workload_instance("grid", params, rng);
+  EXPECT_EQ(grid.graph->num_vertices(), 6u);
+
+  params.h = 3;
+  const Instance havet = gen::workload_instance("havet", params, rng);
+  EXPECT_EQ(havet.family.size(), 24u);  // 8 dipaths replicated 3x
+}
+
+TEST(WorkloadsTest, UnknownNameThrows) {
+  const WorkloadParams params;
+  Xoshiro256 rng(1);
+  EXPECT_THROW(gen::workload_instance("no-such-family", params, rng),
+               wdag::InvalidArgument);
+}
+
+}  // namespace
