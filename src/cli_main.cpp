@@ -87,6 +87,9 @@ int usage(std::ostream& os) {
         "  --seed S       base seed (default 1)\n"
         "  --csv PATH     write per-instance rows as CSV ('-' = stdout);\n"
         "                 deterministic for a fixed seed\n"
+        "  --stream-csv PATH   stream the same CSV as chunks finish, at\n"
+        "                 near-constant memory (million-instance sweeps);\n"
+        "                 byte-identical to --csv for a fixed seed\n"
         "  --json PATH    write the aggregate report as JSON ('-' = stdout)\n"
         "  --rows         also print the per-instance table to stdout\n"
         "\n"
@@ -160,6 +163,12 @@ BatchOptions read_batch_options(const Cli& cli) {
   opt.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
   opt.chunk = static_cast<std::size_t>(cli.get_int("chunk", 16));
   opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  if (cli.has("stream-csv")) {
+    opt.stream_csv = cli.get("stream-csv", "-");
+    // Streaming exists for constant-memory sweeps; do not also hold the
+    // per-instance entries unless another flag needs them.
+    opt.keep_entries = cli.has("rows") || cli.has("csv");
+  }
   return opt;
 }
 
@@ -235,7 +244,7 @@ int cmd_batch(const Cli& cli) {
       "batch summary",
       {"instances", "failures", "optimal", "wall_s", "inst_per_s", "p50_ms",
        "p99_ms"});
-  summary.add_row({static_cast<long long>(report.entries.size()),
+  summary.add_row({static_cast<long long>(report.instance_count),
                    static_cast<long long>(report.failure_count),
                    static_cast<long long>(report.optimal_count),
                    report.wall_seconds, report.instances_per_second(),
@@ -258,6 +267,11 @@ int cmd_sweep(const Cli& cli) {
   require_known_workload(params.name);
   const SolveOptions solve_options = read_solve_options(cli);
   const BatchOptions batch_options = read_batch_options(cli);
+  // Each sweep point opens (and truncates) the stream path, so all but
+  // the last point's rows would be lost — reject rather than surprise.
+  WDAG_REQUIRE(batch_options.stream_csv.empty(),
+               "sweep does not support --stream-csv (each point would "
+               "overwrite the file); use --csv for the sweep table");
   const std::size_t count = static_cast<std::size_t>(cli.get_int("count", 64));
   const std::string param = cli.get("param", "paths");
   const double from = cli.get_double("from", 8);
@@ -283,11 +297,11 @@ int cmd_sweep(const Cli& cli) {
           return make_instance(params, rng);
         },
         solve_options, batch_options);
-    const double solved = static_cast<double>(report.entries.size() -
+    const double solved = static_cast<double>(report.instance_count -
                                               report.failure_count);
     std::vector<wdag::util::Cell> row;
     row.emplace_back(value);
-    row.emplace_back(static_cast<long long>(report.entries.size()));
+    row.emplace_back(static_cast<long long>(report.instance_count));
     row.emplace_back(static_cast<long long>(report.count(Method::kTheorem1)));
     row.emplace_back(
         static_cast<long long>(report.count(Method::kSplitMerge)));

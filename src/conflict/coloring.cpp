@@ -1,20 +1,104 @@
 #include "conflict/coloring.hpp"
 
 #include <algorithm>
-#include <set>
+#include <bit>
 
 #include "util/check.hpp"
 
 namespace wdag::conflict {
 
+namespace {
+
+constexpr std::uint32_t kUncolored = UINT32_MAX;
+constexpr std::uint32_t kNoEntry = UINT32_MAX;
+
+/// Lazy-deletion entry of the DSATUR saturation queue.
+struct SatEntry {
+  std::uint32_t sat;
+  std::uint32_t deg;
+  std::uint32_t v;
+};
+
+/// Max-heap order: higher saturation first, then higher degree, then lower
+/// vertex id — exactly the scalar argmax's tie-breaking.
+bool operator<(const SatEntry& a, const SatEntry& b) {
+  if (a.sat != b.sat) return a.sat < b.sat;
+  if (a.deg != b.deg) return a.deg < b.deg;
+  return a.v > b.v;
+}
+
+/// Reusable buffers for the coloring kernels and validators. One instance
+/// per thread, so batch workers sweep a whole chunk of instances through
+/// the hot path without reallocating.
+struct Scratch {
+  util::DynamicBitset color_mask;        ///< first-fit neighbor-color mask
+  std::vector<std::uint32_t> stamps;     ///< color -> remap / group stamp
+  std::vector<std::uint32_t> offsets;    ///< CSR arc incidence
+  std::vector<paths::PathId> ids;
+  std::vector<std::uint32_t> sorted;     ///< fallback for sparse color ids
+  std::vector<std::uint64_t> sat_words;  ///< flat DSATUR saturation masks
+  std::vector<std::uint32_t> sat_count;
+  std::vector<SatEntry> heap;
+};
+
+Scratch& scratch() {
+  thread_local Scratch s;
+  return s;
+}
+
+std::uint32_t max_color_of(const Coloring& c) {
+  std::uint32_t m = 0;
+  for (const auto col : c) m = std::max(m, col);
+  return m;
+}
+
+/// Flat color-indexed tables are only worth it while ids stay near-dense;
+/// adversarially sparse ids (e.g. {0, 4'000'000'000}) fall back to
+/// sorting so no call allocates O(max_id) memory.
+bool ids_near_dense(std::uint32_t max_color, std::size_t n) {
+  return static_cast<std::size_t>(max_color) <= 4 * n + 1024;
+}
+
+}  // namespace
+
 std::size_t num_colors(const Coloring& c) {
-  return std::set<std::uint32_t>(c.begin(), c.end()).size();
+  if (c.empty()) return 0;
+  const std::uint32_t maxc = max_color_of(c);
+  Scratch& s = scratch();
+  if (ids_near_dense(maxc, c.size())) {
+    s.stamps.assign(static_cast<std::size_t>(maxc) + 1, 0);
+    std::size_t distinct = 0;
+    for (const auto col : c) {
+      if (s.stamps[col] == 0) {
+        s.stamps[col] = 1;
+        ++distinct;
+      }
+    }
+    return distinct;
+  }
+  s.sorted.assign(c.begin(), c.end());
+  std::sort(s.sorted.begin(), s.sorted.end());
+  return static_cast<std::size_t>(
+      std::unique(s.sorted.begin(), s.sorted.end()) - s.sorted.begin());
 }
 
 std::size_t normalize_colors(Coloring& c) {
+  if (c.empty()) return 0;
+  const std::uint32_t maxc = max_color_of(c);
+  if (ids_near_dense(maxc, c.size())) {
+    Scratch& s = scratch();
+    s.stamps.assign(static_cast<std::size_t>(maxc) + 1, kNoEntry);
+    std::uint32_t next = 0;
+    for (auto& col : c) {
+      if (s.stamps[col] == kNoEntry) s.stamps[col] = next++;
+      col = s.stamps[col];
+    }
+    return next;
+  }
+  // Sparse ids: the original first-appearance scan (rare, small k).
   std::vector<std::uint32_t> remap;
   for (auto& col : c) {
-    auto it = std::find(remap.begin(), remap.end(), col);
+    const auto it = std::find(remap.begin(), remap.end(), col);
     if (it == remap.end()) {
       remap.push_back(col);
       col = static_cast<std::uint32_t>(remap.size() - 1);
@@ -29,9 +113,18 @@ bool is_valid_coloring(const ConflictGraph& cg, const Coloring& c) {
   if (c.size() != cg.size()) return false;
   for (std::size_t u = 0; u < cg.size(); ++u) {
     const auto& row = cg.neighbors(u);
-    for (std::size_t v = row.find_first(); v < cg.size();
-         v = row.find_next(v)) {
-      if (v > u && c[u] == c[v]) return false;
+    // Only v > u needs checking; start at u's word and mask off <= u.
+    std::size_t w = u / 64;
+    std::uint64_t bits = row.word(w) & (~std::uint64_t{0} << (u % 64) << 1);
+    while (true) {
+      while (bits != 0) {
+        const std::size_t v =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        if (c[u] == c[v]) return false;
+      }
+      if (++w >= row.num_words()) break;
+      bits = row.word(w);
     }
   }
   return true;
@@ -39,10 +132,32 @@ bool is_valid_coloring(const ConflictGraph& cg, const Coloring& c) {
 
 bool is_valid_assignment(const paths::DipathFamily& family, const Coloring& c) {
   if (c.size() != family.size()) return false;
-  for (const auto& on_arc : paths::arc_incidence(family)) {
-    std::set<std::uint32_t> seen;
-    for (const paths::PathId id : on_arc) {
-      if (!seen.insert(c[id]).second) return false;
+  Scratch& s = scratch();
+  paths::arc_incidence_csr(family, s.offsets, s.ids);
+  const std::uint32_t maxc = max_color_of(c);
+  if (ids_near_dense(maxc, c.size())) {
+    // stamps[col] records the last arc group that saw col; a repeat within
+    // one group is a monochromatic shared arc.
+    s.stamps.assign(static_cast<std::size_t>(maxc) + 1, kNoEntry);
+    for (std::size_t a = 0; a + 1 < s.offsets.size(); ++a) {
+      const std::uint32_t tag = static_cast<std::uint32_t>(a);
+      for (std::uint32_t i = s.offsets[a]; i < s.offsets[a + 1]; ++i) {
+        const std::uint32_t col = c[s.ids[i]];
+        if (s.stamps[col] == tag) return false;
+        s.stamps[col] = tag;
+      }
+    }
+    return true;
+  }
+  for (std::size_t a = 0; a + 1 < s.offsets.size(); ++a) {
+    s.sorted.clear();
+    for (std::uint32_t i = s.offsets[a]; i < s.offsets[a + 1]; ++i) {
+      s.sorted.push_back(c[s.ids[i]]);
+    }
+    std::sort(s.sorted.begin(), s.sorted.end());
+    if (std::adjacent_find(s.sorted.begin(), s.sorted.end()) !=
+        s.sorted.end()) {
+      return false;
     }
   }
   return true;
@@ -52,20 +167,25 @@ Coloring greedy_coloring(const ConflictGraph& cg,
                          const std::vector<std::size_t>& order) {
   WDAG_REQUIRE(order.size() == cg.size(),
                "greedy_coloring: order size mismatch");
-  constexpr std::uint32_t kUncolored = UINT32_MAX;
   Coloring colors(cg.size(), kUncolored);
-  std::vector<bool> used;
+  util::DynamicBitset& mask = scratch().color_mask;
   for (const std::size_t u : order) {
     WDAG_REQUIRE(u < cg.size(), "greedy_coloring: bad vertex in order");
-    used.assign(cg.size() + 1, false);
+    // At most degree(u) neighbors are colored, so the first-fit color is
+    // at most degree(u): colors beyond the cap cannot block it.
+    mask.reset_to_zero(cg.degree(u) + 1);
     const auto& row = cg.neighbors(u);
-    for (std::size_t v = row.find_first(); v < cg.size();
-         v = row.find_next(v)) {
-      if (colors[v] != kUncolored) used[colors[v]] = true;
+    for (std::size_t w = 0; w < row.num_words(); ++w) {
+      std::uint64_t bits = row.word(w);
+      while (bits != 0) {
+        const std::size_t v =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::uint32_t cv = colors[v];
+        if (cv != kUncolored && cv < mask.size()) mask.set_unchecked(cv);
+      }
     }
-    std::uint32_t c = 0;
-    while (used[c]) ++c;
-    colors[u] = c;
+    colors[u] = static_cast<std::uint32_t>(mask.find_first_zero());
   }
   return colors;
 }
@@ -78,34 +198,72 @@ Coloring greedy_coloring(const ConflictGraph& cg) {
 
 Coloring dsatur_coloring(const ConflictGraph& cg) {
   const std::size_t n = cg.size();
-  constexpr std::uint32_t kUncolored = UINT32_MAX;
   Coloring colors(n, kUncolored);
-  // saturation[v] = set of neighbor colors (as bitset over color ids).
-  std::vector<util::DynamicBitset> sat;
-  sat.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) sat.emplace_back(n + 1);
+  if (n == 0) return colors;
+  Scratch& s = scratch();
+
+  // Saturation masks are capped at max_degree + 1 bits: every assigned
+  // color is at most its vertex's degree, so no neighbor color exceeds
+  // max_degree. One flat buffer with a uniform word stride per vertex.
+  const std::size_t stride = (cg.max_degree() + 1 + 63) / 64;
+  s.sat_words.assign(n * stride, 0);
+  s.sat_count.assign(n, 0);
+
+  // Saturation queue with lazy deletion: a vertex is re-pushed whenever
+  // its saturation grows, and stale entries (already colored, or an old
+  // saturation value) are discarded on pop. Total work is
+  // O((n + m) log n) instead of the scalar argmax's O(n) per step.
+  std::vector<SatEntry>& heap = s.heap;
+  heap.clear();
+  heap.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    heap.push_back(SatEntry{0, static_cast<std::uint32_t>(cg.degree(v)),
+                            static_cast<std::uint32_t>(v)});
+  }
+  std::make_heap(heap.begin(), heap.end());
 
   for (std::size_t step = 0; step < n; ++step) {
-    // Pick uncolored vertex with max saturation, tie-break by degree, id.
-    std::size_t best = n;
-    std::size_t best_sat = 0, best_deg = 0;
-    for (std::size_t v = 0; v < n; ++v) {
-      if (colors[v] != kUncolored) continue;
-      const std::size_t s = sat[v].count();
-      const std::size_t d = cg.degree(v);
-      if (best == n || s > best_sat || (s == best_sat && d > best_deg)) {
-        best = v;
-        best_sat = s;
-        best_deg = d;
+    SatEntry top{};
+    while (true) {
+      WDAG_ASSERT(!heap.empty(), "dsatur: saturation queue exhausted");
+      top = heap.front();
+      std::pop_heap(heap.begin(), heap.end());
+      heap.pop_back();
+      if (colors[top.v] == kUncolored && top.sat == s.sat_count[top.v]) break;
+    }
+    const std::size_t best = top.v;
+
+    // First color absent from the saturation mask: one zero-scan.
+    const std::uint64_t* words = s.sat_words.data() + best * stride;
+    std::uint32_t c = kUncolored;
+    for (std::size_t w = 0; w < stride; ++w) {
+      if (words[w] != ~std::uint64_t{0}) {
+        c = static_cast<std::uint32_t>(
+            w * 64 + static_cast<std::size_t>(std::countr_one(words[w])));
+        break;
       }
     }
-    WDAG_ASSERT(best < n, "dsatur: no vertex selected");
-    std::uint32_t c = 0;
-    while (sat[best].test(c)) ++c;
+    WDAG_ASSERT(c != kUncolored, "dsatur: no free color within the cap");
     colors[best] = c;
+
     const auto& row = cg.neighbors(best);
-    for (std::size_t v = row.find_first(); v < n; v = row.find_next(v)) {
-      sat[v].set(c);
+    const std::uint64_t color_bit = std::uint64_t{1} << (c % 64);
+    for (std::size_t w = 0; w < row.num_words(); ++w) {
+      std::uint64_t bits = row.word(w);
+      while (bits != 0) {
+        const std::size_t q =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        if (colors[q] != kUncolored) continue;
+        std::uint64_t& qword = s.sat_words[q * stride + c / 64];
+        if ((qword & color_bit) == 0) {
+          qword |= color_bit;
+          heap.push_back(SatEntry{++s.sat_count[q],
+                                  static_cast<std::uint32_t>(cg.degree(q)),
+                                  static_cast<std::uint32_t>(q)});
+          std::push_heap(heap.begin(), heap.end());
+        }
+      }
     }
   }
   return colors;

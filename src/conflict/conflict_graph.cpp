@@ -4,54 +4,93 @@
 
 namespace wdag::conflict {
 
+namespace {
+
+/// Thread-local group mask reused across builds: one n-bit membership mask
+/// per arc group is cheaper to OR into rows than quadratic pairwise sets,
+/// but only worth materializing once per build, not once per group.
+util::DynamicBitset& group_mask_scratch() {
+  thread_local util::DynamicBitset mask;
+  return mask;
+}
+
+}  // namespace
+
 ConflictGraph::ConflictGraph(const paths::DipathFamily& family) {
+  rebuild(family);
+}
+
+void ConflictGraph::rebuild(const paths::DipathFamily& family) {
   const std::size_t n = family.size();
-  rows_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) rows_.emplace_back(n);
-  for (const auto& on_arc : paths::arc_incidence(family)) {
-    for (std::size_t i = 0; i < on_arc.size(); ++i) {
-      for (std::size_t j = i + 1; j < on_arc.size(); ++j) {
-        add_edge(on_arc[i], on_arc[j]);
+  reset_rows(n);
+  const std::size_t words = (n + 63) / 64;
+  util::DynamicBitset& mask = group_mask_scratch();
+  bool mask_live = false;
+  paths::for_each_arc_group(family, [&](const paths::PathId* ids,
+                                        std::size_t g) {
+    if (g < 2) return;
+    // Pairwise sets touch g*(g-1) bits; the mask route costs ~g OR-sweeps
+    // of `words` words plus building the mask. Pick whichever is fewer
+    // word operations — the resulting graph is identical either way.
+    if (g * (g - 1) <= (g + 2) * words) {
+      for (std::size_t i = 0; i < g; ++i) {
+        for (std::size_t j = i + 1; j < g; ++j) add_edge(ids[i], ids[j]);
       }
+      return;
     }
-  }
+    if (!mask_live) {
+      mask.reset_to_zero(n);
+      mask_live = true;
+    } else {
+      mask.clear_all();
+    }
+    for (std::size_t i = 0; i < g; ++i) mask.set_unchecked(ids[i]);
+    for (std::size_t i = 0; i < g; ++i) mask.or_into(rows_[ids[i]]);
+    // The OR splat put every member on its own row; clear the diagonal.
+    for (std::size_t i = 0; i < g; ++i) rows_[ids[i]].reset(ids[i]);
+  });
+  finalize();
 }
 
 ConflictGraph::ConflictGraph(
     std::size_t n,
     const std::vector<std::pair<std::size_t, std::size_t>>& edges) {
-  rows_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) rows_.emplace_back(n);
+  reset_rows(n);
   for (const auto& [u, v] : edges) {
     WDAG_REQUIRE(u < n && v < n && u != v,
                  "ConflictGraph: bad edge in explicit edge list");
     add_edge(u, v);
   }
+  finalize();
+}
+
+void ConflictGraph::reset_rows(std::size_t n) {
+  if (rows_.size() > n) rows_.resize(n);
+  for (auto& row : rows_) row.reset_to_zero(n);
+  while (rows_.size() < n) rows_.emplace_back(n);
+}
+
+void ConflictGraph::finalize() {
+  degrees_.resize(rows_.size());
+  max_degree_ = 0;
+  std::size_t twice = 0;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const std::size_t d = rows_[i].count();
+    degrees_[i] = static_cast<std::uint32_t>(d);
+    max_degree_ = std::max(max_degree_, d);
+    twice += d;
+  }
+  num_edges_ = twice / 2;
 }
 
 void ConflictGraph::add_edge(std::size_t u, std::size_t v) {
-  rows_[u].set(v);
-  rows_[v].set(u);
+  rows_[u].set_unchecked(v);
+  rows_[v].set_unchecked(u);
 }
 
 bool ConflictGraph::adjacent(std::size_t u, std::size_t v) const {
   WDAG_REQUIRE(u < size() && v < size(), "ConflictGraph::adjacent: out of range");
-  return u != v && rows_[u].test(v);
-}
-
-const util::DynamicBitset& ConflictGraph::neighbors(std::size_t u) const {
-  WDAG_REQUIRE(u < size(), "ConflictGraph::neighbors: out of range");
-  return rows_[u];
-}
-
-std::size_t ConflictGraph::degree(std::size_t u) const {
-  return neighbors(u).count();
-}
-
-std::size_t ConflictGraph::num_edges() const {
-  std::size_t twice = 0;
-  for (const auto& row : rows_) twice += row.count();
-  return twice / 2;
+  return u != v && rows_[u].test_unchecked(v);
 }
 
 }  // namespace wdag::conflict

@@ -3,10 +3,19 @@
 // an edge when two dipaths share an arc. w(G,P) is its chromatic number;
 // pi(G,P) is at most its clique number, with equality on UPP-DAGs
 // (Property 3).
+//
+// Construction exploits the group structure of the instance: the dipaths
+// through one arc form a clique, so each arc-incidence group is splatted
+// into its members' adjacency rows with word-parallel ORs instead of
+// per-pair bit sets (large groups), falling back to pairwise sets when the
+// group is smaller than a handful of words. Degrees are cached at build
+// time, so degree() and max_degree() are O(1).
 
+#include <cstdint>
 #include <vector>
 
 #include "paths/family.hpp"
+#include "util/check.hpp"
 #include "util/dynamic_bitset.hpp"
 
 namespace wdag::conflict {
@@ -24,6 +33,11 @@ class ConflictGraph {
   ConflictGraph(std::size_t n,
                 const std::vector<std::pair<std::size_t, std::size_t>>& edges);
 
+  /// Rebuilds in place for a new family, reusing the row storage. The
+  /// batch engine's per-worker scratch arena calls this so consecutive
+  /// instances in a chunk do not reallocate n adjacency rows each.
+  void rebuild(const paths::DipathFamily& family);
+
   /// Number of vertices (dipaths).
   [[nodiscard]] std::size_t size() const { return rows_.size(); }
 
@@ -31,18 +45,36 @@ class ConflictGraph {
   [[nodiscard]] bool adjacent(std::size_t u, std::size_t v) const;
 
   /// Adjacency row of u as a bitset.
-  [[nodiscard]] const util::DynamicBitset& neighbors(std::size_t u) const;
+  [[nodiscard]] const util::DynamicBitset& neighbors(std::size_t u) const {
+    WDAG_REQUIRE(u < size(), "ConflictGraph::neighbors: out of range");
+    return rows_[u];
+  }
 
-  /// Degree of u.
-  [[nodiscard]] std::size_t degree(std::size_t u) const;
+  /// Degree of u (cached at build time).
+  [[nodiscard]] std::size_t degree(std::size_t u) const {
+    WDAG_REQUIRE(u < size(), "ConflictGraph::degree: out of range");
+    return degrees_[u];
+  }
 
-  /// Number of edges.
-  [[nodiscard]] std::size_t num_edges() const;
+  /// Largest vertex degree, 0 for an empty graph (cached at build time).
+  [[nodiscard]] std::size_t max_degree() const { return max_degree_; }
+
+  /// Number of edges (cached at build time).
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
 
  private:
   void add_edge(std::size_t u, std::size_t v);
 
+  /// Re-targets rows to n zeroed bitsets of n bits, reusing storage.
+  void reset_rows(std::size_t n);
+
+  /// Computes the cached degrees / max degree / edge count from the rows.
+  void finalize();
+
   std::vector<util::DynamicBitset> rows_;
+  std::vector<std::uint32_t> degrees_;
+  std::size_t max_degree_ = 0;
+  std::size_t num_edges_ = 0;
 };
 
 }  // namespace wdag::conflict

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -40,6 +45,107 @@ void solve_into(BatchEntry& entry, const paths::DipathFamily& family,
   entry.millis = timer.millis();
 }
 
+/// Appends one entry as a CSV row, byte-identical to the corresponding
+/// rows_table(/*with_latency=*/false).to_csv() row.
+void append_csv_row(std::string& out, const BatchEntry& e) {
+  out += std::to_string(e.index);
+  out += ',';
+  out += e.failed ? "error" : method_name(e.method);
+  out += ',';
+  out += std::to_string(e.paths);
+  out += ',';
+  out += std::to_string(e.load);
+  out += ',';
+  out += std::to_string(e.wavelengths);
+  out += ',';
+  out += e.optimal ? '1' : '0';
+  out += '\n';
+}
+
+/// In-order streaming CSV writer: chunks may finish in any order on any
+/// number of workers, but rows leave the process strictly in instance
+/// order through a reorder window keyed by chunk index — so the streamed
+/// bytes match the in-memory rows_table CSV for a fixed seed at any
+/// thread count.
+class StreamingCsvSink {
+ public:
+  explicit StreamingCsvSink(const std::string& path) {
+    if (path == "-") {
+      out_ = &std::cout;
+    } else {
+      file_.open(path);
+      WDAG_REQUIRE(file_.good(),
+                   "stream_csv: cannot open output file '" + path + "'");
+      out_ = &file_;
+    }
+    *out_ << "index,method,paths,load,wavelengths,optimal\n";
+  }
+
+  void submit(std::size_t chunk_index, std::string rows) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (chunk_index != next_) {
+      pending_.emplace(chunk_index, std::move(rows));
+      return;
+    }
+    *out_ << rows;
+    ++next_;
+    while (!pending_.empty() && pending_.begin()->first == next_) {
+      *out_ << pending_.begin()->second;
+      pending_.erase(pending_.begin());
+      ++next_;
+    }
+  }
+
+  void finish() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    WDAG_ASSERT(pending_.empty(), "stream_csv: chunks missing at finish");
+    out_->flush();
+  }
+
+ private:
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+  std::mutex mu_;
+  std::size_t next_ = 0;
+  std::map<std::size_t, std::string> pending_;
+};
+
+/// Aggregates folded in under a mutex when entries are not kept
+/// (keep_entries == false): exact counts and one latency sample per
+/// successful instance instead of a full BatchEntry.
+struct StreamAccum {
+  std::mutex mu;
+  std::size_t method_counts[4] = {0, 0, 0, 0};
+  std::size_t optimal = 0;
+  std::size_t failures = 0;
+  std::size_t wavelengths = 0;
+  std::size_t load = 0;
+  std::vector<double> latencies;
+
+  void fold(const StreamAccum& part) {
+    const std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t m = 0; m < 4; ++m) method_counts[m] += part.method_counts[m];
+    optimal += part.optimal;
+    failures += part.failures;
+    wavelengths += part.wavelengths;
+    load += part.load;
+    latencies.insert(latencies.end(), part.latencies.begin(),
+                     part.latencies.end());
+  }
+
+  void add(const BatchEntry& e) {
+    if (e.failed) {
+      ++failures;
+      return;
+    }
+    ++method_counts[static_cast<std::size_t>(e.method)];
+    if (e.optimal) ++optimal;
+    wavelengths += e.wavelengths;
+    load += e.load;
+    latencies.push_back(e.millis);
+  }
+};
+
 /// Nearest-rank percentile of an ascending-sorted sample.
 double percentile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
@@ -50,12 +156,23 @@ double percentile(const std::vector<double>& sorted, double q) {
   return sorted[idx];
 }
 
+/// Fills the latency summary from an unsorted sample.
+void fill_latency(BatchReport& report, std::vector<double>& latencies) {
+  if (latencies.empty()) return;
+  std::sort(latencies.begin(), latencies.end());
+  double sum = 0.0;
+  for (const double l : latencies) sum += l;
+  report.latency.mean = sum / static_cast<double>(latencies.size());
+  report.latency.p50 = percentile(latencies, 0.50);
+  report.latency.p90 = percentile(latencies, 0.90);
+  report.latency.p99 = percentile(latencies, 0.99);
+  report.latency.max = latencies.back();
+}
+
 /// Fills the aggregate fields of a report whose entries are complete.
-void aggregate(BatchReport& report, double wall_seconds,
-               std::size_t threads_used, std::uint64_t seed) {
+void aggregate_entries(BatchReport& report) {
   std::vector<double> latencies;
   latencies.reserve(report.entries.size());
-  double latency_sum = 0.0;
   for (const BatchEntry& e : report.entries) {
     if (e.failed) {
       ++report.failure_count;
@@ -66,38 +183,82 @@ void aggregate(BatchReport& report, double wall_seconds,
     report.total_wavelengths += e.wavelengths;
     report.total_load += e.load;
     latencies.push_back(e.millis);
-    latency_sum += e.millis;
   }
-  if (!latencies.empty()) {
-    std::sort(latencies.begin(), latencies.end());
-    report.latency.mean = latency_sum / static_cast<double>(latencies.size());
-    report.latency.p50 = percentile(latencies, 0.50);
-    report.latency.p90 = percentile(latencies, 0.90);
-    report.latency.p99 = percentile(latencies, 0.99);
-    report.latency.max = latencies.back();
-  }
-  report.wall_seconds = wall_seconds;
-  report.threads_used = threads_used;
-  report.seed = seed;
+  fill_latency(report, latencies);
 }
 
-/// Runs body(chunk_index, lo, hi) over fixed chunks of `options.chunk`
-/// instances on a dedicated pool sized by `options.threads`.
-void run_chunked(std::size_t count, const BatchOptions& options,
-                 const std::function<void(std::size_t, std::size_t,
-                                          std::size_t)>& body,
-                 std::size_t& threads_used) {
-  WDAG_REQUIRE(options.chunk >= 1, "BatchOptions::chunk must be >= 1");
-  util::ThreadPool pool(options.threads);
-  threads_used = pool.size();
-  util::parallel_fixed_chunks(pool, 0, count, options.chunk, body);
+/// The core batch driver shared by solve_batch and solve_generated_batch:
+/// fixed deterministic chunks, per-worker scratch arena, optional
+/// streaming CSV sink and optional entry dropping. `solve_chunk_item` is
+/// called as (rng, index, entry, solve_options) and must fill the entry.
+template <class SolveItem>
+BatchReport run_batch(std::size_t count, const SolveOptions& solve_options,
+                      const BatchOptions& batch_options,
+                      const SolveItem& solve_item) {
+  WDAG_REQUIRE(batch_options.chunk >= 1, "BatchOptions::chunk must be >= 1");
+  BatchReport report;
+  report.instance_count = count;
+  const bool keep = batch_options.keep_entries;
+  if (keep) report.entries.resize(count);
+
+  std::unique_ptr<StreamingCsvSink> sink;
+  if (!batch_options.stream_csv.empty()) {
+    sink = std::make_unique<StreamingCsvSink>(batch_options.stream_csv);
+  }
+  StreamAccum accum;
+
+  const util::Timer timer;
+  util::ThreadPool pool(batch_options.threads);
+  report.threads_used = pool.size();
+  util::parallel_fixed_chunks(
+      pool, 0, count, batch_options.chunk,
+      [&](std::size_t chunk_index, std::size_t lo, std::size_t hi) {
+        // The per-worker scratch arena: pool threads persist across
+        // chunks, so every instance this worker touches reuses the same
+        // conflict-graph rows and entry buffers.
+        thread_local SolveScratch scratch;
+        SolveOptions opts = solve_options;
+        opts.scratch = &scratch;
+
+        util::Xoshiro256 rng = chunk_rng(batch_options.seed, chunk_index);
+        StreamAccum part;
+        std::string csv;
+        BatchEntry local;
+        for (std::size_t i = lo; i < hi; ++i) {
+          BatchEntry& entry = keep ? report.entries[i] : local;
+          if (!keep) entry = BatchEntry{};
+          entry.index = i;
+          solve_item(rng, i, entry, opts);
+          if (!keep) part.add(entry);
+          if (sink) append_csv_row(csv, entry);
+        }
+        if (!keep) accum.fold(part);
+        if (sink) sink->submit(chunk_index, std::move(csv));
+      });
+  if (sink) sink->finish();
+
+  if (keep) {
+    aggregate_entries(report);
+  } else {
+    for (std::size_t m = 0; m < 4; ++m) {
+      report.method_counts[m] = accum.method_counts[m];
+    }
+    report.optimal_count = accum.optimal;
+    report.failure_count = accum.failures;
+    report.total_wavelengths = accum.wavelengths;
+    report.total_load = accum.load;
+    fill_latency(report, accum.latencies);
+  }
+  report.wall_seconds = timer.seconds();
+  report.seed = batch_options.seed;
+  return report;
 }
 
 }  // namespace
 
 double BatchReport::instances_per_second() const {
-  if (entries.empty() || wall_seconds <= 0.0) return 0.0;
-  return static_cast<double>(entries.size()) / wall_seconds;
+  if (instance_count == 0 || wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(instance_count) / wall_seconds;
 }
 
 util::Table BatchReport::rows_table(bool with_latency) const {
@@ -121,9 +282,9 @@ util::Table BatchReport::rows_table(bool with_latency) const {
 
 util::Table BatchReport::histogram_table() const {
   util::Table table("dispatch histogram", {"method", "count", "share"});
-  // One denominator for every row (total entries) so the column sums to 1
-  // even when some instances failed.
-  const double total = static_cast<double>(entries.size());
+  // One denominator for every row (total instances) so the column sums to
+  // 1 even when some instances failed.
+  const double total = static_cast<double>(instance_count);
   for (const Method m : {Method::kTheorem1, Method::kSplitMerge,
                          Method::kDsatur, Method::kExact}) {
     const std::size_t c = count(m);
@@ -142,7 +303,7 @@ std::string BatchReport::to_json() const {
   std::ostringstream os;
   os.precision(6);
   os << "{";
-  os << "\"instances\":" << entries.size();
+  os << "\"instances\":" << instance_count;
   os << ",\"seed\":" << seed;
   os << ",\"threads\":" << threads_used;
   os << ",\"failures\":" << failure_count;
@@ -174,22 +335,12 @@ std::string BatchReport::to_json() const {
 BatchReport solve_batch(std::span<const paths::DipathFamily> families,
                         const SolveOptions& solve_options,
                         const BatchOptions& batch_options) {
-  BatchReport report;
-  report.entries.resize(families.size());
-  const util::Timer timer;
-  std::size_t threads_used = 0;
-  run_chunked(
-      families.size(), batch_options,
-      [&](std::size_t /*chunk_index*/, std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          report.entries[i].index = i;
-          solve_into(report.entries[i], families[i], solve_options,
-                     batch_options.keep_colorings);
-        }
-      },
-      threads_used);
-  aggregate(report, timer.seconds(), threads_used, batch_options.seed);
-  return report;
+  return run_batch(
+      families.size(), solve_options, batch_options,
+      [&families, &batch_options](util::Xoshiro256& /*rng*/, std::size_t i,
+                                  BatchEntry& entry, const SolveOptions& opts) {
+        solve_into(entry, families[i], opts, batch_options.keep_colorings);
+      });
 }
 
 BatchReport solve_generated_batch(std::size_t count,
@@ -197,29 +348,18 @@ BatchReport solve_generated_batch(std::size_t count,
                                   const SolveOptions& solve_options,
                                   const BatchOptions& batch_options) {
   WDAG_REQUIRE(generate != nullptr, "generator must be callable");
-  BatchReport report;
-  report.entries.resize(count);
-  const util::Timer timer;
-  std::size_t threads_used = 0;
-  run_chunked(
-      count, batch_options,
-      [&](std::size_t chunk_index, std::size_t lo, std::size_t hi) {
-        util::Xoshiro256 rng = chunk_rng(batch_options.seed, chunk_index);
-        for (std::size_t i = lo; i < hi; ++i) {
-          report.entries[i].index = i;
-          try {
-            const gen::Instance inst = generate(rng, i);
-            solve_into(report.entries[i], inst.family, solve_options,
-                       batch_options.keep_colorings);
-          } catch (const std::exception& e) {
-            report.entries[i].failed = true;
-            report.entries[i].error = e.what();
-          }
+  return run_batch(
+      count, solve_options, batch_options,
+      [&generate, &batch_options](util::Xoshiro256& rng, std::size_t i,
+                                  BatchEntry& entry, const SolveOptions& opts) {
+        try {
+          const gen::Instance inst = generate(rng, i);
+          solve_into(entry, inst.family, opts, batch_options.keep_colorings);
+        } catch (const std::exception& e) {
+          entry.failed = true;
+          entry.error = e.what();
         }
-      },
-      threads_used);
-  aggregate(report, timer.seconds(), threads_used, batch_options.seed);
-  return report;
+      });
 }
 
 }  // namespace wdag::core

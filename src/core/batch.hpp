@@ -35,6 +35,18 @@ struct BatchOptions {
   /// Keep every instance's coloring in the report (memory-heavy; off by
   /// default so million-instance sweeps stay lean).
   bool keep_colorings = false;
+  /// Keep per-instance entries in the report. Set false for streaming
+  /// sweeps: aggregates (counts, totals, latency percentiles) are still
+  /// exact, but report.entries stays empty and per-instance memory drops
+  /// to one latency sample, so million-instance batches run at
+  /// near-constant memory. Combine with stream_csv to retain the rows.
+  bool keep_entries = true;
+  /// When non-empty, per-instance rows are streamed to this CSV path
+  /// ('-' = stdout) as chunks finish, in instance order. The bytes are
+  /// identical to rows_table(false).to_csv() — and, for a fixed seed,
+  /// identical at any thread count: chunks are flushed through an
+  /// in-order reorder window.
+  std::string stream_csv;
 };
 
 /// Outcome of one instance inside a batch.
@@ -62,7 +74,9 @@ struct LatencyStats {
 
 /// Aggregated outcome of a batch solve.
 struct BatchReport {
-  std::vector<BatchEntry> entries;      ///< indexed by instance order
+  std::vector<BatchEntry> entries;      ///< indexed by instance order; empty
+                                        ///< when keep_entries was false
+  std::size_t instance_count = 0;       ///< instances solved (entries may be dropped)
   std::size_t method_counts[4] = {0, 0, 0, 0};  ///< indexed by Method
   std::size_t optimal_count = 0;
   std::size_t failure_count = 0;

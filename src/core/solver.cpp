@@ -23,46 +23,72 @@ std::string method_name(Method m) {
   return "unknown";
 }
 
+namespace {
+
+/// The conflict graph of `family`, built into the caller's scratch arena
+/// when one was provided (reusing its rows), or into a thread-local
+/// fallback otherwise.
+const conflict::ConflictGraph& conflict_graph_for(
+    const paths::DipathFamily& family, const SolveOptions& options) {
+  conflict::ConflictGraph* cg;
+  if (options.scratch != nullptr) {
+    cg = &options.scratch->conflict_graph;
+  } else {
+    thread_local conflict::ConflictGraph fallback;
+    cg = &fallback;
+  }
+  cg->rebuild(family);
+  return *cg;
+}
+
+}  // namespace
+
 SolveResult solve(const paths::DipathFamily& family,
                   const SolveOptions& options) {
   SolveResult res;
   res.report = dag::classify(family.graph());
-  res.load = paths::max_load(family);
   WDAG_DOMAIN(res.report.is_dag, "solve: the host graph must be a DAG");
 
   const Method chosen = options.force.value_or(
       res.report.wavelengths_equal_load() ? Method::kTheorem1
       : res.report.is_upp                 ? Method::kSplitMerge
                                           : Method::kDsatur);
+  // When dispatch (not --force) picked a structural method, the
+  // classification above already proved its preconditions — skip the
+  // colorers' own re-verification (is_upp is an O(n·m) DP per call).
+  const bool preverified = !options.force.has_value();
 
   switch (chosen) {
     case Method::kTheorem1: {
-      auto r = color_equal_load(family);
+      auto r = color_equal_load(family, preverified);
       res.coloring = std::move(r.coloring);
       res.wavelengths = r.wavelengths;
+      res.load = r.load;  // the structural colorers compute pi anyway
       res.method = Method::kTheorem1;
       res.optimal = true;  // w == pi by Theorem 1
       return res;
     }
     case Method::kSplitMerge: {
-      auto r = color_upp_split_merge(family);
+      auto r = color_upp_split_merge(family, preverified);
       res.coloring = std::move(r.coloring);
       res.wavelengths = r.wavelengths;
+      res.load = r.load;
       res.method = Method::kSplitMerge;
       res.optimal = (res.wavelengths == res.load);
       break;
     }
     case Method::kDsatur: {
-      const conflict::ConflictGraph cg(family);
+      res.load = paths::max_load(family);
+      const conflict::ConflictGraph& cg = conflict_graph_for(family, options);
       res.coloring = conflict::dsatur_coloring(cg);
-      conflict::normalize_colors(res.coloring);
-      res.wavelengths = conflict::num_colors(res.coloring);
+      res.wavelengths = conflict::normalize_colors(res.coloring);
       res.method = Method::kDsatur;
       res.optimal = (res.wavelengths == res.load);
       break;
     }
     case Method::kExact: {
-      const conflict::ConflictGraph cg(family);
+      res.load = paths::max_load(family);
+      const conflict::ConflictGraph& cg = conflict_graph_for(family, options);
       auto r = conflict::chromatic_number(cg, options.exact_node_budget);
       res.coloring = std::move(r.coloring);
       res.wavelengths = r.chromatic_number;
@@ -75,7 +101,7 @@ SolveResult solve(const paths::DipathFamily& family,
   // Optional exact certification / improvement for small instances.
   if (!res.optimal && options.exact_threshold > 0 &&
       family.size() <= options.exact_threshold) {
-    const conflict::ConflictGraph cg(family);
+    const conflict::ConflictGraph& cg = conflict_graph_for(family, options);
     auto r = conflict::chromatic_number(cg, options.exact_node_budget);
     if (r.proven && r.chromatic_number <= res.wavelengths) {
       res.coloring = std::move(r.coloring);
@@ -84,7 +110,11 @@ SolveResult solve(const paths::DipathFamily& family,
       res.optimal = true;
     }
   }
-  WDAG_ASSERT(conflict::is_valid_assignment(family, res.coloring),
+  // The split-merge colorer validates its assignment before returning;
+  // re-validate only the DSATUR path (and exact improvements, which the
+  // exact solver itself validates).
+  WDAG_ASSERT(res.method != Method::kDsatur ||
+                  conflict::is_valid_assignment(family, res.coloring),
               "solve: invalid assignment escaped the dispatcher");
   return res;
 }

@@ -31,6 +31,15 @@ enum class Method {
 /// Name of a Method for reports.
 std::string method_name(Method m);
 
+/// Reusable buffers a caller may hand to solve() to amortize allocations
+/// across many instances. One arena per worker thread (it is not
+/// thread-safe); the batch engine owns one per chunk loop so consecutive
+/// instances reuse the conflict graph's adjacency rows instead of
+/// reallocating them.
+struct SolveScratch {
+  conflict::ConflictGraph conflict_graph;
+};
+
 /// Solver knobs.
 struct SolveOptions {
   /// Run the exact solver when the conflict graph has at most this many
@@ -42,6 +51,8 @@ struct SolveOptions {
   /// Force a specific method (bypasses dispatch); kTheorem1/kSplitMerge
   /// still check their structural preconditions.
   std::optional<Method> force;
+  /// Optional per-worker scratch arena (not owned; may be null).
+  SolveScratch* scratch = nullptr;
 };
 
 /// A solved instance.

@@ -1,7 +1,6 @@
 #include "core/split_merge.hpp"
 
 #include <algorithm>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -28,44 +27,35 @@ struct Stats {
   std::size_t fixups = 0;
 };
 
-/// Arc loads for a raw path vector.
-std::vector<std::size_t> loads_of(const Digraph& g,
-                                  const std::vector<Dipath>& ps) {
-  std::vector<std::size_t> loads(g.num_arcs(), 0);
+/// Arc loads for a raw path vector, into a reused buffer.
+void loads_of_into(const Digraph& g, const std::vector<Dipath>& ps,
+                   std::vector<std::size_t>& loads) {
+  loads.assign(g.num_arcs(), 0);
   for (const Dipath& p : ps) {
     for (ArcId a : p.arcs) ++loads[a];
   }
-  return loads;
 }
 
-/// First conflicting same-color pair, or nullopt when the coloring is valid.
-std::optional<std::pair<std::size_t, std::size_t>> first_conflict(
-    const Digraph& g, const std::vector<Dipath>& ps,
-    const std::vector<std::uint32_t>& color) {
-  std::vector<std::vector<std::size_t>> inc(g.num_arcs());
-  for (std::size_t i = 0; i < ps.size(); ++i) {
-    for (ArcId a : ps[i].arcs) inc[a].push_back(i);
-  }
-  for (ArcId a = 0; a < g.num_arcs(); ++a) {
-    for (std::size_t i = 0; i < inc[a].size(); ++i) {
-      for (std::size_t j = i + 1; j < inc[a].size(); ++j) {
-        if (color[inc[a][i]] == color[inc[a][j]]) {
-          return std::make_pair(inc[a][i], inc[a][j]);
-        }
-      }
-    }
-  }
-  return std::nullopt;
-}
-
-/// Arc -> path-ids inverted index for fast fit queries.
+/// Arc -> path-ids inverted index for fast fit queries, in flat CSR form
+/// (members of arc a at ids[offsets[a] .. offsets[a+1]), in path order).
 struct ConflictIndex {
-  std::vector<std::vector<std::size_t>> on_arc;
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::uint32_t> ids;
 
-  ConflictIndex(const Digraph& g, const std::vector<Dipath>& ps)
-      : on_arc(g.num_arcs()) {
+  ConflictIndex(const Digraph& g, const std::vector<Dipath>& ps) {
+    offsets.assign(g.num_arcs() + 1, 0);
+    std::size_t total = 0;
+    for (const Dipath& p : ps) {
+      for (const ArcId a : p.arcs) ++offsets[a + 1];
+      total += p.arcs.size();
+    }
+    for (std::size_t a = 0; a < g.num_arcs(); ++a) offsets[a + 1] += offsets[a];
+    ids.resize(total);
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
     for (std::size_t i = 0; i < ps.size(); ++i) {
-      for (ArcId a : ps[i].arcs) on_arc[a].push_back(i);
+      for (const ArcId a : ps[i].arcs) {
+        ids[cursor[a]++] = static_cast<std::uint32_t>(i);
+      }
     }
   }
 
@@ -75,13 +65,32 @@ struct ConflictIndex {
                           const std::vector<std::uint32_t>& color,
                           std::size_t victim, std::uint32_t c) const {
     for (const ArcId a : ps[victim].arcs) {
-      for (const std::size_t q : on_arc[a]) {
+      for (std::uint32_t e = offsets[a]; e < offsets[a + 1]; ++e) {
+        const std::size_t q = ids[e];
         if (q != victim && q < color.size() && color[q] == c) return false;
       }
     }
     return true;
   }
 };
+
+/// First conflicting same-color pair, or nullopt when the coloring is
+/// valid. Scans the prebuilt index (arc ascending, members in path order),
+/// so the fix-up loop does not rebuild the incidence every iteration.
+std::optional<std::pair<std::size_t, std::size_t>> first_conflict(
+    const ConflictIndex& index, const std::vector<std::uint32_t>& color) {
+  for (std::size_t a = 0; a + 1 < index.offsets.size(); ++a) {
+    for (std::uint32_t i = index.offsets[a]; i < index.offsets[a + 1]; ++i) {
+      for (std::uint32_t j = i + 1; j < index.offsets[a + 1]; ++j) {
+        if (color[index.ids[i]] == color[index.ids[j]]) {
+          return std::make_pair<std::size_t, std::size_t>(index.ids[i],
+                                                          index.ids[j]);
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
 
 /// Color-elimination descent: repeatedly dissolve the least-used color
 /// class by first-fitting its members into other classes. Runs once, on
@@ -95,10 +104,15 @@ void reduce_color_classes(const Digraph& g, const std::vector<Dipath>& ps,
   std::uint32_t max_color = 0;
   for (const auto c : color) max_color = std::max(max_color, c);
 
+  // Round-local buffers, reused across rounds and instances (one set per
+  // thread); the descent runs once per batch instance.
+  thread_local std::vector<std::size_t> usage;
+  thread_local std::vector<std::uint32_t> classes, attempt;
+
   for (std::size_t round = 0; round < max_rounds; ++round) {
-    std::vector<std::size_t> usage(max_color + 1, 0);
+    usage.assign(max_color + 1, 0);
     for (const auto c : color) ++usage[c];
-    std::vector<std::uint32_t> classes;
+    classes.clear();
     for (std::uint32_t c = 0; c <= max_color; ++c) {
       if (usage[c] > 0) classes.push_back(c);
     }
@@ -107,7 +121,7 @@ void reduce_color_classes(const Digraph& g, const std::vector<Dipath>& ps,
               [&](std::uint32_t a, std::uint32_t b) { return usage[a] < usage[b]; });
     bool improved = false;
     for (const std::uint32_t victim_class : classes) {
-      auto attempt = color;
+      attempt.assign(color.begin(), color.end());
       bool ok = true;
       for (std::size_t i = 0; i < ps.size() && ok; ++i) {
         if (attempt[i] != victim_class) continue;
@@ -123,7 +137,7 @@ void reduce_color_classes(const Digraph& g, const std::vector<Dipath>& ps,
         ok = moved;
       }
       if (ok) {
-        color = std::move(attempt);
+        color.assign(attempt.begin(), attempt.end());
         improved = true;
         break;
       }
@@ -137,18 +151,25 @@ std::vector<std::uint32_t> solve_rec(const Digraph& g,
                                      Stats& st) {
   if (input.empty()) return {};
 
-  if (!dag::has_internal_cycle(g)) {
+  // One pass answers both "is there an internal cycle?" and "which one?".
+  const auto cycle = dag::find_internal_cycle(g);
+  if (!cycle) {
     DipathFamily fam(g);
-    for (const Dipath& p : input) fam.add(p);
-    return color_equal_load(fam).coloring;
+    // The recursion only re-wraps paths it just transformed arc-by-arc;
+    // re-validating each one is the base case's dominant cost.
+    for (const Dipath& p : input) fam.add_unchecked(p);
+    // Preconditions hold by construction: the recursion only ever splits
+    // a DAG, and the internal-cycle check just ran.
+    return color_equal_load(fam, /*preverified=*/true).coloring;
   }
 
   ++st.levels;
-  const auto cycle = dag::find_internal_cycle(g);
-  WDAG_ASSERT(cycle.has_value(), "split_merge: internal cycle vanished");
 
   // Split arc: maximum load among the cycle's arcs (paper's choice).
-  const auto loads = loads_of(g, input);
+  // `loads` and `arc_map` are dead before the recursive call, so one
+  // thread-local buffer each serves every level.
+  thread_local std::vector<std::size_t> loads;
+  loads_of_into(g, input, loads);
   ArcId ab = graph::kNoArc;
   for (const auto& step : cycle->steps) {
     if (ab == graph::kNoArc || loads[step.arc] > loads[ab]) ab = step.arc;
@@ -158,20 +179,24 @@ std::vector<std::uint32_t> solve_rec(const Digraph& g,
 
   // Pad with single-arc copies of [a,b] up to the global load. A coloring
   // of the padded family restricts to a (no worse) coloring of the input.
-  std::vector<Dipath> padded = input;
+  std::vector<Dipath> padded;
+  padded.reserve(input.size() + (pi - loads[ab]));
+  padded = input;
   for (std::size_t l = loads[ab]; l < pi; ++l) {
     padded.push_back(Dipath({ab}));
   }
 
   // Build the split graph: (a,b) becomes (a,s) and (t,b).
-  const VertexId a = g.tail(ab);
-  const VertexId b = g.head(ab);
+  const auto& g_arcs = g.arcs();
+  const VertexId a = g_arcs[ab].tail;
+  const VertexId b = g_arcs[ab].head;
   const VertexId n = static_cast<VertexId>(g.num_vertices());
   graph::DigraphBuilder builder(g.num_vertices());
-  std::vector<ArcId> arc_map(g.num_arcs(), graph::kNoArc);
+  thread_local std::vector<ArcId> arc_map;
+  arc_map.assign(g.num_arcs(), graph::kNoArc);
   for (ArcId e = 0; e < g.num_arcs(); ++e) {
     if (e == ab) continue;
-    arc_map[e] = builder.add_arc(g.tail(e), g.head(e));
+    arc_map[e] = builder.add_arc(g_arcs[e].tail, g_arcs[e].head);
   }
   const VertexId s = builder.add_vertex("split_s");
   const VertexId t = builder.add_vertex("split_t");
@@ -187,8 +212,10 @@ std::vector<std::uint32_t> solve_rec(const Digraph& g,
     std::size_t tail;  // index into `sub`
   };
   std::vector<Dipath> sub;
+  sub.reserve(padded.size() + pi);  // every split path contributes two
   std::vector<std::optional<std::size_t>> nonsplit_map(padded.size());
   std::vector<SplitPair> pairs;
+  pairs.reserve(pi);
   for (std::size_t i = 0; i < padded.size(); ++i) {
     const auto& arcs = padded[i].arcs;
     const auto it = std::find(arcs.begin(), arcs.end(), ab);
@@ -226,12 +253,18 @@ std::vector<std::uint32_t> solve_rec(const Digraph& g,
 
   // Heads pairwise share (a,s): their colors are pi distinct values.
   // tau maps head color -> tail color; decompose into chains and cycles.
-  std::map<std::uint32_t, std::size_t> by_head_color;
+  // Flat color-indexed table (head colors are bounded by max_color).
+  constexpr std::size_t kNoPair = SIZE_MAX;
+  std::vector<std::size_t> by_head_color(max_color + 1, kNoPair);
   for (std::size_t k = 0; k < pairs.size(); ++k) {
-    const bool fresh =
-        by_head_color.emplace(sub_colors[pairs[k].head], k).second;
-    WDAG_ASSERT(fresh, "split_merge: head colors must be pairwise distinct");
+    std::size_t& slot = by_head_color[sub_colors[pairs[k].head]];
+    WDAG_ASSERT(slot == kNoPair,
+                "split_merge: head colors must be pairwise distinct");
+    slot = k;
   }
+  const auto tau_next = [&](std::uint32_t tail_color) {
+    return tail_color <= max_color ? by_head_color[tail_color] : kNoPair;
+  };
   // Every merged dipath keeps its head color: heads are pairwise distinct,
   // so merged dipaths (which all contain (a,b)) stay pairwise compatible.
   for (const SplitPair& pr : pairs) {
@@ -252,14 +285,13 @@ std::vector<std::uint32_t> solve_rec(const Digraph& g,
       while (true) {
         seen[k] = 1;
         walk.push_back(k);
-        const auto it = by_head_color.find(sub_colors[pairs[k].tail]);
-        if (it == by_head_color.end()) break;                 // chain ends
-        if (it->second == k0 || seen[it->second]) break;      // closed/visited
-        k = it->second;
+        const std::size_t succ = tau_next(sub_colors[pairs[k].tail]);
+        if (succ == kNoPair) break;                // chain ends
+        if (succ == k0 || seen[succ]) break;       // closed/visited
+        k = succ;
       }
-      const auto closes = by_head_color.find(sub_colors[pairs[walk.back()].tail]);
-      const bool is_cycle =
-          closes != by_head_color.end() && closes->second == k0;
+      const std::size_t closes = tau_next(sub_colors[pairs[walk.back()].tail]);
+      const bool is_cycle = closes == k0;
       if (is_cycle && walk.size() == 2) ++two_cycles;
       if (is_cycle && walk.size() >= 3) ++longer;
     }
@@ -278,7 +310,7 @@ std::vector<std::uint32_t> solve_rec(const Digraph& g,
   for (const SplitPair& pr : pairs) merged[pr.orig] = true;
 
   const ConflictIndex index(g, padded);
-  while (const auto conflict = first_conflict(g, padded, color)) {
+  while (const auto conflict = first_conflict(index, color)) {
     const auto [p, q] = *conflict;
     // Exactly one side should be a rejoined dipath; never recolor it (its
     // color is pinned by the merge). With replicated copies both sides can
@@ -310,12 +342,15 @@ std::vector<std::uint32_t> solve_rec(const Digraph& g,
 
 }  // namespace
 
-SplitMergeResult color_upp_split_merge(const DipathFamily& family) {
+SplitMergeResult color_upp_split_merge(const DipathFamily& family,
+                                       bool preverified) {
   const Digraph& g = family.graph();
-  WDAG_DOMAIN(graph::is_dag(g), "color_upp_split_merge: host is not a DAG");
-  WDAG_DOMAIN(dag::is_upp(g),
-              "color_upp_split_merge: host does not satisfy the unique-"
-              "dipath property");
+  if (!preverified) {
+    WDAG_DOMAIN(graph::is_dag(g), "color_upp_split_merge: host is not a DAG");
+    WDAG_DOMAIN(dag::is_upp(g),
+                "color_upp_split_merge: host does not satisfy the unique-"
+                "dipath property");
+  }
 
   SplitMergeResult res;
   res.load = paths::max_load(family);
@@ -323,14 +358,23 @@ SplitMergeResult color_upp_split_merge(const DipathFamily& family) {
 
   Stats st;
   res.coloring = solve_rec(g, family.paths(), st);
-  reduce_color_classes(g, family.paths(), res.coloring);
+  // Any proper coloring needs at least pi colors, so when the recursion
+  // already landed on pi the descent provably cannot dissolve a class —
+  // skip building its conflict index. The recursion's fix-up loop exits
+  // only once an exhaustive conflict scan comes back clean, so the
+  // assignment is already validated on this fast path.
+  bool revalidate = false;
+  if (conflict::num_colors(res.coloring) > res.load) {
+    reduce_color_classes(g, family.paths(), res.coloring);
+    revalidate = true;
+  }
   res.levels = st.levels;
   res.cycle_classes = st.cycle_classes;
   res.fixups = st.fixups;
-  conflict::normalize_colors(res.coloring);
-  res.wavelengths = conflict::num_colors(res.coloring);
+  res.wavelengths = conflict::normalize_colors(res.coloring);
 
-  WDAG_ASSERT(conflict::is_valid_assignment(family, res.coloring),
+  WDAG_ASSERT(!revalidate ||
+                  conflict::is_valid_assignment(family, res.coloring),
               "color_upp_split_merge: invalid assignment produced");
   return res;
 }

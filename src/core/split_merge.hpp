@@ -59,6 +59,11 @@ struct SplitMergeResult {
 /// For one internal cycle the paper guarantees
 /// wavelengths <= ceil(4/3 * load) on families of distinct-route dipaths;
 /// the bench E6 measures how the implementation tracks that bound.
-SplitMergeResult color_upp_split_merge(const paths::DipathFamily& family);
+///
+/// `preverified` skips the is-DAG / UPP precondition checks; pass true
+/// only when the caller has already established both (the dispatcher in
+/// core/solver.cpp classifies the host once and reuses the verdict).
+SplitMergeResult color_upp_split_merge(const paths::DipathFamily& family,
+                                       bool preverified = false);
 
 }  // namespace wdag::core

@@ -20,17 +20,35 @@ namespace {
 
 constexpr std::uint32_t kNone = UINT32_MAX;
 
+/// One incidence record: path p contains the replayed arc at position pos.
+struct IncEntry {
+  PathId p;
+  std::uint32_t pos;
+};
+
+/// Reusable buffers of the replay. One instance per thread: the batch
+/// engine pushes thousands of instances through color_equal_load per
+/// worker, and the replay's small per-arc vectors dominated its cost.
+struct Scratch {
+  std::vector<std::uint32_t> inc_offsets;  ///< CSR arc -> incidence entries
+  std::vector<IncEntry> inc_entries;
+  std::vector<std::uint32_t> begin;
+  std::vector<std::uint32_t> color;
+  std::vector<PathId> actives, newborns, frontier, next;
+  std::vector<std::uint32_t> owner, cursor;
+  std::vector<std::uint8_t> used, flipped;
+};
+
+Scratch& scratch() {
+  thread_local Scratch s;
+  return s;
+}
+
 /// Incremental state of the reverse arc-replay.
 struct Replay {
   const DipathFamily& family;
   const Digraph& g;
-  /// incidence[a]: (path id, position of a within that path's arc list).
-  std::vector<std::vector<std::pair<PathId, std::uint32_t>>> incidence;
-  /// begin[p]: index of the first *active* arc of path p (== length when
-  /// the path has not appeared yet).
-  std::vector<std::uint32_t> begin;
-  /// Current color per path (kNone while inactive).
-  std::vector<std::uint32_t> color;
+  Scratch& s;
   /// Current palette size (running max load == pi of the replayed graph).
   std::uint32_t palette = 0;
 
@@ -38,38 +56,56 @@ struct Replay {
   std::size_t paths_flipped = 0;
 
   explicit Replay(const DipathFamily& fam)
-      : family(fam), g(fam.graph()), incidence(g.num_arcs()) {
-    begin.resize(family.size());
-    color.assign(family.size(), kNone);
-    for (PathId p = 0; p < family.size(); ++p) {
+      : family(fam), g(fam.graph()), s(scratch()) {
+    const std::size_t n = family.size();
+    // CSR incidence: entries of arc a at [inc_offsets[a], inc_offsets[a+1]),
+    // filled in (path id, position) order like the per-arc vectors were.
+    s.inc_offsets.assign(g.num_arcs() + 1, 0);
+    std::size_t total = 0;
+    for (const Dipath& p : family.paths()) {
+      for (const ArcId a : p.arcs) ++s.inc_offsets[a + 1];
+      total += p.arcs.size();
+    }
+    for (std::size_t a = 0; a < g.num_arcs(); ++a) {
+      s.inc_offsets[a + 1] += s.inc_offsets[a];
+    }
+    s.inc_entries.resize(total);
+    s.begin.resize(n);
+    s.color.assign(n, kNone);
+    s.flipped.assign(n, 0);
+    s.cursor.assign(s.inc_offsets.begin(), s.inc_offsets.end() - 1);
+    for (PathId p = 0; p < n; ++p) {
       const auto& arcs = family.path(p).arcs;
-      begin[p] = static_cast<std::uint32_t>(arcs.size());
+      s.begin[p] = static_cast<std::uint32_t>(arcs.size());
       for (std::uint32_t i = 0; i < arcs.size(); ++i) {
-        incidence[arcs[i]].emplace_back(p, i);
+        s.inc_entries[s.cursor[arcs[i]]++] = IncEntry{p, i};
       }
     }
   }
 
   /// True when path p currently has at least one active arc.
   [[nodiscard]] bool active(PathId p) const {
-    return begin[p] < family.path(p).arcs.size();
+    return s.begin[p] < family.path(p).arcs.size();
   }
 
-  /// Paths with the given color sharing an active arc with path p
-  /// (excluding p itself). Only active arcs of p are scanned; an arc is
-  /// active for every path containing it as soon as it is replayed.
-  [[nodiscard]] std::vector<PathId> conflicts_with_color(
-      PathId p, std::uint32_t wanted) const {
-    std::vector<PathId> out;
+  /// Appends to `out` (deduplicated) the paths with the given color sharing
+  /// an active arc with path p, excluding p itself. Only active arcs of p
+  /// are scanned; an arc is active for every path containing it as soon as
+  /// it is replayed.
+  void conflicts_with_color(PathId p, std::uint32_t wanted,
+                            std::vector<PathId>& out) const {
     const auto& arcs = family.path(p).arcs;
-    for (std::uint32_t i = begin[p]; i < arcs.size(); ++i) {
-      for (const auto& [q, pos] : incidence[arcs[i]]) {
-        if (q == p || color[q] != wanted) continue;
-        if (begin[q] > pos) continue;  // arc not yet active for q
-        if (std::find(out.begin(), out.end(), q) == out.end()) out.push_back(q);
+    for (std::uint32_t i = s.begin[p]; i < arcs.size(); ++i) {
+      const ArcId a = arcs[i];
+      for (std::uint32_t e = s.inc_offsets[a]; e < s.inc_offsets[a + 1]; ++e) {
+        const auto [q, pos] = s.inc_entries[e];
+        if (q == p || s.color[q] != wanted) continue;
+        if (s.begin[q] > pos) continue;  // arc not yet active for q
+        if (std::find(out.begin(), out.end(), q) == out.end()) {
+          out.push_back(q);
+        }
       }
     }
-    return out;
   }
 
   /// The paper's alpha/beta chain: flips `start` from alpha to beta and
@@ -79,38 +115,39 @@ struct Replay {
   void chain_flip(PathId kept, PathId start, std::uint32_t alpha,
                   std::uint32_t beta) {
     ++chain_recolorings;
-    std::vector<bool> flipped(family.size(), false);
-    std::vector<PathId> frontier = {start};
-    color[start] = beta;
-    flipped[start] = true;
+    std::fill(s.flipped.begin(), s.flipped.end(), 0);
+    s.frontier.clear();
+    s.frontier.push_back(start);
+    s.color[start] = beta;
+    s.flipped[start] = 1;
     ++paths_flipped;
     std::uint32_t from = beta;  // color whose holders now conflict with the
                                 // frontier (they kept `from`, frontier holds
                                 // it now too)
     std::uint32_t to = alpha;
-    while (!frontier.empty()) {
+    while (!s.frontier.empty()) {
       // All paths colored `from` that intersect a frontier member must flip
       // to `to`.
-      std::vector<PathId> next;
-      for (const PathId f : frontier) {
-        for (const PathId q : conflicts_with_color(f, from)) {
-          WDAG_ASSERT(!flipped[q],
+      s.next.clear();
+      for (const PathId f : s.frontier) {
+        const std::size_t before = s.next.size();
+        conflicts_with_color(f, from, s.next);
+        for (std::size_t i = before; i < s.next.size(); ++i) {
+          const PathId q = s.next[i];
+          WDAG_ASSERT(!s.flipped[q],
                       "theorem1 chain: case B (re-flip) occurred; the host "
                       "graph must contain an internal cycle");
           WDAG_ASSERT(q != kept,
                       "theorem1 chain: case C (kept path hit) occurred; the "
                       "host graph must contain an internal cycle");
-          if (std::find(next.begin(), next.end(), q) == next.end()) {
-            next.push_back(q);
-          }
         }
       }
-      for (const PathId q : next) {
-        color[q] = to;
-        flipped[q] = true;
+      for (const PathId q : s.next) {
+        s.color[q] = to;
+        s.flipped[q] = 1;
         ++paths_flipped;
       }
-      frontier = std::move(next);
+      std::swap(s.frontier, s.next);
       std::swap(from, to);
     }
   }
@@ -119,19 +156,21 @@ struct Replay {
   /// pairwise distinct, prepends e to them, and colors the paths that
   /// consist of e alone.
   void add_arc(ArcId e) {
-    const auto& through = incidence[e];
-    if (through.empty()) return;
-    palette = std::max(palette, static_cast<std::uint32_t>(through.size()));
+    const std::uint32_t lo = s.inc_offsets[e];
+    const std::uint32_t hi = s.inc_offsets[e + 1];
+    if (lo == hi) return;
+    palette = std::max(palette, hi - lo);
 
-    std::vector<PathId> actives;   // non-empty suffixes, already colored
-    std::vector<PathId> newborns;  // paths reduced to the single arc e
-    for (const auto& [p, pos] : through) {
-      WDAG_ASSERT(begin[p] == pos + 1,
+    s.actives.clear();   // non-empty suffixes, already colored
+    s.newborns.clear();  // paths reduced to the single arc e
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      const auto [p, pos] = s.inc_entries[i];
+      WDAG_ASSERT(s.begin[p] == pos + 1,
                   "theorem1 replay: arc order violates front-removal");
       if (active(p)) {
-        actives.push_back(p);
+        s.actives.push_back(p);
       } else {
-        newborns.push_back(p);
+        s.newborns.push_back(p);
       }
     }
 
@@ -139,20 +178,20 @@ struct Replay {
     // Each successful chain strictly increases the number of distinct
     // colors used by `actives`, so at most |actives| rounds run.
     for (std::size_t guard = 0;; ++guard) {
-      WDAG_ASSERT(guard <= actives.size() + 1,
+      WDAG_ASSERT(guard <= s.actives.size() + 1,
                   "theorem1: distinct-color loop failed to make progress");
       // Find a duplicated color alpha with its two paths.
       PathId kept = kNone, dup = kNone;
       {
-        std::vector<std::uint32_t> owner(palette, kNone);
-        for (const PathId p : actives) {
-          const std::uint32_t c = color[p];
+        s.owner.assign(palette, kNone);
+        for (const PathId p : s.actives) {
+          const std::uint32_t c = s.color[p];
           WDAG_ASSERT(c != kNone && c < palette,
                       "theorem1: active path without a palette color");
-          if (owner[c] == kNone) {
-            owner[c] = p;
+          if (s.owner[c] == kNone) {
+            s.owner[c] = p;
           } else if (dup == kNone) {
-            kept = owner[c];
+            kept = s.owner[c];
             dup = p;
           }
         }
@@ -161,33 +200,35 @@ struct Replay {
 
       // beta: a palette color used by no active suffix. It exists because
       // the actives use at most |actives|-1 <= |through|-1 < palette colors.
-      std::vector<bool> used(palette, false);
-      for (const PathId p : actives) used[color[p]] = true;
+      s.used.assign(palette, 0);
+      for (const PathId p : s.actives) s.used[s.color[p]] = 1;
       std::uint32_t beta = kNone;
       for (std::uint32_t c = 0; c < palette; ++c) {
-        if (!used[c]) {
+        if (!s.used[c]) {
           beta = c;
           break;
         }
       }
       WDAG_ASSERT(beta != kNone, "theorem1: no free color for the chain");
-      chain_flip(kept, dup, color[dup], beta);
+      chain_flip(kept, dup, s.color[dup], beta);
     }
 
     // Prepend e to every path through it.
-    for (const auto& [p, pos] : through) begin[p] = pos;
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      s.begin[s.inc_entries[i].p] = s.inc_entries[i].pos;
+    }
 
     // Color the newborn single-arc paths with colors unused on e.
-    if (!newborns.empty()) {
-      std::vector<bool> used(palette, false);
-      for (const PathId p : actives) used[color[p]] = true;
+    if (!s.newborns.empty()) {
+      s.used.assign(palette, 0);
+      for (const PathId p : s.actives) s.used[s.color[p]] = 1;
       std::size_t next = 0;
-      for (const PathId p : newborns) {
-        while (next < palette && used[next]) ++next;
+      for (const PathId p : s.newborns) {
+        while (next < palette && s.used[next]) ++next;
         WDAG_ASSERT(next < palette,
                     "theorem1: palette exhausted while coloring newborns");
-        color[p] = static_cast<std::uint32_t>(next);
-        used[next] = true;
+        s.color[p] = static_cast<std::uint32_t>(next);
+        s.used[next] = 1;
       }
     }
   }
@@ -195,32 +236,43 @@ struct Replay {
 
 }  // namespace
 
-Theorem1Result color_equal_load(const DipathFamily& family) {
+Theorem1Result color_equal_load(const DipathFamily& family, bool preverified) {
   const Digraph& g = family.graph();
-  WDAG_DOMAIN(graph::is_dag(g), "color_equal_load: host graph is not a DAG");
-  WDAG_DOMAIN(!dag::has_internal_cycle(g),
-              "color_equal_load: host graph has an internal cycle; "
-              "Theorem 1 does not apply (use the split-merge solver)");
+  if (!preverified) {
+    WDAG_DOMAIN(graph::is_dag(g), "color_equal_load: host graph is not a DAG");
+    WDAG_DOMAIN(!dag::has_internal_cycle(g),
+                "color_equal_load: host graph has an internal cycle; "
+                "Theorem 1 does not apply (use the split-merge solver)");
+  }
 
   Theorem1Result res;
   if (family.empty()) return res;
 
   Replay replay(family);
-  const auto removal_order = graph::arcs_in_tail_topo_order(g);
+  thread_local std::vector<ArcId> removal_order;
+  graph::arcs_in_tail_topo_order_into(g, removal_order);
   for (auto it = removal_order.rbegin(); it != removal_order.rend(); ++it) {
     replay.add_arc(*it);
   }
 
-  res.coloring.assign(replay.color.begin(), replay.color.end());
+  Scratch& s = scratch();
+  res.coloring.assign(s.color.begin(), s.color.end());
   for (PathId p = 0; p < family.size(); ++p) {
     WDAG_ASSERT(res.coloring[p] != kNone, "theorem1: uncolored path remains");
   }
-  res.load = paths::max_load(family);
+  // The replay's palette is exactly max group size over arcs == pi(G,P);
+  // no need to recount arc loads.
+  res.load = replay.palette;
   res.wavelengths = conflict::num_colors(res.coloring);
   res.chain_recolorings = replay.chain_recolorings;
   res.paths_flipped = replay.paths_flipped;
 
-  WDAG_ASSERT(conflict::is_valid_assignment(family, res.coloring),
+  // The replay keeps per-arc colors distinct invariantly (the
+  // distinct-color loop re-establishes it at every restored arc), so the
+  // full re-validation only runs for direct API callers; the dispatcher's
+  // trusted fast path keeps just the w == pi certificate.
+  WDAG_ASSERT(preverified ||
+                  conflict::is_valid_assignment(family, res.coloring),
               "theorem1: produced an invalid wavelength assignment");
   WDAG_ASSERT(res.wavelengths == res.load,
               "theorem1: wavelength count differs from the load");

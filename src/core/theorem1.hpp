@@ -45,6 +45,14 @@ struct Theorem1Result {
 /// Preconditions (checked): the host graph is a DAG with no internal cycle.
 /// Throws wdag::DomainError otherwise. The returned coloring is validated
 /// against the family before returning.
-Theorem1Result color_equal_load(const paths::DipathFamily& family);
+///
+/// `preverified` is the trusted-caller fast path: it skips the
+/// precondition checks and the redundant final re-validation (the replay
+/// maintains per-arc distinctness invariantly; w == pi is still
+/// asserted). Pass true only when the caller has already established the
+/// preconditions (the dispatcher classifies the host once, and the
+/// split-merge recursion re-checks at every level).
+Theorem1Result color_equal_load(const paths::DipathFamily& family,
+                                bool preverified = false);
 
 }  // namespace wdag::core

@@ -16,10 +16,12 @@ DagReport classify(const graph::Digraph& g) {
   const auto stats = graph::degree_stats(g);
   r.num_sources = stats.num_sources;
   r.num_sinks = stats.num_sinks;
-  r.is_dag = graph::is_dag(g);
+  // One Kahn pass answers acyclicity and feeds the UPP DP.
+  const auto order = graph::topological_sort(g);
+  r.is_dag = order.has_value();
   if (r.is_dag) {
     r.internal_cycles = internal_cycle_count(g);
-    r.is_upp = is_upp(g);
+    r.is_upp = is_upp(g, *order);
   }
   return r;
 }

@@ -14,12 +14,14 @@ using graph::VertexId;
 
 namespace {
 
-/// Arcs whose endpoints are both internal vertices of g.
-std::vector<ArcId> internal_arcs(const Digraph& g) {
-  const auto mask = graph::internal_vertex_mask(g);
+/// Arcs whose endpoints are both internal vertices per `mask` (computed
+/// once by the caller; the mask walk used to dominate these queries).
+std::vector<ArcId> internal_arcs(const Digraph& g,
+                                 const std::vector<bool>& mask) {
   std::vector<ArcId> arcs;
-  for (ArcId a = 0; a < g.num_arcs(); ++a) {
-    if (mask[g.tail(a)] && mask[g.head(a)]) arcs.push_back(a);
+  const auto& all = g.arcs();
+  for (ArcId a = 0; a < all.size(); ++a) {
+    if (mask[all[a].tail] && mask[all[a].head]) arcs.push_back(a);
   }
   return arcs;
 }
@@ -28,7 +30,7 @@ std::vector<ArcId> internal_arcs(const Digraph& g) {
 
 bool has_internal_cycle(const Digraph& g) {
   util::UnionFind uf(g.num_vertices());
-  for (ArcId a : internal_arcs(g)) {
+  for (ArcId a : internal_arcs(g, graph::internal_vertex_mask(g))) {
     if (!uf.unite(g.tail(a), g.head(a))) return true;
   }
   return false;
@@ -39,7 +41,7 @@ std::size_t internal_cycle_count(const Digraph& g) {
   // close a cycle during union-find, i.e. m' - (n' - c').
   util::UnionFind uf(g.num_vertices());
   std::size_t closing = 0;
-  for (ArcId a : internal_arcs(g)) {
+  for (ArcId a : internal_arcs(g, graph::internal_vertex_mask(g))) {
     if (!uf.unite(g.tail(a), g.head(a))) ++closing;
   }
   return closing;
@@ -47,42 +49,62 @@ std::size_t internal_cycle_count(const Digraph& g) {
 
 std::optional<OrientedCycle> find_internal_cycle(const Digraph& g) {
   const auto mask = graph::internal_vertex_mask(g);
-  const auto arcs = internal_arcs(g);
+  const auto arcs = internal_arcs(g, mask);
   if (arcs.empty()) return std::nullopt;
 
-  // Undirected incidence restricted to internal arcs.
+  // Undirected incidence restricted to internal arcs, in flat CSR form
+  // (the per-vertex vector-of-vectors was the hot allocation of the
+  // split-merge recursion). Entry order within a vertex matches the old
+  // push order — ascending arc id — so the DFS and the extracted cycle
+  // are unchanged.
   struct Edge {
     VertexId to;
     ArcId arc;
     bool forward;  // true: walk tail->head
   };
-  std::vector<std::vector<Edge>> adj(g.num_vertices());
-  for (ArcId a : arcs) {
-    adj[g.tail(a)].push_back(Edge{g.head(a), a, true});
-    adj[g.head(a)].push_back(Edge{g.tail(a), a, false});
+  const std::size_t n = g.num_vertices();
+  thread_local std::vector<std::uint32_t> adj_off, cursor;
+  thread_local std::vector<Edge> adj;
+  adj_off.assign(n + 1, 0);
+  for (const ArcId a : arcs) {
+    ++adj_off[g.tail(a) + 1];
+    ++adj_off[g.head(a) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) adj_off[v + 1] += adj_off[v];
+  adj.resize(2 * arcs.size());
+  cursor.assign(adj_off.begin(), adj_off.end() - 1);
+  for (const ArcId a : arcs) {
+    adj[cursor[g.tail(a)]++] = Edge{g.head(a), a, true};
+    adj[cursor[g.head(a)]++] = Edge{g.tail(a), a, false};
   }
 
   // Iterative DFS. For each visited vertex remember the (arc, forward) step
   // used to enter it and its DFS parent; the first non-parent edge to a
   // visited *active* vertex closes a cycle.
-  const std::size_t n = g.num_vertices();
-  std::vector<std::uint8_t> state(n, 0);  // 0 unvisited, 1 active, 2 done
-  std::vector<CycleStep> entry(n);
-  std::vector<VertexId> parent(n, graph::kNoVertex);
-  std::vector<std::size_t> edge_it(n, 0);
+  thread_local std::vector<std::uint8_t> state;
+  thread_local std::vector<CycleStep> entry;
+  thread_local std::vector<VertexId> parent;
+  thread_local std::vector<std::uint32_t> edge_it;
+  state.assign(n, 0);  // 0 unvisited, 1 active, 2 done
+  entry.assign(n, CycleStep{});
+  parent.assign(n, graph::kNoVertex);
+  edge_it.assign(n, 0);
 
   for (VertexId root = 0; root < n; ++root) {
-    if (!mask[root] || state[root] != 0 || adj[root].empty()) continue;
+    if (!mask[root] || state[root] != 0 ||
+        adj_off[root] == adj_off[root + 1]) {
+      continue;
+    }
     std::vector<VertexId> stack = {root};
     state[root] = 1;
     while (!stack.empty()) {
       const VertexId u = stack.back();
-      if (edge_it[u] == adj[u].size()) {
+      if (adj_off[u] + edge_it[u] == adj_off[u + 1]) {
         state[u] = 2;
         stack.pop_back();
         continue;
       }
-      const Edge e = adj[u][edge_it[u]++];
+      const Edge e = adj[adj_off[u] + edge_it[u]++];
       if (parent[u] != graph::kNoVertex && e.arc == entry[u].arc) {
         continue;  // do not reuse the entering edge
       }
@@ -110,8 +132,12 @@ std::optional<OrientedCycle> find_internal_cycle(const Digraph& g) {
         // matches because Edge.forward describes the u -> e.to direction.
         WDAG_ASSERT(is_valid_oriented_cycle(g, cyc),
                     "find_internal_cycle: extracted cycle is invalid");
-        WDAG_ASSERT(is_internal_cycle(g, cyc),
-                    "find_internal_cycle: extracted cycle is not internal");
+        // Internality check against the mask already in hand (the public
+        // is_internal_cycle would recompute it).
+        for (const VertexId cv : cycle_vertices(g, cyc)) {
+          WDAG_ASSERT(mask[cv],
+                      "find_internal_cycle: extracted cycle is not internal");
+        }
         return cyc;
       }
       // state[e.to] == 2: finished component part; no cycle through here.

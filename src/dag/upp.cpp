@@ -5,6 +5,7 @@
 
 #include "graph/topo.hpp"
 #include "util/check.hpp"
+#include "util/dynamic_bitset.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wdag::dag {
@@ -21,11 +22,12 @@ std::vector<std::uint64_t> counts_from(const Digraph& g,
                                        const std::vector<VertexId>& order,
                                        VertexId src, std::uint64_t cap) {
   std::vector<std::uint64_t> cnt(g.num_vertices(), 0);
+  const auto& arcs = g.arcs();
   cnt[src] = 1;
   for (const VertexId v : order) {
     if (cnt[v] == 0) continue;
     for (ArcId a : g.out_arcs(v)) {
-      const VertexId w = g.head(a);
+      const VertexId w = arcs[a].head;
       cnt[w] = std::min(cap, cnt[w] + cnt[v]);
     }
   }
@@ -47,8 +49,37 @@ std::uint64_t count_dipaths(const Digraph& g, VertexId u, VertexId v,
 bool is_upp(const Digraph& g) {
   const auto order = graph::topological_sort(g);
   WDAG_DOMAIN(order.has_value(), "is_upp: input is not a DAG");
+  return is_upp(g, *order);
+}
+
+bool is_upp(const Digraph& g, const std::vector<VertexId>& order_in) {
+  const auto* order = &order_in;
   const std::size_t n = g.num_vertices();
   if (n == 0) return true;
+
+  // Word-parallel check for all but huge hosts: two distinct dipaths
+  // u -> w exist iff some vertex has two in-arcs whose tails share an
+  // ancestor (the reconvergence point witnesses the violation). One
+  // forward pass over the topological order maintains each vertex's
+  // ancestor cone as a bitset: when a vertex's in-cones overlap, the DAG
+  // is not UPP. O(m * n/64) total versus the per-source DP's O(n * m);
+  // beyond the size cap the cones' O(n^2) bits stop paying for
+  // themselves, so the sharded DP takes over.
+  if (n <= 4096) {
+    thread_local std::vector<util::DynamicBitset> anc;
+    if (anc.size() < n) anc.resize(n);
+    for (const VertexId v : *order) {
+      util::DynamicBitset& cone = anc[v];
+      cone.reset_to_zero(n);
+      for (const ArcId a : g.in_arcs(v)) {
+        const util::DynamicBitset& tail_cone = anc[g.arcs()[a].tail];
+        if (cone.intersects(tail_cone)) return false;
+        cone |= tail_cone;
+      }
+      cone.set_unchecked(v);
+    }
+    return true;
+  }
 
   std::atomic<bool> violated{false};
   util::parallel_for_chunks(

@@ -34,6 +34,11 @@ struct UppViolation {
 /// True when g is a UPP-DAG. Requires a DAG (throws DomainError otherwise).
 bool is_upp(const graph::Digraph& g);
 
+/// is_upp() with a caller-supplied topological order of g (must be valid),
+/// so classifiers that already ran Kahn's algorithm do not run it twice.
+bool is_upp(const graph::Digraph& g,
+            const std::vector<graph::VertexId>& order);
+
 /// Returns a violation witness, or nullopt when g is UPP.
 /// The witness pair is the lexicographically smallest (from, to) violating
 /// pair; the two paths differ in at least one arc.

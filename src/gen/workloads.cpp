@@ -1,6 +1,8 @@
 #include "gen/workloads.hpp"
 
 #include <algorithm>
+#include <map>
+#include <string>
 #include <utility>
 
 #include "gen/family_gen.hpp"
@@ -8,6 +10,8 @@
 #include "gen/random_dag.hpp"
 #include "gen/topologies.hpp"
 #include "gen/upp_gen.hpp"
+#include "graph/reachability.hpp"
+#include "paths/route.hpp"
 #include "util/check.hpp"
 
 namespace wdag::gen {
@@ -15,6 +19,96 @@ namespace wdag::gen {
 namespace {
 
 using util::Xoshiro256;
+
+// ---------------------------------------------------------------------------
+// Skeleton pools. Many workload topologies are pure functions of their
+// parameters — only the request sampling consumes the RNG. Building the
+// host graph, its transitive closure and the per-pair deterministic route
+// once per (thread, parameter key) makes batch generation a cheap
+// sample-and-copy, with byte-identical output: the pooled pair list and
+// routes are exactly what the uncached code recomputed per instance, and
+// the RNG is consumed in the same order (one index per request).
+// ---------------------------------------------------------------------------
+
+/// How a workload routes one (u, v) request on its skeleton.
+enum class RouteKind {
+  kUnique,    ///< paths::unique_route (UPP hosts)
+  kShortest,  ///< paths::shortest_route (general hosts)
+};
+
+/// A cached skeleton: graph, routable pairs, and one route per pair.
+struct SkeletonPool {
+  Instance skeleton;  ///< empty family over the pooled graph
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> pairs;
+  std::vector<paths::Dipath> routes;  ///< routes[i] serves pairs[i]
+};
+
+SkeletonPool build_pool(Instance skeleton, RouteKind kind) {
+  SkeletonPool pool;
+  pool.skeleton = std::move(skeleton);
+  const auto& g = *pool.skeleton.graph;
+  const auto closure = graph::transitive_closure(g);
+  for (graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (u != v && closure[u].test(v)) pool.pairs.emplace_back(u, v);
+    }
+  }
+  pool.routes.reserve(pool.pairs.size());
+  for (const auto& [u, v] : pool.pairs) {
+    const auto route = kind == RouteKind::kUnique
+                           ? paths::unique_route(g, u, v)
+                           : paths::shortest_route(g, u, v);
+    WDAG_ASSERT(route.has_value(), "skeleton pool: lost route");
+    pool.routes.push_back(*route);
+  }
+  return pool;
+}
+
+/// Cached entries per thread before a cache resets; parameter sweeps can
+/// touch many keys, and rebuilding a pool is cheap next to holding
+/// thousands of dead ones.
+constexpr std::size_t kMaxCachedSkeletons = 64;
+
+/// The per-thread pool for `key`, built on first use with `make`.
+template <class Make>
+const SkeletonPool& pooled(const std::string& key, RouteKind kind,
+                           const Make& make) {
+  thread_local std::map<std::string, SkeletonPool> pools;
+  const auto it = pools.find(key);
+  if (it != pools.end()) return it->second;
+  if (pools.size() >= kMaxCachedSkeletons) pools.clear();
+  return pools.emplace(key, build_pool(make(), kind)).first->second;
+}
+
+/// Samples `count` requests from the pool (one rng.index per request,
+/// matching the uncached generators' RNG consumption).
+Instance sample_pool(const SkeletonPool& pool, Xoshiro256& rng,
+                     std::size_t count) {
+  WDAG_REQUIRE(!pool.pairs.empty(), "skeleton pool: no routable pair");
+  Instance inst;
+  inst.graph = pool.skeleton.graph;
+  inst.family = paths::DipathFamily(*inst.graph);
+  for (std::size_t i = 0; i < count; ++i) {
+    inst.family.add_unchecked(pool.routes[rng.index(pool.pairs.size())]);
+  }
+  return inst;
+}
+
+/// A fully deterministic instance (fixed family, no RNG), cached per
+/// thread and returned by copy; the host graph is shared.
+template <class Make>
+Instance fixed_instance_cached(const std::string& key, const Make& make) {
+  thread_local std::map<std::string, Instance> cache;
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  if (cache.size() >= kMaxCachedSkeletons) cache.clear();
+  return cache.emplace(key, make()).first->second;
+}
+
+std::string upp_key(const UppCycleParams& p) {
+  return std::to_string(p.k) + "," + std::to_string(p.run_len) + "," +
+         std::to_string(p.chain_in) + "," + std::to_string(p.chain_out);
+}
 
 Instance random_upp_mix(const WorkloadParams& p, Xoshiro256& rng) {
   // A mixed UPP workload covering every dispatch regime a UPP host can
@@ -29,19 +123,32 @@ Instance random_upp_mix(const WorkloadParams& p, Xoshiro256& rng) {
   const std::size_t count = 1 + static_cast<std::size_t>(rng.below(
                                     std::max<std::size_t>(1, p.paths)));
   const std::uint64_t pick = rng.below(10);
-  if (pick < 4) return random_upp_one_cycle_instance(rng, up, count);
+  if (pick < 4) {
+    // Same skeleton, pairs and unique routes as
+    // random_upp_one_cycle_instance, pooled per parameter key.
+    return sample_pool(
+        pooled("upp1:" + upp_key(up), RouteKind::kUnique,
+               [&] { return upp_one_cycle_skeleton(up); }),
+        rng, count);
+  }
   if (pick < 6) {
     Instance inst = Instance::over(random_out_tree(rng, p.size));
     inst.family = random_request_family(rng, *inst.graph, count);
     return inst;
   }
   if (pick < 8) {
-    return theorem2_instance(2 + static_cast<std::size_t>(rng.below(3)));
+    const std::size_t k = 2 + static_cast<std::size_t>(rng.below(3));
+    return fixed_instance_cached("t2:" + std::to_string(k),
+                                 [&] { return theorem2_instance(k); });
   }
-  Instance inst = upp_multi_cycle_skeleton(
-      2 + static_cast<std::size_t>(rng.below(2)), up);
-  inst.family = random_request_family(rng, *inst.graph, count);
-  return inst;
+  const std::size_t cycles = 2 + static_cast<std::size_t>(rng.below(2));
+  // random_request_family on a deterministic skeleton == shortest-route
+  // pool sampling.
+  return sample_pool(
+      pooled("uppN:" + std::to_string(cycles) + ":" + upp_key(up),
+             RouteKind::kShortest,
+             [&] { return upp_multi_cycle_skeleton(cycles, up); }),
+      rng, count);
 }
 
 }  // namespace
@@ -73,14 +180,17 @@ Instance workload_instance(const std::string& name,
     return inst;
   }
   if (name == "grid") {
-    Instance inst = Instance::over(grid_dag(p.rows, p.cols));
-    inst.family = random_request_family(rng, *inst.graph, p.paths);
-    return inst;
+    return sample_pool(
+        pooled("grid:" + std::to_string(p.rows) + "x" + std::to_string(p.cols),
+               RouteKind::kShortest,
+               [&] { return Instance::over(grid_dag(p.rows, p.cols)); }),
+        rng, p.paths);
   }
   if (name == "butterfly") {
-    Instance inst = Instance::over(butterfly(p.dim));
-    inst.family = random_request_family(rng, *inst.graph, p.paths);
-    return inst;
+    return sample_pool(pooled("bf:" + std::to_string(p.dim),
+                              RouteKind::kShortest,
+                              [&] { return Instance::over(butterfly(p.dim)); }),
+                       rng, p.paths);
   }
   if (name == "fat-chain") {
     Instance inst = Instance::over(fat_chain(p.stages, p.width));
@@ -90,16 +200,32 @@ Instance workload_instance(const std::string& name,
     return inst;
   }
   if (name == "spine") {
-    Instance inst = Instance::over(spine_with_leaves(p.size));
-    inst.family = random_request_family(rng, *inst.graph, p.paths);
-    return inst;
+    return sample_pool(
+        pooled("spine:" + std::to_string(p.size), RouteKind::kShortest,
+               [&] { return Instance::over(spine_with_leaves(p.size)); }),
+        rng, p.paths);
   }
-  if (name == "odd-cycle") return theorem2_instance(p.k);
-  if (name == "c5") return theorem2_instance(2);
-  if (name == "c7") return theorem2_instance(3);
-  if (name == "figure1") return figure1_pathological(p.k);
-  if (name == "figure3") return figure3_instance();
-  if (name == "havet") return havet_instance().replicate(p.h);
+  if (name == "odd-cycle") {
+    return fixed_instance_cached("t2:" + std::to_string(p.k),
+                                 [&] { return theorem2_instance(p.k); });
+  }
+  if (name == "c5") {
+    return fixed_instance_cached("t2:2", [] { return theorem2_instance(2); });
+  }
+  if (name == "c7") {
+    return fixed_instance_cached("t2:3", [] { return theorem2_instance(3); });
+  }
+  if (name == "figure1") {
+    return fixed_instance_cached("fig1:" + std::to_string(p.k),
+                                 [&] { return figure1_pathological(p.k); });
+  }
+  if (name == "figure3") {
+    return fixed_instance_cached("fig3", [] { return figure3_instance(); });
+  }
+  if (name == "havet") {
+    return fixed_instance_cached("havet:" + std::to_string(p.h),
+                                 [&] { return havet_instance().replicate(p.h); });
+  }
   throw wdag::InvalidArgument("unknown workload '" + name +
                               "' (see gen::workload_names())");
 }

@@ -6,22 +6,6 @@
 
 namespace wdag::graph {
 
-const Arc& Digraph::arc(ArcId a) const {
-  WDAG_REQUIRE(a < arcs_.size(), "Digraph::arc: arc id out of range");
-  return arcs_[a];
-}
-
-std::span<const ArcId> Digraph::out_arcs(VertexId v) const {
-  WDAG_REQUIRE(v < num_vertices(), "Digraph::out_arcs: vertex out of range");
-  return {out_list_.data() + out_begin_[v],
-          out_list_.data() + out_begin_[v + 1]};
-}
-
-std::span<const ArcId> Digraph::in_arcs(VertexId v) const {
-  WDAG_REQUIRE(v < num_vertices(), "Digraph::in_arcs: vertex out of range");
-  return {in_list_.data() + in_begin_[v], in_list_.data() + in_begin_[v + 1]};
-}
-
 ArcId Digraph::find_arc(VertexId u, VertexId v) const {
   WDAG_REQUIRE(u < num_vertices() && v < num_vertices(),
                "Digraph::find_arc: vertex out of range");
@@ -64,19 +48,6 @@ VertexId DigraphBuilder::vertex(const std::string& name) {
     if (names_[v] == name) return v;
   }
   return add_vertex(name);
-}
-
-void DigraphBuilder::ensure_vertex(VertexId v) {
-  if (v == kNoVertex) return;
-  while (names_.size() <= v) names_.emplace_back();
-}
-
-ArcId DigraphBuilder::add_arc(VertexId u, VertexId v) {
-  WDAG_REQUIRE(u != v, "DigraphBuilder::add_arc: self-loops are not allowed");
-  ensure_vertex(u);
-  ensure_vertex(v);
-  arcs_.push_back(Arc{u, v});
-  return static_cast<ArcId>(arcs_.size() - 1);
 }
 
 ArcId DigraphBuilder::add_arc(const std::string& u, const std::string& v) {

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace wdag::graph {
 
 using VertexId = std::uint32_t;
@@ -48,7 +50,10 @@ class Digraph {
   [[nodiscard]] std::size_t num_arcs() const { return arcs_.size(); }
 
   /// The arc with the given id.
-  [[nodiscard]] const Arc& arc(ArcId a) const;
+  [[nodiscard]] const Arc& arc(ArcId a) const {
+    WDAG_REQUIRE(a < arcs_.size(), "Digraph::arc: arc id out of range");
+    return arcs_[a];
+  }
 
   /// Tail vertex of arc a.
   [[nodiscard]] VertexId tail(ArcId a) const { return arc(a).tail; }
@@ -59,11 +64,19 @@ class Digraph {
   /// All arcs, indexed by ArcId.
   [[nodiscard]] const std::vector<Arc>& arcs() const { return arcs_; }
 
-  /// Ids of arcs leaving v, in insertion order.
-  [[nodiscard]] std::span<const ArcId> out_arcs(VertexId v) const;
+  /// Ids of arcs leaving v, in insertion order (== ascending arc id).
+  [[nodiscard]] std::span<const ArcId> out_arcs(VertexId v) const {
+    WDAG_REQUIRE(v < num_vertices(), "Digraph::out_arcs: vertex out of range");
+    return {out_list_.data() + out_begin_[v],
+            out_list_.data() + out_begin_[v + 1]};
+  }
 
-  /// Ids of arcs entering v, in insertion order.
-  [[nodiscard]] std::span<const ArcId> in_arcs(VertexId v) const;
+  /// Ids of arcs entering v, in insertion order (== ascending arc id).
+  [[nodiscard]] std::span<const ArcId> in_arcs(VertexId v) const {
+    WDAG_REQUIRE(v < num_vertices(), "Digraph::in_arcs: vertex out of range");
+    return {in_list_.data() + in_begin_[v],
+            in_list_.data() + in_begin_[v + 1]};
+  }
 
   /// Out-degree of v.
   [[nodiscard]] std::size_t out_degree(VertexId v) const { return out_arcs(v).size(); }
@@ -110,7 +123,15 @@ class DigraphBuilder {
   VertexId vertex(const std::string& name);
 
   /// Adds arc u -> v (u and v are created if needed). Returns the arc id.
-  ArcId add_arc(VertexId u, VertexId v);
+  /// Inline: generators and the split-merge recursion add arcs in tight
+  /// loops across translation units.
+  ArcId add_arc(VertexId u, VertexId v) {
+    WDAG_REQUIRE(u != v, "DigraphBuilder::add_arc: self-loops are not allowed");
+    ensure_vertex(u);
+    ensure_vertex(v);
+    arcs_.push_back(Arc{u, v});
+    return static_cast<ArcId>(arcs_.size() - 1);
+  }
 
   /// Adds arc between named vertices, creating them when absent.
   ArcId add_arc(const std::string& u, const std::string& v);
@@ -125,7 +146,10 @@ class DigraphBuilder {
   [[nodiscard]] Digraph build() const;
 
  private:
-  void ensure_vertex(VertexId v);
+  void ensure_vertex(VertexId v) {
+    if (v == kNoVertex) return;
+    if (names_.size() <= v) names_.resize(static_cast<std::size_t>(v) + 1);
+  }
 
   std::vector<Arc> arcs_;
   std::vector<std::string> names_;

@@ -9,35 +9,46 @@ namespace wdag::graph {
 
 namespace {
 
-/// Generic DFS over out- or in-arcs.
-util::DynamicBitset closure_from(const Digraph& g, VertexId v, bool forward) {
+/// Generic DFS over out- or in-arcs, writing into a reused bitset.
+void closure_into(const Digraph& g, VertexId v, bool forward,
+                  util::DynamicBitset& seen) {
   WDAG_REQUIRE(v < g.num_vertices(), "closure_from: vertex out of range");
-  util::DynamicBitset seen(g.num_vertices());
-  std::vector<VertexId> stack = {v};
+  seen.reset_to_zero(g.num_vertices());
+  thread_local std::vector<VertexId> stack;
+  stack.clear();
+  stack.push_back(v);
   seen.set(v);
+  const auto& all = g.arcs();
   while (!stack.empty()) {
     const VertexId u = stack.back();
     stack.pop_back();
     const auto arcs = forward ? g.out_arcs(u) : g.in_arcs(u);
     for (ArcId a : arcs) {
-      const VertexId w = forward ? g.head(a) : g.tail(a);
+      const VertexId w = forward ? all[a].head : all[a].tail;
       if (!seen.test(w)) {
         seen.set(w);
         stack.push_back(w);
       }
     }
   }
-  return seen;
 }
 
 }  // namespace
 
 util::DynamicBitset descendants(const Digraph& g, VertexId v) {
-  return closure_from(g, v, /*forward=*/true);
+  util::DynamicBitset seen;
+  closure_into(g, v, /*forward=*/true, seen);
+  return seen;
 }
 
 util::DynamicBitset ancestors(const Digraph& g, VertexId v) {
-  return closure_from(g, v, /*forward=*/false);
+  util::DynamicBitset seen;
+  closure_into(g, v, /*forward=*/false, seen);
+  return seen;
+}
+
+void ancestors_into(const Digraph& g, VertexId v, util::DynamicBitset& out) {
+  closure_into(g, v, /*forward=*/false, out);
 }
 
 std::vector<util::DynamicBitset> transitive_closure(const Digraph& g) {

@@ -17,6 +17,10 @@ util::DynamicBitset descendants(const Digraph& g, VertexId v);
 /// Vertices that reach v by a (possibly empty) dipath; includes v.
 util::DynamicBitset ancestors(const Digraph& g, VertexId v);
 
+/// ancestors(), written into a caller-owned bitset (resized in place) so
+/// per-request routing loops can reuse one buffer.
+void ancestors_into(const Digraph& g, VertexId v, util::DynamicBitset& out);
+
 /// Full transitive closure: row v is descendants(g, v).
 /// Computed with bitset DP over the reverse topological order when g is a
 /// DAG (O(n*m/64)), falling back to per-vertex DFS otherwise.

@@ -16,10 +16,11 @@ std::optional<std::vector<VertexId>> topological_sort(const Digraph& g) {
     if (indeg[v] == 0) order.push_back(v);
   }
   // `order` doubles as the BFS queue: elements are never removed.
+  const auto& arcs = g.arcs();
   for (std::size_t qi = 0; qi < order.size(); ++qi) {
     const VertexId u = order[qi];
     for (ArcId a : g.out_arcs(u)) {
-      const VertexId w = g.head(a);
+      const VertexId w = arcs[a].head;
       if (--indeg[w] == 0) order.push_back(w);
     }
   }
@@ -44,19 +45,23 @@ std::vector<std::uint32_t> topo_positions(const Digraph& g,
 }
 
 std::vector<ArcId> arcs_in_tail_topo_order(const Digraph& g) {
+  std::vector<ArcId> arcs;
+  arcs_in_tail_topo_order_into(g, arcs);
+  return arcs;
+}
+
+void arcs_in_tail_topo_order_into(const Digraph& g, std::vector<ArcId>& out) {
   const auto order = topological_sort(g);
   WDAG_REQUIRE(order.has_value(), "arcs_in_tail_topo_order: input is not a DAG");
-  std::vector<ArcId> arcs;
-  arcs.reserve(g.num_arcs());
+  out.clear();
+  out.reserve(g.num_arcs());
   for (VertexId v : *order) {
-    auto out = g.out_arcs(v);
-    std::vector<ArcId> sorted(out.begin(), out.end());
-    std::sort(sorted.begin(), sorted.end());
-    for (ArcId a : sorted) arcs.push_back(a);
+    // out_arcs() already lists arcs in ascending id order (ids are handed
+    // out in insertion order and the CSR fill preserves it).
+    for (ArcId a : g.out_arcs(v)) out.push_back(a);
   }
-  WDAG_ASSERT(arcs.size() == g.num_arcs(),
+  WDAG_ASSERT(out.size() == g.num_arcs(),
               "arcs_in_tail_topo_order: arc count mismatch");
-  return arcs;
 }
 
 }  // namespace wdag::graph

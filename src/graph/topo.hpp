@@ -32,4 +32,8 @@ std::vector<std::uint32_t> topo_positions(const Digraph& g,
 /// the remaining graph.
 std::vector<ArcId> arcs_in_tail_topo_order(const Digraph& g);
 
+/// arcs_in_tail_topo_order(), written into a caller-owned buffer so hot
+/// loops (the Theorem-1 replay runs once per batch instance) can reuse it.
+void arcs_in_tail_topo_order_into(const Digraph& g, std::vector<ArcId>& out);
+
 }  // namespace wdag::graph

@@ -1,7 +1,6 @@
 #include "paths/dipath.hpp"
 
 #include <algorithm>
-#include <set>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -33,13 +32,30 @@ std::vector<VertexId> path_vertices(const Digraph& g, const Dipath& p) {
 
 bool is_valid_dipath(const Digraph& g, const Dipath& p) {
   if (p.empty()) return false;
-  std::set<VertexId> seen;
   for (std::size_t i = 0; i < p.arcs.size(); ++i) {
     if (p.arcs[i] >= g.num_arcs()) return false;
     if (i > 0 && g.head(p.arcs[i - 1]) != g.tail(p.arcs[i])) return false;
-    if (!seen.insert(g.tail(p.arcs[i])).second) return false;
   }
-  return seen.insert(g.head(p.arcs.back())).second;
+  // Vertex-repetition check. The visited vertices are the arc tails plus
+  // the final head; typical dipaths are a handful of arcs, so a quadratic
+  // scan beats a set, with a sort fallback for long paths.
+  const std::size_t len = p.arcs.size();
+  if (len <= 32) {
+    for (std::size_t i = 0; i < len; ++i) {
+      const VertexId vi = g.tail(p.arcs[i]);
+      for (std::size_t j = i + 1; j < len; ++j) {
+        if (vi == g.tail(p.arcs[j])) return false;
+      }
+      if (vi == g.head(p.arcs.back())) return false;
+    }
+    return true;
+  }
+  std::vector<VertexId> seen;
+  seen.reserve(len + 1);
+  for (const ArcId a : p.arcs) seen.push_back(g.tail(a));
+  seen.push_back(g.head(p.arcs.back()));
+  std::sort(seen.begin(), seen.end());
+  return std::adjacent_find(seen.begin(), seen.end()) == seen.end();
 }
 
 bool contains_arc(const Dipath& p, ArcId a) {

@@ -4,15 +4,16 @@
 
 namespace wdag::paths {
 
-const graph::Digraph& DipathFamily::graph() const {
-  WDAG_REQUIRE(graph_ != nullptr, "DipathFamily: no host graph set");
-  return *graph_;
-}
-
 PathId DipathFamily::add(Dipath p) {
   WDAG_REQUIRE(graph_ != nullptr, "DipathFamily::add: no host graph set");
   WDAG_REQUIRE(is_valid_dipath(*graph_, p),
                "DipathFamily::add: not a valid dipath of the host graph");
+  paths_.push_back(std::move(p));
+  return static_cast<PathId>(paths_.size() - 1);
+}
+
+PathId DipathFamily::add_unchecked(Dipath p) {
+  WDAG_REQUIRE(graph_ != nullptr, "DipathFamily::add: no host graph set");
   paths_.push_back(std::move(p));
   return static_cast<PathId>(paths_.size() - 1);
 }
@@ -23,11 +24,6 @@ PathId DipathFamily::add_through(const std::vector<graph::VertexId>& vertices) {
 
 PathId DipathFamily::add_through_names(const std::vector<std::string>& names) {
   return add(dipath_through_names(graph(), names));
-}
-
-const Dipath& DipathFamily::path(PathId id) const {
-  WDAG_REQUIRE(id < paths_.size(), "DipathFamily::path: id out of range");
-  return paths_[id];
 }
 
 DipathFamily DipathFamily::replicate(std::size_t h) const {
@@ -55,6 +51,27 @@ std::vector<std::vector<PathId>> arc_incidence(const DipathFamily& family) {
     for (graph::ArcId a : family.path(id).arcs) inc[a].push_back(id);
   }
   return inc;
+}
+
+void arc_incidence_csr(const DipathFamily& family,
+                       std::vector<std::uint32_t>& offsets,
+                       std::vector<PathId>& ids) {
+  const std::size_t num_arcs = family.graph().num_arcs();
+  offsets.assign(num_arcs + 1, 0);
+  std::size_t total = 0;
+  for (const Dipath& p : family.paths()) {
+    for (graph::ArcId a : p.arcs) ++offsets[a + 1];
+    total += p.arcs.size();
+  }
+  for (std::size_t a = 0; a < num_arcs; ++a) offsets[a + 1] += offsets[a];
+  ids.resize(total);
+  // Second pass fills each group front-to-back; iterating paths in id
+  // order keeps every group sorted by path id, matching arc_incidence.
+  thread_local std::vector<std::uint32_t> cursor;
+  cursor.assign(offsets.begin(), offsets.end() - 1);
+  for (PathId id = 0; id < family.size(); ++id) {
+    for (graph::ArcId a : family.path(id).arcs) ids[cursor[a]++] = id;
+  }
 }
 
 }  // namespace wdag::paths

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "paths/dipath.hpp"
+#include "util/check.hpp"
 
 namespace wdag::paths {
 
@@ -23,10 +24,19 @@ class DipathFamily {
   explicit DipathFamily(const graph::Digraph& g) : graph_(&g) {}
 
   /// Host graph. Throws when the family was default-constructed.
-  [[nodiscard]] const graph::Digraph& graph() const;
+  [[nodiscard]] const graph::Digraph& graph() const {
+    WDAG_REQUIRE(graph_ != nullptr, "DipathFamily: no host graph set");
+    return *graph_;
+  }
 
   /// Adds a dipath (validated); returns its id.
   PathId add(Dipath p);
+
+  /// Adds a dipath the caller guarantees to be valid, skipping the
+  /// per-arc validation walk. For internal hot paths (e.g. the split-merge
+  /// recursion re-wrapping paths it just transformed); everything else
+  /// should use add().
+  PathId add_unchecked(Dipath p);
 
   /// Adds a dipath through the given vertices.
   PathId add_through(const std::vector<graph::VertexId>& vertices);
@@ -39,7 +49,10 @@ class DipathFamily {
   [[nodiscard]] bool empty() const { return paths_.empty(); }
 
   /// The dipath with the given id.
-  [[nodiscard]] const Dipath& path(PathId id) const;
+  [[nodiscard]] const Dipath& path(PathId id) const {
+    WDAG_REQUIRE(id < paths_.size(), "DipathFamily::path: id out of range");
+    return paths_[id];
+  }
 
   /// All dipaths, indexed by PathId.
   [[nodiscard]] const std::vector<Dipath>& paths() const { return paths_; }
@@ -60,5 +73,29 @@ class DipathFamily {
 /// This inverted index is the workhorse for load computation, conflict
 /// graph construction and the Theorem-1 chain recoloring.
 std::vector<std::vector<PathId>> arc_incidence(const DipathFamily& family);
+
+/// Flat (CSR) form of arc_incidence: after the call, the members of arc
+/// a's group are ids[offsets[a] .. offsets[a+1]), in increasing path-id
+/// order — the same grouping arc_incidence materializes, minus the
+/// per-arc vector allocations. Caller-owned buffers are resized in place,
+/// so hot loops can reuse them across instances.
+void arc_incidence_csr(const DipathFamily& family,
+                       std::vector<std::uint32_t>& offsets,
+                       std::vector<PathId>& ids);
+
+/// Calls fn(members, count) once per arc in arc-id order, where `members`
+/// points at the arc's path ids (increasing). The pointer is only valid
+/// for the duration of the call; groups may be empty. Uses thread-local
+/// scratch, so no allocation after warm-up — which also means fn must not
+/// itself call for_each_arc_group.
+template <class Fn>
+void for_each_arc_group(const DipathFamily& family, Fn&& fn) {
+  thread_local std::vector<std::uint32_t> offsets;
+  thread_local std::vector<PathId> ids;
+  arc_incidence_csr(family, offsets, ids);
+  for (std::size_t a = 0; a + 1 < offsets.size(); ++a) {
+    fn(ids.data() + offsets[a], offsets[a + 1] - offsets[a]);
+  }
+}
 
 }  // namespace wdag::paths

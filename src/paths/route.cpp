@@ -1,7 +1,6 @@
 #include "paths/route.hpp"
 
 #include <algorithm>
-#include <queue>
 
 #include "graph/reachability.hpp"
 #include "util/check.hpp"
@@ -19,7 +18,8 @@ std::optional<Dipath> unique_route(const Digraph& g, VertexId u, VertexId v) {
   // Cone of vertices that still reach v; in a UPP-DAG each cone vertex has
   // at most one out-arc staying inside the cone (two would yield two
   // dipaths to v), so the route is a greedy walk.
-  const auto cone = graph::ancestors(g, v);
+  thread_local util::DynamicBitset cone;
+  graph::ancestors_into(g, v, cone);
   if (!cone.test(u)) return std::nullopt;
   Dipath p;
   VertexId cur = u;
@@ -47,24 +47,27 @@ std::optional<Dipath> shortest_route(const Digraph& g, VertexId u, VertexId v) {
   WDAG_REQUIRE(u != v, "shortest_route: requests must have distinct endpoints");
   // BFS from u; the parent arc of each vertex is the smallest-id arc from
   // the earliest-reached predecessor, which yields the lexicographically
-  // smallest shortest path when arcs are scanned in id order.
-  std::vector<ArcId> parent(g.num_vertices(), graph::kNoArc);
-  std::vector<std::int32_t> dist(g.num_vertices(), -1);
-  std::queue<VertexId> q;
+  // smallest shortest path when arcs are scanned in id order. out_arcs()
+  // already lists arcs in ascending id order (ids are assigned in
+  // insertion order and the CSR fill preserves it), so no per-vertex sort.
+  thread_local std::vector<ArcId> parent;
+  thread_local std::vector<std::int32_t> dist;
+  thread_local std::vector<VertexId> queue;
+  parent.assign(g.num_vertices(), graph::kNoArc);
+  dist.assign(g.num_vertices(), -1);
+  queue.clear();
+  std::size_t qhead = 0;
   dist[u] = 0;
-  q.push(u);
-  while (!q.empty()) {
-    const VertexId x = q.front();
-    q.pop();
+  queue.push_back(u);
+  while (qhead < queue.size()) {
+    const VertexId x = queue[qhead++];
     if (x == v) break;
-    std::vector<ArcId> out(g.out_arcs(x).begin(), g.out_arcs(x).end());
-    std::sort(out.begin(), out.end());
-    for (ArcId a : out) {
+    for (ArcId a : g.out_arcs(x)) {
       const VertexId w = g.head(a);
       if (dist[w] == -1) {
         dist[w] = dist[x] + 1;
         parent[w] = a;
-        q.push(w);
+        queue.push_back(w);
       }
     }
   }

@@ -13,6 +13,17 @@ void DynamicBitset::clear_all() {
   for (auto& w : data_) w = 0;
 }
 
+void DynamicBitset::reset_to_zero(std::size_t bits) {
+  const std::size_t need = (bits + 63) / 64;
+  if (need <= data_.size()) {
+    data_.resize(need);
+    for (auto& w : data_) w = 0;
+  } else {
+    data_.assign(need, 0);
+  }
+  bits_ = bits;
+}
+
 void DynamicBitset::set_all() {
   for (auto& w : data_) w = ~std::uint64_t{0};
   if (bits_ % 64 != 0 && !data_.empty()) {
@@ -66,6 +77,11 @@ DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
   return *this;
 }
 
+void DynamicBitset::or_into(DynamicBitset& dst) const {
+  WDAG_REQUIRE(bits_ <= dst.bits_, "DynamicBitset: or_into target too small");
+  for (std::size_t i = 0; i < data_.size(); ++i) dst.data_[i] |= data_[i];
+}
+
 void DynamicBitset::and_not(const DynamicBitset& other) {
   WDAG_REQUIRE(bits_ == other.bits_, "DynamicBitset: size mismatch in and_not");
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] &= ~other.data_[i];
@@ -88,6 +104,35 @@ std::size_t DynamicBitset::find_next(std::size_t i) const {
   while (true) {
     if (cur != 0) {
       return w * 64 + static_cast<std::size_t>(std::countr_zero(cur));
+    }
+    if (++w >= data_.size()) return bits_;
+    cur = data_[w];
+  }
+}
+
+std::size_t DynamicBitset::find_first_zero() const {
+  for (std::size_t w = 0; w < data_.size(); ++w) {
+    if (data_[w] != ~std::uint64_t{0}) {
+      const std::size_t i =
+          w * 64 + static_cast<std::size_t>(std::countr_one(data_[w]));
+      return std::min(i, bits_);  // tail zeros past size() do not count
+    }
+  }
+  return bits_;
+}
+
+std::size_t DynamicBitset::find_next_zero(std::size_t i) const {
+  ++i;
+  if (i >= bits_) return bits_;
+  std::size_t w = i / 64;
+  // Ones below position i hide the already-scanned prefix of the word.
+  std::uint64_t cur =
+      data_[w] | ((i % 64) == 0 ? 0 : (~std::uint64_t{0} >> (64 - i % 64)));
+  while (true) {
+    if (cur != ~std::uint64_t{0}) {
+      const std::size_t j =
+          w * 64 + static_cast<std::size_t>(std::countr_one(cur));
+      return std::min(j, bits_);
     }
     if (++w >= data_.size()) return bits_;
     cur = data_[w];

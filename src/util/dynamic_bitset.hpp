@@ -20,6 +20,17 @@ class DynamicBitset {
   /// Number of bits.
   [[nodiscard]] std::size_t size() const { return bits_; }
 
+  /// Number of backing 64-bit words.
+  [[nodiscard]] std::size_t num_words() const { return data_.size(); }
+
+  /// Raw word `w` (bits [64w, 64w+64)); tail bits beyond size() are zero.
+  [[nodiscard]] std::uint64_t word(std::size_t w) const { return data_[w]; }
+
+  /// Re-targets the bitset to `bits` zero bits, reusing the backing
+  /// storage when it is already large enough. The scratch-arena primitive:
+  /// inner loops call this instead of constructing fresh bitsets.
+  void reset_to_zero(std::size_t bits);
+
   /// Sets every bit to zero.
   void clear_all();
 
@@ -29,6 +40,14 @@ class DynamicBitset {
   void set(std::size_t i);
   void reset(std::size_t i);
   [[nodiscard]] bool test(std::size_t i) const;
+
+  /// Unchecked variants for inner loops that already guarantee i < size().
+  void set_unchecked(std::size_t i) {
+    data_[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  [[nodiscard]] bool test_unchecked(std::size_t i) const {
+    return (data_[i / 64] >> (i % 64)) & 1;
+  }
 
   /// Number of set bits.
   [[nodiscard]] std::size_t count() const;
@@ -42,6 +61,11 @@ class DynamicBitset {
   /// this |= other (sizes must match).
   DynamicBitset& operator|=(const DynamicBitset& other);
 
+  /// dst |= this, word-parallel, where dst may be larger than this.
+  /// The group-OR conflict-graph build uses it to splat one arc group's
+  /// membership mask into every member's adjacency row.
+  void or_into(DynamicBitset& dst) const;
+
   /// this &= other (sizes must match).
   DynamicBitset& operator&=(const DynamicBitset& other);
 
@@ -53,6 +77,13 @@ class DynamicBitset {
 
   /// Index of the first set bit strictly after i, or size() when none.
   [[nodiscard]] std::size_t find_next(std::size_t i) const;
+
+  /// Index of the first zero bit, or size() when all bits are one.
+  /// First-fit color selection is one call on the neighbor-color mask.
+  [[nodiscard]] std::size_t find_first_zero() const;
+
+  /// Index of the first zero bit strictly after i, or size() when none.
+  [[nodiscard]] std::size_t find_next_zero(std::size_t i) const;
 
   /// Indices of all set bits in increasing order.
   [[nodiscard]] std::vector<std::size_t> to_indices() const;

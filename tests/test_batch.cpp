@@ -12,6 +12,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "conflict/coloring.hpp"
@@ -235,6 +238,66 @@ TEST(BatchOptionsTest, RejectsZeroChunk) {
   std::vector<paths::DipathFamily> families(1, paths::DipathFamily(g));
   EXPECT_THROW(core::solve_batch(families, SolveOptions{}, opts),
                wdag::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming sink + constant-memory mode.
+// ---------------------------------------------------------------------------
+
+/// Reads a whole file into a string.
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(BatchStreamingTest, StreamedCsvMatchesInMemoryCsvAtAnyThreadCount) {
+  const std::string path =
+      testing::TempDir() + "/wdag_stream_test.csv";
+  BatchOptions in_memory;
+  in_memory.seed = 4242;
+  in_memory.threads = 1;
+  const BatchReport reference = core::solve_generated_batch(
+      97, mixed_instance, SolveOptions{}, in_memory);
+  const std::string want = reference.rows_table(false).to_csv();
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    BatchOptions streaming = in_memory;
+    streaming.threads = threads;
+    streaming.keep_entries = false;
+    streaming.stream_csv = path;
+    const BatchReport report = core::solve_generated_batch(
+        97, mixed_instance, SolveOptions{}, streaming);
+    EXPECT_EQ(slurp(path), want) << "threads=" << threads;
+    EXPECT_TRUE(report.entries.empty());
+    EXPECT_EQ(report.instance_count, 97u);
+  }
+}
+
+TEST(BatchStreamingTest, DroppedEntriesKeepAggregatesExact) {
+  BatchOptions keep;
+  keep.seed = 777;
+  keep.threads = 2;
+  const BatchReport full = core::solve_generated_batch(
+      64, mixed_instance, SolveOptions{}, keep);
+
+  BatchOptions drop = keep;
+  drop.keep_entries = false;
+  const BatchReport lean = core::solve_generated_batch(
+      64, mixed_instance, SolveOptions{}, drop);
+
+  EXPECT_TRUE(lean.entries.empty());
+  EXPECT_EQ(lean.instance_count, full.instance_count);
+  EXPECT_EQ(lean.failure_count, full.failure_count);
+  EXPECT_EQ(lean.optimal_count, full.optimal_count);
+  EXPECT_EQ(lean.total_wavelengths, full.total_wavelengths);
+  EXPECT_EQ(lean.total_load, full.total_load);
+  for (const Method m : {Method::kTheorem1, Method::kSplitMerge,
+                         Method::kDsatur, Method::kExact}) {
+    EXPECT_EQ(lean.count(m), full.count(m));
+  }
 }
 
 }  // namespace

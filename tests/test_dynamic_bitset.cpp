@@ -121,6 +121,103 @@ TEST(DynamicBitsetTest, EmptyBitset) {
   EXPECT_EQ(b.size(), 0u);
   EXPECT_TRUE(b.none());
   EXPECT_EQ(b.find_first(), 0u);
+  EXPECT_EQ(b.find_first_zero(), 0u);
+  EXPECT_EQ(b.find_next_zero(0), 0u);
+}
+
+TEST(DynamicBitsetTest, FindFirstZeroBasics) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.find_first_zero(), 0u);
+  b.set(0);
+  EXPECT_EQ(b.find_first_zero(), 1u);
+  for (std::size_t i = 0; i < 65; ++i) b.set(i);
+  EXPECT_EQ(b.find_first_zero(), 65u);  // crosses the first word boundary
+}
+
+TEST(DynamicBitsetTest, FindFirstZeroAllOnes) {
+  // All bits one: no zero before size(), and the zero tail bits of the
+  // last word must not be reported.
+  for (const std::size_t n : {1u, 63u, 64u, 65u, 128u, 130u}) {
+    DynamicBitset b(n);
+    b.set_all();
+    EXPECT_EQ(b.find_first_zero(), n) << "n=" << n;
+    EXPECT_EQ(b.find_next_zero(0), n) << "n=" << n;
+  }
+}
+
+TEST(DynamicBitsetTest, FindNextZeroWalksHoles) {
+  DynamicBitset b(200);
+  b.set_all();
+  b.reset(5);
+  b.reset(64);
+  b.reset(199);
+  EXPECT_EQ(b.find_first_zero(), 5u);
+  EXPECT_EQ(b.find_next_zero(5), 64u);
+  EXPECT_EQ(b.find_next_zero(64), 199u);
+  EXPECT_EQ(b.find_next_zero(199), 200u);
+}
+
+TEST(DynamicBitsetTest, FindNextZeroAtWordEdges) {
+  DynamicBitset b(129);
+  b.set_all();
+  b.reset(63);
+  b.reset(128);
+  EXPECT_EQ(b.find_next_zero(62), 63u);
+  EXPECT_EQ(b.find_next_zero(63), 128u);
+  EXPECT_EQ(b.find_next_zero(128), 129u);
+}
+
+TEST(DynamicBitsetTest, ZeroScanMatchesLinearScan) {
+  DynamicBitset b(193);
+  for (std::size_t i = 0; i < 193; i += 3) b.set(i);
+  std::vector<std::size_t> linear;
+  for (std::size_t i = 0; i < 193; ++i) {
+    if (!b.test(i)) linear.push_back(i);
+  }
+  std::vector<std::size_t> scanned;
+  for (std::size_t i = b.find_first_zero(); i < b.size();
+       i = b.find_next_zero(i)) {
+    scanned.push_back(i);
+  }
+  EXPECT_EQ(scanned, linear);
+}
+
+TEST(DynamicBitsetTest, OrIntoLargerTarget) {
+  DynamicBitset src(70), dst(140);
+  src.set(1);
+  src.set(69);
+  dst.set(100);
+  src.or_into(dst);
+  EXPECT_TRUE(dst.test(1));
+  EXPECT_TRUE(dst.test(69));
+  EXPECT_TRUE(dst.test(100));
+  EXPECT_EQ(dst.count(), 3u);
+  DynamicBitset small(10);
+  EXPECT_THROW(dst.or_into(small), wdag::InvalidArgument);
+}
+
+TEST(DynamicBitsetTest, ResetToZeroReusesStorage) {
+  DynamicBitset b(128);
+  b.set_all();
+  b.reset_to_zero(70);  // shrink: all clear at the new size
+  EXPECT_EQ(b.size(), 70u);
+  EXPECT_TRUE(b.none());
+  b.set(69);
+  b.reset_to_zero(300);  // grow: still all clear
+  EXPECT_EQ(b.size(), 300u);
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.find_first_zero(), 0u);
+}
+
+TEST(DynamicBitsetTest, WordAccessors) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.num_words(), 3u);
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_EQ(b.word(0), std::uint64_t{1});
+  EXPECT_EQ(b.word(1), std::uint64_t{1});
+  EXPECT_EQ(b.word(2), std::uint64_t{1} << 1);
 }
 
 }  // namespace
