@@ -1,0 +1,47 @@
+# api-surface check: stage ONLY the public headers (the WDAG_PUBLIC_HEADERS
+# manifest in the top-level CMakeLists.txt) into an empty include dir and
+# syntax-check every example against it — no src/ include path. An
+# internal header leaking into the umbrella (or an example reaching past
+# wdag/wdag.hpp) fails here instead of shipping.
+#
+# Invoked by the `api_surface` ctest entry as:
+#   cmake -DWDAG_SOURCE_DIR=... -DWDAG_STAGE_DIR=... -DWDAG_CXX=...
+#         -DWDAG_HEADERS=a.hpp,b.hpp,... -DWDAG_SOURCES=x.cpp,y.cpp,...
+#         -P ApiSurfaceCheck.cmake
+# (comma-separated lists, to survive the test-command quoting)
+
+foreach(var WDAG_SOURCE_DIR WDAG_STAGE_DIR WDAG_CXX WDAG_HEADERS WDAG_SOURCES)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "api-surface: ${var} must be defined")
+  endif()
+endforeach()
+
+string(REPLACE "," ";" headers "${WDAG_HEADERS}")
+string(REPLACE "," ";" sources "${WDAG_SOURCES}")
+
+file(REMOVE_RECURSE "${WDAG_STAGE_DIR}")
+foreach(h IN LISTS headers)
+  if(NOT EXISTS "${WDAG_SOURCE_DIR}/src/${h}")
+    message(FATAL_ERROR "api-surface: public header src/${h} is missing")
+  endif()
+  get_filename_component(dir "${h}" DIRECTORY)
+  file(COPY "${WDAG_SOURCE_DIR}/src/${h}"
+       DESTINATION "${WDAG_STAGE_DIR}/${dir}")
+endforeach()
+
+foreach(s IN LISTS sources)
+  execute_process(
+    COMMAND "${WDAG_CXX}" -std=c++20 -Wall -Wextra -fsyntax-only
+            "-I${WDAG_STAGE_DIR}" "${WDAG_SOURCE_DIR}/${s}"
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "api-surface: ${s} does not compile against the public headers alone."
+      " Either the umbrella leaked an internal include, or a new public"
+      " header is missing from WDAG_PUBLIC_HEADERS.\n${err}")
+  endif()
+endforeach()
+
+message(STATUS "api-surface: every example compiles against the "
+               "installed public headers alone")

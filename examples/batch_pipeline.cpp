@@ -1,51 +1,53 @@
-// Example: drive the parallel batch engine from code.
+// Example: drive the parallel batch engine through the public API.
 //
-// Generates a mixed UPP workload with the shared workload factory, fans it
-// out over the thread pool with deterministic per-chunk seeding, and
-// prints the dispatch histogram plus the aggregate JSON report — the
-// library-level equivalent of `wdag batch --gen random-upp`.
+// One wdag::Engine owns the pool and the per-worker arenas for the whole
+// process. A BatchRequest names a generated workload; result sinks
+// receive every per-instance row in strict instance order — here an
+// AggregateSink folds per-strategy totals while a CsvStreamSink captures
+// the deterministic row bytes, both in one pass over the batch.
 
 #include <cstddef>
 #include <iostream>
+#include <sstream>
 
-#include "core/batch.hpp"
-#include "gen/workloads.hpp"
-#include "util/rng.hpp"
+#include "wdag/wdag.hpp"
 
 int main() {
   using namespace wdag;
 
-  const gen::WorkloadParams params;  // defaults; tune like the CLI flags
-  core::BatchOptions batch_options;
-  batch_options.seed = 42;
-  batch_options.chunk = 16;
-  batch_options.threads = 0;  // hardware concurrency
+  Engine engine;  // hardware-concurrency pool
 
-  const core::BatchReport report = core::solve_generated_batch(
-      400,
-      [&params](util::Xoshiro256& rng, std::size_t) {
-        return gen::workload_instance("random-upp", params, rng);
-      },
-      core::SolveOptions{}, batch_options);
+  BatchRequest request = BatchRequest::generated("random-upp", 400);
+  request.options.seed = 42;
+  request.options.chunk = 16;
+
+  // Sinks see rows in instance order at any thread count.
+  AggregateSink aggregate;
+  std::ostringstream csv;
+  CsvStreamSink csv_sink(csv);
+  request.sinks = {&aggregate, &csv_sink};
+
+  const core::BatchReport report = engine.run_batch(request);
 
   std::cout << report.histogram_table();
+  std::cout << aggregate.table();
   std::cout << "throughput: " << report.instances_per_second()
             << " instances/sec on " << report.threads_used << " threads\n";
   std::cout << report.to_json() << "\n";
 
-  // The per-instance rows (without latency) are reproducible: the same
-  // seed gives byte-identical CSV on any machine and thread count.
-  const core::BatchReport again = core::solve_generated_batch(
-      400,
-      [&params](util::Xoshiro256& rng, std::size_t) {
-        return gen::workload_instance("random-upp", params, rng);
-      },
-      core::SolveOptions{}, batch_options);
+  // The streamed rows are reproducible: the same seed gives byte-identical
+  // CSV on any machine and thread count.
+  std::ostringstream again;
+  CsvStreamSink again_sink(again);
+  BatchRequest rerun = BatchRequest::generated("random-upp", 400);
+  rerun.options.seed = 42;
+  rerun.options.chunk = 16;
+  rerun.options.keep_entries = false;  // constant memory: sinks only
+  rerun.sinks = {&again_sink};
+  (void)engine.run_batch(rerun);
+
   std::cout << "deterministic: "
-            << (report.rows_table(false).to_csv() ==
-                        again.rows_table(false).to_csv()
-                    ? "yes"
-                    : "NO — this is a bug")
+            << (csv.str() == again.str() ? "yes" : "NO — this is a bug")
             << "\n";
   return 0;
 }

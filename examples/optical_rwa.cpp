@@ -19,15 +19,7 @@
 #include <algorithm>
 #include <iostream>
 
-#include "core/rwa.hpp"
-#include "dag/classify.hpp"
-#include "gen/random_dag.hpp"
-#include "graph/graphio.hpp"
-#include "graph/reachability.hpp"
-#include "paths/load.hpp"
-#include "util/cli.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
+#include "wdag/wdag.hpp"
 
 int main(int argc, char** argv) {
   using namespace wdag;

@@ -20,12 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "core/solver.hpp"
-#include "dag/classify.hpp"
-#include "paths/load.hpp"
-#include "paths/route.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
+#include "wdag/wdag.hpp"
 
 int main(int argc, char** argv) {
   using namespace wdag;
@@ -79,7 +74,8 @@ int main(int argc, char** argv) {
     if (route) streams.add(*route);
   }
 
-  const auto res = core::solve(streams);
+  Engine engine;
+  const SolveResponse res = engine.submit(SolveRequest::of(streams));
 
   util::Table t("channel allocation", {"quantity", "value"});
   t.add_row({std::string("streams"), static_cast<long long>(streams.size())});
@@ -87,7 +83,7 @@ int main(int argc, char** argv) {
              static_cast<long long>(res.load)});
   t.add_row({std::string("channels required (w)"),
              static_cast<long long>(res.wavelengths)});
-  t.add_row({std::string("method"), core::method_name(res.method)});
+  t.add_row({std::string("strategy"), res.strategy_name});
   t.add_row({std::string("provably minimal"),
              std::string(res.optimal ? "yes (Theorem 1)" : "no")});
   std::cout << t.to_text() << '\n';

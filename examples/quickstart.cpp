@@ -1,18 +1,16 @@
-// Quickstart: the library in ~60 lines.
+// Quickstart: the public API in ~60 lines.
 //
-// Builds a small optical DAG, routes three requests, asks the solver for a
-// wavelength assignment, and prints the certificate: since the topology has
-// no internal cycle, the number of wavelengths provably equals the load
-// (Bermond & Cosnard, IPDPS 2007, Theorem 1).
+// Builds a small optical DAG, routes three requests, hands the family to
+// a wdag::Engine, and prints the certificate: since the topology has no
+// internal cycle, the engine dispatches to the Theorem-1 strategy and the
+// number of wavelengths provably equals the load (Bermond & Cosnard,
+// IPDPS 2007, Theorem 1).
 //
-// Run: ./quickstart
+// Everything comes from the single umbrella header. Run: ./quickstart
 
-#include <cstdio>
 #include <iostream>
 
-#include "core/rwa.hpp"
-#include "dag/classify.hpp"
-#include "graph/digraph.hpp"
+#include "wdag/wdag.hpp"
 
 int main() {
   using namespace wdag;
@@ -26,24 +24,39 @@ int main() {
   builder.add_arc("core", "egressY");
   const graph::Digraph g = builder.build();
 
-  // 2. Classify: which of the paper's regimes are we in?
-  const auto report = dag::classify(g);
-  std::cout << dag::report_to_string(report) << '\n';
-
-  // 3. Route three requests and assign wavelengths.
-  const std::vector<paths::Request> requests = {
-      {*g.vertex_by_name("ingressA"), *g.vertex_by_name("egressX")},
-      {*g.vertex_by_name("ingressB"), *g.vertex_by_name("egressY")},
-      {*g.vertex_by_name("ingressA"), *g.vertex_by_name("egressY")},
+  // 2. Route three requests along their (unique) dipaths.
+  paths::DipathFamily family(g);
+  const std::pair<const char*, const char*> requests[] = {
+      {"ingressA", "egressX"},
+      {"ingressB", "egressY"},
+      {"ingressA", "egressY"},
   };
-  const auto rwa = core::solve_rwa(g, requests, paths::RoutePolicy::kUnique);
+  for (const auto& [from, to] : requests) {
+    const auto route =
+        paths::unique_route(g, *g.vertex_by_name(from), *g.vertex_by_name(to));
+    family.add(*route);
+  }
+
+  // 3. One Engine per process: it owns the thread pool, the per-worker
+  //    scratch arenas and the strategy registry (Theorem 1, split-merge,
+  //    DSATUR, exact — plus anything you register).
+  Engine engine;
+  const SolveResponse response = engine.submit(SolveRequest::of(family));
 
   // 4. Inspect the result. All three requests cross the arc mux -> core,
   //    so the load is 3 — and Theorem 1 guarantees 3 wavelengths suffice.
-  std::cout << core::rwa_report(rwa);
-  if (rwa.assignment.optimal) {
-    std::cout << "\ncertificate: wavelengths == load == "
-              << rwa.assignment.load << " (Theorem 1: optimal)\n";
+  std::cout << dag::report_to_string(response.report) << '\n';
+  std::cout << "strategy:    " << response.strategy_name << '\n'
+            << "load:        " << response.load << '\n'
+            << "wavelengths: " << response.wavelengths << '\n';
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    std::cout << "  request " << i << " ("
+              << requests[i].first << " -> " << requests[i].second
+              << ") on wavelength " << response.coloring[i] << '\n';
+  }
+  if (response.optimal) {
+    std::cout << "\ncertificate: wavelengths == load == " << response.load
+              << " (Theorem 1: optimal)\n";
   }
   return 0;
 }

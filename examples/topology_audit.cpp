@@ -16,12 +16,7 @@
 #include <iostream>
 #include <sstream>
 
-#include "dag/classify.hpp"
-#include "dag/internal_cycle.hpp"
-#include "dag/upp.hpp"
-#include "graph/graphio.hpp"
-#include "paths/dipath.hpp"
-#include "util/cli.hpp"
+#include "wdag/wdag.hpp"
 
 int main(int argc, char** argv) {
   using namespace wdag;

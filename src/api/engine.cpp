@@ -1,0 +1,131 @@
+#include "api/engine.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "gen/workloads.hpp"
+#include "paths/familyio.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace wdag::api {
+
+namespace {
+
+/// Rejects unknown workload names up front, before a batch fans out and
+/// records the same error once per instance.
+void require_known_workload(const std::string& name) {
+  const auto& names = gen::workload_names();
+  WDAG_REQUIRE(!name.empty(), "GeneratorSpec: family name must be set");
+  if (std::find(names.begin(), names.end(), name) == names.end()) {
+    throw InvalidArgument("unknown generator '" + name +
+                          "' (see gen::workload_names())");
+  }
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)),
+      pool_(options_.threads),
+      arenas_(pool_.size()) {}
+
+StrategyId Engine::register_strategy(std::unique_ptr<SolverStrategy> strategy) {
+  return registry_.add(std::move(strategy));
+}
+
+SolveResponse Engine::submit(const SolveRequest& request) {
+  const int sources = (request.family != nullptr ? 1 : 0) +
+                      (request.generator.has_value() ? 1 : 0) +
+                      (request.file.empty() ? 0 : 1);
+  WDAG_REQUIRE(sources == 1,
+               "SolveRequest: set exactly one of family/generator/file");
+  const core::SolveOptions& options =
+      request.options.has_value() ? *request.options : options_.solve;
+  std::optional<StrategyId> force;
+  if (request.force_strategy.has_value()) {
+    force = registry_.find(*request.force_strategy);
+    WDAG_REQUIRE(force.has_value(), "unknown strategy '" +
+                                        *request.force_strategy +
+                                        "' (see Engine::strategies())");
+  }
+
+  if (request.family != nullptr) {
+    return solve_with(registry_, *request.family, options, force);
+  }
+  if (request.generator.has_value()) {
+    require_known_workload(request.generator->family);
+    util::Xoshiro256 rng(request.generator->seed);
+    const gen::Instance inst = gen::workload_instance(
+        request.generator->family, request.generator->params, rng);
+    return solve_with(registry_, inst.family, options, force);
+  }
+  std::ifstream in(request.file);
+  WDAG_REQUIRE(in.good(),
+               "cannot open instance file '" + request.file + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const paths::ParsedInstance parsed = paths::parse_instance_text(buf.str());
+  return solve_with(registry_, parsed.family, options, force);
+}
+
+core::BatchReport Engine::run_batch(const BatchRequest& request) {
+  WDAG_REQUIRE(!(request.generator.has_value() && request.generate != nullptr),
+               "BatchRequest: set only one of generator/generate");
+  WDAG_REQUIRE(request.families.empty() ||
+                   (!request.generator.has_value() &&
+                    request.generate == nullptr),
+               "BatchRequest: set only one of families/generator/generate");
+  const core::SolveOptions base =
+      request.solve.has_value() ? *request.solve : options_.solve;
+  std::optional<StrategyId> force;
+  if (request.force_strategy.has_value()) {
+    force = registry_.find(*request.force_strategy);
+    WDAG_REQUIRE(force.has_value(), "unknown strategy '" +
+                                        *request.force_strategy +
+                                        "' (see Engine::strategies())");
+  }
+  const bool keep_coloring = request.options.keep_colorings;
+
+  std::size_t count;
+  core::BatchItemSolver item;
+  if (request.generator.has_value() || request.generate != nullptr) {
+    if (request.generator.has_value()) {
+      require_known_workload(request.generator->family);
+    }
+    count = request.count;
+    item = [this, &request, base, force, keep_coloring](
+               util::Xoshiro256& rng, std::size_t i, core::BatchEntry& entry,
+               core::SolveScratch& scratch) {
+      try {
+        const gen::Instance inst =
+            request.generator.has_value()
+                ? gen::workload_instance(request.generator->family,
+                                         request.generator->params, rng)
+                : request.generate(rng, i);
+        solve_into_entry(entry, registry_, inst.family, base, force, scratch,
+                         keep_coloring);
+      } catch (const std::exception& e) {
+        entry.failed = true;
+        entry.error = e.what();
+      }
+    };
+  } else {
+    count = request.families.size();
+    item = [this, &request, base, force, keep_coloring](
+               util::Xoshiro256& /*rng*/, std::size_t i,
+               core::BatchEntry& entry, core::SolveScratch& scratch) {
+      solve_into_entry(entry, registry_, request.families[i], base, force,
+                       scratch, keep_coloring);
+    };
+  }
+
+  // The engine pool runs the batch; options.threads is advisory only.
+  return core::run_batch_items(count, item, request.options,
+                               registry_.names(), request.sinks, &pool_,
+                               arenas_);
+}
+
+}  // namespace wdag::api

@@ -1,0 +1,84 @@
+#pragma once
+// wdag::api::Engine — the stable session object of the public API.
+//
+// An Engine owns the worker thread pool, one SolveScratch arena per
+// worker, and a StrategyRegistry seeded with the four built-ins
+// (Theorem 1 / split-merge / DSATUR / exact). Construct one per process
+// (or per isolation domain), register any custom SolverStrategy backends,
+// then drive it:
+//
+//   wdag::api::Engine engine;
+//   auto resp  = engine.submit(SolveRequest::of(family));
+//   auto report = engine.run_batch(BatchRequest::generated("random-upp", 1000));
+//
+// submit() solves one instance on the calling thread; run_batch() fans a
+// workload out over the pool through the chunked-deterministic batch
+// engine, streaming rows into any ResultSinks in strict instance order.
+// Reports key per-strategy stats by StrategyId against the registry, so
+// registered backends show up in histograms automatically.
+//
+// Thread-safety: submit() may be called concurrently; run_batch() runs
+// one batch at a time per engine; register_strategy() must happen before
+// concurrent use (typically right after construction).
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "api/request.hpp"
+#include "api/sink.hpp"
+#include "api/strategy.hpp"
+#include "core/batch.hpp"
+#include "core/solver.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wdag::api {
+
+/// Engine construction knobs.
+struct EngineOptions {
+  /// Worker threads of the owned pool; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Default solver knobs applied to every request that does not carry
+  /// its own.
+  core::SolveOptions solve;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Worker threads of the owned pool.
+  [[nodiscard]] std::size_t threads() const { return pool_.size(); }
+
+  /// The strategy registry (built-ins plus anything registered).
+  [[nodiscard]] const StrategyRegistry& strategies() const {
+    return registry_;
+  }
+
+  /// Registers a custom backend; it takes dispatch precedence over every
+  /// earlier strategy on the hosts it declares applicable. Returns its
+  /// id. Not thread-safe with respect to concurrent solves.
+  StrategyId register_strategy(std::unique_ptr<SolverStrategy> strategy);
+
+  /// Solves one request on the calling thread. Throws
+  /// wdag::InvalidArgument on malformed requests (no source, two sources,
+  /// unknown generator/strategy names) and wdag::DomainError for hosts
+  /// outside the solvable domain (non-DAGs).
+  [[nodiscard]] SolveResponse submit(const SolveRequest& request);
+
+  /// Fans a workload out over the engine pool with deterministic
+  /// per-chunk seeding; per-instance failures are captured into entries,
+  /// not thrown. Rows reach request.sinks in strict instance order.
+  [[nodiscard]] core::BatchReport run_batch(const BatchRequest& request);
+
+ private:
+  EngineOptions options_;
+  StrategyRegistry registry_;
+  util::ThreadPool pool_;
+  std::vector<core::SolveScratch> arenas_;  ///< one per pool worker
+};
+
+}  // namespace wdag::api

@@ -1,0 +1,131 @@
+#pragma once
+// Request/response types of the public wdag API (api/engine.hpp).
+//
+// A SolveRequest describes ONE instance three interchangeable ways — an
+// inline (borrowed) dipath family, a named generator spec, or an instance
+// file — so callers, services and tests all speak the same contract. A
+// BatchRequest describes a workload of instances for the deterministic
+// chunked batch engine plus the sinks its per-instance rows stream into.
+// This stable instance/request seam is what lets workloads and backends
+// multiply without churning every call site (cf. the IPC benchmark
+// lesson in PAPERS.md).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/solver.hpp"
+#include "dag/classify.hpp"
+#include "gen/workloads.hpp"
+#include "paths/family.hpp"
+
+namespace wdag::api {
+
+class ResultSink;
+
+/// A named generated workload: one of gen::workload_names() plus its
+/// knobs. submit() draws the single instance from Xoshiro256(seed);
+/// batches ignore `seed` and use BatchRequest::options.seed with the
+/// engine's deterministic per-chunk derivation.
+struct GeneratorSpec {
+  std::string family;              ///< workload name, e.g. "random-upp"
+  gen::WorkloadParams params{};    ///< generator knobs (unused ones ignored)
+  std::uint64_t seed = 1;          ///< RNG seed for single-instance solves
+};
+
+/// One solve. Exactly one of `family`, `generator`, `file` must be set;
+/// Engine::submit rejects ambiguous or empty requests.
+struct SolveRequest {
+  /// Borrowed inline instance (not owned; must outlive the call).
+  const paths::DipathFamily* family = nullptr;
+  /// Generated instance.
+  std::optional<GeneratorSpec> generator;
+  /// Instance file in the paths::to_instance_text format.
+  std::string file;
+
+  /// Bypass dispatch: run the named registered strategy (built-in or
+  /// user-registered). Structural strategies still check their domain.
+  std::optional<std::string> force_strategy;
+  /// Per-request solver knobs; engine defaults when absent.
+  std::optional<core::SolveOptions> options;
+
+  static SolveRequest of(const paths::DipathFamily& f) {
+    SolveRequest r;
+    r.family = &f;
+    return r;
+  }
+  static SolveRequest generated(std::string family_name,
+                                gen::WorkloadParams params = {},
+                                std::uint64_t seed = 1) {
+    SolveRequest r;
+    r.generator = GeneratorSpec{std::move(family_name), params, seed};
+    return r;
+  }
+  static SolveRequest from_file(std::string path) {
+    SolveRequest r;
+    r.file = std::move(path);
+    return r;
+  }
+};
+
+/// A solved request.
+struct SolveResponse {
+  conflict::Coloring coloring;   ///< wavelength per path id
+  std::size_t paths = 0;         ///< family size
+  std::size_t wavelengths = 0;   ///< colors used
+  std::size_t load = 0;          ///< pi(G,P), always a lower bound on w
+  bool optimal = false;          ///< wavelengths provably equals w(G,P)
+  core::StrategyId strategy = 0; ///< registry id of the winning strategy
+  std::string strategy_name;     ///< its display name
+  dag::DagReport report;         ///< structural classification of the host
+  double millis = 0.0;           ///< wall-clock solve latency
+  std::string diagnostics;       ///< optional strategy note
+};
+
+/// A workload for Engine::run_batch. Exactly one source must be set:
+/// `families` (pre-built, borrowed), `generator` (named workload), or
+/// `generate` (custom callback). Generated sources additionally need
+/// `count`.
+struct BatchRequest {
+  /// Pre-built instances (borrowed; host graphs must outlive the call).
+  std::span<const paths::DipathFamily> families{};
+  /// Named generated workload (instances drawn per chunk, deterministic
+  /// in options.seed at any thread count).
+  std::optional<GeneratorSpec> generator;
+  /// Custom generator callback; same determinism contract.
+  core::InstanceGenerator generate;
+  /// Instances to generate (ignored for `families`).
+  std::size_t count = 0;
+
+  /// Chunking, seeding, entry/coloring retention and the legacy
+  /// stream_csv path. `threads` is ignored: the engine's own pool runs
+  /// the batch.
+  core::BatchOptions options{};
+  /// Borrowed sinks; each receives every per-instance row in strict
+  /// instance order, then the aggregate report (api/sink.hpp).
+  std::vector<ResultSink*> sinks;
+
+  /// Bypass dispatch for every instance, by registered strategy name.
+  std::optional<std::string> force_strategy;
+  /// Batch-wide solver knobs; engine defaults when absent.
+  std::optional<core::SolveOptions> solve;
+
+  static BatchRequest of(std::span<const paths::DipathFamily> fams) {
+    BatchRequest r;
+    r.families = fams;
+    return r;
+  }
+  static BatchRequest generated(std::string family_name, std::size_t n,
+                                gen::WorkloadParams params = {}) {
+    BatchRequest r;
+    r.generator = GeneratorSpec{std::move(family_name), params, 1};
+    r.count = n;
+    return r;
+  }
+};
+
+}  // namespace wdag::api

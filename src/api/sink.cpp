@@ -1,0 +1,179 @@
+#include "api/sink.hpp"
+
+#include <iostream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace wdag::api {
+
+namespace {
+
+/// Appends one entry as a CSV row, byte-identical to the corresponding
+/// BatchReport::rows_table(/*with_latency=*/false).to_csv() row.
+void append_csv_row(std::string& out, const core::BatchEntry& e,
+                    std::string_view strategy) {
+  out += std::to_string(e.index);
+  out += ',';
+  if (e.failed) {
+    out += "error";
+  } else {
+    out += strategy;
+  }
+  out += ',';
+  out += std::to_string(e.paths);
+  out += ',';
+  out += std::to_string(e.load);
+  out += ',';
+  out += std::to_string(e.wavelengths);
+  out += ',';
+  out += e.optimal ? '1' : '0';
+  out += '\n';
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Opens `path` for writing ('-' = stdout); returns the stream to use.
+std::ostream* open_output(const std::string& path, std::ofstream& file,
+                          const char* what) {
+  if (path == "-") return &std::cout;
+  file.open(path);
+  WDAG_REQUIRE(file.good(), std::string(what) + ": cannot open output file '" +
+                                path + "'");
+  return &file;
+}
+
+}  // namespace
+
+std::string_view ResultSink::strategy_name(core::StrategyId id) const {
+  if (id < names_.size()) return names_[id];
+  return core::builtin_strategy_name(id);
+}
+
+// --------------------------------------------------------------------------
+// CsvStreamSink
+// --------------------------------------------------------------------------
+
+CsvStreamSink::CsvStreamSink(const std::string& path)
+    : out_(open_output(path, file_, "CsvStreamSink")) {}
+
+CsvStreamSink::CsvStreamSink(std::ostream& out) : out_(&out) {}
+
+void CsvStreamSink::on_begin(const BatchStreamInfo&) {
+  *out_ << "index,method,paths,load,wavelengths,optimal\n";
+}
+
+void CsvStreamSink::row(const core::BatchEntry& entry) {
+  std::string line;
+  append_csv_row(line, entry, strategy_name(entry.strategy));
+  *out_ << line;
+}
+
+void CsvStreamSink::on_end(const core::BatchReport&) { out_->flush(); }
+
+// --------------------------------------------------------------------------
+// JsonSink
+// --------------------------------------------------------------------------
+
+JsonSink::JsonSink(const std::string& path)
+    : out_(open_output(path, file_, "JsonSink")) {}
+
+JsonSink::JsonSink(std::ostream& out) : out_(&out) {}
+
+void JsonSink::row(const core::BatchEntry& entry) {
+  std::string line = "{\"index\":" + std::to_string(entry.index);
+  if (entry.failed) {
+    line += ",\"error\":";
+    append_json_string(line, entry.error);
+  } else {
+    line += ",\"strategy\":";
+    append_json_string(line, strategy_name(entry.strategy));
+    line += ",\"paths\":" + std::to_string(entry.paths);
+    line += ",\"load\":" + std::to_string(entry.load);
+    line += ",\"wavelengths\":" + std::to_string(entry.wavelengths);
+    line += ",\"optimal\":";
+    line += entry.optimal ? "true" : "false";
+  }
+  line += "}\n";
+  *out_ << line;
+}
+
+void JsonSink::on_end(const core::BatchReport& report) {
+  *out_ << report.to_json() << "\n";
+  out_->flush();
+}
+
+// --------------------------------------------------------------------------
+// AggregateSink
+// --------------------------------------------------------------------------
+
+void AggregateSink::on_begin(const BatchStreamInfo& info) {
+  totals_ = Totals{};
+  totals_.strategy_counts.assign(
+      info.strategy_names != nullptr ? info.strategy_names->size()
+                                     : core::kBuiltinStrategyCount,
+      0);
+}
+
+void AggregateSink::row(const core::BatchEntry& entry) {
+  ++totals_.instances;
+  if (entry.failed) {
+    ++totals_.failures;
+    return;
+  }
+  if (entry.strategy < totals_.strategy_counts.size()) {
+    ++totals_.strategy_counts[entry.strategy];
+  }
+  if (entry.optimal) ++totals_.optimal;
+  totals_.total_wavelengths += entry.wavelengths;
+  totals_.total_load += entry.load;
+}
+
+util::Table AggregateSink::table() const {
+  util::Table t("aggregate", {"strategy", "count", "share"});
+  const double total = static_cast<double>(totals_.instances);
+  for (core::StrategyId id = 0; id < totals_.strategy_counts.size(); ++id) {
+    const std::size_t c = totals_.strategy_counts[id];
+    t.add_row({std::string(strategy_name(id)), static_cast<long long>(c),
+               total == 0 ? 0.0 : static_cast<double>(c) / total});
+  }
+  if (totals_.failures > 0) {
+    t.add_row({std::string("error"), static_cast<long long>(totals_.failures),
+               total == 0 ? 0.0 : static_cast<double>(totals_.failures) / total});
+  }
+  return t;
+}
+
+}  // namespace wdag::api

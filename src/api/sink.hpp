@@ -1,0 +1,145 @@
+#pragma once
+// Result sinks: where a batch's per-instance rows go.
+//
+// The batch engine delivers every row in STRICT instance order, whatever
+// the thread count — chunks finish out of order but drain through the
+// deterministic reorder window (core/batch.cpp) — so a sink writing bytes
+// produces identical output for identical seeds on any machine. Calls are
+// serialized by the engine; sinks need no locking of their own.
+//
+// Lifecycle per batch:   begin(info)  ->  row(entry) x N  ->  end(report)
+//
+// CsvStreamSink generalizes the legacy BatchOptions::stream_csv path (the
+// bytes are identical), JsonSink streams JSON-lines rows plus the final
+// aggregate report, and AggregateSink folds rows into in-memory per-
+// strategy totals for callers that never materialize entries.
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "util/table.hpp"
+
+namespace wdag::api {
+
+/// Metadata handed to ResultSink::begin before the first row. The
+/// strategy_names pointer stays valid for the duration of the batch call
+/// only; ResultSink keeps its own copy so sinks may be queried after the
+/// batch returns.
+struct BatchStreamInfo {
+  std::size_t instance_count = 0;
+  std::uint64_t seed = 0;
+  /// Strategy display names, index-aligned with BatchEntry::strategy.
+  const std::vector<std::string>* strategy_names = nullptr;
+};
+
+/// Interface every sink implements. Override row() (required) and the
+/// on_begin/on_end hooks (optional).
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Called once by the engine before the first row.
+  void begin(const BatchStreamInfo& info) {
+    info_ = info;
+    // Own the names: the report the pointer aims at may be destroyed
+    // before the caller reads the sink (e.g. a discarded run_batch
+    // return), so strategy_name() must not rely on it afterwards.
+    names_.clear();
+    if (info.strategy_names != nullptr) names_ = *info.strategy_names;
+    info_.strategy_names = &names_;
+    on_begin(info_);
+  }
+
+  /// One per-instance row, in instance order.
+  virtual void row(const core::BatchEntry& entry) = 0;
+
+  /// Called once after the last row with the aggregate report.
+  void end(const core::BatchReport& report) { on_end(report); }
+
+ protected:
+  virtual void on_begin(const BatchStreamInfo& info) { (void)info; }
+  virtual void on_end(const core::BatchReport& report) { (void)report; }
+
+  /// Display name of a row's strategy id (built-in names before begin()).
+  [[nodiscard]] std::string_view strategy_name(core::StrategyId id) const;
+  [[nodiscard]] const BatchStreamInfo& info() const { return info_; }
+
+ private:
+  BatchStreamInfo info_;
+  std::vector<std::string> names_;  ///< owned copy of *info.strategy_names
+};
+
+/// Streams per-instance CSV rows, byte-identical to
+/// BatchReport::rows_table(/*with_latency=*/false).to_csv() — and, for a
+/// fixed seed, identical at any thread count.
+class CsvStreamSink final : public ResultSink {
+ public:
+  /// Writes to `path`; '-' means stdout.
+  explicit CsvStreamSink(const std::string& path);
+  /// Writes to a caller-owned stream (not owned; must outlive the sink).
+  explicit CsvStreamSink(std::ostream& out);
+
+  void row(const core::BatchEntry& entry) override;
+
+ protected:
+  void on_begin(const BatchStreamInfo& info) override;
+  void on_end(const core::BatchReport& report) override;
+
+ private:
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+};
+
+/// Streams JSON-lines: one object per instance row, then one final line
+/// holding the aggregate report (BatchReport::to_json).
+class JsonSink final : public ResultSink {
+ public:
+  /// Writes to `path`; '-' means stdout.
+  explicit JsonSink(const std::string& path);
+  /// Writes to a caller-owned stream (not owned; must outlive the sink).
+  explicit JsonSink(std::ostream& out);
+
+  void row(const core::BatchEntry& entry) override;
+
+ protected:
+  void on_end(const core::BatchReport& report) override;
+
+ private:
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+};
+
+/// Folds rows into in-memory totals — the sink equivalent of the report
+/// aggregates, usable with keep_entries == false for constant-memory
+/// sweeps that still need per-strategy stats at the end.
+class AggregateSink final : public ResultSink {
+ public:
+  struct Totals {
+    std::size_t instances = 0;
+    std::size_t failures = 0;
+    std::size_t optimal = 0;
+    std::size_t total_wavelengths = 0;
+    std::size_t total_load = 0;
+    /// Solve count per strategy, indexed by StrategyId (registry-sized).
+    std::vector<std::size_t> strategy_counts;
+  };
+
+  void row(const core::BatchEntry& entry) override;
+
+  [[nodiscard]] const Totals& totals() const { return totals_; }
+  /// One row per strategy (name, count, share) plus failures.
+  [[nodiscard]] util::Table table() const;
+
+ protected:
+  void on_begin(const BatchStreamInfo& info) override;
+
+ private:
+  Totals totals_;
+};
+
+}  // namespace wdag::api

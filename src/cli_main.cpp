@@ -1,7 +1,8 @@
-// The wdag command-line driver.
+// The wdag command-line driver — a thin shell over the public API
+// (wdag/wdag.hpp): every command builds requests for an api::Engine.
 //
 //   wdag solve  — build (or load) one instance, solve it, print the verdict
-//   wdag batch  — fan a generated workload out over the thread pool and
+//   wdag batch  — fan a generated workload out over the engine's pool and
 //                 report the dispatch histogram, latency percentiles and
 //                 throughput; optionally stream per-instance CSV / JSON
 //   wdag sweep  — run a batch per point of a parameter range and print one
@@ -11,35 +12,24 @@
 // engine seeds each chunk independently, so identical seeds give identical
 // CSV output no matter how many threads run the batch.
 
-#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "core/batch.hpp"
-#include "core/solver.hpp"
-#include "dag/classify.hpp"
-#include "gen/instance.hpp"
-#include "gen/workloads.hpp"
-#include "paths/familyio.hpp"
-#include "paths/load.hpp"
-#include "util/check.hpp"
-#include "util/cli.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
+#include "wdag/wdag.hpp"
 
 namespace {
 
 using wdag::core::BatchOptions;
 using wdag::core::BatchReport;
-using wdag::core::Method;
 using wdag::core::SolveOptions;
-using wdag::gen::Instance;
 using wdag::util::Cli;
-using wdag::util::Xoshiro256;
 
 int usage(std::ostream& os) {
   os << "wdag — wavelength assignment on DAGs (Bermond & Coudert)\n"
@@ -78,7 +68,8 @@ int usage(std::ostream& os) {
         "solver flags:\n"
         "  --exact-threshold N   exact certification cutoff (default 48)\n"
         "  --exact-budget N      exact solver node budget\n"
-        "  --force METHOD        theorem1 | split-merge | dsatur | exact\n"
+        "  --force NAME          registered strategy name: theorem1 |\n"
+        "                        split-merge | dsatur | exact\n"
         "\n"
         "batch flags:\n"
         "  --count N      instances in the batch (default 100)\n"
@@ -92,6 +83,8 @@ int usage(std::ostream& os) {
         "                 byte-identical to --csv for a fixed seed\n"
         "  --json PATH    write the aggregate report as JSON ('-' = stdout)\n"
         "  --rows         also print the per-instance table to stdout\n"
+        "  --keep-colorings    retain every instance's coloring in memory\n"
+        "                 (incompatible with --stream-csv)\n"
         "\n"
         "sweep flags:\n"
         "  --param NAME   paths | size | density | k (generator knob to vary)\n"
@@ -99,26 +92,22 @@ int usage(std::ostream& os) {
   return 2;
 }
 
-/// The generator family name plus its knobs, read once from the CLI.
-struct GenParams {
-  std::string name;
-  wdag::gen::WorkloadParams knobs;
+/// Everything solve/batch/sweep read from the command line, parsed once —
+/// one code path for generator knobs, solver knobs and batch knobs.
+struct CommonArgs {
+  wdag::GeneratorSpec gen;                ///< --gen + knobs + --seed
+  SolveOptions solve;                     ///< --exact-threshold/--exact-budget
+  BatchOptions batch;                     ///< --threads/--chunk/--seed/...
+  std::optional<std::string> force;       ///< --force strategy name
+  std::size_t count = 0;                  ///< --count
 };
 
-/// Rejects unknown --gen names up front, before a batch fans out and
-/// records the same error once per instance.
-void require_known_workload(const std::string& name) {
-  const auto& names = wdag::gen::workload_names();
-  if (std::find(names.begin(), names.end(), name) == names.end()) {
-    throw wdag::InvalidArgument("unknown generator '" + name +
-                                "' (see `wdag --help` for the list)");
-  }
-}
+CommonArgs read_common_args(const Cli& cli, std::size_t default_count) {
+  CommonArgs a;
 
-GenParams read_gen_params(const Cli& cli) {
-  GenParams g;
-  g.name = cli.get("gen", "");
-  auto& p = g.knobs;
+  a.gen.family = cli.get("gen", "");
+  a.gen.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  auto& p = a.gen.params;
   p.paths = static_cast<std::size_t>(cli.get_int("paths", 32));
   p.size = static_cast<std::size_t>(cli.get_int("size", 24));
   p.density = cli.get_double("density", 0.2);
@@ -132,44 +121,33 @@ GenParams read_gen_params(const Cli& cli) {
   p.dim = static_cast<std::size_t>(cli.get_int("dim", 3));
   p.stages = static_cast<std::size_t>(cli.get_int("stages", 4));
   p.h = static_cast<std::size_t>(cli.get_int("h", 2));
-  return g;
-}
 
-/// Builds one instance of the named family from `rng` (gen/workloads.hpp;
-/// paper instances ignore the RNG, random families consume it).
-Instance make_instance(const GenParams& g, Xoshiro256& rng) {
-  return wdag::gen::workload_instance(g.name, g.knobs, rng);
-}
-
-SolveOptions read_solve_options(const Cli& cli) {
-  SolveOptions opt;
-  opt.exact_threshold =
+  a.solve.exact_threshold =
       static_cast<std::size_t>(cli.get_int("exact-threshold", 48));
-  opt.exact_node_budget =
+  a.solve.exact_node_budget =
       static_cast<std::size_t>(cli.get_int("exact-budget", 20'000'000));
-  if (cli.has("force")) {
-    const std::string f = cli.get("force", "");
-    if (f == "theorem1") opt.force = Method::kTheorem1;
-    else if (f == "split-merge") opt.force = Method::kSplitMerge;
-    else if (f == "dsatur") opt.force = Method::kDsatur;
-    else if (f == "exact") opt.force = Method::kExact;
-    else throw wdag::InvalidArgument("unknown --force method '" + f + "'");
-  }
-  return opt;
-}
+  if (cli.has("force")) a.force = cli.get("force", "");
 
-BatchOptions read_batch_options(const Cli& cli) {
-  BatchOptions opt;
-  opt.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
-  opt.chunk = static_cast<std::size_t>(cli.get_int("chunk", 16));
-  opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  a.batch.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  a.batch.chunk = static_cast<std::size_t>(cli.get_int("chunk", 16));
+  a.batch.seed = a.gen.seed;
+  a.batch.keep_colorings = cli.has("keep-colorings");
   if (cli.has("stream-csv")) {
-    opt.stream_csv = cli.get("stream-csv", "-");
-    // Streaming exists for constant-memory sweeps; do not also hold the
-    // per-instance entries unless another flag needs them.
-    opt.keep_entries = cli.has("rows") || cli.has("csv");
+    // Streaming exists for constant-memory sweeps; holding every coloring
+    // contradicts it, so reject the combination instead of silently
+    // preferring one flag.
+    WDAG_REQUIRE(!a.batch.keep_colorings,
+                 "--stream-csv and --keep-colorings conflict: streaming "
+                 "runs at constant memory, keeping colorings does not");
+    a.batch.stream_csv = cli.get("stream-csv", "-");
+    // Do not also hold the per-instance entries unless another flag
+    // needs them.
+    a.batch.keep_entries = cli.has("rows") || cli.has("csv");
   }
-  return opt;
+
+  a.count = static_cast<std::size_t>(cli.get_int("count",
+      static_cast<std::int64_t>(default_count)));
+  return a;
 }
 
 /// Writes `text` to the path, with '-' meaning stdout.
@@ -183,9 +161,23 @@ void write_output(const std::string& path, const std::string& text) {
   out << text;
 }
 
+/// An engine configured from the parsed flags (pool size, solver knobs).
+wdag::Engine make_engine(const CommonArgs& args, std::size_t threads) {
+  wdag::EngineOptions options;
+  options.threads = threads;
+  options.solve = args.solve;
+  return wdag::Engine(options);
+}
+
 int cmd_solve(const Cli& cli) {
-  const SolveOptions solve_options = read_solve_options(cli);
-  Instance inst;
+  const CommonArgs args = read_common_args(cli, 100);
+  // One instance solves on the calling thread; no pool needed.
+  wdag::Engine engine = make_engine(args, 1);
+
+  // Materialize the instance here (rather than via SolveRequest::from_file
+  // / ::generated) so --dump can render exactly what was solved.
+  std::shared_ptr<const wdag::graph::Digraph> graph;  // keeps the host alive
+  wdag::paths::DipathFamily family;
   if (cli.has("file")) {
     const std::string path = cli.get("file", "");
     std::ifstream in(path);
@@ -193,50 +185,53 @@ int cmd_solve(const Cli& cli) {
     std::ostringstream buf;
     buf << in.rdbuf();
     auto parsed = wdag::paths::parse_instance_text(buf.str());
-    inst.graph = parsed.graph;
-    inst.family = std::move(parsed.family);
+    graph = parsed.graph;
+    family = std::move(parsed.family);
   } else {
-    Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
-    inst = make_instance(read_gen_params(cli), rng);
+    wdag::util::Xoshiro256 rng(args.gen.seed);
+    auto inst =
+        wdag::gen::workload_instance(args.gen.family, args.gen.params, rng);
+    graph = inst.graph;
+    family = std::move(inst.family);
   }
 
-  const auto result = wdag::core::solve(inst.family, solve_options);
-  std::cout << wdag::dag::report_to_string(result.report) << "\n";
+  wdag::SolveRequest request = wdag::SolveRequest::of(family);
+  request.force_strategy = args.force;
+
+  const wdag::SolveResponse response = engine.submit(request);
+  std::cout << wdag::dag::report_to_string(response.report) << "\n";
   wdag::util::Table verdict("solve verdict",
                             {"method", "paths", "load", "wavelengths",
                              "optimal"});
-  verdict.add_row({wdag::core::method_name(result.method),
-                   static_cast<long long>(inst.family.size()),
-                   static_cast<long long>(result.load),
-                   static_cast<long long>(result.wavelengths),
-                   static_cast<long long>(result.optimal ? 1 : 0)});
+  verdict.add_row({response.strategy_name,
+                   static_cast<long long>(response.paths),
+                   static_cast<long long>(response.load),
+                   static_cast<long long>(response.wavelengths),
+                   static_cast<long long>(response.optimal ? 1 : 0)});
   std::cout << verdict;
   if (cli.has("show-coloring")) {
     std::cout << "coloring:";
-    for (const auto c : result.coloring) std::cout << ' ' << c;
+    for (const auto c : response.coloring) std::cout << ' ' << c;
     std::cout << "\n";
   }
   if (cli.has("dump")) {
-    std::cout << wdag::paths::to_instance_text(inst.family);
+    std::cout << wdag::paths::to_instance_text(family);
   }
   return 0;
 }
 
 int cmd_batch(const Cli& cli) {
-  const GenParams params = read_gen_params(cli);
-  WDAG_REQUIRE(!params.name.empty(), "batch requires --gen NAME");
-  require_known_workload(params.name);
-  const SolveOptions solve_options = read_solve_options(cli);
-  const BatchOptions batch_options = read_batch_options(cli);
-  const std::size_t count =
-      static_cast<std::size_t>(cli.get_int("count", 100));
+  const CommonArgs args = read_common_args(cli, 100);
+  WDAG_REQUIRE(!args.gen.family.empty(), "batch requires --gen NAME");
+  wdag::Engine engine = make_engine(args, args.batch.threads);
 
-  const BatchReport report = wdag::core::solve_generated_batch(
-      count,
-      [&params](Xoshiro256& rng, std::size_t) {
-        return make_instance(params, rng);
-      },
-      solve_options, batch_options);
+  wdag::BatchRequest request;
+  request.generator = args.gen;
+  request.count = args.count;
+  request.options = args.batch;
+  request.force_strategy = args.force;
+
+  const BatchReport report = engine.run_batch(request);
 
   if (cli.has("rows")) std::cout << report.rows_table();
   std::cout << report.histogram_table();
@@ -262,17 +257,13 @@ int cmd_batch(const Cli& cli) {
 }
 
 int cmd_sweep(const Cli& cli) {
-  GenParams params = read_gen_params(cli);
-  WDAG_REQUIRE(!params.name.empty(), "sweep requires --gen NAME");
-  require_known_workload(params.name);
-  const SolveOptions solve_options = read_solve_options(cli);
-  const BatchOptions batch_options = read_batch_options(cli);
+  CommonArgs args = read_common_args(cli, 64);
+  WDAG_REQUIRE(!args.gen.family.empty(), "sweep requires --gen NAME");
   // Each sweep point opens (and truncates) the stream path, so all but
   // the last point's rows would be lost — reject rather than surprise.
-  WDAG_REQUIRE(batch_options.stream_csv.empty(),
+  WDAG_REQUIRE(args.batch.stream_csv.empty(),
                "sweep does not support --stream-csv (each point would "
                "overwrite the file); use --csv for the sweep table");
-  const std::size_t count = static_cast<std::size_t>(cli.get_int("count", 64));
   const std::string param = cli.get("param", "paths");
   const double from = cli.get_double("from", 8);
   const double to = cli.get_double("to", 64);
@@ -280,33 +271,38 @@ int cmd_sweep(const Cli& cli) {
   WDAG_REQUIRE(step > 0, "sweep --step must be positive");
   WDAG_REQUIRE(from <= to, "sweep needs --from <= --to");
 
+  // One engine for the whole sweep: the pool and per-worker arenas
+  // persist across points.
+  wdag::Engine engine = make_engine(args, args.batch.threads);
+
   wdag::util::Table table(
-      "sweep over --" + param + " (" + params.name + ")",
+      "sweep over --" + param + " (" + args.gen.family + ")",
       {param, "instances", "theorem1", "split-merge", "dsatur", "exact",
        "failures", "avg_load", "avg_w", "inst_per_s"});
   for (double value = from; value <= to + 1e-9; value += step) {
-    if (param == "paths") params.knobs.paths = static_cast<std::size_t>(value);
-    else if (param == "size") params.knobs.size = static_cast<std::size_t>(value);
-    else if (param == "density") params.knobs.density = value;
-    else if (param == "k") params.knobs.k = static_cast<std::size_t>(value);
+    auto& knobs = args.gen.params;
+    if (param == "paths") knobs.paths = static_cast<std::size_t>(value);
+    else if (param == "size") knobs.size = static_cast<std::size_t>(value);
+    else if (param == "density") knobs.density = value;
+    else if (param == "k") knobs.k = static_cast<std::size_t>(value);
     else throw wdag::InvalidArgument("unknown sweep --param '" + param + "'");
 
-    const BatchReport report = wdag::core::solve_generated_batch(
-        count,
-        [&params](Xoshiro256& rng, std::size_t) {
-          return make_instance(params, rng);
-        },
-        solve_options, batch_options);
+    wdag::BatchRequest request;
+    request.generator = args.gen;
+    request.count = args.count;
+    request.options = args.batch;
+    request.force_strategy = args.force;
+    const BatchReport report = engine.run_batch(request);
+
     const double solved = static_cast<double>(report.instance_count -
                                               report.failure_count);
     std::vector<wdag::util::Cell> row;
     row.emplace_back(value);
     row.emplace_back(static_cast<long long>(report.instance_count));
-    row.emplace_back(static_cast<long long>(report.count(Method::kTheorem1)));
-    row.emplace_back(
-        static_cast<long long>(report.count(Method::kSplitMerge)));
-    row.emplace_back(static_cast<long long>(report.count(Method::kDsatur)));
-    row.emplace_back(static_cast<long long>(report.count(Method::kExact)));
+    row.emplace_back(static_cast<long long>(report.count("theorem1")));
+    row.emplace_back(static_cast<long long>(report.count("split-merge")));
+    row.emplace_back(static_cast<long long>(report.count("dsatur")));
+    row.emplace_back(static_cast<long long>(report.count("exact")));
     row.emplace_back(static_cast<long long>(report.failure_count));
     row.emplace_back(
         solved > 0 ? static_cast<double>(report.total_load) / solved : 0.0);

@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
-#include <iostream>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <utility>
 
+#include "api/sink.hpp"
+#include "api/strategy.hpp"
 #include "conflict/coloring.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -25,72 +26,55 @@ util::Xoshiro256 chunk_rng(std::uint64_t seed, std::size_t chunk_index) {
   return util::Xoshiro256(mix.next());
 }
 
-/// Solves one instance into its pre-allocated entry slot; never throws.
+/// Solves one instance into its pre-allocated entry slot over the
+/// built-in registry; never throws. One shared implementation with the
+/// Engine path (api::solve_into_entry).
 void solve_into(BatchEntry& entry, const paths::DipathFamily& family,
-                const SolveOptions& solve_options, bool keep_coloring) {
-  const util::Timer timer;
-  try {
-    SolveResult result = solve(family, solve_options);
-    entry.method = result.method;
-    entry.paths = family.size();
-    entry.load = result.load;
-    entry.wavelengths = result.wavelengths;
-    entry.optimal = result.optimal;
-    if (keep_coloring) entry.coloring = std::move(result.coloring);
-  } catch (const std::exception& e) {
-    entry.failed = true;
-    entry.error = e.what();
-    entry.paths = family.size();
+                const SolveOptions& solve_options, SolveScratch& scratch,
+                bool keep_coloring) {
+  std::optional<StrategyId> force;
+  if (solve_options.force.has_value()) {
+    force = strategy_id(*solve_options.force);
   }
-  entry.millis = timer.millis();
+  api::solve_into_entry(entry, api::builtin_registry(), family,
+                        solve_options, force, scratch, keep_coloring);
 }
 
-/// Appends one entry as a CSV row, byte-identical to the corresponding
-/// rows_table(/*with_latency=*/false).to_csv() row.
-void append_csv_row(std::string& out, const BatchEntry& e) {
-  out += std::to_string(e.index);
-  out += ',';
-  out += e.failed ? "error" : method_name(e.method);
-  out += ',';
-  out += std::to_string(e.paths);
-  out += ',';
-  out += std::to_string(e.load);
-  out += ',';
-  out += std::to_string(e.wavelengths);
-  out += ',';
-  out += e.optimal ? '1' : '0';
-  out += '\n';
+/// A sink-bound copy of an entry: everything a row renders, minus the
+/// (potentially large) coloring.
+BatchEntry row_copy(const BatchEntry& e) {
+  BatchEntry copy;
+  copy.index = e.index;
+  copy.strategy = e.strategy;
+  copy.paths = e.paths;
+  copy.load = e.load;
+  copy.wavelengths = e.wavelengths;
+  copy.optimal = e.optimal;
+  copy.failed = e.failed;
+  copy.error = e.error;
+  copy.millis = e.millis;
+  return copy;
 }
 
-/// In-order streaming CSV writer: chunks may finish in any order on any
-/// number of workers, but rows leave the process strictly in instance
-/// order through a reorder window keyed by chunk index — so the streamed
-/// bytes match the in-memory rows_table CSV for a fixed seed at any
-/// thread count.
-class StreamingCsvSink {
+/// In-order sink dispatcher: chunks may finish in any order on any number
+/// of workers, but rows reach every sink strictly in instance order
+/// through a reorder window keyed by chunk index — so sink output is
+/// identical for a fixed seed at any thread count.
+class InOrderDispatcher {
  public:
-  explicit StreamingCsvSink(const std::string& path) {
-    if (path == "-") {
-      out_ = &std::cout;
-    } else {
-      file_.open(path);
-      WDAG_REQUIRE(file_.good(),
-                   "stream_csv: cannot open output file '" + path + "'");
-      out_ = &file_;
-    }
-    *out_ << "index,method,paths,load,wavelengths,optimal\n";
-  }
+  explicit InOrderDispatcher(std::span<api::ResultSink* const> sinks)
+      : sinks_(sinks) {}
 
-  void submit(std::size_t chunk_index, std::string rows) {
+  void submit(std::size_t chunk_index, std::vector<BatchEntry> rows) {
     const std::lock_guard<std::mutex> lock(mu_);
     if (chunk_index != next_) {
       pending_.emplace(chunk_index, std::move(rows));
       return;
     }
-    *out_ << rows;
+    deliver(rows);
     ++next_;
     while (!pending_.empty() && pending_.begin()->first == next_) {
-      *out_ << pending_.begin()->second;
+      deliver(pending_.begin()->second);
       pending_.erase(pending_.begin());
       ++next_;
     }
@@ -98,16 +82,20 @@ class StreamingCsvSink {
 
   void finish() {
     const std::lock_guard<std::mutex> lock(mu_);
-    WDAG_ASSERT(pending_.empty(), "stream_csv: chunks missing at finish");
-    out_->flush();
+    WDAG_ASSERT(pending_.empty(), "batch sinks: chunks missing at finish");
   }
 
  private:
-  std::ofstream file_;
-  std::ostream* out_ = nullptr;
+  void deliver(const std::vector<BatchEntry>& rows) {
+    for (const BatchEntry& e : rows) {
+      for (api::ResultSink* sink : sinks_) sink->row(e);
+    }
+  }
+
+  std::span<api::ResultSink* const> sinks_;
   std::mutex mu_;
   std::size_t next_ = 0;
-  std::map<std::size_t, std::string> pending_;
+  std::map<std::size_t, std::vector<BatchEntry>> pending_;
 };
 
 /// Aggregates folded in under a mutex when entries are not kept
@@ -115,16 +103,21 @@ class StreamingCsvSink {
 /// successful instance instead of a full BatchEntry.
 struct StreamAccum {
   std::mutex mu;
-  std::size_t method_counts[4] = {0, 0, 0, 0};
+  std::vector<std::size_t> strategy_counts;
   std::size_t optimal = 0;
   std::size_t failures = 0;
   std::size_t wavelengths = 0;
   std::size_t load = 0;
   std::vector<double> latencies;
 
+  explicit StreamAccum(std::size_t strategies)
+      : strategy_counts(strategies, 0) {}
+
   void fold(const StreamAccum& part) {
     const std::lock_guard<std::mutex> lock(mu);
-    for (std::size_t m = 0; m < 4; ++m) method_counts[m] += part.method_counts[m];
+    for (std::size_t s = 0; s < strategy_counts.size(); ++s) {
+      strategy_counts[s] += part.strategy_counts[s];
+    }
     optimal += part.optimal;
     failures += part.failures;
     wavelengths += part.wavelengths;
@@ -138,7 +131,7 @@ struct StreamAccum {
       ++failures;
       return;
     }
-    ++method_counts[static_cast<std::size_t>(e.method)];
+    if (e.strategy < strategy_counts.size()) ++strategy_counts[e.strategy];
     if (e.optimal) ++optimal;
     wavelengths += e.wavelengths;
     load += e.load;
@@ -178,7 +171,9 @@ void aggregate_entries(BatchReport& report) {
       ++report.failure_count;
       continue;
     }
-    ++report.method_counts[static_cast<std::size_t>(e.method)];
+    if (e.strategy < report.strategy_counts.size()) {
+      ++report.strategy_counts[e.strategy];
+    }
     if (e.optimal) ++report.optimal_count;
     report.total_wavelengths += e.wavelengths;
     report.total_load += e.load;
@@ -187,71 +182,12 @@ void aggregate_entries(BatchReport& report) {
   fill_latency(report, latencies);
 }
 
-/// The core batch driver shared by solve_batch and solve_generated_batch:
-/// fixed deterministic chunks, per-worker scratch arena, optional
-/// streaming CSV sink and optional entry dropping. `solve_chunk_item` is
-/// called as (rng, index, entry, solve_options) and must fill the entry.
-template <class SolveItem>
-BatchReport run_batch(std::size_t count, const SolveOptions& solve_options,
-                      const BatchOptions& batch_options,
-                      const SolveItem& solve_item) {
-  WDAG_REQUIRE(batch_options.chunk >= 1, "BatchOptions::chunk must be >= 1");
-  BatchReport report;
-  report.instance_count = count;
-  const bool keep = batch_options.keep_entries;
-  if (keep) report.entries.resize(count);
-
-  std::unique_ptr<StreamingCsvSink> sink;
-  if (!batch_options.stream_csv.empty()) {
-    sink = std::make_unique<StreamingCsvSink>(batch_options.stream_csv);
-  }
-  StreamAccum accum;
-
-  const util::Timer timer;
-  util::ThreadPool pool(batch_options.threads);
-  report.threads_used = pool.size();
-  util::parallel_fixed_chunks(
-      pool, 0, count, batch_options.chunk,
-      [&](std::size_t chunk_index, std::size_t lo, std::size_t hi) {
-        // The per-worker scratch arena: pool threads persist across
-        // chunks, so every instance this worker touches reuses the same
-        // conflict-graph rows and entry buffers.
-        thread_local SolveScratch scratch;
-        SolveOptions opts = solve_options;
-        opts.scratch = &scratch;
-
-        util::Xoshiro256 rng = chunk_rng(batch_options.seed, chunk_index);
-        StreamAccum part;
-        std::string csv;
-        BatchEntry local;
-        for (std::size_t i = lo; i < hi; ++i) {
-          BatchEntry& entry = keep ? report.entries[i] : local;
-          if (!keep) entry = BatchEntry{};
-          entry.index = i;
-          solve_item(rng, i, entry, opts);
-          if (!keep) part.add(entry);
-          if (sink) append_csv_row(csv, entry);
-        }
-        if (!keep) accum.fold(part);
-        if (sink) sink->submit(chunk_index, std::move(csv));
-      });
-  if (sink) sink->finish();
-
-  if (keep) {
-    aggregate_entries(report);
-  } else {
-    for (std::size_t m = 0; m < 4; ++m) {
-      report.method_counts[m] = accum.method_counts[m];
-    }
-    report.optimal_count = accum.optimal;
-    report.failure_count = accum.failures;
-    report.total_wavelengths = accum.wavelengths;
-    report.total_load = accum.load;
-    fill_latency(report, accum.latencies);
-  }
-  report.wall_seconds = timer.seconds();
-  report.seed = batch_options.seed;
-  return report;
+/// Display name of strategy `id` under `names`, with the built-in names as
+/// a fallback so default-constructed reports still render.
+std::string_view name_of(const std::vector<std::string>& names,
+                         StrategyId id) {
+  if (id < names.size()) return names[id];
+  return builtin_strategy_name(id);
 }
 
 }  // namespace
@@ -259,6 +195,13 @@ BatchReport run_batch(std::size_t count, const SolveOptions& solve_options,
 double BatchReport::instances_per_second() const {
   if (instance_count == 0 || wall_seconds <= 0.0) return 0.0;
   return static_cast<double>(instance_count) / wall_seconds;
+}
+
+std::size_t BatchReport::count(std::string_view name) const {
+  for (StrategyId id = 0; id < strategy_names.size(); ++id) {
+    if (strategy_names[id] == name) return count(id);
+  }
+  return 0;
 }
 
 util::Table BatchReport::rows_table(bool with_latency) const {
@@ -269,7 +212,8 @@ util::Table BatchReport::rows_table(bool with_latency) const {
   for (const BatchEntry& e : entries) {
     std::vector<util::Cell> row = {
         static_cast<long long>(e.index),
-        e.failed ? std::string("error") : method_name(e.method),
+        e.failed ? std::string("error")
+                 : std::string(name_of(strategy_names, e.strategy)),
         static_cast<long long>(e.paths),
         static_cast<long long>(e.load),
         static_cast<long long>(e.wavelengths),
@@ -285,11 +229,11 @@ util::Table BatchReport::histogram_table() const {
   // One denominator for every row (total instances) so the column sums to
   // 1 even when some instances failed.
   const double total = static_cast<double>(instance_count);
-  for (const Method m : {Method::kTheorem1, Method::kSplitMerge,
-                         Method::kDsatur, Method::kExact}) {
-    const std::size_t c = count(m);
+  for (StrategyId id = 0; id < strategy_counts.size(); ++id) {
+    const std::size_t c = strategy_counts[id];
     const double share = total == 0 ? 0.0 : static_cast<double>(c) / total;
-    table.add_row({method_name(m), static_cast<long long>(c), share});
+    table.add_row({std::string(name_of(strategy_names, id)),
+                   static_cast<long long>(c), share});
   }
   if (failure_count > 0) {
     table.add_row({std::string("error"),
@@ -313,12 +257,9 @@ std::string BatchReport::to_json() const {
   os << ",\"wall_seconds\":" << wall_seconds;
   os << ",\"instances_per_second\":" << instances_per_second();
   os << ",\"methods\":{";
-  bool first = true;
-  for (const Method m : {Method::kTheorem1, Method::kSplitMerge,
-                         Method::kDsatur, Method::kExact}) {
-    if (!first) os << ",";
-    first = false;
-    os << "\"" << method_name(m) << "\":" << count(m);
+  for (StrategyId id = 0; id < strategy_counts.size(); ++id) {
+    if (id != 0) os << ",";
+    os << "\"" << name_of(strategy_names, id) << "\":" << strategy_counts[id];
   }
   os << "}";
   os << ",\"latency_ms\":{";
@@ -332,15 +273,112 @@ std::string BatchReport::to_json() const {
   return os.str();
 }
 
+BatchReport run_batch_items(std::size_t count, const BatchItemSolver& item,
+                            const BatchOptions& options,
+                            std::vector<std::string> strategy_names,
+                            std::span<api::ResultSink* const> sinks,
+                            util::ThreadPool* pool,
+                            std::span<SolveScratch> arenas) {
+  WDAG_REQUIRE(options.chunk >= 1, "BatchOptions::chunk must be >= 1");
+  WDAG_REQUIRE(item != nullptr, "run_batch_items: item solver must be set");
+  BatchReport report;
+  report.instance_count = count;
+  report.strategy_names = std::move(strategy_names);
+  report.strategy_counts.assign(report.strategy_names.size(), 0);
+  const bool keep = options.keep_entries;
+  if (keep) report.entries.resize(count);
+
+  // The legacy stream_csv convenience is just a CsvStreamSink appended to
+  // the caller's sinks.
+  std::optional<api::CsvStreamSink> legacy_csv;
+  std::vector<api::ResultSink*> all_sinks(sinks.begin(), sinks.end());
+  if (!options.stream_csv.empty()) {
+    legacy_csv.emplace(options.stream_csv);
+    all_sinks.push_back(&*legacy_csv);
+  }
+
+  api::BatchStreamInfo info;
+  info.instance_count = count;
+  info.seed = options.seed;
+  info.strategy_names = &report.strategy_names;
+  for (api::ResultSink* sink : all_sinks) sink->begin(info);
+  InOrderDispatcher dispatcher(all_sinks);
+  const bool sinking = !all_sinks.empty();
+  StreamAccum accum(report.strategy_names.size());
+
+  const util::Timer timer;
+  std::optional<util::ThreadPool> own_pool;
+  if (pool == nullptr) {
+    own_pool.emplace(options.threads);
+    pool = &*own_pool;
+  }
+  WDAG_REQUIRE(arenas.empty() || arenas.size() >= pool->size(),
+               "run_batch_items: arenas must cover every pool worker");
+  report.threads_used = pool->size();
+  util::parallel_fixed_chunks(
+      *pool, 0, count, options.chunk,
+      [&](std::size_t chunk_index, std::size_t lo, std::size_t hi) {
+        // The per-worker scratch arena: either the caller's (indexed by
+        // pool worker, e.g. api::Engine's persistent arenas) or a
+        // thread-local fallback — pool threads persist across chunks, so
+        // every instance this worker touches reuses the same
+        // conflict-graph rows and entry buffers either way.
+        SolveScratch* scratch;
+        const int worker = util::ThreadPool::current_worker_index();
+        if (!arenas.empty() && worker >= 0 &&
+            static_cast<std::size_t>(worker) < arenas.size()) {
+          scratch = &arenas[static_cast<std::size_t>(worker)];
+        } else {
+          thread_local SolveScratch fallback;
+          scratch = &fallback;
+        }
+
+        util::Xoshiro256 rng = chunk_rng(options.seed, chunk_index);
+        StreamAccum part(accum.strategy_counts.size());
+        std::vector<BatchEntry> rows;
+        if (sinking) rows.reserve(hi - lo);
+        BatchEntry local;
+        for (std::size_t i = lo; i < hi; ++i) {
+          BatchEntry& entry = keep ? report.entries[i] : local;
+          if (!keep) entry = BatchEntry{};
+          entry.index = i;
+          item(rng, i, entry, *scratch);
+          if (!keep) part.add(entry);
+          if (sinking) rows.push_back(row_copy(entry));
+        }
+        if (!keep) accum.fold(part);
+        if (sinking) dispatcher.submit(chunk_index, std::move(rows));
+      });
+  dispatcher.finish();
+
+  if (keep) {
+    aggregate_entries(report);
+  } else {
+    report.strategy_counts = accum.strategy_counts;
+    report.optimal_count = accum.optimal;
+    report.failure_count = accum.failures;
+    report.total_wavelengths = accum.wavelengths;
+    report.total_load = accum.load;
+    fill_latency(report, accum.latencies);
+  }
+  report.wall_seconds = timer.seconds();
+  report.seed = options.seed;
+  for (api::ResultSink* sink : all_sinks) sink->end(report);
+  return report;
+}
+
 BatchReport solve_batch(std::span<const paths::DipathFamily> families,
                         const SolveOptions& solve_options,
                         const BatchOptions& batch_options) {
-  return run_batch(
-      families.size(), solve_options, batch_options,
-      [&families, &batch_options](util::Xoshiro256& /*rng*/, std::size_t i,
-                                  BatchEntry& entry, const SolveOptions& opts) {
-        solve_into(entry, families[i], opts, batch_options.keep_colorings);
-      });
+  return run_batch_items(
+      families.size(),
+      [&families, &solve_options, &batch_options](
+          util::Xoshiro256& /*rng*/, std::size_t i, BatchEntry& entry,
+          SolveScratch& scratch) {
+        solve_into(entry, families[i], solve_options, scratch,
+                   batch_options.keep_colorings);
+      },
+      batch_options, builtin_strategy_names());
 }
 
 BatchReport solve_generated_batch(std::size_t count,
@@ -348,18 +386,21 @@ BatchReport solve_generated_batch(std::size_t count,
                                   const SolveOptions& solve_options,
                                   const BatchOptions& batch_options) {
   WDAG_REQUIRE(generate != nullptr, "generator must be callable");
-  return run_batch(
-      count, solve_options, batch_options,
-      [&generate, &batch_options](util::Xoshiro256& rng, std::size_t i,
-                                  BatchEntry& entry, const SolveOptions& opts) {
+  return run_batch_items(
+      count,
+      [&generate, &solve_options, &batch_options](
+          util::Xoshiro256& rng, std::size_t i, BatchEntry& entry,
+          SolveScratch& scratch) {
         try {
           const gen::Instance inst = generate(rng, i);
-          solve_into(entry, inst.family, opts, batch_options.keep_colorings);
+          solve_into(entry, inst.family, solve_options, scratch,
+                     batch_options.keep_colorings);
         } catch (const std::exception& e) {
           entry.failed = true;
           entry.error = e.what();
         }
-      });
+      },
+      batch_options, builtin_strategy_names());
 }
 
 }  // namespace wdag::core

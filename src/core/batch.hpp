@@ -1,19 +1,28 @@
 #pragma once
 // Parallel batch solving: fan a workload of dipath-family instances out
 // over a thread pool, solve each with the dispatching solver, and
-// aggregate per-method counts and latency percentiles into a report.
+// aggregate per-strategy counts and latency percentiles into a report.
 //
 // Determinism contract (matches util/thread_pool.hpp): work is
 // partitioned into fixed contiguous chunks, every chunk derives its RNG
 // from (options.seed, chunk index) via splitmix64, and results are
 // written into per-instance slots — so a batch's report is identical for
 // identical seeds no matter how many threads run it or how the OS
-// schedules them.
+// schedules them. Result sinks (api/sink.hpp) receive rows in strict
+// instance order through the same reorder window, so streamed bytes are
+// thread-count-invariant too.
+//
+// run_batch_items is the generalized driver underneath both the legacy
+// entry points below and api::Engine::run_batch; per-instance stats are
+// keyed by StrategyId against a registry-sized count vector, so adding a
+// strategy can never silently fall off the histogram (the old
+// method_counts[4] C-array failure mode).
 
 #include <cstdint>
 #include <functional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/solver.hpp"
@@ -21,11 +30,20 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
+namespace wdag::util {
+class ThreadPool;
+}  // namespace wdag::util
+
+namespace wdag::api {
+class ResultSink;
+}  // namespace wdag::api
+
 namespace wdag::core {
 
 /// Knobs of the batch driver (solver knobs live in SolveOptions).
 struct BatchOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().
+  /// Ignored when the caller supplies its own pool (api::Engine does).
   std::size_t threads = 0;
   /// Instances per work chunk (also the granularity of deterministic
   /// seeding for generated batches). Must be >= 1.
@@ -39,20 +57,20 @@ struct BatchOptions {
   /// sweeps: aggregates (counts, totals, latency percentiles) are still
   /// exact, but report.entries stays empty and per-instance memory drops
   /// to one latency sample, so million-instance batches run at
-  /// near-constant memory. Combine with stream_csv to retain the rows.
+  /// near-constant memory. Combine with a sink to retain the rows.
   bool keep_entries = true;
-  /// When non-empty, per-instance rows are streamed to this CSV path
-  /// ('-' = stdout) as chunks finish, in instance order. The bytes are
-  /// identical to rows_table(false).to_csv() — and, for a fixed seed,
-  /// identical at any thread count: chunks are flushed through an
-  /// in-order reorder window.
+  /// DEPRECATED convenience for api::CsvStreamSink: when non-empty,
+  /// per-instance rows are streamed to this CSV path ('-' = stdout) as
+  /// chunks finish, in instance order. The bytes are identical to
+  /// rows_table(false).to_csv() — and, for a fixed seed, identical at any
+  /// thread count.
   std::string stream_csv;
 };
 
 /// Outcome of one instance inside a batch.
 struct BatchEntry {
   std::size_t index = 0;        ///< position in the input span / generation order
-  Method method = Method::kTheorem1;
+  StrategyId strategy = 0;      ///< registry id of the strategy that solved it
   std::size_t paths = 0;        ///< family size
   std::size_t load = 0;         ///< pi(G,P)
   std::size_t wavelengths = 0;  ///< colors used
@@ -77,7 +95,13 @@ struct BatchReport {
   std::vector<BatchEntry> entries;      ///< indexed by instance order; empty
                                         ///< when keep_entries was false
   std::size_t instance_count = 0;       ///< instances solved (entries may be dropped)
-  std::size_t method_counts[4] = {0, 0, 0, 0};  ///< indexed by Method
+  /// Solve count per strategy, indexed by StrategyId and sized to the
+  /// registry that ran the batch (the built-ins for the legacy entry
+  /// points below).
+  std::vector<std::size_t> strategy_counts =
+      std::vector<std::size_t>(kBuiltinStrategyCount, 0);
+  /// Strategy display names, index-aligned with strategy_counts.
+  std::vector<std::string> strategy_names = builtin_strategy_names();
   std::size_t optimal_count = 0;
   std::size_t failure_count = 0;
   std::size_t total_wavelengths = 0;    ///< sum over successful entries
@@ -90,10 +114,16 @@ struct BatchReport {
   /// Instances solved per wall-clock second (0 for an empty batch).
   [[nodiscard]] double instances_per_second() const;
 
-  /// Count for one dispatch method.
-  [[nodiscard]] std::size_t count(Method m) const {
-    return method_counts[static_cast<std::size_t>(m)];
+  /// Count for one strategy id (0 for ids past the registry).
+  [[nodiscard]] std::size_t count(StrategyId id) const {
+    return id < strategy_counts.size() ? strategy_counts[id] : 0;
   }
+  /// DEPRECATED: count for one built-in, by legacy Method value.
+  [[nodiscard]] std::size_t count(Method m) const {
+    return count(strategy_id(m));
+  }
+  /// Count for one strategy, by registered name (0 when unknown).
+  [[nodiscard]] std::size_t count(std::string_view strategy_name) const;
 
   /// Per-instance rows (index, method, paths, load, wavelengths, optimal
   /// and, with `with_latency`, millis) as a util::Table — render with
@@ -101,12 +131,41 @@ struct BatchReport {
   /// output must be byte-identical across runs of the same seed.
   [[nodiscard]] util::Table rows_table(bool with_latency = true) const;
 
-  /// One-row-per-method dispatch histogram as a util::Table.
+  /// One-row-per-strategy dispatch histogram as a util::Table.
   [[nodiscard]] util::Table histogram_table() const;
 
   /// The aggregate report as a JSON object (stable key order).
   [[nodiscard]] std::string to_json() const;
 };
+
+/// Per-instance callback of the generalized batch driver: fill `entry`
+/// for instance `index` (strategy, paths, load, wavelengths, optimal — or
+/// failed + error; never throw), drawing any randomness from `rng` and
+/// reusing `scratch` across the instances of a worker.
+using BatchItemSolver =
+    std::function<void(util::Xoshiro256& rng, std::size_t index,
+                       BatchEntry& entry, SolveScratch& scratch)>;
+
+/// The chunked-deterministic batch driver shared by the legacy entry
+/// points and api::Engine::run_batch.
+///
+///  * `strategy_names` sizes the report's per-strategy count vector and
+///    labels rows/histograms (pass the registry's names()).
+///  * `sinks` receive begin / per-row (instance order) / end callbacks;
+///    a CsvStreamSink is appended internally when options.stream_csv is
+///    set. Sink calls are serialized by the driver.
+///  * `pool` runs the chunks when non-null (its size wins over
+///    options.threads); otherwise a pool of options.threads workers is
+///    created for the call.
+///  * `arenas` are per-worker scratch arenas, indexed by the pool's
+///    worker index; when empty (or off-pool) a thread-local arena is
+///    used. Sized arenas must cover pool->size().
+BatchReport run_batch_items(std::size_t count, const BatchItemSolver& item,
+                            const BatchOptions& options,
+                            std::vector<std::string> strategy_names,
+                            std::span<api::ResultSink* const> sinks = {},
+                            util::ThreadPool* pool = nullptr,
+                            std::span<SolveScratch> arenas = {});
 
 /// Solves every family in `families` (already built; host graphs must
 /// outlive the call) and aggregates the outcomes. Exceptions thrown by the

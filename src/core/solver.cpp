@@ -1,121 +1,52 @@
 #include "core/solver.hpp"
 
-#include "conflict/conflict_graph.hpp"
-#include "conflict/exact_color.hpp"
-#include "core/split_merge.hpp"
-#include "core/theorem1.hpp"
-#include "paths/load.hpp"
-#include "util/check.hpp"
+#include <utility>
+
+#include "api/strategy.hpp"
 
 namespace wdag::core {
 
-std::string method_name(Method m) {
-  switch (m) {
-    case Method::kTheorem1:
+std::string_view builtin_strategy_name(StrategyId id) {
+  switch (id) {
+    case kStrategyTheorem1:
       return "theorem1";
-    case Method::kSplitMerge:
+    case kStrategySplitMerge:
       return "split-merge";
-    case Method::kDsatur:
+    case kStrategyDsatur:
       return "dsatur";
-    case Method::kExact:
+    case kStrategyExact:
       return "exact";
+    default:
+      return "unknown";
   }
-  return "unknown";
 }
 
-namespace {
-
-/// The conflict graph of `family`, built into the caller's scratch arena
-/// when one was provided (reusing its rows), or into a thread-local
-/// fallback otherwise.
-const conflict::ConflictGraph& conflict_graph_for(
-    const paths::DipathFamily& family, const SolveOptions& options) {
-  conflict::ConflictGraph* cg;
-  if (options.scratch != nullptr) {
-    cg = &options.scratch->conflict_graph;
-  } else {
-    thread_local conflict::ConflictGraph fallback;
-    cg = &fallback;
+std::vector<std::string> builtin_strategy_names() {
+  std::vector<std::string> names;
+  names.reserve(kBuiltinStrategyCount);
+  for (StrategyId id = 0; id < kBuiltinStrategyCount; ++id) {
+    names.emplace_back(builtin_strategy_name(id));
   }
-  cg->rebuild(family);
-  return *cg;
+  return names;
 }
 
-}  // namespace
+std::string method_name(Method m) {
+  return std::string(builtin_strategy_name(strategy_id(m)));
+}
 
 SolveResult solve(const paths::DipathFamily& family,
                   const SolveOptions& options) {
+  std::optional<StrategyId> force;
+  if (options.force.has_value()) force = strategy_id(*options.force);
+  api::SolveResponse resp = api::solve_with(
+      api::builtin_registry(), family, options, force, options.scratch);
   SolveResult res;
-  res.report = dag::classify(family.graph());
-  WDAG_DOMAIN(res.report.is_dag, "solve: the host graph must be a DAG");
-
-  const Method chosen = options.force.value_or(
-      res.report.wavelengths_equal_load() ? Method::kTheorem1
-      : res.report.is_upp                 ? Method::kSplitMerge
-                                          : Method::kDsatur);
-  // When dispatch (not --force) picked a structural method, the
-  // classification above already proved its preconditions — skip the
-  // colorers' own re-verification (is_upp is an O(n·m) DP per call).
-  const bool preverified = !options.force.has_value();
-
-  switch (chosen) {
-    case Method::kTheorem1: {
-      auto r = color_equal_load(family, preverified);
-      res.coloring = std::move(r.coloring);
-      res.wavelengths = r.wavelengths;
-      res.load = r.load;  // the structural colorers compute pi anyway
-      res.method = Method::kTheorem1;
-      res.optimal = true;  // w == pi by Theorem 1
-      return res;
-    }
-    case Method::kSplitMerge: {
-      auto r = color_upp_split_merge(family, preverified);
-      res.coloring = std::move(r.coloring);
-      res.wavelengths = r.wavelengths;
-      res.load = r.load;
-      res.method = Method::kSplitMerge;
-      res.optimal = (res.wavelengths == res.load);
-      break;
-    }
-    case Method::kDsatur: {
-      res.load = paths::max_load(family);
-      const conflict::ConflictGraph& cg = conflict_graph_for(family, options);
-      res.coloring = conflict::dsatur_coloring(cg);
-      res.wavelengths = conflict::normalize_colors(res.coloring);
-      res.method = Method::kDsatur;
-      res.optimal = (res.wavelengths == res.load);
-      break;
-    }
-    case Method::kExact: {
-      res.load = paths::max_load(family);
-      const conflict::ConflictGraph& cg = conflict_graph_for(family, options);
-      auto r = conflict::chromatic_number(cg, options.exact_node_budget);
-      res.coloring = std::move(r.coloring);
-      res.wavelengths = r.chromatic_number;
-      res.method = Method::kExact;
-      res.optimal = r.proven;
-      return res;
-    }
-  }
-
-  // Optional exact certification / improvement for small instances.
-  if (!res.optimal && options.exact_threshold > 0 &&
-      family.size() <= options.exact_threshold) {
-    const conflict::ConflictGraph& cg = conflict_graph_for(family, options);
-    auto r = conflict::chromatic_number(cg, options.exact_node_budget);
-    if (r.proven && r.chromatic_number <= res.wavelengths) {
-      res.coloring = std::move(r.coloring);
-      res.wavelengths = r.chromatic_number;
-      res.method = Method::kExact;
-      res.optimal = true;
-    }
-  }
-  // The split-merge colorer validates its assignment before returning;
-  // re-validate only the DSATUR path (and exact improvements, which the
-  // exact solver itself validates).
-  WDAG_ASSERT(res.method != Method::kDsatur ||
-                  conflict::is_valid_assignment(family, res.coloring),
-              "solve: invalid assignment escaped the dispatcher");
+  res.coloring = std::move(resp.coloring);
+  res.wavelengths = resp.wavelengths;
+  res.load = resp.load;
+  res.method = static_cast<Method>(resp.strategy);
+  res.optimal = resp.optimal;
+  res.report = resp.report;
   return res;
 }
 

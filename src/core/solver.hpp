@@ -1,7 +1,7 @@
 #pragma once
-// Top-level wavelength-assignment solver.
+// Top-level wavelength-assignment solver — the legacy single-call facade.
 //
-// Dispatches on the structural classification of the host graph:
+// Dispatch follows the structural classification of the host graph:
 //
 //   no internal cycle        -> Theorem 1: exactly pi wavelengths, optimal.
 //   UPP, internal cycles     -> split-merge (Theorem 6 and its recursion).
@@ -10,9 +10,18 @@
 //                               conflict graph is small.
 //
 // Every result carries the load lower bound and an optimality verdict.
+//
+// DEPRECATION NOTE: the dispatch now lives in the pluggable strategy
+// registry of the public API (api/strategy.hpp, api/engine.hpp; umbrella
+// header wdag/wdag.hpp). solve() below is a thin shim over the built-in
+// registry kept so pre-Engine call sites continue to compile; new code
+// should construct an api::Engine and call submit()/run_batch().
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "conflict/coloring.hpp"
 #include "dag/classify.hpp"
@@ -20,20 +29,48 @@
 
 namespace wdag::core {
 
-/// Algorithm that produced a solution.
-enum class Method {
-  kTheorem1,    ///< constructive equality w == pi
-  kSplitMerge,  ///< UPP split-merge (Theorem 6 generalization)
-  kDsatur,      ///< DSATUR heuristic on the conflict graph
-  kExact,       ///< exact branch-and-bound chromatic number
+/// Index of a solver strategy within an api::StrategyRegistry. The four
+/// built-ins occupy fixed ids 0..3 in every registry; user-registered
+/// strategies are appended after them.
+using StrategyId = std::uint32_t;
+
+inline constexpr StrategyId kStrategyTheorem1 = 0;
+inline constexpr StrategyId kStrategySplitMerge = 1;
+inline constexpr StrategyId kStrategyDsatur = 2;
+inline constexpr StrategyId kStrategyExact = 3;
+
+/// Number of built-in strategies present in every registry.
+inline constexpr std::size_t kBuiltinStrategyCount = 4;
+
+/// DEPRECATED: closed enumeration of the built-in strategies, kept so
+/// pre-registry call sites still compile. The enumerator values equal the
+/// built-in StrategyIds, so static_cast between the two is exact. New
+/// code should address strategies by id or name through the registry.
+enum class Method : StrategyId {
+  kTheorem1 = kStrategyTheorem1,      ///< constructive equality w == pi
+  kSplitMerge = kStrategySplitMerge,  ///< UPP split-merge (Theorem 6)
+  kDsatur = kStrategyDsatur,          ///< DSATUR on the conflict graph
+  kExact = kStrategyExact,            ///< exact branch-and-bound
 };
 
-/// Name of a Method for reports.
+/// The StrategyId of a legacy Method value.
+constexpr StrategyId strategy_id(Method m) {
+  return static_cast<StrategyId>(m);
+}
+
+/// Display name of a built-in strategy id ("theorem1", "split-merge",
+/// "dsatur", "exact"); "unknown" past the built-ins.
+std::string_view builtin_strategy_name(StrategyId id);
+
+/// Display names of the built-in strategies, indexed by StrategyId.
+std::vector<std::string> builtin_strategy_names();
+
+/// DEPRECATED alias of builtin_strategy_name for reports.
 std::string method_name(Method m);
 
 /// Reusable buffers a caller may hand to solve() to amortize allocations
 /// across many instances. One arena per worker thread (it is not
-/// thread-safe); the batch engine owns one per chunk loop so consecutive
+/// thread-safe); the batch engine owns one per worker so consecutive
 /// instances reuse the conflict graph's adjacency rows instead of
 /// reallocating them.
 struct SolveScratch {
@@ -48,14 +85,16 @@ struct SolveOptions {
   std::size_t exact_threshold = 48;
   /// Node budget handed to the exact solver.
   std::size_t exact_node_budget = 20'000'000;
-  /// Force a specific method (bypasses dispatch); kTheorem1/kSplitMerge
-  /// still check their structural preconditions.
+  /// Force a specific built-in (bypasses dispatch); kTheorem1/kSplitMerge
+  /// still check their structural preconditions. The Engine generalizes
+  /// this to any registered strategy via SolveRequest::force_strategy.
   std::optional<Method> force;
   /// Optional per-worker scratch arena (not owned; may be null).
   SolveScratch* scratch = nullptr;
 };
 
-/// A solved instance.
+/// A solved instance (legacy result shape; api::SolveResponse is the
+/// registry-aware equivalent).
 struct SolveResult {
   conflict::Coloring coloring;   ///< wavelength per path id
   std::size_t wavelengths = 0;   ///< colors used
@@ -69,6 +108,9 @@ struct SolveResult {
 /// The returned coloring is always valid; `optimal` reports whether the
 /// number of wavelengths is provably minimum (it always is when the host
 /// has no internal cycle, by the Main Theorem).
+///
+/// DEPRECATED shim over api::solve_with on the built-in registry; prefer
+/// api::Engine::submit (wdag/wdag.hpp).
 SolveResult solve(const paths::DipathFamily& family,
                   const SolveOptions& options = {});
 

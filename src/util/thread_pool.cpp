@@ -7,13 +7,23 @@
 
 namespace wdag::util {
 
+namespace {
+/// Which worker of its owning pool the current thread is; -1 off-pool.
+thread_local int tl_worker_index = -1;
+}  // namespace
+
+int ThreadPool::current_worker_index() { return tl_worker_index; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      tl_worker_index = static_cast<int>(i);
+      worker_loop();
+    });
   }
 }
 

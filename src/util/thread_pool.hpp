@@ -34,6 +34,11 @@ class ThreadPool {
   /// Number of worker threads.
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// Index of the calling thread within its owning pool (0..size()-1), or
+  /// -1 when the caller is not a pool worker. Lets batch drivers map a
+  /// worker to a caller-owned per-worker arena (see core/batch.cpp).
+  [[nodiscard]] static int current_worker_index();
+
   /// Enqueue a task. Tasks must not throw through the pool; wrap and store
   /// exceptions yourself (parallel_for below does this for you).
   void submit(std::function<void()> task);

@@ -1,0 +1,80 @@
+#pragma once
+// wdag/wdag.hpp — the public umbrella header.
+//
+// This is the ONLY header applications need: it pulls in the session API
+// (Engine, requests, strategies, sinks), the graph/dipath model it speaks,
+// the structural classification of the paper, the named workload
+// generators, and the small utility layer (CLI flags, RNG, tables) the
+// examples use. Everything it exposes is installed by the `install`
+// target and compile-checked against internal-header leaks by the
+// api-surface CI job — headers under src/ that are NOT reachable from
+// here are internal and may change without notice.
+//
+// Quickstart:
+//
+//   #include "wdag/wdag.hpp"
+//
+//   wdag::Engine engine;
+//   auto response = engine.submit(
+//       wdag::SolveRequest::generated("random-upp"));
+//   std::cout << response.strategy_name << ": "
+//             << response.wavelengths << " wavelengths\n";
+
+// --- The session API ------------------------------------------------------
+#include "api/engine.hpp"
+#include "api/request.hpp"
+#include "api/sink.hpp"
+#include "api/strategy.hpp"
+
+// --- Solvers (legacy single-call facade + RWA + batch types) --------------
+#include "core/batch.hpp"
+#include "core/rwa.hpp"
+#include "core/solver.hpp"
+
+// --- Structural classification (the paper's taxonomy) ---------------------
+#include "dag/classify.hpp"
+#include "dag/internal_cycle.hpp"
+#include "dag/upp.hpp"
+
+// --- Graphs and dipath families -------------------------------------------
+#include "graph/digraph.hpp"
+#include "graph/graphio.hpp"
+#include "graph/reachability.hpp"
+#include "paths/dipath.hpp"
+#include "paths/family.hpp"
+#include "paths/familyio.hpp"
+#include "paths/load.hpp"
+#include "paths/route.hpp"
+
+// --- Instance generators --------------------------------------------------
+#include "gen/instance.hpp"
+#include "gen/random_dag.hpp"
+#include "gen/workloads.hpp"
+
+// --- Utilities used by the examples ---------------------------------------
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace wdag {
+
+// Top-level convenience aliases: `wdag::Engine`, `wdag::SolveRequest`, ...
+using api::AggregateSink;
+using api::BatchRequest;
+using api::BatchStreamInfo;
+using api::CsvStreamSink;
+using api::Engine;
+using api::EngineOptions;
+using api::GeneratorSpec;
+using api::JsonSink;
+using api::ResultSink;
+using api::SolveRequest;
+using api::SolveResponse;
+using api::SolverStrategy;
+using api::StrategyContext;
+using api::StrategyRegistry;
+using api::StrategyResult;
+using core::StrategyId;
+
+}  // namespace wdag

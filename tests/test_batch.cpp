@@ -143,7 +143,7 @@ TEST(BatchDeterminismTest, IdenticalSeedsGiveIdenticalReportsAcrossThreads) {
   const BatchReport many = run(4);
   ASSERT_EQ(one.entries.size(), many.entries.size());
   for (std::size_t i = 0; i < one.entries.size(); ++i) {
-    EXPECT_EQ(one.entries[i].method, many.entries[i].method) << i;
+    EXPECT_EQ(one.entries[i].strategy, many.entries[i].strategy) << i;
     EXPECT_EQ(one.entries[i].wavelengths, many.entries[i].wavelengths) << i;
     EXPECT_EQ(one.entries[i].load, many.entries[i].load) << i;
     EXPECT_EQ(one.entries[i].optimal, many.entries[i].optimal) << i;
