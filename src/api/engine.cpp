@@ -123,7 +123,14 @@ core::BatchReport Engine::run_batch(const BatchRequest& request) {
   }
 
   // The engine pool runs the batch; options.threads is advisory only.
-  return core::run_batch_items(count, item, request.options,
+  // Unless the request brings its own cost model, the engine's
+  // persistent one sizes stealing chunks — so sweeps and repeated
+  // batches keep refining the same per-strategy estimates.
+  core::BatchOptions batch_options = request.options;
+  if (batch_options.cost_model == nullptr) {
+    batch_options.cost_model = &cost_model_;
+  }
+  return core::run_batch_items(count, item, batch_options,
                                registry_.names(), request.sinks, &pool_,
                                arenas_);
 }

@@ -29,6 +29,7 @@
 #include "api/sink.hpp"
 #include "api/strategy.hpp"
 #include "core/batch.hpp"
+#include "core/cost_model.hpp"
 #include "core/solver.hpp"
 #include "util/thread_pool.hpp"
 
@@ -70,15 +71,26 @@ class Engine {
   [[nodiscard]] SolveResponse submit(const SolveRequest& request);
 
   /// Fans a workload out over the engine pool with deterministic
-  /// per-chunk seeding; per-instance failures are captured into entries,
-  /// not thrown. Rows reach request.sinks in strict instance order.
+  /// per-instance seeding; per-instance failures are captured into
+  /// entries, not thrown. Rows reach request.sinks in strict instance
+  /// order. BatchRequest::options.schedule picks the fixed or the
+  /// cost-aware work-stealing scheduler; the engine's persistent cost
+  /// model (refined by every batch this engine runs) sizes the stealing
+  /// chunks unless the request wires in its own.
   [[nodiscard]] core::BatchReport run_batch(const BatchRequest& request);
+
+  /// The engine's persistent solve-cost model: consulted for stealing
+  /// chunk sizes and updated with every batch's observed costs.
+  [[nodiscard]] const core::CostModel& cost_model() const {
+    return cost_model_;
+  }
 
  private:
   EngineOptions options_;
   StrategyRegistry registry_;
   util::ThreadPool pool_;
   std::vector<core::SolveScratch> arenas_;  ///< one per pool worker
+  core::CostModel cost_model_;              ///< shared across batches
 };
 
 }  // namespace wdag::api

@@ -30,7 +30,7 @@ class ResultSink;
 /// A named generated workload: one of gen::workload_names() plus its
 /// knobs. submit() draws the single instance from Xoshiro256(seed);
 /// batches ignore `seed` and use BatchRequest::options.seed with the
-/// engine's deterministic per-chunk derivation.
+/// engine's deterministic per-instance derivation.
 struct GeneratorSpec {
   std::string family;              ///< workload name, e.g. "random-upp"
   gen::WorkloadParams params{};    ///< generator knobs (unused ones ignored)

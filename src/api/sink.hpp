@@ -93,6 +93,7 @@ class CsvStreamSink final : public ResultSink {
  private:
   std::ofstream file_;
   std::ostream* out_ = nullptr;
+  std::string buf_;  ///< per-row format buffer, reused across rows
 };
 
 /// Streams JSON-lines: one object per instance row, then one final line
@@ -112,6 +113,7 @@ class JsonSink final : public ResultSink {
  private:
   std::ofstream file_;
   std::ostream* out_ = nullptr;
+  std::string buf_;  ///< per-row format buffer, reused across rows
 };
 
 /// Folds rows into in-memory totals — the sink equivalent of the report

@@ -9,8 +9,9 @@
 //                 summary row per point
 //
 // Every generated workload is a deterministic function of --seed: the batch
-// engine seeds each chunk independently, so identical seeds give identical
-// CSV output no matter how many threads run the batch.
+// engine seeds each instance from (seed, index), so identical seeds give
+// identical CSV output no matter how many threads run the batch or which
+// scheduler (--schedule fixed|stealing) distributes the work.
 
 #include <cstdio>
 #include <fstream>
@@ -73,8 +74,18 @@ int usage(std::ostream& os) {
         "\n"
         "batch flags:\n"
         "  --count N      instances in the batch (default 100)\n"
-        "  --threads T    worker threads, 0 = hardware (default 0)\n"
-        "  --chunk C      instances per deterministic chunk (default 16)\n"
+        "  --threads T    worker threads; 0 = hardware concurrency\n"
+        "                 (default 0, negatives rejected)\n"
+        "  --schedule S   fixed | stealing (default fixed): fixed is the\n"
+        "                 static contiguous partition; stealing rebalances\n"
+        "                 skewed workloads over per-worker deques with\n"
+        "                 cost-aware chunk sizing. Output bytes are\n"
+        "                 identical either way for a fixed seed\n"
+        "  --chunk C      instances per chunk of the fixed schedule\n"
+        "                 (default 16; seeding is per instance, so this\n"
+        "                 never changes results)\n"
+        "  --min-chunk A  lower bound on the stealing chunk size (default 1)\n"
+        "  --max-chunk B  upper bound on the stealing chunk size (default 256)\n"
         "  --seed S       base seed (default 1)\n"
         "  --csv PATH     write per-instance rows as CSV ('-' = stdout);\n"
         "                 deterministic for a fixed seed\n"
@@ -88,7 +99,12 @@ int usage(std::ostream& os) {
         "\n"
         "sweep flags:\n"
         "  --param NAME   paths | size | density | k (generator knob to vary)\n"
-        "  --from A --to B --step S   inclusive range of the parameter\n";
+        "  --from A --to B --step S   inclusive range of the parameter\n"
+        "\n"
+        "environment:\n"
+        "  WDAG_AFFINITY  pin pool workers to CPUs (Linux): 'on' pins\n"
+        "                 worker i to cpu i, a comma list '0,2,4' cycles\n"
+        "                 through those CPUs; unset/'off' leaves the OS free\n";
   return 2;
 }
 
@@ -128,8 +144,32 @@ CommonArgs read_common_args(const Cli& cli, std::size_t default_count) {
       static_cast<std::size_t>(cli.get_int("exact-budget", 20'000'000));
   if (cli.has("force")) a.force = cli.get("force", "");
 
-  a.batch.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
-  a.batch.chunk = static_cast<std::size_t>(cli.get_int("chunk", 16));
+  // --threads 0 means hardware concurrency (the ThreadPool contract);
+  // reject negatives instead of letting the size_t cast wrap them into
+  // an absurd worker count.
+  const std::int64_t threads = cli.get_int("threads", 0);
+  WDAG_REQUIRE(threads >= 0,
+               "--threads must be >= 0 (0 = hardware concurrency), got " +
+                   std::to_string(threads));
+  a.batch.threads = static_cast<std::size_t>(threads);
+  const std::int64_t chunk = cli.get_int("chunk", 16);
+  WDAG_REQUIRE(chunk >= 1,
+               "--chunk must be >= 1, got " + std::to_string(chunk));
+  a.batch.chunk = static_cast<std::size_t>(chunk);
+  const std::string schedule = cli.get("schedule", "fixed");
+  if (schedule == "stealing") {
+    a.batch.schedule = wdag::core::Schedule::kStealing;
+  } else {
+    WDAG_REQUIRE(schedule == "fixed",
+                 "--schedule must be 'fixed' or 'stealing', got '" +
+                     schedule + "'");
+  }
+  const std::int64_t min_chunk = cli.get_int("min-chunk", 1);
+  const std::int64_t max_chunk = cli.get_int("max-chunk", 256);
+  WDAG_REQUIRE(min_chunk >= 1 && max_chunk >= min_chunk,
+               "--min-chunk/--max-chunk need 1 <= min <= max");
+  a.batch.min_chunk = static_cast<std::size_t>(min_chunk);
+  a.batch.max_chunk = static_cast<std::size_t>(max_chunk);
   a.batch.seed = a.gen.seed;
   a.batch.keep_colorings = cli.has("keep-colorings");
   if (cli.has("stream-csv")) {

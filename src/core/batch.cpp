@@ -1,6 +1,7 @@
 #include "core/batch.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -12,17 +13,22 @@
 #include "api/sink.hpp"
 #include "api/strategy.hpp"
 #include "conflict/coloring.hpp"
+#include "core/cost_model.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "util/work_stealing.hpp"
 
 namespace wdag::core {
 
 namespace {
 
-/// Mixes the batch seed with a chunk index into an independent RNG stream.
-util::Xoshiro256 chunk_rng(std::uint64_t seed, std::size_t chunk_index) {
-  util::SplitMix64 mix(seed ^ (0x9E3779B97F4A7C15ULL * (chunk_index + 1)));
+/// Mixes the batch seed with an instance index into an independent RNG
+/// stream. Keyed by instance (not chunk, not worker), so the stream — and
+/// therefore every generated instance — is identical whatever the chunk
+/// geometry or scheduler.
+util::Xoshiro256 instance_rng(std::uint64_t seed, std::size_t index) {
+  util::SplitMix64 mix(seed ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
   return util::Xoshiro256(mix.next());
 }
 
@@ -60,29 +66,69 @@ BatchEntry row_copy(const BatchEntry& e) {
 /// of workers, but rows reach every sink strictly in instance order
 /// through a reorder window keyed by chunk index — so sink output is
 /// identical for a fixed seed at any thread count.
+///
+/// The window is BOUNDED: a worker submitting an out-of-order chunk while
+/// kMaxPendingChunks are already buffered blocks until the straggler
+/// drains, so a streaming (keep_entries = false) million-instance batch
+/// stays at bounded memory even when one early chunk is orders of
+/// magnitude slower than the rest (the skewed workloads the stealing
+/// scheduler targets). Deadlock-free: both schedulers execute chunks in
+/// ascending order per worker, so the next-undelivered chunk is always
+/// running (or about to run) on some worker that cannot itself be blocked
+/// here — its submit is in order and is never made to wait.
 class InOrderDispatcher {
  public:
+  /// Out-of-order chunks buffered before submitters are backpressured.
+  static constexpr std::size_t kMaxPendingChunks = 256;
+
   explicit InOrderDispatcher(std::span<api::ResultSink* const> sinks)
       : sinks_(sinks) {}
 
   void submit(std::size_t chunk_index, std::vector<BatchEntry> rows) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    // While this submitter waited, next_ may have advanced up to its own
+    // chunk — in which case it must deliver, not buffer, or the rows
+    // would be stranded in pending_ behind an already-passed next_.
+    drained_.wait(lock, [this, chunk_index] {
+      return failed_ || chunk_index == next_ ||
+             pending_.size() < kMaxPendingChunks;
+    });
+    if (failed_) return;  // poisoned: drop rows, never block
     if (chunk_index != next_) {
       pending_.emplace(chunk_index, std::move(rows));
       return;
     }
-    deliver(rows);
-    ++next_;
-    while (!pending_.empty() && pending_.begin()->first == next_) {
-      deliver(pending_.begin()->second);
-      pending_.erase(pending_.begin());
+    try {
+      deliver(rows);
       ++next_;
+      while (!pending_.empty() && pending_.begin()->first == next_) {
+        deliver(pending_.begin()->second);
+        pending_.erase(pending_.begin());
+        ++next_;
+      }
+    } catch (...) {
+      // A sink threw mid-delivery: next_ can never advance past this
+      // chunk, so without poisoning every later submitter would block
+      // forever once the window fills. Fail the whole stream instead.
+      poison_locked();
+      throw;  // recorded as the chunk's error by the scheduler
     }
+    drained_.notify_all();
+  }
+
+  /// Marks the stream failed: wakes and releases every blocked
+  /// submitter, drops buffered rows. Called when a chunk dies before it
+  /// could submit its ordinal — the window would otherwise wait for a
+  /// chunk that is never coming.
+  void poison() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    poison_locked();
   }
 
   void finish() {
     const std::lock_guard<std::mutex> lock(mu_);
-    WDAG_ASSERT(pending_.empty(), "batch sinks: chunks missing at finish");
+    WDAG_ASSERT(failed_ || pending_.empty(),
+                "batch sinks: chunks missing at finish");
   }
 
  private:
@@ -92,9 +138,17 @@ class InOrderDispatcher {
     }
   }
 
+  void poison_locked() {
+    failed_ = true;
+    pending_.clear();
+    drained_.notify_all();
+  }
+
   std::span<api::ResultSink* const> sinks_;
   std::mutex mu_;
+  std::condition_variable drained_;
   std::size_t next_ = 0;
+  bool failed_ = false;
   std::map<std::size_t, std::vector<BatchEntry>> pending_;
 };
 
@@ -139,32 +193,58 @@ struct StreamAccum {
   }
 };
 
-/// Nearest-rank percentile of an ascending-sorted sample.
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
-  const std::size_t idx =
-      std::min(sorted.size() - 1,
-               static_cast<std::size_t>(std::max(rank - 1.0, 0.0)));
-  return sorted[idx];
+/// Nearest-rank 0-based index of quantile q in an n-element sample.
+std::size_t rank_index(std::size_t n, double q) {
+  const double rank = std::ceil(q * static_cast<double>(n));
+  return std::min(n - 1,
+                  static_cast<std::size_t>(std::max(rank - 1.0, 0.0)));
 }
 
-/// Fills the latency summary from an unsorted sample.
+/// Fills the latency summary from an unsorted sample, partially
+/// reordering it in place. Three nth_element selections over shrinking
+/// tails replace the former full sort — the same nearest-rank values at
+/// O(n) instead of O(n log n), which is what the profile showed at
+/// --count 100000 (sorting 100k doubles per report).
 void fill_latency(BatchReport& report, std::vector<double>& latencies) {
   if (latencies.empty()) return;
-  std::sort(latencies.begin(), latencies.end());
   double sum = 0.0;
   for (const double l : latencies) sum += l;
-  report.latency.mean = sum / static_cast<double>(latencies.size());
-  report.latency.p50 = percentile(latencies, 0.50);
-  report.latency.p90 = percentile(latencies, 0.90);
-  report.latency.p99 = percentile(latencies, 0.99);
-  report.latency.max = latencies.back();
+  const std::size_t n = latencies.size();
+  report.latency.mean = sum / static_cast<double>(n);
+  const std::size_t i50 = rank_index(n, 0.50);
+  const std::size_t i90 = rank_index(n, 0.90);
+  const std::size_t i99 = rank_index(n, 0.99);
+  const auto begin = latencies.begin();
+  // After each selection the pivot slot holds its exact order statistic
+  // and everything right of it is >=, so the next (strictly larger) rank
+  // only needs the tail past the pivot — which also leaves the already-
+  // selected slots untouched for the reads below.
+  std::nth_element(begin, begin + static_cast<std::ptrdiff_t>(i50),
+                   latencies.end());
+  if (i90 > i50) {
+    std::nth_element(begin + static_cast<std::ptrdiff_t>(i50) + 1,
+                     begin + static_cast<std::ptrdiff_t>(i90),
+                     latencies.end());
+  }
+  if (i99 > i90) {
+    std::nth_element(begin + static_cast<std::ptrdiff_t>(i90) + 1,
+                     begin + static_cast<std::ptrdiff_t>(i99),
+                     latencies.end());
+  }
+  report.latency.p50 = latencies[i50];
+  report.latency.p90 = latencies[i90];
+  report.latency.p99 = latencies[i99];
+  report.latency.max =
+      *std::max_element(begin + static_cast<std::ptrdiff_t>(i99),
+                        latencies.end());
 }
 
 /// Fills the aggregate fields of a report whose entries are complete.
 void aggregate_entries(BatchReport& report) {
-  std::vector<double> latencies;
+  // Reused across reports: repeated batches (sweeps) stop reallocating
+  // a fresh 100k-sample vector per point.
+  thread_local std::vector<double> latencies;
+  latencies.clear();
   latencies.reserve(report.entries.size());
   for (const BatchEntry& e : report.entries) {
     if (e.failed) {
@@ -191,6 +271,10 @@ std::string_view name_of(const std::vector<std::string>& names,
 }
 
 }  // namespace
+
+std::string_view schedule_name(Schedule schedule) {
+  return schedule == Schedule::kStealing ? "stealing" : "fixed";
+}
 
 double BatchReport::instances_per_second() const {
   if (instance_count == 0 || wall_seconds <= 0.0) return 0.0;
@@ -250,6 +334,8 @@ std::string BatchReport::to_json() const {
   os << "\"instances\":" << instance_count;
   os << ",\"seed\":" << seed;
   os << ",\"threads\":" << threads_used;
+  os << ",\"schedule\":\"" << schedule_name(schedule) << "\"";
+  os << ",\"chunk\":" << chunk_size;
   os << ",\"failures\":" << failure_count;
   os << ",\"optimal\":" << optimal_count;
   os << ",\"total_load\":" << total_load;
@@ -280,6 +366,9 @@ BatchReport run_batch_items(std::size_t count, const BatchItemSolver& item,
                             util::ThreadPool* pool,
                             std::span<SolveScratch> arenas) {
   WDAG_REQUIRE(options.chunk >= 1, "BatchOptions::chunk must be >= 1");
+  WDAG_REQUIRE(options.min_chunk >= 1 &&
+                   options.min_chunk <= options.max_chunk,
+               "BatchOptions: need 1 <= min_chunk <= max_chunk");
   WDAG_REQUIRE(item != nullptr, "run_batch_items: item solver must be set");
   BatchReport report;
   report.instance_count = count;
@@ -315,40 +404,103 @@ BatchReport run_batch_items(std::size_t count, const BatchItemSolver& item,
   WDAG_REQUIRE(arenas.empty() || arenas.size() >= pool->size(),
                "run_batch_items: arenas must cover every pool worker");
   report.threads_used = pool->size();
-  util::parallel_fixed_chunks(
-      *pool, 0, count, options.chunk,
-      [&](std::size_t chunk_index, std::size_t lo, std::size_t hi) {
-        // The per-worker scratch arena: either the caller's (indexed by
-        // pool worker, e.g. api::Engine's persistent arenas) or a
-        // thread-local fallback — pool threads persist across chunks, so
-        // every instance this worker touches reuses the same
-        // conflict-graph rows and entry buffers either way.
-        SolveScratch* scratch;
-        const int worker = util::ThreadPool::current_worker_index();
-        if (!arenas.empty() && worker >= 0 &&
-            static_cast<std::size_t>(worker) < arenas.size()) {
-          scratch = &arenas[static_cast<std::size_t>(worker)];
-        } else {
-          thread_local SolveScratch fallback;
-          scratch = &fallback;
-        }
+  report.schedule = options.schedule;
+  const bool stealing = options.schedule == Schedule::kStealing;
+  CostModel* const model = options.cost_model;
 
-        util::Xoshiro256 rng = chunk_rng(options.seed, chunk_index);
-        StreamAccum part(accum.strategy_counts.size());
-        std::vector<BatchEntry> rows;
-        if (sinking) rows.reserve(hi - lo);
-        BatchEntry local;
-        for (std::size_t i = lo; i < hi; ++i) {
-          BatchEntry& entry = keep ? report.entries[i] : local;
-          if (!keep) entry = BatchEntry{};
-          entry.index = i;
-          item(rng, i, entry, *scratch);
-          if (!keep) part.add(entry);
-          if (sinking) rows.push_back(row_copy(entry));
+  // The effective chunk size: the fixed schedule partitions exactly as
+  // asked; the stealing schedule sizes chunks from the cost model so a
+  // chunk holds ~constant expected work (a cold model falls back to the
+  // built-in priors). Either way the partition is contiguous and
+  // ascending, so the reorder window below works unchanged — and since
+  // seeding is per instance, the choice never alters output bytes.
+  std::size_t chunk = options.chunk;
+  if (stealing) {
+    const CostModel cold;
+    chunk = (model != nullptr ? *model : cold)
+                .suggest_chunk(count, pool->size(), options.min_chunk,
+                               options.max_chunk);
+  }
+  report.chunk_size = count == 0 ? 0 : chunk;
+
+  const auto chunk_body = [&](std::size_t chunk_index, std::size_t lo,
+                              std::size_t hi) {
+    // The per-worker scratch arena: either the caller's (indexed by
+    // pool worker, e.g. api::Engine's persistent arenas) or a
+    // thread-local fallback — pool threads persist across chunks, so
+    // every instance this worker touches reuses the same
+    // conflict-graph rows and entry buffers either way.
+    SolveScratch* scratch;
+    const int worker = util::ThreadPool::current_worker_index();
+    if (!arenas.empty() && worker >= 0 &&
+        static_cast<std::size_t>(worker) < arenas.size()) {
+      scratch = &arenas[static_cast<std::size_t>(worker)];
+    } else {
+      thread_local SolveScratch fallback;
+      scratch = &fallback;
+    }
+
+    try {
+      StreamAccum part(accum.strategy_counts.size());
+      std::vector<BatchEntry> rows;
+      if (sinking) rows.reserve(hi - lo);
+      thread_local std::vector<CostSample> samples;  // reused across chunks
+      samples.clear();
+      BatchEntry local;
+      for (std::size_t i = lo; i < hi; ++i) {
+        BatchEntry& entry = keep ? report.entries[i] : local;
+        if (!keep) entry = BatchEntry{};
+        entry.index = i;
+        util::Xoshiro256 rng = instance_rng(options.seed, i);
+        item(rng, i, entry, *scratch);
+        if (model != nullptr && !entry.failed) {
+          samples.push_back({entry.strategy, entry.paths,
+                             entry.millis * 1000.0});
         }
-        if (!keep) accum.fold(part);
-        if (sinking) dispatcher.submit(chunk_index, std::move(rows));
-      });
+        if (!keep) part.add(entry);
+        if (sinking) rows.push_back(row_copy(entry));
+      }
+      if (model != nullptr) model->observe(samples);
+      if (!keep) accum.fold(part);
+      if (sinking) dispatcher.submit(chunk_index, std::move(rows));
+    } catch (...) {
+      // This chunk's ordinal will never reach the dispatcher (the item
+      // contract makes this rare: a throwing sink or bad_alloc); poison
+      // the bounded window so waiting submitters fail fast instead of
+      // blocking on a chunk that is not coming.
+      if (sinking) dispatcher.poison();
+      throw;  // the scheduler records it as the batch's first error
+    }
+  };
+
+  if (stealing) {
+    std::vector<util::ChunkRange> ranges;
+    ranges.reserve(count / chunk + 1);
+    for (std::size_t lo = 0; lo < count; lo += chunk) {
+      ranges.push_back({ranges.size(), lo, std::min(count, lo + chunk)});
+    }
+    util::parallel_stealing_chunks(*pool, ranges, chunk_body,
+                                   &report.worker_chunks);
+  } else {
+    // Per-pool-worker chunk counts, folded into the report for parity
+    // with the stealing scheduler's per-driver counts.
+    std::vector<std::atomic<std::size_t>> executed(pool->size());
+    util::parallel_fixed_chunks(
+        *pool, 0, count, chunk,
+        [&](std::size_t chunk_index, std::size_t lo, std::size_t hi) {
+          const int worker = util::ThreadPool::current_worker_index();
+          if (worker >= 0 &&
+              static_cast<std::size_t>(worker) < executed.size()) {
+            executed[static_cast<std::size_t>(worker)].fetch_add(
+                1, std::memory_order_relaxed);
+          }
+          chunk_body(chunk_index, lo, hi);
+        });
+    report.worker_chunks.reserve(executed.size());
+    for (const auto& c : executed) {
+      report.worker_chunks.push_back(c.load(std::memory_order_relaxed));
+    }
+  }
   dispatcher.finish();
 
   if (keep) {

@@ -3,14 +3,24 @@
 // over a thread pool, solve each with the dispatching solver, and
 // aggregate per-strategy counts and latency percentiles into a report.
 //
-// Determinism contract (matches util/thread_pool.hpp): work is
-// partitioned into fixed contiguous chunks, every chunk derives its RNG
-// from (options.seed, chunk index) via splitmix64, and results are
-// written into per-instance slots — so a batch's report is identical for
-// identical seeds no matter how many threads run it or how the OS
-// schedules them. Result sinks (api/sink.hpp) receive rows in strict
-// instance order through the same reorder window, so streamed bytes are
-// thread-count-invariant too.
+// Determinism contract: every instance derives its own RNG from
+// (options.seed, instance index) via splitmix64, and results are written
+// into per-instance slots — so a batch's report is identical for
+// identical seeds no matter how many threads run it, how the range is
+// chunked, which scheduler (fixed or stealing) distributes the chunks,
+// or how the OS schedules them. Result sinks (api/sink.hpp) receive rows
+// in strict instance order through a chunk-ordinal reorder window, so
+// streamed bytes are invariant across all of the above too.
+//
+// Two schedulers share that contract (BatchOptions::schedule):
+//   kFixed     static contiguous partition into options.chunk-sized
+//              chunks (util::parallel_fixed_chunks) — zero scheduling
+//              overhead, but a straggler chunk idles the other workers.
+//   kStealing  per-worker Chase-Lev deques with random stealing
+//              (util/work_stealing.hpp); chunk size is cost-aware, from
+//              a per-strategy EWMA of observed solve micros
+//              (core/cost_model.hpp), so exact-solver stragglers split
+//              fine while cheap Theorem 1 instances batch coarse.
 //
 // run_batch_items is the generalized driver underneath both the legacy
 // entry points below and api::Engine::run_batch; per-instance stats are
@@ -40,16 +50,40 @@ class ResultSink;
 
 namespace wdag::core {
 
+class CostModel;
+
+/// How the batch driver distributes work chunks over the pool workers.
+enum class Schedule {
+  kFixed,     ///< static contiguous partition (chunk-sized, no rebalance)
+  kStealing,  ///< per-worker deques + random stealing, cost-aware chunks
+};
+
+/// Display name of a schedule: "fixed" / "stealing".
+std::string_view schedule_name(Schedule schedule);
+
 /// Knobs of the batch driver (solver knobs live in SolveOptions).
 struct BatchOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().
   /// Ignored when the caller supplies its own pool (api::Engine does).
   std::size_t threads = 0;
-  /// Instances per work chunk (also the granularity of deterministic
-  /// seeding for generated batches). Must be >= 1.
+  /// Instances per work chunk under Schedule::kFixed. Must be >= 1.
+  /// (Seeding is per instance, so the chunk size never changes output.)
   std::size_t chunk = 16;
-  /// Base seed; chunk c works with splitmix64(seed, c)-derived randomness.
+  /// Base seed; instance i works with splitmix64(seed, i)-derived
+  /// randomness, whatever the chunking or scheduler.
   std::uint64_t seed = 1;
+  /// Chunk distribution policy; see Schedule.
+  Schedule schedule = Schedule::kFixed;
+  /// Bounds on the cost-aware chunk size of Schedule::kStealing (the
+  /// fixed schedule uses `chunk` exactly). min_chunk must be >= 1 and
+  /// <= max_chunk.
+  std::size_t min_chunk = 1;
+  std::size_t max_chunk = 256;
+  /// Cost model consulted for the stealing chunk size and fed with this
+  /// batch's observed per-instance costs (borrowed, not owned; may be
+  /// null — a cold model with the built-in priors sizes the chunks
+  /// then). api::Engine wires its own persistent model in here.
+  CostModel* cost_model = nullptr;
   /// Keep every instance's coloring in the report (memory-heavy; off by
   /// default so million-instance sweeps stay lean).
   bool keep_colorings = false;
@@ -110,6 +144,13 @@ struct BatchReport {
   double wall_seconds = 0.0;            ///< end-to-end batch wall clock
   std::size_t threads_used = 0;
   std::uint64_t seed = 0;
+  Schedule schedule = Schedule::kFixed; ///< scheduler that ran the batch
+  std::size_t chunk_size = 0;           ///< effective instances per chunk
+  /// Chunks executed per logical worker, sized threads_used (stealing:
+  /// per scheduler driver; fixed: per pool worker). Under stealing with
+  /// chunks >= workers every slot is >= 1 by construction — the
+  /// no-starvation property the scheduler tests pin.
+  std::vector<std::size_t> worker_chunks;
 
   /// Instances solved per wall-clock second (0 for an empty batch).
   [[nodiscard]] double instances_per_second() const;
@@ -140,8 +181,9 @@ struct BatchReport {
 
 /// Per-instance callback of the generalized batch driver: fill `entry`
 /// for instance `index` (strategy, paths, load, wavelengths, optimal — or
-/// failed + error; never throw), drawing any randomness from `rng` and
-/// reusing `scratch` across the instances of a worker.
+/// failed + error; never throw), drawing any randomness from `rng` (a
+/// fresh stream derived from (seed, index), identical on every schedule)
+/// and reusing `scratch` across the instances of a worker.
 using BatchItemSolver =
     std::function<void(util::Xoshiro256& rng, std::size_t index,
                        BatchEntry& entry, SolveScratch& scratch)>;
@@ -175,16 +217,16 @@ BatchReport solve_batch(std::span<const paths::DipathFamily> families,
                         const SolveOptions& solve_options = {},
                         const BatchOptions& batch_options = {});
 
-/// Generator callback: produces instance `index` from a deterministic
-/// per-chunk RNG. Must be callable concurrently from multiple threads.
+/// Generator callback: produces instance `index` from its deterministic
+/// index-derived RNG. Must be callable concurrently from multiple threads.
 using InstanceGenerator =
     std::function<gen::Instance(util::Xoshiro256& rng, std::size_t index)>;
 
 /// Generate-and-solve fusion: materializes `count` instances on the
-/// workers (instance i is built inside its chunk with the chunk's RNG,
-/// keeping peak memory at one chunk per worker) and solves each
-/// immediately. Deterministic for a fixed (seed, chunk) regardless of
-/// thread count.
+/// workers (instance i is built inside its chunk from its own
+/// index-derived RNG, keeping peak memory at one chunk per worker) and
+/// solves each immediately. Deterministic for a fixed seed regardless of
+/// thread count, chunking or scheduler.
 BatchReport solve_generated_batch(std::size_t count,
                                   const InstanceGenerator& generate,
                                   const SolveOptions& solve_options = {},

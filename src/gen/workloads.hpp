@@ -4,7 +4,7 @@
 //
 // Each family is a deterministic function of the RNG passed in, so a
 // seeded stream of calls reproduces the same instance sequence anywhere —
-// the contract the batch engine's per-chunk seeding relies on. Random
+// the contract the batch engine's per-instance seeding relies on. Random
 // families draw fresh shapes per call; the paper instances ("figure1",
 // "havet", ...) ignore the RNG and return their fixed construction.
 

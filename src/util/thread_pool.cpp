@@ -2,6 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <string>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "util/check.hpp"
 
@@ -10,6 +17,55 @@ namespace wdag::util {
 namespace {
 /// Which worker of its owning pool the current thread is; -1 off-pool.
 thread_local int tl_worker_index = -1;
+
+/// CPUs requested by WDAG_AFFINITY (see the class comment): empty means
+/// pinning is off; "on"/"1" expands to the identity list; otherwise a
+/// comma-separated CPU id list. Malformed values disable pinning rather
+/// than aborting the process.
+std::vector<int> affinity_cpus() {
+  const char* env = std::getenv("WDAG_AFFINITY");
+  if (env == nullptr || *env == '\0') return {};
+  const std::string value(env);
+  if (value == "off" || value == "0") return {};
+  std::vector<int> cpus;
+  if (value == "on" || value == "1") {
+    const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+    for (unsigned c = 0; c < n; ++c) cpus.push_back(static_cast<int>(c));
+    return cpus;
+  }
+  std::size_t pos = 0;
+  while (pos < value.size()) {
+    std::size_t used = 0;
+    int cpu;
+    try {
+      cpu = std::stoi(value.substr(pos), &used);
+    } catch (const std::exception&) {
+      return {};
+    }
+    if (cpu < 0) return {};
+    cpus.push_back(cpu);
+    pos += used;
+    if (pos < value.size()) {
+      if (value[pos] != ',') return {};
+      ++pos;
+    }
+  }
+  return cpus;
+}
+
+/// Best-effort worker pinning; silently a no-op when unsupported or when
+/// the CPU id is outside the process's allowed set.
+void pin_thread(std::thread& thread, int cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  (void)pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set);
+#else
+  (void)thread;
+  (void)cpu;
+#endif
+}
 }  // namespace
 
 int ThreadPool::current_worker_index() { return tl_worker_index; }
@@ -19,11 +75,13 @@ ThreadPool::ThreadPool(std::size_t threads) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
+  const std::vector<int> cpus = affinity_cpus();
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this, i] {
       tl_worker_index = static_cast<int>(i);
       worker_loop();
     });
+    if (!cpus.empty()) pin_thread(workers_.back(), cpus[i % cpus.size()]);
   }
 }
 
@@ -108,7 +166,11 @@ void parallel_fixed_chunks(
   std::mutex done_mu;
   std::condition_variable done_cv;
   const std::size_t total = end - begin;
-  remaining.store((total + chunk - 1) / chunk);
+  // Overflow-proof ceil-div: `total + chunk - 1` wraps for huge chunk
+  // values (e.g. a size_t-cast -1), which would start `remaining` at 0
+  // and let the waiter unwind this frame while chunk tasks still
+  // reference it.
+  remaining.store(total / chunk + (total % chunk != 0 ? 1 : 0));
 
   std::size_t chunk_index = 0;
   for (std::size_t lo = begin; lo < end; lo += chunk, ++chunk_index) {

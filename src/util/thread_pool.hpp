@@ -3,9 +3,10 @@
 // benchmark sweeps and the per-source UPP dynamic program.
 //
 // Design notes (per the HPC guides): parallelism is explicit and
-// deterministic — work is partitioned by index range, no work stealing, and
-// all randomness is seeded per-chunk, so results never depend on thread
-// scheduling.
+// deterministic — work is partitioned by index range and all randomness
+// is seeded by index, so results never depend on thread scheduling. The
+// dynamic counterpart (per-worker deques + stealing, same determinism
+// contract) lives in util/work_stealing.hpp.
 
 #include <condition_variable>
 #include <cstddef>
@@ -20,6 +21,14 @@ namespace wdag::util {
 
 /// A fixed pool of worker threads executing submitted tasks FIFO.
 /// Threads are joined in the destructor; submitting after shutdown throws.
+///
+/// Worker pinning (Linux): when the WDAG_AFFINITY environment variable is
+/// set, workers are pinned to CPUs at construction — "on" (or "1") pins
+/// worker i to CPU i mod ncpu; a comma-separated CPU list ("0,2,4") pins
+/// worker i to list[i mod len]. Unset, empty, "off" or "0" leaves the OS
+/// scheduler free. Pinning is best-effort and a no-op off Linux; it is
+/// the first step toward the ROADMAP's NUMA-aware chunking (a pinned
+/// worker keeps its SolveScratch arena hot in its own cache/node).
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
@@ -83,8 +92,8 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
 /// short), and body(chunk_index, lo, hi) runs once per chunk. Because the
 /// partition depends only on `chunk` — never on the pool size — a
 /// chunk_index always covers the same indices no matter how many workers
-/// execute it, which is what per-chunk seeded RNG streams need to stay
-/// reproducible across machines (see core/batch.cpp). Blocks until every
+/// execute it, so index-seeded RNG streams stay reproducible across
+/// machines (see core/batch.cpp). Blocks until every
 /// chunk finishes; the first exception thrown by any chunk is rethrown.
 void parallel_fixed_chunks(
     ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t chunk,

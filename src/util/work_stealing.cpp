@@ -1,0 +1,190 @@
+#include "util/work_stealing.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wdag::util {
+
+ChaseLevDeque::ChaseLevDeque(std::size_t capacity)
+    : buffer_(std::bit_ceil(std::max<std::size_t>(1, capacity))),
+      mask_(buffer_.size() - 1) {}
+
+void ChaseLevDeque::push(std::size_t item) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  WDAG_ASSERT(
+      b - top_.load(std::memory_order_acquire) <
+          static_cast<std::int64_t>(buffer_.size()),
+      "ChaseLevDeque::push past capacity");
+  buffer_[static_cast<std::size_t>(b) & mask_].store(
+      item, std::memory_order_relaxed);
+  // Publish the slot before the new bottom becomes visible to thieves.
+  bottom_.store(b + 1, std::memory_order_release);
+}
+
+bool ChaseLevDeque::pop(std::size_t& out) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  bottom_.store(b, std::memory_order_relaxed);
+  // The fence orders the bottom decrement against the top read: a thief
+  // and the owner cannot both miss each other's claim on the last item.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_relaxed);
+  if (t <= b) {
+    out = buffer_[static_cast<std::size_t>(b) & mask_].load(
+        std::memory_order_relaxed);
+    if (t == b) {
+      // Last item: race the thieves for it via top.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return won;
+    }
+    return true;
+  }
+  bottom_.store(b + 1, std::memory_order_relaxed);
+  return false;
+}
+
+bool ChaseLevDeque::steal(std::size_t& out) {
+  std::int64_t t = top_.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_acquire);
+  if (t < b) {
+    // Read the slot before claiming it: after the CAS the owner may
+    // legitimately overwrite (the capacity contract forbids that here,
+    // but the canonical order costs nothing).
+    out = buffer_[static_cast<std::size_t>(t) & mask_].load(
+        std::memory_order_relaxed);
+    return top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+  }
+  return false;
+}
+
+void parallel_stealing_chunks(
+    ThreadPool& pool, std::span<const ChunkRange> chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    std::vector<std::size_t>* worker_chunks) {
+  const std::size_t workers = pool.size();
+  if (worker_chunks != nullptr) worker_chunks->assign(workers, 0);
+  if (chunks.empty()) return;
+
+  // Shared region state; lives on this stack frame until every driver
+  // task has signalled drivers_done, so drivers never dangle.
+  struct Region {
+    std::vector<std::unique_ptr<ChaseLevDeque>> deques;
+    std::atomic<std::size_t> published{0};
+    std::atomic<std::size_t> drivers_done{0};
+    std::exception_ptr first_error;
+    std::mutex err_mu;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  } region;
+
+  // Worker w owns chunks w, w+W, w+2W, ... — `assigned[w]` of them; its
+  // deque is sized for that share (the reserved first chunk never enters
+  // it, so the capacity is one more than strictly needed).
+  const std::size_t total = chunks.size();
+  std::vector<std::size_t> assigned(workers, 0);
+  region.deques.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    assigned[w] = w < total ? (total - w - 1) / workers + 1 : 0;
+    region.deques.push_back(std::make_unique<ChaseLevDeque>(assigned[w]));
+  }
+
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([&region, &chunks, &body, worker_chunks, w, workers, total,
+                 own_share = assigned[w]] {
+      ChaseLevDeque& own = *region.deques[w];
+      // Push own chunks highest-first so pops come out in ascending
+      // order (low instance indices first keeps the batch engine's
+      // reorder window shallow); thieves then steal the farthest-out
+      // chunks, which they would reach last anyway.
+      for (std::size_t k = own_share; k-- > 1;) own.push(w + k * workers);
+      region.published.fetch_add(1, std::memory_order_release);
+
+      std::size_t executed = 0;
+      auto run = [&](std::size_t ci) {
+        const ChunkRange& c = chunks[ci];
+        try {
+          body(c.index, c.lo, c.hi);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lk(region.err_mu);
+          if (!region.first_error) {
+            region.first_error = std::current_exception();
+          }
+        }
+        ++executed;
+      };
+
+      // The first assigned chunk never enters the deque: every logical
+      // worker is guaranteed at least one chunk of real work, however
+      // fast its neighbours steal.
+      if (w < total) run(w);
+
+      SplitMix64 mix(0x9E3779B97F4A7C15ULL * (w + 1));
+      std::size_t item = 0;
+      for (;;) {
+        if (own.pop(item)) {
+          run(item);
+          continue;
+        }
+        // Own deque dry: sweep the victims from a random start.
+        bool found = false;
+        if (workers > 1) {
+          const std::size_t start =
+              static_cast<std::size_t>(mix.next() % workers);
+          for (std::size_t off = 0; off < workers && !found; ++off) {
+            const std::size_t v = (start + off) % workers;
+            if (v == w) continue;
+            found = region.deques[v]->steal(item);
+          }
+        }
+        if (found) {
+          run(item);
+          continue;
+        }
+        if (region.published.load(std::memory_order_acquire) == workers) {
+          // Every deque was observably empty after all pushes landed.
+          // Whatever remains is in flight on its owner (a failed steal
+          // can mask a race, but the raced item went to another worker
+          // and unstolen items are always drained by their owner), so
+          // there is nothing left for this worker to take.
+          break;
+        }
+        std::this_thread::yield();  // a neighbour is still publishing
+      }
+
+      if (worker_chunks != nullptr) (*worker_chunks)[w] = executed;
+      // Mutex-serialized completion (same protocol as the fixed
+      // scheduler): the waiter cannot observe the final count and unwind
+      // while a driver still holds the stack-allocated mutex/cv.
+      {
+        const std::lock_guard<std::mutex> lk(region.done_mu);
+        region.drivers_done.fetch_add(1, std::memory_order_release);
+        // Notify while holding the mutex: the waiter then cannot re-check
+        // the predicate, return and destroy the region until this driver
+        // has released it — its last touch of the shared state.
+        region.done_cv.notify_all();
+      }
+    });
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(region.done_mu);
+    region.done_cv.wait(lk, [&region, workers] {
+      return region.drivers_done.load(std::memory_order_acquire) == workers;
+    });
+  }
+  if (region.first_error) std::rethrow_exception(region.first_error);
+}
+
+}  // namespace wdag::util

@@ -1,0 +1,91 @@
+#pragma once
+// Work-stealing execution of a chunked index range on a ThreadPool.
+//
+// parallel_fixed_chunks (thread_pool.hpp) hands every worker a static
+// share of the chunk list up front; one straggler chunk then leaves the
+// other workers idle behind it. This header adds the dynamic counterpart:
+// each pool worker owns a Chase-Lev-style deque of chunk ordinals, pops
+// its own work LIFO from the bottom, and steals FIFO from the top of a
+// random victim when it runs dry — so a straggler only ever pins the one
+// worker executing it while the rest of the range rebalances itself.
+//
+// Determinism: the scheduler moves WHERE a chunk runs, never WHAT a chunk
+// is. Chunk ranges are fixed by the caller before execution starts, and
+// the batch engine derives all randomness from instance indices and
+// reorders rows by chunk ordinal (core/batch.cpp), so output bytes are
+// independent of which worker executed what and in which order.
+
+#include <cstddef>
+#include <cstdint>
+#include <atomic>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace wdag::util {
+
+class ThreadPool;
+
+/// One contiguous work item of a stealing region: `index` is the reorder
+/// key (chunks are created in ascending `lo` order), [lo, hi) the
+/// instance range it covers.
+struct ChunkRange {
+  std::size_t index = 0;
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+};
+
+/// A fixed-capacity Chase-Lev work-stealing deque of size_t items.
+///
+/// Single owner, many thieves: push() and pop() may only be called by the
+/// owning worker (bottom end, LIFO); steal() may be called by any thread
+/// (top end, FIFO). The memory ordering follows the weak-memory-model
+/// formulation of Le, Pop, Cohen & Zappa Nardelli (PPoPP'13). Capacity is
+/// fixed at construction — the scheduler below sizes each deque to its
+/// worker's full assignment, so the buffer never wraps live items.
+class ChaseLevDeque {
+ public:
+  /// Room for `capacity` items (rounded up to a power of two, minimum 1).
+  explicit ChaseLevDeque(std::size_t capacity);
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only. Undefined behavior past the constructed capacity.
+  void push(std::size_t item);
+
+  /// Owner only: take the most recently pushed item. False when empty.
+  bool pop(std::size_t& out);
+
+  /// Any thread: take the oldest item. False when empty or when another
+  /// thief (or the owner, on the last item) won the race — callers retry
+  /// or move to the next victim.
+  bool steal(std::size_t& out);
+
+ private:
+  std::vector<std::atomic<std::size_t>> buffer_;
+  std::size_t mask_;
+  // Owner and thieves hammer different ends; keep them off one line.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+/// Runs body(chunk.index, chunk.lo, chunk.hi) once for every chunk on the
+/// pool's workers with work stealing, blocking until all chunks finished.
+///
+/// Chunks are dealt round-robin to one logical worker (deque) per pool
+/// worker; each logical worker executes its first assigned chunk outside
+/// the deque (so no worker can be starved by fast thieves), drains its own
+/// deque bottom-up, then steals from random victims until no stealable
+/// work remains. Exceptions thrown by chunks are captured; the first one
+/// is rethrown here after every chunk has run (matching
+/// parallel_fixed_chunks).
+///
+/// `worker_chunks`, when non-null, is resized to pool.size() and filled
+/// with the number of chunks each logical worker executed.
+void parallel_stealing_chunks(
+    ThreadPool& pool, std::span<const ChunkRange> chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    std::vector<std::size_t>* worker_chunks = nullptr);
+
+}  // namespace wdag::util

@@ -1,0 +1,187 @@
+// Unit tests for the Chase-Lev deque and the work-stealing chunk driver
+// (util/work_stealing.hpp): deque end semantics, exactly-once execution
+// under concurrent stealing, range plumbing, and exception propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+#include "util/work_stealing.hpp"
+
+namespace {
+
+using wdag::util::ChaseLevDeque;
+using wdag::util::ChunkRange;
+using wdag::util::parallel_stealing_chunks;
+using wdag::util::ThreadPool;
+
+TEST(ChaseLevDequeTest, PopIsLifoStealIsFifo) {
+  ChaseLevDeque dq(8);
+  for (std::size_t i = 1; i <= 3; ++i) dq.push(i);
+
+  std::size_t item = 0;
+  ASSERT_TRUE(dq.steal(item));  // oldest first from the top
+  EXPECT_EQ(item, 1u);
+  ASSERT_TRUE(dq.pop(item));  // newest first from the bottom
+  EXPECT_EQ(item, 3u);
+  ASSERT_TRUE(dq.pop(item));
+  EXPECT_EQ(item, 2u);
+  EXPECT_FALSE(dq.pop(item));
+  EXPECT_FALSE(dq.steal(item));
+}
+
+TEST(ChaseLevDequeTest, InterleavedPushPopStaysConsistent) {
+  ChaseLevDeque dq(16);
+  std::size_t item = 0;
+  EXPECT_FALSE(dq.pop(item));
+  dq.push(10);
+  ASSERT_TRUE(dq.pop(item));
+  EXPECT_EQ(item, 10u);
+  EXPECT_FALSE(dq.pop(item));
+  dq.push(11);
+  dq.push(12);
+  ASSERT_TRUE(dq.steal(item));
+  EXPECT_EQ(item, 11u);
+  ASSERT_TRUE(dq.pop(item));
+  EXPECT_EQ(item, 12u);
+  EXPECT_FALSE(dq.steal(item));
+}
+
+TEST(ChaseLevDequeTest, ConcurrentOwnerAndThievesTakeEachItemExactlyOnce) {
+  constexpr std::size_t kItems = 20000;
+  constexpr std::size_t kThieves = 3;
+  ChaseLevDeque dq(kItems);
+  std::vector<std::atomic<int>> taken(kItems);
+  std::atomic<std::size_t> remaining{kItems};
+
+  // The owner (this thread) pushes everything up front — the same shape
+  // the scheduler uses — then drains its own bottom end while the
+  // thieves hammer the top.
+  for (std::size_t i = 0; i < kItems; ++i) dq.push(i);
+
+  std::vector<std::thread> thieves;
+  for (std::size_t t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      std::size_t item = 0;
+      while (remaining.load(std::memory_order_acquire) > 0) {
+        if (dq.steal(item)) {
+          taken[item].fetch_add(1, std::memory_order_relaxed);
+          remaining.fetch_sub(1, std::memory_order_acq_rel);
+        }
+      }
+    });
+  }
+  std::size_t item = 0;
+  while (remaining.load(std::memory_order_acquire) > 0) {
+    if (dq.pop(item)) {
+      taken[item].fetch_add(1, std::memory_order_relaxed);
+      remaining.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+  for (auto& thief : thieves) thief.join();
+
+  for (std::size_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(taken[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ParallelStealingChunksTest, ExecutesEveryChunkExactlyOnceWithItsRange) {
+  ThreadPool pool(4);
+  // Irregular tail: 10 chunks of 7 plus one short one.
+  std::vector<ChunkRange> chunks;
+  const std::size_t total = 73;
+  for (std::size_t lo = 0; lo < total; lo += 7) {
+    chunks.push_back({chunks.size(), lo, std::min(total, lo + 7)});
+  }
+  std::vector<std::atomic<int>> runs(chunks.size());
+  std::vector<std::atomic<int>> covered(total);
+  std::vector<std::size_t> worker_chunks;
+
+  parallel_stealing_chunks(
+      pool, chunks,
+      [&](std::size_t index, std::size_t lo, std::size_t hi) {
+        runs[index].fetch_add(1);
+        EXPECT_EQ(lo, index * 7);
+        EXPECT_EQ(hi, std::min(total, lo + 7));
+        for (std::size_t i = lo; i < hi; ++i) covered[i].fetch_add(1);
+      },
+      &worker_chunks);
+
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    EXPECT_EQ(runs[c].load(), 1) << "chunk " << c;
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    EXPECT_EQ(covered[i].load(), 1) << "index " << i;
+  }
+  ASSERT_EQ(worker_chunks.size(), pool.size());
+  std::size_t sum = 0;
+  for (const std::size_t w : worker_chunks) sum += w;
+  EXPECT_EQ(sum, chunks.size());
+}
+
+TEST(ParallelStealingChunksTest, EveryWorkerExecutesItsReservedChunk) {
+  ThreadPool pool(4);
+  // chunks >= 2 x workers: the reserved-first-chunk rule guarantees no
+  // logical worker records zero, however lopsided the stealing.
+  std::vector<ChunkRange> chunks;
+  for (std::size_t c = 0; c < 8; ++c) chunks.push_back({c, c, c + 1});
+  std::vector<std::size_t> worker_chunks;
+  parallel_stealing_chunks(
+      pool, chunks, [](std::size_t, std::size_t, std::size_t) {},
+      &worker_chunks);
+  ASSERT_EQ(worker_chunks.size(), 4u);
+  for (std::size_t w = 0; w < worker_chunks.size(); ++w) {
+    EXPECT_GE(worker_chunks[w], 1u) << "worker " << w;
+  }
+}
+
+TEST(ParallelStealingChunksTest, EmptyChunkListIsANoop) {
+  ThreadPool pool(2);
+  std::vector<std::size_t> worker_chunks{99, 99};
+  parallel_stealing_chunks(
+      pool, {},
+      [](std::size_t, std::size_t, std::size_t) { FAIL() << "no chunks"; },
+      &worker_chunks);
+  EXPECT_EQ(worker_chunks, (std::vector<std::size_t>{0, 0}));
+}
+
+TEST(ParallelStealingChunksTest, FirstExceptionIsRethrownAfterAllChunksRan) {
+  ThreadPool pool(3);
+  std::vector<ChunkRange> chunks;
+  for (std::size_t c = 0; c < 12; ++c) chunks.push_back({c, c, c + 1});
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      parallel_stealing_chunks(pool, chunks,
+                               [&](std::size_t index, std::size_t,
+                                   std::size_t) {
+                                 executed.fetch_add(1);
+                                 if (index == 5) {
+                                   throw std::runtime_error("boom");
+                                 }
+                               }),
+      std::runtime_error);
+  // A failing chunk must not abort its neighbours (matches
+  // parallel_fixed_chunks).
+  EXPECT_EQ(executed.load(), 12);
+}
+
+TEST(ParallelStealingChunksTest, SingleWorkerPoolRunsEverythingInOrder) {
+  ThreadPool pool(1);
+  std::vector<ChunkRange> chunks;
+  for (std::size_t c = 0; c < 6; ++c) chunks.push_back({c, c * 2, c * 2 + 2});
+  std::vector<std::size_t> order;
+  parallel_stealing_chunks(pool, chunks,
+                           [&](std::size_t index, std::size_t, std::size_t) {
+                             order.push_back(index);
+                           });
+  // One worker, no thieves: the reserved chunk first, then ascending pops
+  // (pushed highest-first) — exactly the fixed schedule's order.
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+}  // namespace
