@@ -1,0 +1,63 @@
+# Shard round-trip check, CLI level: `shard plan --shards K` + K x
+# `shard run --threads T` + `shard merge` must produce bytes identical to
+# the equivalent single-process `batch --stream-csv` run. Registered as
+# one ctest entry per (K, T) cell of the K in {1,2,5} x T in {1,4} matrix
+# (see the top-level CMakeLists.txt).
+#
+# Invoked as:
+#   cmake -DWDAG_CLI=<path> -DWDAG_WORK_DIR=<dir> -DWDAG_SHARDS=K
+#         -DWDAG_THREADS=T -P ShardRoundTrip.cmake
+
+foreach(var WDAG_CLI WDAG_WORK_DIR WDAG_SHARDS WDAG_THREADS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "shard-round-trip: ${var} must be defined")
+  endif()
+endforeach()
+
+set(gen random-upp)
+set(count 120)
+set(seed 4242)
+
+file(REMOVE_RECURSE "${WDAG_WORK_DIR}")
+file(MAKE_DIRECTORY "${WDAG_WORK_DIR}")
+
+function(run_or_die)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc ERROR_VARIABLE err
+                  OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "shard-round-trip: '${ARGN}' failed (${rc}):\n${err}")
+  endif()
+endfunction()
+
+# The unsharded reference bytes.
+run_or_die("${WDAG_CLI}" batch --gen ${gen} --count ${count} --seed ${seed}
+           --threads ${WDAG_THREADS} --stream-csv "${WDAG_WORK_DIR}/ref.csv")
+
+# plan -> run xK -> merge.
+run_or_die("${WDAG_CLI}" shard plan --gen ${gen} --count ${count}
+           --seed ${seed} --shards ${WDAG_SHARDS}
+           --out "${WDAG_WORK_DIR}/plan")
+math(EXPR last "${WDAG_SHARDS} - 1")
+set(shard_files "")
+foreach(i RANGE ${last})
+  run_or_die("${WDAG_CLI}" shard run
+             --manifest "${WDAG_WORK_DIR}/plan.${i}.json"
+             --out "${WDAG_WORK_DIR}/out.${i}.csv"
+             --threads ${WDAG_THREADS})
+  list(APPEND shard_files "${WDAG_WORK_DIR}/out.${i}.csv")
+endforeach()
+run_or_die("${WDAG_CLI}" shard merge --out "${WDAG_WORK_DIR}/merged.csv"
+           ${shard_files})
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WDAG_WORK_DIR}/merged.csv" "${WDAG_WORK_DIR}/ref.csv"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "shard-round-trip: merged shard CSV differs from the unsharded "
+    "--stream-csv bytes (shards=${WDAG_SHARDS}, threads=${WDAG_THREADS})")
+endif()
+
+message(STATUS "shard-round-trip: byte-identical at shards=${WDAG_SHARDS} "
+               "threads=${WDAG_THREADS}")

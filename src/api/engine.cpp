@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/shard.hpp"
 #include "gen/workloads.hpp"
 #include "paths/familyio.hpp"
 #include "util/check.hpp"
@@ -30,7 +31,12 @@ void require_known_workload(const std::string& name) {
 Engine::Engine(EngineOptions options)
     : options_(std::move(options)),
       pool_(options_.threads),
-      arenas_(pool_.size()) {}
+      arenas_(pool_.size()) {
+  // First-cut NUMA-aware arena placement: warm each worker's arena ON
+  // that worker, so the backing pages are first-touched (and under
+  // WDAG_AFFINITY pinning, NUMA-placed) where the worker will use them.
+  pool_.for_each_worker([this](std::size_t w) { arenas_[w].first_touch(); });
+}
 
 StrategyId Engine::register_strategy(std::unique_ptr<SolverStrategy> strategy) {
   return registry_.add(std::move(strategy));
@@ -117,8 +123,10 @@ core::BatchReport Engine::run_batch(const BatchRequest& request) {
     item = [this, &request, base, force, keep_coloring](
                util::Xoshiro256& /*rng*/, std::size_t i,
                core::BatchEntry& entry, core::SolveScratch& scratch) {
-      solve_into_entry(entry, registry_, request.families[i], base, force,
-                       scratch, keep_coloring);
+      // i is global (shards offset it); the span holds this run's slice.
+      solve_into_entry(entry, registry_,
+                       request.families[i - request.options.index_base],
+                       base, force, scratch, keep_coloring);
     };
   }
 
@@ -133,6 +141,34 @@ core::BatchReport Engine::run_batch(const BatchRequest& request) {
   return core::run_batch_items(count, item, batch_options,
                                registry_.names(), request.sinks, &pool_,
                                arenas_);
+}
+
+core::BatchReport Engine::run_shard(const BatchRequest& request,
+                                    std::size_t shard, std::size_t shards) {
+  WDAG_REQUIRE(shards >= 1, "run_shard: shards must be >= 1");
+  WDAG_REQUIRE(shard < shards,
+               "run_shard: shard " + std::to_string(shard) +
+                   " out of range for " + std::to_string(shards) +
+                   " shards");
+  WDAG_REQUIRE(request.options.index_base == 0,
+               "run_shard: the request must describe the FULL batch "
+               "(options.index_base is set by run_shard itself)");
+  const std::size_t total =
+      request.families.empty() ? request.count : request.families.size();
+  const core::ShardRange range = core::shard_range(total, shards, shard);
+
+  // The shard is the same request narrowed to its global slice: the
+  // index base keys every instance's RNG/row by its global index, so the
+  // bytes this run streams are exactly the unsharded run's [begin, end)
+  // slice.
+  BatchRequest slice = request;
+  slice.options.index_base = range.begin;
+  if (!request.families.empty()) {
+    slice.families = request.families.subspan(range.begin, range.size());
+  } else {
+    slice.count = range.size();
+  }
+  return run_batch(slice);
 }
 
 }  // namespace wdag::api

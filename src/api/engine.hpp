@@ -79,6 +79,19 @@ class Engine {
   /// chunks unless the request wires in its own.
   [[nodiscard]] core::BatchReport run_batch(const BatchRequest& request);
 
+  /// Runs ONE shard of `request`: the contiguous slice of the global
+  /// index range that core::shard_range(count, shards, shard) assigns,
+  /// with every instance keyed by its GLOBAL index — RNG stream, entry
+  /// index, sink rows. Concatenating the K shards' sink outputs (see
+  /// core::merge_shard_csv) therefore reproduces the unsharded
+  /// run_batch bytes exactly, whatever thread count or schedule each
+  /// shard picked. `request` describes the FULL batch (global count /
+  /// full families span); sinks attached to it receive only this
+  /// shard's rows.
+  [[nodiscard]] core::BatchReport run_shard(const BatchRequest& request,
+                                            std::size_t shard,
+                                            std::size_t shards);
+
   /// The engine's persistent solve-cost model: consulted for stealing
   /// chunk sizes and updated with every batch's observed costs.
   [[nodiscard]] const core::CostModel& cost_model() const {

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "util/check.hpp"
+#include "util/json.hpp"
 
 namespace wdag::api {
 
@@ -31,39 +32,7 @@ void append_csv_row(std::string& out, const core::BatchEntry& e,
   out += '\n';
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-void append_json_string(std::string& out, std::string_view s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          constexpr char kHex[] = "0123456789abcdef";
-          out += "\\u00";
-          out += kHex[(c >> 4) & 0xF];
-          out += kHex[c & 0xF];
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
+using util::append_json_string;
 
 /// Opens `path` for writing ('-' = stdout); returns the stream to use.
 std::ostream* open_output(const std::string& path, std::ofstream& file,

@@ -7,11 +7,17 @@
 //                 throughput; optionally stream per-instance CSV / JSON
 //   wdag sweep  — run a batch per point of a parameter range and print one
 //                 summary row per point
+//   wdag shard  — plan/run/merge a batch split across machines: `plan`
+//                 writes K JSON shard manifests, `run` executes one
+//                 manifest into a shard CSV, `merge` validates the shard
+//                 set and concatenates it to the exact bytes of the
+//                 unsharded --stream-csv run
 //
 // Every generated workload is a deterministic function of --seed: the batch
-// engine seeds each instance from (seed, index), so identical seeds give
-// identical CSV output no matter how many threads run the batch or which
-// scheduler (--schedule fixed|stealing) distributes the work.
+// engine seeds each instance from (seed, GLOBAL index), so identical seeds
+// give identical CSV output no matter how many threads run the batch, which
+// scheduler (--schedule fixed|stealing) distributes the work, or how many
+// shards the index range was split into.
 
 #include <cstdio>
 #include <fstream>
@@ -42,6 +48,11 @@ int usage(std::ostream& os) {
         "             [--csv PATH|-] [--json PATH|-] [--rows]\n"
         "  wdag sweep --gen NAME --count N --param NAME --from A --to B\n"
         "             [--step S] [--threads T] [--seed S]\n"
+        "  wdag shard plan --gen NAME --count N --shards K --out PREFIX\n"
+        "             [--seed S] [generator flags] [solver flags]\n"
+        "  wdag shard run --manifest FILE.json --out PATH|- [--threads T]\n"
+        "             [--schedule S] [--json PATH]\n"
+        "  wdag shard merge --out PATH|- SHARD.csv [SHARD.csv ...]\n"
         "\n"
         "generators (--gen):\n"
         "  random-upp   mixed random UPP workload: trees, one- and\n"
@@ -72,6 +83,11 @@ int usage(std::ostream& os) {
         "  --force NAME          registered strategy name: theorem1 |\n"
         "                        split-merge | dsatur | exact\n"
         "\n"
+        "solve flags:\n"
+        "  --file PATH    solve an instance file instead of --gen\n"
+        "  --show-coloring    print the wavelength of every path\n"
+        "  --dump         print the solved instance in instance-text form\n"
+        "\n"
         "batch flags:\n"
         "  --count N      instances in the batch (default 100)\n"
         "  --threads T    worker threads; 0 = hardware concurrency\n"
@@ -100,6 +116,16 @@ int usage(std::ostream& os) {
         "sweep flags:\n"
         "  --param NAME   paths | size | density | k (generator knob to vary)\n"
         "  --from A --to B --step S   inclusive range of the parameter\n"
+        "\n"
+        "shard flags:\n"
+        "  --shards K     contiguous shards to split the index range into\n"
+        "                 (plan; every shard must get >= 1 instance)\n"
+        "  --out P        plan: manifest path prefix, writes PREFIX.<i>.json;\n"
+        "                 run/merge: output CSV path ('-' = stdout)\n"
+        "  --manifest F   the shard manifest to execute (run); the workload,\n"
+        "                 seed and index range come from the manifest —\n"
+        "                 only execution knobs (--threads, --schedule, ...)\n"
+        "                 are read from the command line\n"
         "\n"
         "environment:\n"
         "  WDAG_AFFINITY  pin pool workers to CPUs (Linux): 'on' pins\n"
@@ -360,6 +386,169 @@ int cmd_sweep(const Cli& cli) {
   return 0;
 }
 
+/// The ShardSpec the common flags describe (plan side).
+wdag::ShardSpec spec_from_args(const CommonArgs& args) {
+  wdag::ShardSpec spec;
+  spec.family = args.gen.family;
+  spec.params = args.gen.params;
+  spec.count = args.count;
+  spec.seed = args.gen.seed;
+  spec.solve = args.solve;
+  if (args.force.has_value()) spec.force_strategy = *args.force;
+  return spec;
+}
+
+/// The full-batch request a manifest describes (run side). The request
+/// carries the GLOBAL count; Engine::run_shard narrows it to the shard's
+/// index range.
+wdag::BatchRequest request_from_manifest(const wdag::ShardManifest& m,
+                                         const BatchOptions& exec) {
+  wdag::BatchRequest request;
+  request.generator =
+      wdag::GeneratorSpec{m.spec.family, m.spec.params, m.spec.seed};
+  request.count = m.spec.count;
+  request.options = exec;        // execution knobs from the command line
+  request.options.seed = m.spec.seed;  // bytes are the manifest's business
+  request.options.index_base = 0;
+  request.options.keep_entries = false;  // shards stream; no entry table
+  request.solve = m.spec.solve;
+  if (!m.spec.force_strategy.empty()) {
+    request.force_strategy = m.spec.force_strategy;
+  }
+  return request;
+}
+
+int cmd_shard_plan(const Cli& cli) {
+  const CommonArgs args = read_common_args(cli, 100);
+  WDAG_REQUIRE(!args.gen.family.empty(), "shard plan requires --gen NAME");
+  const std::int64_t shards = cli.get_int("shards", 0);
+  WDAG_REQUIRE(shards >= 1, "shard plan requires --shards K (K >= 1)");
+  const std::string prefix = cli.get("out", "");
+  WDAG_REQUIRE(!prefix.empty(), "shard plan requires --out PREFIX");
+
+  const wdag::ShardPlan plan(spec_from_args(args),
+                             static_cast<std::size_t>(shards));
+  wdag::util::Table table("shard plan " + plan.spec().family + " x " +
+                              std::to_string(plan.spec().count),
+                          {"shard", "begin", "end", "manifest"});
+  for (std::size_t i = 0; i < plan.shards(); ++i) {
+    const wdag::ShardManifest manifest = plan.manifest(i);
+    const std::string path = prefix + "." + std::to_string(i) + ".json";
+    write_output(path, wdag::core::manifest_to_json(manifest) + "\n");
+    table.add_row({static_cast<long long>(i),
+                   static_cast<long long>(manifest.range.begin),
+                   static_cast<long long>(manifest.range.end), path});
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_shard_run(const Cli& cli) {
+  // The manifest is the single source of truth for everything that
+  // affects bytes; reject workload AND solver flags instead of silently
+  // ignoring them (only execution knobs stay on the command line).
+  for (const char* flag :
+       {"gen", "seed", "count", "force", "exact-threshold", "exact-budget"}) {
+    WDAG_REQUIRE(!cli.has(flag),
+                 std::string("shard run reads the workload from the "
+                             "manifest; drop --") + flag);
+  }
+  const std::string manifest_path = cli.get("manifest", "");
+  WDAG_REQUIRE(!manifest_path.empty(), "shard run requires --manifest FILE");
+  const std::string out_path = cli.get("out", "");
+  WDAG_REQUIRE(!out_path.empty(), "shard run requires --out PATH ('-' = stdout)");
+
+  std::ifstream in(manifest_path);
+  WDAG_REQUIRE(in.good(),
+               "cannot open shard manifest '" + manifest_path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const wdag::ShardManifest manifest = wdag::core::parse_manifest(buf.str());
+
+  const CommonArgs exec = read_common_args(cli, 100);
+  wdag::Engine engine = make_engine(exec, exec.batch.threads);
+  wdag::BatchRequest request = request_from_manifest(manifest, exec.batch);
+
+  // The shard CSV: the manifest as a comment line, then the same column
+  // header + rows the unsharded --stream-csv run emits for this range.
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (out_path != "-") {
+    file.open(out_path);
+    WDAG_REQUIRE(file.good(), "cannot open output file '" + out_path + "'");
+    out = &file;
+  }
+  *out << wdag::core::shard_csv_header(manifest);
+  wdag::CsvStreamSink csv(*out);
+  request.sinks.push_back(&csv);
+
+  std::ofstream json_file;
+  std::optional<wdag::JsonSink> json;
+  if (cli.has("json")) {
+    const std::string json_path = cli.get("json", "-");
+    std::ostream* json_out = &std::cout;
+    if (json_path != "-") {
+      json_file.open(json_path);
+      WDAG_REQUIRE(json_file.good(),
+                   "cannot open output file '" + json_path + "'");
+      json_out = &json_file;
+    }
+    // The shard header here is the bare manifest object — NOT the CSV's
+    // '#' comment form — so the file stays valid JSON-lines: manifest,
+    // then one object per row, then the aggregate report.
+    *json_out << wdag::core::manifest_to_json(manifest) << "\n";
+    json.emplace(*json_out);
+    request.sinks.push_back(&*json);
+  }
+
+  const BatchReport report =
+      engine.run_shard(request, manifest.shard, manifest.shards);
+
+  if (out_path != "-") {
+    // Keep stdout clean when the CSV streams to it; otherwise summarize.
+    std::cout << "shard " << manifest.shard << "/" << manifest.shards
+              << " [" << manifest.range.begin << ", " << manifest.range.end
+              << ") -> " << out_path << ": " << report.instance_count
+              << " instances, " << report.failure_count << " failures\n";
+  }
+  return report.failure_count == 0 ? 0 : 1;
+}
+
+int cmd_shard_merge(const Cli& cli) {
+  const std::string out_path = cli.get("out", "-");
+  // positional: ["shard", "merge", file...]
+  const std::vector<std::string>& pos = cli.positional();
+  WDAG_REQUIRE(pos.size() > 2,
+               "shard merge needs at least one shard CSV file argument");
+  std::vector<wdag::core::ShardCsv> shards;
+  shards.reserve(pos.size() - 2);
+  for (std::size_t i = 2; i < pos.size(); ++i) {
+    std::ifstream in(pos[i]);
+    WDAG_REQUIRE(in.good(), "cannot open shard CSV '" + pos[i] + "'");
+    shards.push_back(wdag::core::read_shard_csv(in, pos[i]));
+  }
+  write_output(out_path, wdag::core::merge_shard_csv(shards));
+  if (out_path != "-") {
+    std::cout << "merged " << shards.size() << " shards -> " << out_path
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_shard(const Cli& cli) {
+  const std::vector<std::string>& pos = cli.positional();
+  if (pos.size() < 2) {
+    std::cerr << "shard needs a subcommand: plan | run | merge\n";
+    return usage(std::cerr);
+  }
+  const std::string& sub = pos[1];
+  if (sub == "plan") return cmd_shard_plan(cli);
+  if (sub == "run") return cmd_shard_run(cli);
+  if (sub == "merge") return cmd_shard_merge(cli);
+  std::cerr << "unknown shard subcommand '" << sub << "'\n";
+  return usage(std::cerr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -374,6 +563,7 @@ int main(int argc, char** argv) {
     if (command == "solve") return cmd_solve(cli);
     if (command == "batch") return cmd_batch(cli);
     if (command == "sweep") return cmd_sweep(cli);
+    if (command == "shard") return cmd_shard(cli);
     std::cerr << "unknown command '" << command << "'\n";
     return usage(std::cerr);
   } catch (const std::exception& e) {

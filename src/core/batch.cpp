@@ -448,11 +448,16 @@ BatchReport run_batch_items(std::size_t count, const BatchItemSolver& item,
       samples.clear();
       BatchEntry local;
       for (std::size_t i = lo; i < hi; ++i) {
+        // Everything observable about an instance is keyed by its GLOBAL
+        // index: RNG stream, reported index, item callback — so a shard
+        // run (index_base > 0) reproduces the unsharded run's bytes for
+        // its slice of the range.
+        const std::size_t global = options.index_base + i;
         BatchEntry& entry = keep ? report.entries[i] : local;
         if (!keep) entry = BatchEntry{};
-        entry.index = i;
-        util::Xoshiro256 rng = instance_rng(options.seed, i);
-        item(rng, i, entry, *scratch);
+        entry.index = global;
+        util::Xoshiro256 rng = instance_rng(options.seed, global);
+        item(rng, global, entry, *scratch);
         if (model != nullptr && !entry.failed) {
           samples.push_back({entry.strategy, entry.paths,
                              entry.millis * 1000.0});
@@ -527,8 +532,9 @@ BatchReport solve_batch(std::span<const paths::DipathFamily> families,
       [&families, &solve_options, &batch_options](
           util::Xoshiro256& /*rng*/, std::size_t i, BatchEntry& entry,
           SolveScratch& scratch) {
-        solve_into(entry, families[i], solve_options, scratch,
-                   batch_options.keep_colorings);
+        // i is global; the span holds this run's slice only.
+        solve_into(entry, families[i - batch_options.index_base],
+                   solve_options, scratch, batch_options.keep_colorings);
       },
       batch_options, builtin_strategy_names());
 }

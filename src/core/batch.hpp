@@ -72,6 +72,13 @@ struct BatchOptions {
   /// Base seed; instance i works with splitmix64(seed, i)-derived
   /// randomness, whatever the chunking or scheduler.
   std::uint64_t seed = 1;
+  /// GLOBAL index of this run's first instance (shard support,
+  /// core/shard.hpp). Instance i of the run derives its RNG from
+  /// (seed, index_base + i) and reports index_base + i in its entry and
+  /// rows — so a shard solving [base, base + count) of a larger batch
+  /// emits exactly the rows the unsharded run emits for that range, and
+  /// the item callback always receives the global index.
+  std::size_t index_base = 0;
   /// Chunk distribution policy; see Schedule.
   Schedule schedule = Schedule::kFixed;
   /// Bounds on the cost-aware chunk size of Schedule::kStealing (the
@@ -183,7 +190,9 @@ struct BatchReport {
 /// for instance `index` (strategy, paths, load, wavelengths, optimal — or
 /// failed + error; never throw), drawing any randomness from `rng` (a
 /// fresh stream derived from (seed, index), identical on every schedule)
-/// and reusing `scratch` across the instances of a worker.
+/// and reusing `scratch` across the instances of a worker. `index` is
+/// GLOBAL (options.index_base + local position), so generator callbacks
+/// behave identically sharded and unsharded.
 using BatchItemSolver =
     std::function<void(util::Xoshiro256& rng, std::size_t index,
                        BatchEntry& entry, SolveScratch& scratch)>;

@@ -1,0 +1,654 @@
+#include "core/shard.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace wdag::core {
+
+namespace {
+
+/// The column header every shard CSV (and the unsharded streaming CSV)
+/// carries — must stay byte-identical to api::CsvStreamSink's header
+/// (pinned by tests/test_shard.cpp).
+constexpr std::string_view kCsvColumnHeader =
+    "index,method,paths,load,wavelengths,optimal";
+
+/// Marker of the shard-CSV manifest comment line.
+constexpr std::string_view kShardHeaderTag = "# wdag-shard ";
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Shortest round-trippable decimal of a double: %.17g re-parses to the
+/// same bits with strtod, so hash canonicalization and JSON emission
+/// agree across plan/run/merge processes.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Canonical serialization of a spec — exactly the byte-determining
+/// fields, in a fixed order. Never change existing field spellings: the
+/// hash identifies plans across processes and machines.
+std::string canonical_spec(const ShardSpec& spec) {
+  std::string s = "wdag-shard-spec;v";
+  s += std::to_string(kShardFormatVersion);
+  s += ";family=" + spec.family;
+  s += ";count=" + std::to_string(spec.count);
+  s += ";seed=" + std::to_string(spec.seed);
+  const gen::WorkloadParams& p = spec.params;
+  s += ";paths=" + std::to_string(p.paths);
+  s += ";size=" + std::to_string(p.size);
+  s += ";density=" + fmt_double(p.density);
+  s += ";k=" + std::to_string(p.k);
+  s += ";run_len=" + std::to_string(p.run_len);
+  s += ";chain=" + std::to_string(p.chain);
+  s += ";layers=" + std::to_string(p.layers);
+  s += ";width=" + std::to_string(p.width);
+  s += ";rows=" + std::to_string(p.rows);
+  s += ";cols=" + std::to_string(p.cols);
+  s += ";dim=" + std::to_string(p.dim);
+  s += ";stages=" + std::to_string(p.stages);
+  s += ";h=" + std::to_string(p.h);
+  s += ";exact_threshold=" + std::to_string(spec.solve.exact_threshold);
+  s += ";exact_budget=" + std::to_string(spec.solve.exact_node_budget);
+  s += ";force=" + spec.force_strategy;
+  return s;
+}
+
+std::uint64_t plan_id_of(std::uint64_t request_hash, std::size_t count,
+                         std::size_t shards) {
+  return fnv1a("wdag-shard-plan;v" + std::to_string(kShardFormatVersion) +
+               ";request=" + hex16(request_hash) +
+               ";count=" + std::to_string(count) +
+               ";shards=" + std::to_string(shards));
+}
+
+using util::append_json_string;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parsing — just enough for the manifest format this file
+// emits (objects, strings, numbers, booleans; one nesting level in
+// practice). Numbers keep their raw text so 64-bit integers parse
+// exactly.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool, kObject };
+  Kind kind = Kind::kString;
+  std::string text;  ///< string value, or raw number text
+  bool boolean = false;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidArgument("shard manifest JSON: " + what + " at offset " +
+                          std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '"') return string();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == '-' || (c >= '0' && c <= '9')) return number();
+    fail("unexpected character");
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace(std::move(key.text), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue string() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    expect('"');
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.text += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': v.text += '"'; break;
+        case '\\': v.text += '\\'; break;
+        case '/': v.text += '/'; break;
+        case 'n': v.text += '\n'; break;
+        case 'r': v.text += '\r'; break;
+        case 't': v.text += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          if (code > 0x7F) fail("non-ASCII \\u escape unsupported");
+          v.text += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+    } else {
+      fail("expected boolean");
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    v.text = std::string(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue& req_field(const JsonValue& obj, const std::string& key) {
+  WDAG_REQUIRE(obj.kind == JsonValue::Kind::kObject,
+               "shard manifest: expected a JSON object");
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) {
+    throw InvalidArgument("shard manifest: missing field '" + key + "'");
+  }
+  return it->second;
+}
+
+std::uint64_t req_u64(const JsonValue& obj, const std::string& key) {
+  const JsonValue& v = req_field(obj, key);
+  WDAG_REQUIRE(v.kind == JsonValue::Kind::kNumber,
+               "shard manifest: field '" + key + "' must be a number");
+  try {
+    return std::stoull(v.text);
+  } catch (const std::exception&) {
+    throw InvalidArgument("shard manifest: field '" + key +
+                          "' is not a valid integer: " + v.text);
+  }
+}
+
+double req_double(const JsonValue& obj, const std::string& key) {
+  const JsonValue& v = req_field(obj, key);
+  WDAG_REQUIRE(v.kind == JsonValue::Kind::kNumber,
+               "shard manifest: field '" + key + "' must be a number");
+  try {
+    return std::stod(v.text);
+  } catch (const std::exception&) {
+    throw InvalidArgument("shard manifest: field '" + key +
+                          "' is not a valid number: " + v.text);
+  }
+}
+
+std::string req_str(const JsonValue& obj, const std::string& key) {
+  const JsonValue& v = req_field(obj, key);
+  WDAG_REQUIRE(v.kind == JsonValue::Kind::kString,
+               "shard manifest: field '" + key + "' must be a string");
+  return v.text;
+}
+
+std::uint64_t req_hex(const JsonValue& obj, const std::string& key) {
+  const std::string s = req_str(obj, key);
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(s, &used, 16);
+    WDAG_REQUIRE(used == s.size() && !s.empty(),
+                 "shard manifest: field '" + key + "' is not a hex id");
+    return v;
+  } catch (const InvalidArgument&) {
+    throw;
+  } catch (const std::exception&) {
+    throw InvalidArgument("shard manifest: field '" + key +
+                          "' is not a hex id: " + s);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Plan
+// ---------------------------------------------------------------------------
+
+std::uint64_t shard_request_hash(const ShardSpec& spec) {
+  return fnv1a(canonical_spec(spec));
+}
+
+ShardRange shard_range(std::size_t count, std::size_t shards,
+                       std::size_t index) {
+  WDAG_REQUIRE(shards >= 1, "shard_range: shards must be >= 1");
+  WDAG_REQUIRE(index < shards, "shard_range: index " + std::to_string(index) +
+                                   " out of range for " +
+                                   std::to_string(shards) + " shards");
+  // Balanced contiguous split: the first `count % shards` shards take
+  // base + 1 indices. Pure arithmetic — every process computes the same
+  // ranges without coordination.
+  const std::size_t base = count / shards;
+  const std::size_t extra = count % shards;
+  const std::size_t begin =
+      index * base + std::min(index, extra);
+  const std::size_t len = base + (index < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+ShardPlan::ShardPlan(ShardSpec spec, std::size_t shards)
+    : spec_(std::move(spec)),
+      shards_(shards),
+      request_hash_(shard_request_hash(spec_)),
+      id_(plan_id_of(request_hash_, spec_.count, shards_)) {
+  WDAG_REQUIRE(shards_ >= 1, "ShardPlan: shards must be >= 1");
+  // An empty shard's output is indistinguishable from a missing shard at
+  // merge time; insist every shard has at least one instance.
+  WDAG_REQUIRE(spec_.count >= shards_ || (spec_.count == 0 && shards_ == 1),
+               "ShardPlan: " + std::to_string(shards_) +
+                   " shards over " + std::to_string(spec_.count) +
+                   " instances would leave empty shards (need shards <= "
+                   "count)");
+}
+
+ShardRange ShardPlan::range(std::size_t index) const {
+  return shard_range(spec_.count, shards_, index);
+}
+
+ShardManifest ShardPlan::manifest(std::size_t index) const {
+  ShardManifest m;
+  m.plan_id = id_;
+  m.request_hash = request_hash_;
+  m.shard = index;
+  m.shards = shards_;
+  m.range = range(index);
+  m.spec = spec_;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Manifest JSON
+// ---------------------------------------------------------------------------
+
+std::string manifest_to_json(const ShardManifest& m) {
+  std::string s = "{\"wdag_shard\":";
+  s += std::to_string(m.version);
+  s += ",\"plan\":\"" + hex16(m.plan_id) + "\"";
+  s += ",\"request_hash\":\"" + hex16(m.request_hash) + "\"";
+  s += ",\"shard\":" + std::to_string(m.shard);
+  s += ",\"shards\":" + std::to_string(m.shards);
+  s += ",\"begin\":" + std::to_string(m.range.begin);
+  s += ",\"end\":" + std::to_string(m.range.end);
+  s += ",\"count\":" + std::to_string(m.spec.count);
+  s += ",\"family\":";
+  append_json_string(s, m.spec.family);
+  s += ",\"seed\":" + std::to_string(m.spec.seed);
+  const gen::WorkloadParams& p = m.spec.params;
+  s += ",\"params\":{";
+  s += "\"paths\":" + std::to_string(p.paths);
+  s += ",\"size\":" + std::to_string(p.size);
+  s += ",\"density\":" + fmt_double(p.density);
+  s += ",\"k\":" + std::to_string(p.k);
+  s += ",\"run_len\":" + std::to_string(p.run_len);
+  s += ",\"chain\":" + std::to_string(p.chain);
+  s += ",\"layers\":" + std::to_string(p.layers);
+  s += ",\"width\":" + std::to_string(p.width);
+  s += ",\"rows\":" + std::to_string(p.rows);
+  s += ",\"cols\":" + std::to_string(p.cols);
+  s += ",\"dim\":" + std::to_string(p.dim);
+  s += ",\"stages\":" + std::to_string(p.stages);
+  s += ",\"h\":" + std::to_string(p.h);
+  s += "}";
+  s += ",\"solve\":{";
+  s += "\"exact_threshold\":" + std::to_string(m.spec.solve.exact_threshold);
+  s += ",\"exact_budget\":" + std::to_string(m.spec.solve.exact_node_budget);
+  s += "}";
+  s += ",\"force\":";
+  append_json_string(s, m.spec.force_strategy);
+  s += "}";
+  return s;
+}
+
+ShardManifest parse_manifest(std::string_view json) {
+  const JsonValue root = JsonParser(json).parse();
+  WDAG_REQUIRE(root.kind == JsonValue::Kind::kObject,
+               "shard manifest: top-level JSON value must be an object");
+
+  ShardManifest m;
+  m.version = static_cast<int>(req_u64(root, "wdag_shard"));
+  if (m.version != kShardFormatVersion) {
+    throw InvalidArgument(
+        "shard manifest: unsupported format version " +
+        std::to_string(m.version) + " (this build reads version " +
+        std::to_string(kShardFormatVersion) + ")");
+  }
+  m.plan_id = req_hex(root, "plan");
+  m.request_hash = req_hex(root, "request_hash");
+  m.shard = req_u64(root, "shard");
+  m.shards = req_u64(root, "shards");
+  m.range.begin = req_u64(root, "begin");
+  m.range.end = req_u64(root, "end");
+  m.spec.count = req_u64(root, "count");
+  m.spec.family = req_str(root, "family");
+  m.spec.seed = req_u64(root, "seed");
+  const JsonValue& params = req_field(root, "params");
+  m.spec.params.paths = req_u64(params, "paths");
+  m.spec.params.size = req_u64(params, "size");
+  m.spec.params.density = req_double(params, "density");
+  m.spec.params.k = req_u64(params, "k");
+  m.spec.params.run_len = req_u64(params, "run_len");
+  m.spec.params.chain = req_u64(params, "chain");
+  m.spec.params.layers = req_u64(params, "layers");
+  m.spec.params.width = req_u64(params, "width");
+  m.spec.params.rows = req_u64(params, "rows");
+  m.spec.params.cols = req_u64(params, "cols");
+  m.spec.params.dim = req_u64(params, "dim");
+  m.spec.params.stages = req_u64(params, "stages");
+  m.spec.params.h = req_u64(params, "h");
+  const JsonValue& solve = req_field(root, "solve");
+  m.spec.solve.exact_threshold = req_u64(solve, "exact_threshold");
+  m.spec.solve.exact_node_budget = req_u64(solve, "exact_budget");
+  m.spec.force_strategy = req_str(root, "force");
+
+  // Structural sanity before the hash checks, so the error names the
+  // actual problem.
+  WDAG_REQUIRE(m.shards >= 1 && m.shard < m.shards,
+               "shard manifest: shard " + std::to_string(m.shard) +
+                   " out of range for " + std::to_string(m.shards) +
+                   " shards");
+  WDAG_REQUIRE(m.range.begin <= m.range.end && m.range.end <= m.spec.count,
+               "shard manifest: range [" + std::to_string(m.range.begin) +
+                   ", " + std::to_string(m.range.end) +
+                   ") does not fit count " + std::to_string(m.spec.count));
+
+  // The recorded ids must agree with the ones this build recomputes from
+  // the parsed request — a hand-edited manifest (say, a changed seed with
+  // a stale plan id) must fail here, not merge silently.
+  const std::uint64_t request_hash = shard_request_hash(m.spec);
+  if (request_hash != m.request_hash) {
+    throw InvalidArgument(
+        "shard manifest: recorded request hash " + hex16(m.request_hash) +
+        " does not match the request itself (" + hex16(request_hash) +
+        ") — edited manifest?");
+  }
+  const std::uint64_t plan_id = plan_id_of(request_hash, m.spec.count,
+                                           m.shards);
+  if (plan_id != m.plan_id) {
+    throw InvalidArgument("shard manifest: recorded plan id " +
+                          hex16(m.plan_id) +
+                          " does not match the request (" + hex16(plan_id) +
+                          ") — edited manifest?");
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Shard CSV reading and merging
+// ---------------------------------------------------------------------------
+
+std::string shard_csv_header(const ShardManifest& m) {
+  return std::string(kShardHeaderTag) + manifest_to_json(m) + "\n";
+}
+
+ShardCsv read_shard_csv(std::istream& in, const std::string& name) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const auto fail = [&name](const std::string& what) -> void {
+    throw InvalidArgument("shard CSV '" + name + "': " + what);
+  };
+
+  if (text.size() < kShardHeaderTag.size() ||
+      std::string_view(text).substr(0, kShardHeaderTag.size()) !=
+          kShardHeaderTag) {
+    fail("missing '# wdag-shard' header line (not a shard CSV?)");
+  }
+  // Every line of a complete shard file — including the last row — ends
+  // with '\n'; a file cut off mid-row fails here instead of merging one
+  // short.
+  if (text.back() != '\n') {
+    fail("file does not end with a newline (truncated?)");
+  }
+
+  const std::size_t header_end = text.find('\n');
+  ShardCsv shard;
+  shard.manifest = parse_manifest(
+      std::string_view(text).substr(kShardHeaderTag.size(),
+                                    header_end - kShardHeaderTag.size()));
+
+  const std::size_t columns_begin = header_end + 1;
+  const std::size_t columns_end = text.find('\n', columns_begin);
+  if (columns_end == std::string::npos) {
+    fail("missing CSV column header (truncated?)");
+  }
+  const std::string_view columns =
+      std::string_view(text).substr(columns_begin,
+                                    columns_end - columns_begin);
+  if (columns != kCsvColumnHeader) {
+    fail("unexpected column header '" + std::string(columns) +
+         "' (expected '" + std::string(kCsvColumnHeader) + "')");
+  }
+
+  shard.rows = text.substr(columns_end + 1);
+
+  // Count the rows and check each one's leading index field against the
+  // global index it must carry — catching truncation, reordering, and
+  // rows from the wrong range in one pass.
+  std::size_t expected = shard.manifest.range.begin;
+  std::size_t pos = 0;
+  while (pos < shard.rows.size()) {
+    const std::size_t eol = shard.rows.find('\n', pos);
+    WDAG_ASSERT(eol != std::string::npos, "shard rows lost their newline");
+    const std::size_t comma = shard.rows.find(',', pos);
+    std::size_t index = static_cast<std::size_t>(-1);
+    if (comma != std::string::npos && comma < eol) {
+      try {
+        index = std::stoull(shard.rows.substr(pos, comma - pos));
+      } catch (const std::exception&) {
+        // falls through to the mismatch diagnostic below
+      }
+    }
+    if (index != expected) {
+      fail("row " + std::to_string(shard.row_count) + " carries index " +
+           (index == static_cast<std::size_t>(-1)
+                ? std::string("<unparsable>")
+                : std::to_string(index)) +
+           ", expected " + std::to_string(expected) +
+           " (truncated or corrupt shard?)");
+    }
+    ++expected;
+    ++shard.row_count;
+    pos = eol + 1;
+  }
+
+  if (shard.row_count != shard.manifest.range.size()) {
+    fail("holds " + std::to_string(shard.row_count) + " rows but covers [" +
+         std::to_string(shard.manifest.range.begin) + ", " +
+         std::to_string(shard.manifest.range.end) + ") — expected " +
+         std::to_string(shard.manifest.range.size()) +
+         " (truncated shard?)");
+  }
+  return shard;
+}
+
+std::string merge_shard_csv(const std::vector<ShardCsv>& shards) {
+  WDAG_REQUIRE(!shards.empty(), "merge_shard_csv: no shards to merge");
+
+  // One plan only: same plan id, request hash, shard count and global
+  // instance count everywhere. parse_manifest already bound the id to the
+  // request, so comparing ids compares requests.
+  const ShardManifest& first = shards.front().manifest;
+  for (const ShardCsv& s : shards) {
+    const ShardManifest& m = s.manifest;
+    if (m.plan_id != first.plan_id || m.request_hash != first.request_hash ||
+        m.shards != first.shards || m.spec.count != first.spec.count) {
+      throw InvalidArgument(
+          "merge_shard_csv: shards come from different plans (plan " +
+          hex16(first.plan_id) + " vs " + hex16(m.plan_id) +
+          ") — refusing a mixed merge");
+    }
+  }
+
+  // Every shard index 0..K-1 exactly once.
+  std::vector<const ShardCsv*> by_index(first.shards, nullptr);
+  for (const ShardCsv& s : shards) {
+    const std::size_t i = s.manifest.shard;
+    WDAG_ASSERT(i < first.shards, "shard index escaped parse validation");
+    if (by_index[i] != nullptr) {
+      throw InvalidArgument("merge_shard_csv: duplicate shard " +
+                            std::to_string(i) + " of " +
+                            std::to_string(first.shards));
+    }
+    by_index[i] = &s;
+  }
+  for (std::size_t i = 0; i < by_index.size(); ++i) {
+    if (by_index[i] == nullptr) {
+      throw InvalidArgument("merge_shard_csv: missing shard " +
+                            std::to_string(i) + " of " +
+                            std::to_string(first.shards) +
+                            " — refusing a partial merge");
+    }
+  }
+
+  // Ranges must chain gaplessly over [0, count). Overlaps and gaps can
+  // only come from tampered manifests (plan ranges are arithmetic), but
+  // a silent partial/duplicated merge is exactly the failure mode this
+  // tool exists to prevent.
+  std::size_t expected_begin = 0;
+  for (std::size_t i = 0; i < by_index.size(); ++i) {
+    const ShardRange& r = by_index[i]->manifest.range;
+    if (r.begin < expected_begin) {
+      throw InvalidArgument(
+          "merge_shard_csv: shard " + std::to_string(i) + " range [" +
+          std::to_string(r.begin) + ", " + std::to_string(r.end) +
+          ") overlaps the previous shard (which ends at " +
+          std::to_string(expected_begin) + ")");
+    }
+    if (r.begin > expected_begin) {
+      throw InvalidArgument(
+          "merge_shard_csv: gap before shard " + std::to_string(i) +
+          ": indices [" + std::to_string(expected_begin) + ", " +
+          std::to_string(r.begin) + ") are covered by no shard");
+    }
+    expected_begin = r.end;
+  }
+  if (expected_begin != first.spec.count) {
+    throw InvalidArgument(
+        "merge_shard_csv: shards cover [0, " +
+        std::to_string(expected_begin) + ") but the plan has " +
+        std::to_string(first.spec.count) + " instances");
+  }
+
+  std::size_t total = std::string(kCsvColumnHeader).size() + 1;
+  for (const ShardCsv* s : by_index) total += s->rows.size();
+  std::string merged;
+  merged.reserve(total);
+  merged += kCsvColumnHeader;
+  merged += '\n';
+  for (const ShardCsv* s : by_index) merged += s->rows;
+  return merged;
+}
+
+}  // namespace wdag::core

@@ -1,0 +1,159 @@
+#pragma once
+// Sharded batch execution: plan / run / merge.
+//
+// A ShardPlan splits one generated-batch request into K contiguous global
+// index ranges so the shards can run on K machines (or K processes) and
+// merge back to the SAME BYTES a single-process streaming run would have
+// produced. The determinism stack that makes this cheap:
+//
+//   * every instance derives its RNG from (seed, GLOBAL index) — so a
+//     shard covering [lo, hi) generates exactly the instances the
+//     unsharded run generates at those indices (BatchOptions::index_base);
+//   * result sinks receive rows in strict instance order at any thread
+//     count, so a shard's CSV body is a contiguous byte slice of the
+//     unsharded output;
+//   * the merge is therefore pure concatenation — after validating that
+//     the shard files belong to one plan and cover the full range with no
+//     gap, overlap, duplicate or truncation.
+//
+// Each shard is described by a ShardManifest: a single JSON object
+// carrying the format version, the plan id, the request hash, the global
+// index range, and the full request (generator family + params + seed +
+// solver knobs) — a shard run needs the manifest file and nothing else.
+// Shard CSV outputs embed the same manifest as a leading `# wdag-shard`
+// comment line, so merge validation needs only the shard files.
+//
+// The request hash covers exactly the inputs that determine output bytes
+// (family, params, count, seed, solver knobs, forced strategy). Schedule,
+// chunk geometry and thread count are deliberately excluded: the
+// determinism contract makes them byte-neutral, so every shard may pick
+// whatever execution knobs suit its machine.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "gen/workloads.hpp"
+
+namespace wdag::core {
+
+/// Version stamp of the manifest / shard-CSV format. Readers reject other
+/// versions instead of guessing.
+inline constexpr int kShardFormatVersion = 1;
+
+/// The serializable request a plan shards: everything that affects the
+/// bytes a batch emits. One ShardSpec == one reproducible workload.
+struct ShardSpec {
+  std::string family;            ///< generator name (gen::workload_names())
+  gen::WorkloadParams params{};  ///< generator knobs
+  std::size_t count = 0;         ///< GLOBAL instance count of the batch
+  std::uint64_t seed = 1;        ///< base seed of the per-instance RNG
+  /// Solver knobs that change results (exact_threshold, exact_node_budget).
+  SolveOptions solve{};
+  /// Forced strategy name; empty = normal dispatch.
+  std::string force_strategy;
+};
+
+/// FNV-1a hash of the canonical serialization of `spec` — identical
+/// specs hash identically on every platform. Excludes execution knobs
+/// (threads/schedule/chunk) by construction: they never change bytes.
+[[nodiscard]] std::uint64_t shard_request_hash(const ShardSpec& spec);
+
+/// A contiguous global index range [begin, end).
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+  friend bool operator==(const ShardRange&, const ShardRange&) = default;
+};
+
+/// The range shard `index` of `shards` covers in a `count`-instance
+/// batch: contiguous, ascending, balanced (the first count % shards
+/// ranges are one longer). Requires shards >= 1 and index < shards.
+[[nodiscard]] ShardRange shard_range(std::size_t count, std::size_t shards,
+                                     std::size_t index);
+
+/// Everything a shard runner (or merger) needs to know about one shard.
+struct ShardManifest {
+  int version = kShardFormatVersion;
+  std::uint64_t plan_id = 0;       ///< identifies the plan across shards
+  std::uint64_t request_hash = 0;  ///< shard_request_hash(spec)
+  std::size_t shard = 0;           ///< this shard's index, 0-based
+  std::size_t shards = 1;          ///< total shards in the plan
+  ShardRange range;                ///< global indices this shard solves
+  ShardSpec spec;                  ///< the full (global) request
+};
+
+/// A deterministic split of one ShardSpec into `shards` contiguous
+/// ranges. The plan id is a pure function of (request hash, count,
+/// shard count, format version), so independently-constructed plans of
+/// the same request agree — no coordination service needed.
+class ShardPlan {
+ public:
+  /// Throws wdag::InvalidArgument when shards == 0 or shards > count
+  /// (an empty shard could never be distinguished from a missing one at
+  /// merge time). count == 0 admits only shards == 1.
+  ShardPlan(ShardSpec spec, std::size_t shards);
+
+  [[nodiscard]] const ShardSpec& spec() const { return spec_; }
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] std::uint64_t request_hash() const { return request_hash_; }
+
+  /// The global range of shard `index` (< shards()).
+  [[nodiscard]] ShardRange range(std::size_t index) const;
+
+  /// The manifest of shard `index` (< shards()).
+  [[nodiscard]] ShardManifest manifest(std::size_t index) const;
+
+ private:
+  ShardSpec spec_;
+  std::size_t shards_;
+  std::uint64_t request_hash_;
+  std::uint64_t id_;
+};
+
+/// The manifest as a single-line JSON object (stable key order) — the
+/// payload of both the .json manifest files and the shard-CSV header.
+[[nodiscard]] std::string manifest_to_json(const ShardManifest& m);
+
+/// Parses a manifest back from JSON. Throws wdag::InvalidArgument on
+/// malformed JSON, an unsupported version, or a recorded plan id /
+/// request hash that disagrees with the one recomputed from the parsed
+/// request (a hand-edited manifest would otherwise merge silently).
+[[nodiscard]] ShardManifest parse_manifest(std::string_view json);
+
+/// The `# wdag-shard <json>` comment line (newline-terminated) a shard
+/// CSV carries before the column header.
+[[nodiscard]] std::string shard_csv_header(const ShardManifest& m);
+
+/// One parsed shard CSV output: its embedded manifest plus the raw row
+/// bytes (exactly the slice of the unsharded output it covers).
+struct ShardCsv {
+  ShardManifest manifest;
+  std::string rows;           ///< row bytes, newline-terminated
+  std::size_t row_count = 0;  ///< == manifest.range.size() once validated
+};
+
+/// Reads and validates one shard CSV: the `# wdag-shard` header line, the
+/// canonical column header, and one row per covered index whose leading
+/// index field matches its expected global index. Throws
+/// wdag::InvalidArgument naming `name` on any mismatch — including a
+/// truncated file (missing rows or a final row without its newline).
+[[nodiscard]] ShardCsv read_shard_csv(std::istream& in,
+                                      const std::string& name);
+
+/// Validates that `shards` are the complete shard set of ONE plan — same
+/// plan id and request hash, every index 0..K-1 present exactly once, and
+/// ranges that chain gaplessly from 0 to count — then concatenates their
+/// rows under one column header. The result is byte-identical to the
+/// unsharded streaming CSV of the same request. Throws
+/// wdag::InvalidArgument with a diagnostic naming the offending shard(s)
+/// on any violation; no partial merge is ever produced.
+[[nodiscard]] std::string merge_shard_csv(const std::vector<ShardCsv>& shards);
+
+}  // namespace wdag::core

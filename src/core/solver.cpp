@@ -34,6 +34,20 @@ std::string method_name(Method m) {
   return std::string(builtin_strategy_name(strategy_id(m)));
 }
 
+void SolveScratch::first_touch() {
+  // A modest synthetic build sized like a typical workload instance: the
+  // move-assignment replaces the arena's storage with memory allocated —
+  // and therefore first-touched — by the calling thread; ConflictGraph::
+  // rebuild() reuses it afterwards instead of reallocating.
+  constexpr std::size_t kWarmVertices = 64;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  edges.reserve(kWarmVertices - 1);
+  for (std::size_t v = 1; v < kWarmVertices; ++v) {
+    edges.emplace_back(v - 1, v);
+  }
+  conflict_graph = conflict::ConflictGraph(kWarmVertices, edges);
+}
+
 SolveResult solve(const paths::DipathFamily& family,
                   const SolveOptions& options) {
   std::optional<StrategyId> force;

@@ -75,6 +75,15 @@ std::string method_name(Method m);
 /// reallocating them.
 struct SolveScratch {
   conflict::ConflictGraph conflict_graph;
+
+  /// Allocates and touches the arena's backing storage (adjacency rows,
+  /// degree tables) from the CALLING thread. Under Linux's first-touch
+  /// page placement this puts the arena on the caller's NUMA node, so an
+  /// engine whose workers are pinned (WDAG_AFFINITY) keeps each worker's
+  /// arena node-local; rebuild() then reuses that storage across the
+  /// worker's instances. Harmless (just a small warm-up build) when the
+  /// process is not pinned.
+  void first_touch();
 };
 
 /// Solver knobs.

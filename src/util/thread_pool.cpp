@@ -104,6 +104,45 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+void ThreadPool::for_each_worker(const std::function<void(std::size_t)>& fn) {
+  const std::size_t n = size();
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t arrived = 0;
+  std::size_t done = 0;
+  std::exception_ptr first_error;
+  for (std::size_t t = 0; t < n; ++t) {
+    submit([&, n] {
+      // Barrier first: a worker holds its task at the barrier until all
+      // n tasks have started. Since a worker runs one task at a time, n
+      // simultaneously-parked tasks occupy n DISTINCT workers — only
+      // then may fn run, guaranteeing exactly-once-per-worker placement.
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        ++arrived;
+        if (arrived == n) cv.notify_all();
+        cv.wait(lk, [&] { return arrived == n; });
+      }
+      try {
+        fn(static_cast<std::size_t>(tl_worker_index));
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        ++done;
+        if (done == n) cv.notify_all();
+      }
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return done == n; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lk(mu_);
   cv_idle_.wait(lk, [this] { return in_flight_ == 0; });

@@ -52,6 +52,18 @@ class ThreadPool {
   /// exceptions yourself (parallel_for below does this for you).
   void submit(std::function<void()> task);
 
+  /// Runs `fn(worker_index)` exactly once ON each worker thread, blocking
+  /// until all have finished; the first exception is rethrown here. The
+  /// per-worker placement is what makes this the NUMA first-touch hook:
+  /// memory a worker allocates-and-touches inside `fn` lands on that
+  /// worker's NUMA node under Linux's default first-touch policy, which
+  /// combined with WDAG_AFFINITY pinning keeps a worker's arena local
+  /// (api::Engine warms its SolveScratch arenas this way). Uses an
+  /// internal barrier, so it must not run concurrently with other
+  /// submitted work (intended for initialization, e.g. right after
+  /// construction).
+  void for_each_worker(const std::function<void(std::size_t)>& fn);
+
   /// Block until every submitted task has finished executing.
   void wait_idle();
 

@@ -83,6 +83,14 @@ class ChaseLevDeque {
 ///
 /// `worker_chunks`, when non-null, is resized to pool.size() and filled
 /// with the number of chunks each logical worker executed.
+///
+/// RESTRICTION: one call per pool at a time. The drivers rendezvous (all
+/// pool.size() of them must be running before any proceeds), so a second
+/// concurrent call on the same pool queues its drivers behind the first
+/// call's and both spin forever — the same exactly-once-per-worker
+/// barrier ThreadPool::for_each_worker documents. api::Engine already
+/// serializes run_batch per engine, and parallel_fixed_chunks has no
+/// such restriction.
 void parallel_stealing_chunks(
     ThreadPool& pool, std::span<const ChunkRange> chunks,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body,

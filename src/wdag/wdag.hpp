@@ -26,9 +26,10 @@
 #include "api/sink.hpp"
 #include "api/strategy.hpp"
 
-// --- Solvers (legacy single-call facade + RWA + batch types) --------------
+// --- Solvers (legacy single-call facade + RWA + batch + sharding) ---------
 #include "core/batch.hpp"
 #include "core/rwa.hpp"
+#include "core/shard.hpp"
 #include "core/solver.hpp"
 
 // --- Structural classification (the paper's taxonomy) ---------------------
@@ -75,6 +76,10 @@ using api::SolverStrategy;
 using api::StrategyContext;
 using api::StrategyRegistry;
 using api::StrategyResult;
+using core::ShardManifest;
+using core::ShardPlan;
+using core::ShardRange;
+using core::ShardSpec;
 using core::StrategyId;
 
 }  // namespace wdag

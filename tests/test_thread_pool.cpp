@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <utility>
@@ -150,6 +152,34 @@ TEST(ParallelFixedChunksTest, EmptyRangeAndBadChunkSize) {
                    pool, 0, 4, 0,
                    [](std::size_t, std::size_t, std::size_t) {}),
                wdag::InvalidArgument);
+}
+
+TEST(ThreadPoolTest, ForEachWorkerRunsExactlyOncePerWorker) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::size_t> seen;
+  pool.for_each_worker([&](std::size_t worker) {
+    const std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(worker);
+  });
+  // One visit per worker, each with a distinct index 0..3 — the property
+  // the NUMA first-touch hook relies on (api::Engine warms per-worker
+  // arenas through this).
+  ASSERT_EQ(seen.size(), 4u);
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t w = 0; w < seen.size(); ++w) EXPECT_EQ(seen[w], w);
+}
+
+TEST(ThreadPoolTest, ForEachWorkerPropagatesTheFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.for_each_worker([](std::size_t worker) {
+                 if (worker == 0) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  // The pool survives: later work still runs.
+  std::atomic<int> ran{0};
+  pool.for_each_worker([&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 2);
 }
 
 TEST(ParallelForTest, NestedParallelismDoesNotDeadlock) {
