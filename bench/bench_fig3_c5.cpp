@@ -7,6 +7,7 @@
 #include "bench_util.hpp"
 #include "conflict/conflict_graph.hpp"
 #include "conflict/exact_color.hpp"
+#include "api/strategy.hpp"
 #include "core/solver.hpp"
 #include "dag/classify.hpp"
 #include "gen/paper_instances.hpp"
@@ -21,7 +22,7 @@ void print_table() {
   const auto report = dag::classify(*inst.graph);
   const conflict::ConflictGraph cg(inst.family);
   const auto chi = conflict::chromatic_number(cg);
-  const auto solved = core::solve(inst.family);
+  const auto solved = api::solve_with(api::builtin_registry(), inst.family, {});
 
   util::Table t("E2 / Figure 3: one internal cycle, pi = 2, w = 3",
                 {"quantity", "paper", "measured"});
@@ -45,7 +46,7 @@ void print_table() {
 void BM_Fig3Solve(benchmark::State& state) {
   const auto inst = gen::figure3_instance();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::solve(inst.family).wavelengths);
+    benchmark::DoNotOptimize(api::solve_with(api::builtin_registry(), inst.family, {}).wavelengths);
   }
 }
 BENCHMARK(BM_Fig3Solve);

@@ -1,0 +1,80 @@
+# Drive fault-injection check, CLI level: `wdag drive` must survive an
+# injected worker failure (WDAG_DRIVE_FAIL_SHARD) plus one forced
+# straggler (WDAG_DRIVE_SLOW_SHARD + --speculate), log the retry and
+# speculate events, and still produce bytes identical to the equivalent
+# single-process `batch --stream-csv` run. Registered as one ctest entry
+# per (K, T) cell of the K in {2,5} x T in {1,4} matrix (see the
+# top-level CMakeLists.txt).
+#
+# Invoked as:
+#   cmake -DWDAG_CLI=<path> -DWDAG_WORK_DIR=<dir> -DWDAG_SHARDS=K
+#         -DWDAG_THREADS=T -P DriveFaultInjection.cmake
+
+foreach(var WDAG_CLI WDAG_WORK_DIR WDAG_SHARDS WDAG_THREADS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "drive-fault-injection: ${var} must be defined")
+  endif()
+endforeach()
+
+set(gen random-upp)
+set(count 120)
+set(seed 4242)
+set(fail_shard 1)
+set(slow_shard 0)
+
+file(REMOVE_RECURSE "${WDAG_WORK_DIR}")
+file(MAKE_DIRECTORY "${WDAG_WORK_DIR}")
+
+function(run_or_die)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc ERROR_VARIABLE err
+                  OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "drive-fault-injection: '${ARGN}' failed (${rc}):\n${err}")
+  endif()
+endfunction()
+
+# The unsharded reference bytes.
+run_or_die("${WDAG_CLI}" batch --gen ${gen} --count ${count} --seed ${seed}
+           --threads ${WDAG_THREADS} --stream-csv "${WDAG_WORK_DIR}/ref.csv")
+
+# The drive under fault injection: attempt 0 of shard ${fail_shard}
+# crashes after writing a truncated output; attempt 0 of shard
+# ${slow_shard} sleeps long enough to trip the --speculate 3 straggler
+# threshold once the other shards have completed. Extra worker slots keep
+# the speculative attempt from queueing behind the straggler itself.
+math(EXPR workers "${WDAG_SHARDS} + 1")
+run_or_die(${CMAKE_COMMAND} -E env
+           "WDAG_DRIVE_FAIL_SHARD=${fail_shard}"
+           "WDAG_DRIVE_SLOW_SHARD=${slow_shard}:1500"
+           "${WDAG_CLI}" drive --gen ${gen} --count ${count} --seed ${seed}
+           --shards ${WDAG_SHARDS} --threads ${WDAG_THREADS}
+           --workers ${workers} --backoff 0.05 --speculate 3
+           --work-dir "${WDAG_WORK_DIR}/scratch"
+           --events "${WDAG_WORK_DIR}/events.jsonl"
+           --out "${WDAG_WORK_DIR}/drive.csv")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WDAG_WORK_DIR}/drive.csv" "${WDAG_WORK_DIR}/ref.csv"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "drive-fault-injection: drive output differs from the unsharded "
+    "--stream-csv bytes (shards=${WDAG_SHARDS}, threads=${WDAG_THREADS})")
+endif()
+
+# The event log must record the injected failure's retry and the forced
+# speculation.
+file(READ "${WDAG_WORK_DIR}/events.jsonl" events)
+foreach(needle "\"ev\":\"retry\"" "\"ev\":\"speculate\"" "\"ev\":\"done\"")
+  string(FIND "${events}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR
+      "drive-fault-injection: event log is missing ${needle} "
+      "(shards=${WDAG_SHARDS}, threads=${WDAG_THREADS}):\n${events}")
+  endif()
+endforeach()
+
+message(STATUS "drive-fault-injection: byte-identical with retry + "
+               "speculation at shards=${WDAG_SHARDS} threads=${WDAG_THREADS}")

@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
             << " wavelengths ("
             << (rwa.assignment.optimal ? "provably minimum"
                                        : "upper bound, optimality unproven")
-            << ", method " << core::method_name(rwa.assignment.method)
+            << ", strategy " << rwa.assignment.strategy_name
             << ")\n";
   return 0;
 }

@@ -33,7 +33,7 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 DOC_FLAG_ROW_RE = re.compile(r"^\|\s*`(--[a-z][a-z0-9-]*)`")
 HELP_FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
-CLI_COMMANDS = ["solve", "batch", "sweep", "shard"]
+CLI_COMMANDS = ["solve", "batch", "sweep", "shard", "drive"]
 
 
 def slugify(heading):

@@ -144,24 +144,37 @@ core::BatchReport Engine::run_batch(const BatchRequest& request) {
 }
 
 core::BatchReport Engine::run_shard(const BatchRequest& request,
-                                    std::size_t shard, std::size_t shards) {
+                                    std::size_t shard, std::size_t shards,
+                                    core::ShardLayout layout) {
   WDAG_REQUIRE(shards >= 1, "run_shard: shards must be >= 1");
   WDAG_REQUIRE(shard < shards,
                "run_shard: shard " + std::to_string(shard) +
                    " out of range for " + std::to_string(shards) +
                    " shards");
-  WDAG_REQUIRE(request.options.index_base == 0,
+  WDAG_REQUIRE(request.options.index_base == 0 &&
+                   request.options.index_stride == 1,
                "run_shard: the request must describe the FULL batch "
-               "(options.index_base is set by run_shard itself)");
+               "(options.index_base/index_stride are set by run_shard "
+               "itself)");
   const std::size_t total =
       request.families.empty() ? request.count : request.families.size();
-  const core::ShardRange range = core::shard_range(total, shards, shard);
 
-  // The shard is the same request narrowed to its global slice: the
-  // index base keys every instance's RNG/row by its global index, so the
-  // bytes this run streams are exactly the unsharded run's [begin, end)
-  // slice.
+  // The shard is the same request narrowed to its global index set: the
+  // index base (and, striped, the stride) keys every instance's RNG/row
+  // by its global index, so the bytes this run streams are exactly the
+  // unsharded run's rows at those indices.
   BatchRequest slice = request;
+  if (layout == core::ShardLayout::kStriped) {
+    // A striped index set cannot be expressed as a subspan.
+    WDAG_REQUIRE(request.families.empty(),
+                 "run_shard: striped layouts need a generated workload, "
+                 "not an explicit families span");
+    slice.options.index_base = shard;
+    slice.options.index_stride = shards;
+    slice.count = shard < total ? (total - shard + shards - 1) / shards : 0;
+    return run_batch(slice);
+  }
+  const core::ShardRange range = core::shard_range(total, shards, shard);
   slice.options.index_base = range.begin;
   if (!request.families.empty()) {
     slice.families = request.families.subspan(range.begin, range.size());

@@ -30,6 +30,7 @@
 #include "api/strategy.hpp"
 #include "core/batch.hpp"
 #include "core/cost_model.hpp"
+#include "core/shard.hpp"
 #include "core/solver.hpp"
 #include "util/thread_pool.hpp"
 
@@ -79,18 +80,20 @@ class Engine {
   /// chunks unless the request wires in its own.
   [[nodiscard]] core::BatchReport run_batch(const BatchRequest& request);
 
-  /// Runs ONE shard of `request`: the contiguous slice of the global
-  /// index range that core::shard_range(count, shards, shard) assigns,
-  /// with every instance keyed by its GLOBAL index — RNG stream, entry
-  /// index, sink rows. Concatenating the K shards' sink outputs (see
-  /// core::merge_shard_csv) therefore reproduces the unsharded
-  /// run_batch bytes exactly, whatever thread count or schedule each
-  /// shard picked. `request` describes the FULL batch (global count /
-  /// full families span); sinks attached to it receive only this
-  /// shard's rows.
-  [[nodiscard]] core::BatchReport run_shard(const BatchRequest& request,
-                                            std::size_t shard,
-                                            std::size_t shards);
+  /// Runs ONE shard of `request`: the global index set the plan layout
+  /// assigns to `shard` — the contiguous core::shard_range slice, or
+  /// every shards-th index starting at `shard` for the striped layout —
+  /// with every instance keyed by its GLOBAL index: RNG stream, entry
+  /// index, sink rows. Reassembling the K shards' sink outputs (see
+  /// core::merge_shard_csv / merge_shard_json) therefore reproduces the
+  /// unsharded run_batch bytes exactly, whatever thread count or
+  /// schedule each shard picked. `request` describes the FULL batch
+  /// (global count / full families span); sinks attached to it receive
+  /// only this shard's rows. Striped layouts require a generated
+  /// workload (an explicit families span cannot be strided).
+  [[nodiscard]] core::BatchReport run_shard(
+      const BatchRequest& request, std::size_t shard, std::size_t shards,
+      core::ShardLayout layout = core::ShardLayout::kContiguous);
 
   /// The engine's persistent solve-cost model: consulted for stealing
   /// chunk sizes and updated with every batch's observed costs.

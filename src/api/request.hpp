@@ -101,9 +101,8 @@ struct BatchRequest {
   /// Instances to generate (ignored for `families`).
   std::size_t count = 0;
 
-  /// Chunking, seeding, entry/coloring retention and the legacy
-  /// stream_csv path. `threads` is ignored: the engine's own pool runs
-  /// the batch.
+  /// Chunking, seeding and entry/coloring retention. `threads` is
+  /// ignored: the engine's own pool runs the batch.
   core::BatchOptions options{};
   /// Borrowed sinks; each receives every per-instance row in strict
   /// instance order, then the aggregate report (api/sink.hpp).

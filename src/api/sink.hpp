@@ -9,10 +9,11 @@
 //
 // Lifecycle per batch:   begin(info)  ->  row(entry) x N  ->  end(report)
 //
-// CsvStreamSink generalizes the legacy BatchOptions::stream_csv path (the
-// bytes are identical), JsonSink streams JSON-lines rows plus the final
-// aggregate report, and AggregateSink folds rows into in-memory per-
-// strategy totals for callers that never materialize entries.
+// CsvStreamSink streams the canonical per-instance CSV (byte-identical
+// at any thread count for a fixed seed), JsonSink streams JSON-lines rows
+// plus the final aggregate report, and AggregateSink folds rows into
+// in-memory per-strategy totals for callers that never materialize
+// entries.
 
 #include <cstdint>
 #include <fstream>

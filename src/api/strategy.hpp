@@ -1,6 +1,6 @@
 #pragma once
-// Pluggable solver strategies — the open-ended replacement of the closed
-// core::Method enum.
+// Pluggable solver strategies — the open-ended dispatch surface of the
+// public API.
 //
 // A SolverStrategy couples a stable name, a structural applicability
 // predicate over dag::DagReport, and the solve itself. A StrategyRegistry
@@ -11,9 +11,10 @@
 // registered backend can take over exactly the hosts it declares itself
 // applicable to, without touching the dispatch code.
 //
-// solve_with() is the canonical solve pipeline shared by the deprecated
-// core::solve shim and api::Engine: classify, dispatch (or force), run the
-// strategy, optionally certify with the exact solver, validate.
+// solve_with() is the canonical solve pipeline shared by every entry
+// point (api::Engine, core::solve_rwa, the batch drivers): classify,
+// dispatch (or force), run the strategy, optionally certify with the
+// exact solver, validate.
 
 #include <memory>
 #include <optional>
@@ -116,8 +117,8 @@ class StrategyRegistry {
   std::vector<StrategyId> dispatch_order_;
 };
 
-/// The shared registry holding only the built-ins; backs the deprecated
-/// core::solve shim.
+/// The shared registry holding only the built-ins; backs the core batch
+/// drivers and core::solve_rwa.
 const StrategyRegistry& builtin_registry();
 
 /// The canonical solve pipeline over a registry: classify, dispatch (or

@@ -9,9 +9,13 @@
 //                 summary row per point
 //   wdag shard  — plan/run/merge a batch split across machines: `plan`
 //                 writes K JSON shard manifests, `run` executes one
-//                 manifest into a shard CSV, `merge` validates the shard
-//                 set and concatenates it to the exact bytes of the
-//                 unsharded --stream-csv run
+//                 manifest into a shard CSV (or JSON-lines), `merge`
+//                 validates the shard set and reassembles it to the exact
+//                 bytes of the unsharded --stream-csv run
+//   wdag drive  — execute a whole shard plan through a local pool of
+//                 worker subprocesses with per-shard timeout, bounded
+//                 retry + backoff, speculative re-execution of
+//                 stragglers, and a streaming validated merge
 //
 // Every generated workload is a deterministic function of --seed: the batch
 // engine seeds each instance from (seed, GLOBAL index), so identical seeds
@@ -19,13 +23,18 @@
 // scheduler (--schedule fixed|stealing) distributes the work, or how many
 // shards the index range was split into.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <system_error>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -49,10 +58,14 @@ int usage(std::ostream& os) {
         "  wdag sweep --gen NAME --count N --param NAME --from A --to B\n"
         "             [--step S] [--threads T] [--seed S]\n"
         "  wdag shard plan --gen NAME --count N --shards K --out PREFIX\n"
-        "             [--seed S] [generator flags] [solver flags]\n"
+        "             [--layout L] [--seed S] [generator flags] [solver flags]\n"
         "  wdag shard run --manifest FILE.json --out PATH|- [--threads T]\n"
-        "             [--schedule S] [--json PATH]\n"
+        "             [--schedule S] [--json PATH] [--quiet]\n"
         "  wdag shard merge --out PATH|- SHARD.csv [SHARD.csv ...]\n"
+        "  wdag drive --gen NAME --count N --shards K --work-dir DIR\n"
+        "             [--layout L] [--workers W] [--max-retries R]\n"
+        "             [--timeout SEC] [--backoff SEC] [--speculate F]\n"
+        "             [--events PATH] [--progress] [--out PATH|-]\n"
         "\n"
         "generators (--gen):\n"
         "  random-upp   mixed random UPP workload: trees, one- and\n"
@@ -118,14 +131,46 @@ int usage(std::ostream& os) {
         "  --from A --to B --step S   inclusive range of the parameter\n"
         "\n"
         "shard flags:\n"
-        "  --shards K     contiguous shards to split the index range into\n"
-        "                 (plan; every shard must get >= 1 instance)\n"
+        "  --shards K     shards to split the index range into (plan/drive;\n"
+        "                 every shard must get >= 1 instance)\n"
+        "  --layout L     contiguous | striped (default contiguous): how the\n"
+        "                 plan distributes global indices — one balanced\n"
+        "                 range per shard, or round-robin striping that\n"
+        "                 spreads an index-correlated cost tail evenly\n"
         "  --out P        plan: manifest path prefix, writes PREFIX.<i>.json;\n"
-        "                 run/merge: output CSV path ('-' = stdout)\n"
+        "                 run/merge/drive: output CSV path ('-' = stdout)\n"
         "  --manifest F   the shard manifest to execute (run); the workload,\n"
         "                 seed and index range come from the manifest —\n"
         "                 only execution knobs (--threads, --schedule, ...)\n"
         "                 are read from the command line\n"
+        "  --quiet        suppress the shard run summary line on stdout\n"
+        "                 (the drive workers pass this)\n"
+        "  merge accepts shard CSVs or shard JSON-lines files (shard run\n"
+        "  --json); the format is detected from the file contents and the\n"
+        "  merged output matches it\n"
+        "\n"
+        "drive flags:\n"
+        "  --work-dir D   scratch directory for manifests and per-attempt\n"
+        "                 shard outputs (created if missing; required)\n"
+        "  --workers W    concurrent worker subprocesses; 0 = min(shards,\n"
+        "                 hardware threads) (default 0)\n"
+        "  --max-retries R   retries per shard after its first attempt\n"
+        "                 (default 2); exceeding R fails the drive\n"
+        "  --timeout SEC  per-attempt timeout; a late worker is killed and\n"
+        "                 retried (default 0 = off)\n"
+        "  --backoff SEC  base retry backoff, doubled per consecutive\n"
+        "                 failure of the same shard (default 0.25)\n"
+        "  --speculate F  re-execute a shard still running after F x the\n"
+        "                 median completed-shard time; the first validated\n"
+        "                 result wins (default 0 = off)\n"
+        "  --events PATH  append one JSON line per lifecycle event\n"
+        "                 (dispatch/exit/timeout/retry/speculate/complete)\n"
+        "                 to PATH ('-' = stderr)\n"
+        "  --progress     print the per-shard attempts/retries/timing table\n"
+        "                 after the drive\n"
+        "  --keep-work    keep the manifests and per-attempt shard files in\n"
+        "                 --work-dir after a successful drive\n"
+        "  --wdag-bin P   worker binary to execute (default: this binary)\n"
         "\n"
         "environment:\n"
         "  WDAG_AFFINITY  pin pool workers to CPUs (Linux): 'on' pins\n"
@@ -142,6 +187,7 @@ struct CommonArgs {
   BatchOptions batch;                     ///< --threads/--chunk/--seed/...
   std::optional<std::string> force;       ///< --force strategy name
   std::size_t count = 0;                  ///< --count
+  std::string stream_csv;                 ///< --stream-csv path; empty = off
 };
 
 CommonArgs read_common_args(const Cli& cli, std::size_t default_count) {
@@ -205,7 +251,7 @@ CommonArgs read_common_args(const Cli& cli, std::size_t default_count) {
     WDAG_REQUIRE(!a.batch.keep_colorings,
                  "--stream-csv and --keep-colorings conflict: streaming "
                  "runs at constant memory, keeping colorings does not");
-    a.batch.stream_csv = cli.get("stream-csv", "-");
+    a.stream_csv = cli.get("stream-csv", "-");
     // Do not also hold the per-instance entries unless another flag
     // needs them.
     a.batch.keep_entries = cli.has("rows") || cli.has("csv");
@@ -297,6 +343,22 @@ int cmd_batch(const Cli& cli) {
   request.options = args.batch;
   request.force_strategy = args.force;
 
+  // --stream-csv: a CsvStreamSink on the request — rows reach the file in
+  // strict instance order as chunks finish, at near-constant memory.
+  std::ofstream stream_file;
+  std::optional<wdag::CsvStreamSink> stream_sink;
+  if (!args.stream_csv.empty()) {
+    std::ostream* stream_out = &std::cout;
+    if (args.stream_csv != "-") {
+      stream_file.open(args.stream_csv);
+      WDAG_REQUIRE(stream_file.good(),
+                   "cannot open output file '" + args.stream_csv + "'");
+      stream_out = &stream_file;
+    }
+    stream_sink.emplace(*stream_out);
+    request.sinks.push_back(&*stream_sink);
+  }
+
   const BatchReport report = engine.run_batch(request);
 
   if (cli.has("rows")) std::cout << report.rows_table();
@@ -327,7 +389,7 @@ int cmd_sweep(const Cli& cli) {
   WDAG_REQUIRE(!args.gen.family.empty(), "sweep requires --gen NAME");
   // Each sweep point opens (and truncates) the stream path, so all but
   // the last point's rows would be lost — reject rather than surprise.
-  WDAG_REQUIRE(args.batch.stream_csv.empty(),
+  WDAG_REQUIRE(args.stream_csv.empty(),
                "sweep does not support --stream-csv (each point would "
                "overwrite the file); use --csv for the sweep table");
   const std::string param = cli.get("param", "paths");
@@ -425,11 +487,15 @@ int cmd_shard_plan(const Cli& cli) {
   WDAG_REQUIRE(shards >= 1, "shard plan requires --shards K (K >= 1)");
   const std::string prefix = cli.get("out", "");
   WDAG_REQUIRE(!prefix.empty(), "shard plan requires --out PREFIX");
+  const wdag::core::ShardLayout layout =
+      wdag::core::parse_layout(cli.get("layout", "contiguous"));
 
   const wdag::ShardPlan plan(spec_from_args(args),
-                             static_cast<std::size_t>(shards));
+                             static_cast<std::size_t>(shards), layout);
   wdag::util::Table table("shard plan " + plan.spec().family + " x " +
-                              std::to_string(plan.spec().count),
+                              std::to_string(plan.spec().count) + " (" +
+                              std::string(wdag::core::layout_name(layout)) +
+                              ")",
                           {"shard", "begin", "end", "manifest"});
   for (std::size_t i = 0; i < plan.shards(); ++i) {
     const wdag::ShardManifest manifest = plan.manifest(i);
@@ -469,6 +535,21 @@ int cmd_shard_run(const Cli& cli) {
   wdag::Engine engine = make_engine(exec, exec.batch.threads);
   wdag::BatchRequest request = request_from_manifest(manifest, exec.batch);
 
+  // Fault-injection hooks for the drive test suite. Both are scoped to
+  // one shard index by the driver (which forwards them only to attempt 0
+  // of that shard), so a drive hits exactly one injected fault.
+  if (const char* slow = std::getenv("WDAG_DRIVE_SLOW_SHARD")) {
+    char* colon = nullptr;
+    const unsigned long long target = std::strtoull(slow, &colon, 10);
+    if (target == manifest.shard && colon != nullptr && *colon == ':') {
+      const long ms = std::strtol(colon + 1, nullptr, 10);
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms > 0 ? ms : 0));
+    }
+  }
+  const char* fail = std::getenv("WDAG_DRIVE_FAIL_SHARD");
+  const bool inject_failure =
+      fail != nullptr && std::strtoull(fail, nullptr, 10) == manifest.shard;
+
   // The shard CSV: the manifest as a comment line, then the same column
   // header + rows the unsharded --stream-csv run emits for this range.
   std::ofstream file;
@@ -479,6 +560,13 @@ int cmd_shard_run(const Cli& cli) {
     out = &file;
   }
   *out << wdag::core::shard_csv_header(manifest);
+  if (inject_failure) {
+    // Simulate a worker dying mid-write: a truncated (row-less) shard
+    // file plus a crash-style exit code.
+    *out << wdag::core::shard_csv_column_header() << "\n";
+    out->flush();
+    return 70;
+  }
   wdag::CsvStreamSink csv(*out);
   request.sinks.push_back(&csv);
 
@@ -501,11 +589,13 @@ int cmd_shard_run(const Cli& cli) {
     request.sinks.push_back(&*json);
   }
 
-  const BatchReport report =
-      engine.run_shard(request, manifest.shard, manifest.shards);
+  const BatchReport report = engine.run_shard(request, manifest.shard,
+                                              manifest.shards,
+                                              manifest.layout);
 
-  if (out_path != "-") {
-    // Keep stdout clean when the CSV streams to it; otherwise summarize.
+  if (out_path != "-" && !cli.has("quiet")) {
+    // Keep stdout clean when the CSV streams to it (or --quiet asks for
+    // it, as the drive workers do); otherwise summarize.
     std::cout << "shard " << manifest.shard << "/" << manifest.shards
               << " [" << manifest.range.begin << ", " << manifest.range.end
               << ") -> " << out_path << ": " << report.instance_count
@@ -519,19 +609,128 @@ int cmd_shard_merge(const Cli& cli) {
   // positional: ["shard", "merge", file...]
   const std::vector<std::string>& pos = cli.positional();
   WDAG_REQUIRE(pos.size() > 2,
-               "shard merge needs at least one shard CSV file argument");
-  std::vector<wdag::core::ShardCsv> shards;
-  shards.reserve(pos.size() - 2);
-  for (std::size_t i = 2; i < pos.size(); ++i) {
-    std::ifstream in(pos[i]);
-    WDAG_REQUIRE(in.good(), "cannot open shard CSV '" + pos[i] + "'");
-    shards.push_back(wdag::core::read_shard_csv(in, pos[i]));
+               "shard merge needs at least one shard output file argument");
+
+  // A shard CSV opens with the '# wdag-shard' comment; a shard JSON-lines
+  // file (shard run --json) opens with the bare manifest object. Peek the
+  // first byte of the first file to pick the merge, instead of a flag the
+  // files themselves can contradict.
+  char first = '\0';
+  {
+    std::ifstream probe(pos[2]);
+    WDAG_REQUIRE(probe.good(), "cannot open shard output '" + pos[2] + "'");
+    probe.get(first);
   }
-  write_output(out_path, wdag::core::merge_shard_csv(shards));
+
+  std::string merged;
+  if (first == '{') {
+    std::vector<wdag::core::ShardJson> shards;
+    shards.reserve(pos.size() - 2);
+    for (std::size_t i = 2; i < pos.size(); ++i) {
+      std::ifstream in(pos[i]);
+      WDAG_REQUIRE(in.good(), "cannot open shard output '" + pos[i] + "'");
+      shards.push_back(wdag::core::read_shard_json(in, pos[i]));
+    }
+    merged = wdag::core::merge_shard_json(shards);
+  } else {
+    std::vector<wdag::core::ShardCsv> shards;
+    shards.reserve(pos.size() - 2);
+    for (std::size_t i = 2; i < pos.size(); ++i) {
+      std::ifstream in(pos[i]);
+      WDAG_REQUIRE(in.good(), "cannot open shard output '" + pos[i] + "'");
+      shards.push_back(wdag::core::read_shard_csv(in, pos[i]));
+    }
+    merged = wdag::core::merge_shard_csv(shards);
+  }
+  write_output(out_path, merged);
   if (out_path != "-") {
-    std::cout << "merged " << shards.size() << " shards -> " << out_path
+    std::cout << "merged " << (pos.size() - 2) << " shards -> " << out_path
               << "\n";
   }
+  return 0;
+}
+
+int cmd_drive(const Cli& cli) {
+  const CommonArgs args = read_common_args(cli, 100);
+  WDAG_REQUIRE(!args.gen.family.empty(), "drive requires --gen NAME");
+  const std::int64_t shards = cli.get_int("shards", 0);
+  WDAG_REQUIRE(shards >= 1, "drive requires --shards K (K >= 1)");
+  const wdag::core::ShardLayout layout =
+      wdag::core::parse_layout(cli.get("layout", "contiguous"));
+  const wdag::ShardPlan plan(spec_from_args(args),
+                             static_cast<std::size_t>(shards), layout);
+
+  wdag::core::DriveOptions options;
+  const std::int64_t workers = cli.get_int("workers", 0);
+  WDAG_REQUIRE(workers >= 0, "--workers must be >= 0, got " +
+                                 std::to_string(workers));
+  options.workers = static_cast<std::size_t>(workers);
+  const std::int64_t retries = cli.get_int("max-retries", 2);
+  WDAG_REQUIRE(retries >= 0, "--max-retries must be >= 0, got " +
+                                 std::to_string(retries));
+  options.max_retries = static_cast<std::size_t>(retries);
+  options.timeout_seconds = cli.get_double("timeout", 0.0);
+  options.backoff_seconds = cli.get_double("backoff", 0.25);
+  options.speculate_factor = cli.get_double("speculate", 0.0);
+  options.worker_threads = args.batch.threads;
+  options.worker_schedule = args.batch.schedule;
+  options.keep_outputs = cli.has("keep-work");
+
+  options.work_dir = cli.get("work-dir", "");
+  WDAG_REQUIRE(!options.work_dir.empty(), "drive requires --work-dir DIR");
+  std::filesystem::create_directories(options.work_dir);
+
+  options.wdag_binary = cli.get("wdag-bin", "");
+  if (options.wdag_binary.empty()) {
+    // The workers run this very binary; /proc/self/exe survives PATH-less
+    // invocations and cwd changes, argv[0] is the portable fallback.
+    std::error_code ec;
+    const std::filesystem::path self =
+        std::filesystem::read_symlink("/proc/self/exe", ec);
+    options.wdag_binary = ec ? cli.program() : self.string();
+  }
+
+  // --events: one JSON line per lifecycle event, as they happen.
+  std::ofstream events_file;
+  std::ostream* events_out = nullptr;
+  if (cli.has("events")) {
+    const std::string events_path = cli.get("events", "-");
+    if (events_path == "-") {
+      events_out = &std::cerr;
+    } else {
+      events_file.open(events_path);
+      WDAG_REQUIRE(events_file.good(),
+                   "cannot open events file '" + events_path + "'");
+      events_out = &events_file;
+    }
+  }
+  wdag::core::DriveEventFn on_event;
+  if (events_out != nullptr) {
+    on_event = [events_out](const wdag::core::DriveEvent& ev) {
+      *events_out << ev.to_json() << "\n";
+      events_out->flush();  // the log must survive a killed/failed drive
+    };
+  }
+
+  const std::string out_path = cli.get("out", "-");
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (out_path != "-") {
+    file.open(out_path);
+    WDAG_REQUIRE(file.good(), "cannot open output file '" + out_path + "'");
+    out = &file;
+  }
+
+  const wdag::core::DriveReport report =
+      wdag::core::drive(plan, options, *out, on_event);
+
+  // Keep stdout clean when the merged CSV streamed to it.
+  std::ostream& info = out_path == "-" ? std::cerr : std::cout;
+  if (cli.has("progress")) info << report.progress_table();
+  info << "drive: " << plan.shards() << " shards ("
+       << wdag::core::layout_name(plan.layout()) << ") -> " << out_path
+       << ": " << report.retries << " retries, " << report.speculations
+       << " speculations, " << report.wall_seconds << "s\n";
   return 0;
 }
 
@@ -564,6 +763,7 @@ int main(int argc, char** argv) {
     if (command == "batch") return cmd_batch(cli);
     if (command == "sweep") return cmd_sweep(cli);
     if (command == "shard") return cmd_shard(cli);
+    if (command == "drive") return cmd_drive(cli);
     std::cerr << "unknown command '" << command << "'\n";
     return usage(std::cerr);
   } catch (const std::exception& e) {

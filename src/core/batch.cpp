@@ -38,12 +38,9 @@ util::Xoshiro256 instance_rng(std::uint64_t seed, std::size_t index) {
 void solve_into(BatchEntry& entry, const paths::DipathFamily& family,
                 const SolveOptions& solve_options, SolveScratch& scratch,
                 bool keep_coloring) {
-  std::optional<StrategyId> force;
-  if (solve_options.force.has_value()) {
-    force = strategy_id(*solve_options.force);
-  }
   api::solve_into_entry(entry, api::builtin_registry(), family,
-                        solve_options, force, scratch, keep_coloring);
+                        solve_options, solve_options.force, scratch,
+                        keep_coloring);
 }
 
 /// A sink-bound copy of an entry: everything a row renders, minus the
@@ -370,6 +367,8 @@ BatchReport run_batch_items(std::size_t count, const BatchItemSolver& item,
                    options.min_chunk <= options.max_chunk,
                "BatchOptions: need 1 <= min_chunk <= max_chunk");
   WDAG_REQUIRE(item != nullptr, "run_batch_items: item solver must be set");
+  WDAG_REQUIRE(options.index_stride >= 1,
+               "BatchOptions::index_stride must be >= 1");
   BatchReport report;
   report.instance_count = count;
   report.strategy_names = std::move(strategy_names);
@@ -377,14 +376,7 @@ BatchReport run_batch_items(std::size_t count, const BatchItemSolver& item,
   const bool keep = options.keep_entries;
   if (keep) report.entries.resize(count);
 
-  // The legacy stream_csv convenience is just a CsvStreamSink appended to
-  // the caller's sinks.
-  std::optional<api::CsvStreamSink> legacy_csv;
   std::vector<api::ResultSink*> all_sinks(sinks.begin(), sinks.end());
-  if (!options.stream_csv.empty()) {
-    legacy_csv.emplace(options.stream_csv);
-    all_sinks.push_back(&*legacy_csv);
-  }
 
   api::BatchStreamInfo info;
   info.instance_count = count;
@@ -450,9 +442,10 @@ BatchReport run_batch_items(std::size_t count, const BatchItemSolver& item,
       for (std::size_t i = lo; i < hi; ++i) {
         // Everything observable about an instance is keyed by its GLOBAL
         // index: RNG stream, reported index, item callback — so a shard
-        // run (index_base > 0) reproduces the unsharded run's bytes for
-        // its slice of the range.
-        const std::size_t global = options.index_base + i;
+        // run (index_base > 0 and/or index_stride > 1) reproduces the
+        // unsharded run's bytes for its slice of the range.
+        const std::size_t global =
+            options.index_base + i * options.index_stride;
         BatchEntry& entry = keep ? report.entries[i] : local;
         if (!keep) entry = BatchEntry{};
         entry.index = global;
@@ -527,6 +520,11 @@ BatchReport run_batch_items(std::size_t count, const BatchItemSolver& item,
 BatchReport solve_batch(std::span<const paths::DipathFamily> families,
                         const SolveOptions& solve_options,
                         const BatchOptions& batch_options) {
+  // A striped index set cannot be expressed as a subspan of the caller's
+  // families; striping is a generated-workload feature.
+  WDAG_REQUIRE(batch_options.index_stride == 1,
+               "solve_batch: explicit families require index_stride == 1 "
+               "(striped layouts need a generated workload)");
   return run_batch_items(
       families.size(),
       [&families, &solve_options, &batch_options](

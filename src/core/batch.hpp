@@ -74,11 +74,16 @@ struct BatchOptions {
   std::uint64_t seed = 1;
   /// GLOBAL index of this run's first instance (shard support,
   /// core/shard.hpp). Instance i of the run derives its RNG from
-  /// (seed, index_base + i) and reports index_base + i in its entry and
-  /// rows — so a shard solving [base, base + count) of a larger batch
-  /// emits exactly the rows the unsharded run emits for that range, and
-  /// the item callback always receives the global index.
+  /// (seed, index_base + i * index_stride) and reports that global index
+  /// in its entry and rows — so a shard solving [base, base + count) of a
+  /// larger batch emits exactly the rows the unsharded run emits for that
+  /// range, and the item callback always receives the global index.
   std::size_t index_base = 0;
+  /// Distance between consecutive global indices of this run. 1 (the
+  /// default) is the contiguous case; a striped shard s of K sets
+  /// index_base = s, index_stride = K to solve {s, s + K, s + 2K, ...}.
+  /// Must be >= 1.
+  std::size_t index_stride = 1;
   /// Chunk distribution policy; see Schedule.
   Schedule schedule = Schedule::kFixed;
   /// Bounds on the cost-aware chunk size of Schedule::kStealing (the
@@ -99,13 +104,10 @@ struct BatchOptions {
   /// exact, but report.entries stays empty and per-instance memory drops
   /// to one latency sample, so million-instance batches run at
   /// near-constant memory. Combine with a sink to retain the rows.
+  /// (Streaming CSV output is an api::CsvStreamSink passed via the sinks
+  /// span / BatchRequest::sinks; the stream_csv string shim was removed
+  /// in 0.2.0.)
   bool keep_entries = true;
-  /// DEPRECATED convenience for api::CsvStreamSink: when non-empty,
-  /// per-instance rows are streamed to this CSV path ('-' = stdout) as
-  /// chunks finish, in instance order. The bytes are identical to
-  /// rows_table(false).to_csv() — and, for a fixed seed, identical at any
-  /// thread count.
-  std::string stream_csv;
 };
 
 /// Outcome of one instance inside a batch.
@@ -166,10 +168,6 @@ struct BatchReport {
   [[nodiscard]] std::size_t count(StrategyId id) const {
     return id < strategy_counts.size() ? strategy_counts[id] : 0;
   }
-  /// DEPRECATED: count for one built-in, by legacy Method value.
-  [[nodiscard]] std::size_t count(Method m) const {
-    return count(strategy_id(m));
-  }
   /// Count for one strategy, by registered name (0 when unknown).
   [[nodiscard]] std::size_t count(std::string_view strategy_name) const;
 
@@ -202,9 +200,8 @@ using BatchItemSolver =
 ///
 ///  * `strategy_names` sizes the report's per-strategy count vector and
 ///    labels rows/histograms (pass the registry's names()).
-///  * `sinks` receive begin / per-row (instance order) / end callbacks;
-///    a CsvStreamSink is appended internally when options.stream_csv is
-///    set. Sink calls are serialized by the driver.
+///  * `sinks` receive begin / per-row (instance order) / end callbacks.
+///    Sink calls are serialized by the driver.
 ///  * `pool` runs the chunks when non-null (its size wins over
 ///    options.threads); otherwise a pool of options.threads workers is
 ///    created for the call.

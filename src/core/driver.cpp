@@ -1,0 +1,425 @@
+#include "core/driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/subprocess.hpp"
+#include "util/timer.hpp"
+
+namespace wdag::core {
+
+namespace {
+
+/// Timings with millisecond precision — enough for logs, and short.
+std::string fmt_seconds(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// A fault-injection hook read from the DRIVER's environment
+/// (WDAG_DRIVE_FAIL_SHARD / WDAG_DRIVE_SLOW_SHARD). The driver forwards
+/// the variable ONLY to attempt 0 of the shard named by its leading
+/// integer and strips it from every other child, so the hook exercises
+/// exactly one failure/straggle and the retry/speculation recovers.
+struct Hook {
+  bool set = false;
+  std::size_t shard = 0;
+  std::string name;
+  std::string value;
+};
+
+Hook read_hook(const char* name) {
+  Hook h;
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return h;
+  h.set = true;
+  h.name = name;
+  h.value = v;
+  h.shard = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+  return h;
+}
+
+/// One live worker subprocess executing `wdag shard run`.
+struct Attempt {
+  util::Subprocess proc;
+  std::size_t number;    ///< 0-based attempt counter of the shard
+  double started_at;     ///< drive-clock time of the spawn
+  std::string out_path;  ///< where this attempt writes its shard CSV
+  bool speculative;
+};
+
+/// Driver-side bookkeeping of one shard of the plan.
+struct ShardState {
+  std::vector<Attempt> live;
+  std::size_t attempts = 0;  ///< dispatches so far (speculative included)
+  std::size_t failures = 0;  ///< attempts that exited bad / timed out
+  std::size_t retries = 0;   ///< re-dispatches actually scheduled
+  bool speculated = false;
+  bool done = false;
+  bool pending = true;       ///< wants a (re)dispatch
+  double ready_at = 0.0;     ///< backoff gate for the next dispatch
+  ShardCsv result;           ///< the winning validated output
+  std::size_t row_count = 0;
+  double win_seconds = 0.0;
+  std::string last_error;
+};
+
+double median_of(std::vector<double> v) {
+  std::nth_element(v.begin(), v.begin() + (v.size() - 1) / 2, v.end());
+  return v[(v.size() - 1) / 2];
+}
+
+}  // namespace
+
+std::string DriveEvent::to_json() const {
+  std::string s = "{\"ev\":\"" + json_escape(kind) + "\"";
+  s += ",\"shard\":" + std::to_string(shard);
+  s += ",\"attempt\":" + std::to_string(attempt);
+  s += ",\"t\":" + fmt_seconds(at_seconds);
+  s += ",\"elapsed\":" + fmt_seconds(elapsed_seconds);
+  s += ",\"exit\":" + std::to_string(exit_code);
+  if (!detail.empty()) s += ",\"detail\":\"" + json_escape(detail) + "\"";
+  s += "}";
+  return s;
+}
+
+util::Table DriveReport::progress_table() const {
+  util::Table table("drive",
+                    {"shard", "attempts", "retries", "speculated", "seconds",
+                     "rows"});
+  for (const DriveShardStats& s : shards) {
+    table.add_row({static_cast<long long>(s.shard),
+                   static_cast<long long>(s.attempts),
+                   static_cast<long long>(s.retries),
+                   std::string(s.speculated ? "yes" : "no"), s.seconds,
+                   static_cast<long long>(s.rows)});
+  }
+  return table;
+}
+
+DriveReport drive(const ShardPlan& plan, const DriveOptions& options,
+                  std::ostream& out, const DriveEventFn& on_event) {
+  WDAG_REQUIRE(!options.wdag_binary.empty(),
+               "drive: options.wdag_binary must be set");
+  WDAG_REQUIRE(!options.work_dir.empty(),
+               "drive: options.work_dir must be set");
+  WDAG_REQUIRE(options.timeout_seconds >= 0.0,
+               "drive: timeout_seconds must be >= 0");
+  WDAG_REQUIRE(options.backoff_seconds >= 0.0,
+               "drive: backoff_seconds must be >= 0");
+  WDAG_REQUIRE(options.speculate_factor >= 0.0,
+               "drive: speculate_factor must be >= 0");
+  WDAG_REQUIRE(options.speculate_min_completed >= 1,
+               "drive: speculate_min_completed must be >= 1");
+
+  const std::size_t shard_count = plan.shards();
+  std::size_t workers = options.workers;
+  if (workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = std::min<std::size_t>(shard_count, hw == 0 ? 1 : hw);
+  }
+  if (workers < 1) workers = 1;
+
+  // Materialize the manifests the workers will run.
+  std::vector<std::string> manifest_paths(shard_count);
+  std::vector<std::string> created_files;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    manifest_paths[s] =
+        options.work_dir + "/manifest." + std::to_string(s) + ".json";
+    std::ofstream mf(manifest_paths[s]);
+    mf << manifest_to_json(plan.manifest(s)) << "\n";
+    WDAG_REQUIRE(mf.good(), "drive: cannot write manifest '" +
+                                manifest_paths[s] + "'");
+    mf.close();
+    created_files.push_back(manifest_paths[s]);
+  }
+
+  const Hook fail_hook = read_hook("WDAG_DRIVE_FAIL_SHARD");
+  const Hook slow_hook = read_hook("WDAG_DRIVE_SLOW_SHARD");
+
+  util::Timer timer;
+  const auto now = [&timer] { return timer.seconds(); };
+  const auto emit = [&](std::string kind, std::size_t shard,
+                        std::size_t attempt, double elapsed, int exit_code,
+                        std::string detail) {
+    if (!on_event) return;
+    DriveEvent ev;
+    ev.kind = std::move(kind);
+    ev.shard = shard;
+    ev.attempt = attempt;
+    ev.at_seconds = now();
+    ev.elapsed_seconds = elapsed;
+    ev.exit_code = exit_code;
+    ev.detail = std::move(detail);
+    on_event(ev);
+  };
+
+  std::vector<ShardState> st(shard_count);
+  std::size_t live_total = 0;
+  std::size_t completed = 0;
+  std::size_t speculations = 0;
+  std::vector<double> win_times;
+  std::size_t next_flush = 0;  ///< contiguous streaming frontier
+  bool header_written = false;
+
+  const auto kill_all = [&st, &live_total] {
+    for (ShardState& sh : st) {
+      for (Attempt& a : sh.live) {
+        a.proc.kill();
+        a.proc.wait();
+        --live_total;
+      }
+      sh.live.clear();
+    }
+  };
+
+  const auto dispatch = [&](std::size_t s, bool speculative) {
+    ShardState& sh = st[s];
+    const std::size_t number = sh.attempts;
+    std::string out_path = options.work_dir + "/shard." + std::to_string(s) +
+                           ".a" + std::to_string(number) + ".csv";
+    // --quiet keeps the workers' inherited stdout clean: the driver may
+    // be streaming the merged CSV there.
+    std::vector<std::string> argv = {options.wdag_binary, "shard",     "run",
+                                     "--manifest",        manifest_paths[s],
+                                     "--out",             out_path,
+                                     "--quiet"};
+    if (options.worker_threads > 0) {
+      argv.emplace_back("--threads");
+      argv.emplace_back(std::to_string(options.worker_threads));
+    }
+    argv.emplace_back("--schedule");
+    argv.emplace_back(schedule_name(options.worker_schedule));
+
+    // Fault-injection hooks reach attempt 0 of their target shard only;
+    // every other child gets them stripped so retries succeed.
+    util::SubprocessOptions sp;
+    sp.unset_env = {"WDAG_DRIVE_FAIL_SHARD", "WDAG_DRIVE_SLOW_SHARD"};
+    if (fail_hook.set && fail_hook.shard == s && number == 0) {
+      sp.env.emplace_back(fail_hook.name, fail_hook.value);
+    }
+    if (slow_hook.set && slow_hook.shard == s && number == 0) {
+      sp.env.emplace_back(slow_hook.name, slow_hook.value);
+    }
+
+    Attempt a{util::Subprocess::spawn(argv, sp), number, now(),
+              std::move(out_path), speculative};
+    created_files.push_back(a.out_path);
+    ++sh.attempts;
+    ++live_total;
+    emit(speculative ? "speculate" : "dispatch", s, number, 0.0, 0,
+         "pid " + std::to_string(a.proc.pid()));
+    sh.live.push_back(std::move(a));
+  };
+
+  try {
+    while (completed < shard_count) {
+      // 1. Dispatch every shard that wants an attempt and cleared its
+      //    backoff, while worker slots remain.
+      for (std::size_t s = 0; s < shard_count && live_total < workers; ++s) {
+        ShardState& sh = st[s];
+        if (sh.done || !sh.pending || now() < sh.ready_at) continue;
+        sh.pending = false;
+        dispatch(s, /*speculative=*/false);
+      }
+
+      // 2. Speculative re-execution of stragglers: once enough shards
+      //    have finished to estimate a median, a shard whose sole
+      //    attempt has overrun speculate_factor x that median gets one
+      //    duplicate; whichever attempt validates first wins.
+      if (options.speculate_factor > 0.0 &&
+          completed >= options.speculate_min_completed) {
+        const double median = median_of(win_times);
+        const double threshold = options.speculate_factor * median;
+        for (std::size_t s = 0; s < shard_count && live_total < workers;
+             ++s) {
+          ShardState& sh = st[s];
+          if (sh.done || sh.speculated || sh.live.size() != 1) continue;
+          const double running = now() - sh.live.front().started_at;
+          if (running <= threshold) continue;
+          sh.speculated = true;
+          ++speculations;
+          dispatch(s, /*speculative=*/true);
+        }
+      }
+
+      // 3. Poll live attempts: reap exits, validate outputs, enforce the
+      //    timeout, settle races.
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        ShardState& sh = st[s];
+        if (sh.live.empty()) continue;
+        std::vector<Attempt> still_running;
+        still_running.reserve(sh.live.size());
+        for (Attempt& a : sh.live) {
+          if (sh.done) {  // a sibling attempt won this very pass
+            a.proc.kill();
+            a.proc.wait();
+            --live_total;
+            continue;
+          }
+          std::optional<int> code = a.proc.poll();
+          const double ran = now() - a.started_at;
+          if (!code.has_value()) {
+            if (options.timeout_seconds > 0.0 &&
+                ran > options.timeout_seconds) {
+              a.proc.kill();
+              a.proc.wait();
+              --live_total;
+              ++sh.failures;
+              sh.last_error = "timed out after " + fmt_seconds(ran) + "s";
+              emit("timeout", s, a.number, ran, 0, sh.last_error);
+            } else {
+              still_running.push_back(std::move(a));
+            }
+            continue;
+          }
+          --live_total;
+          std::string why;
+          if (*code == 0) {
+            // Exit 0 alone proves nothing — only a fully validated
+            // shard CSV of THIS plan may merge.
+            try {
+              std::ifstream in(a.out_path);
+              WDAG_REQUIRE(in.good(), "cannot open shard output '" +
+                                          a.out_path + "'");
+              ShardCsv csv = read_shard_csv(in, a.out_path);
+              WDAG_REQUIRE(csv.manifest.plan_id == plan.id() &&
+                               csv.manifest.shard == s,
+                           "shard output '" + a.out_path +
+                               "' belongs to a different plan or shard");
+              sh.result = std::move(csv);
+              sh.row_count = sh.result.row_count;
+              sh.win_seconds = ran;
+              sh.done = true;
+              ++completed;
+              win_times.push_back(ran);
+              emit("complete", s, a.number, ran, 0,
+                   a.speculative ? "speculative attempt won" : "");
+              continue;
+            } catch (const std::exception& e) {
+              why = e.what();
+            }
+          } else {
+            why = "exit code " + std::to_string(*code);
+          }
+          ++sh.failures;
+          sh.last_error = why;
+          emit("exit", s, a.number, ran, code.value_or(0), why);
+        }
+        sh.live = std::move(still_running);
+
+        // 4. Every attempt of this shard has failed: retry with backoff,
+        //    or give up — a drive never produces a partial merge.
+        if (!sh.done && sh.live.empty() && !sh.pending) {
+          if (sh.failures > options.max_retries) {
+            kill_all();
+            throw InternalError(
+                "drive: shard " + std::to_string(s) + " failed " +
+                std::to_string(sh.failures) + " attempt(s) (max_retries=" +
+                std::to_string(options.max_retries) +
+                "); last error: " + sh.last_error);
+          }
+          const unsigned shift = static_cast<unsigned>(
+              std::min<std::size_t>(sh.failures - 1, 20));
+          const double backoff =
+              options.backoff_seconds * static_cast<double>(1ULL << shift);
+          sh.pending = true;
+          sh.ready_at = now() + backoff;
+          ++sh.retries;
+          emit("retry", s, sh.attempts, 0.0, 0,
+               "backoff " + fmt_seconds(backoff) + "s");
+        }
+      }
+
+      // 5. Stream the merge: contiguous shards flush in global order as
+      //    they land (striped plans interleave after the last shard).
+      if (plan.layout() == ShardLayout::kContiguous) {
+        while (next_flush < shard_count && st[next_flush].done) {
+          if (!header_written) {
+            out << shard_csv_column_header() << '\n';
+            header_written = true;
+          }
+          out << st[next_flush].result.rows;
+          st[next_flush].result.rows.clear();
+          st[next_flush].result.rows.shrink_to_fit();
+          ++next_flush;
+        }
+      }
+
+      if (completed < shard_count) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+    // When the last completion is a speculative win, its straggling rival
+    // was parked in still_running BEFORE the winner validated and the
+    // loop exited without another poll pass — reap it (and any sibling
+    // losers) so no orphan outlives the drive holding inherited fds.
+    kill_all();
+  } catch (...) {
+    kill_all();
+    throw;
+  }
+
+  if (plan.layout() == ShardLayout::kStriped) {
+    // The full revalidating merge (plan identity, coverage, interleave).
+    std::vector<ShardCsv> all;
+    all.reserve(shard_count);
+    for (ShardState& sh : st) all.push_back(std::move(sh.result));
+    out << merge_shard_csv(all);
+  }
+  out.flush();
+
+  if (!options.keep_outputs) {
+    for (const std::string& f : created_files) std::remove(f.c_str());
+  }
+
+  DriveReport report;
+  report.shards.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const ShardState& sh = st[s];
+    report.shards.push_back({s, sh.attempts, sh.retries, sh.speculated,
+                             sh.win_seconds, sh.row_count});
+    report.retries += sh.retries;
+  }
+  report.speculations = speculations;
+  report.wall_seconds = now();
+  emit("done", 0, 0, report.wall_seconds, 0,
+       std::to_string(shard_count) + " shard(s), " +
+           std::to_string(report.retries) + " retry(ies), " +
+           std::to_string(report.speculations) + " speculation(s)");
+  return report;
+}
+
+}  // namespace wdag::core

@@ -1,0 +1,132 @@
+#pragma once
+// Fault-tolerant local execution of a full ShardPlan — the `wdag drive`
+// engine (ROADMAP: "Distributed shard driver").
+//
+// drive() runs every shard of a plan through a pool of N worker
+// subprocesses (each invoking `<wdag> shard run` on a generated manifest)
+// and streams the validated merge to an output stream, tolerating the
+// failure modes that stall a hand-dispatched plan:
+//
+//   * crash / non-zero exit      -> bounded retry with exponential backoff
+//   * hang (per-shard timeout)   -> kill, then retry
+//   * invalid output             -> read_shard_csv validation failure is
+//                                   treated exactly like a crash — a
+//                                   truncated shard can never merge
+//   * straggler                  -> speculative re-execution once a shard
+//                                   runs longer than `speculate_factor` x
+//                                   the median completed-shard time; the
+//                                   first attempt whose output VALIDATES
+//                                   wins, losers are killed and discarded
+//
+// The merge preserves PR 5's byte-determinism contract: every accepted
+// shard output passes read_shard_csv (per-row global index check) and
+// plan-identity checks before a byte is emitted, so the merged CSV is
+// byte-identical to the unsharded `wdag batch --stream-csv` run — even
+// when shards failed, were retried, or were raced by speculative
+// duplicates. Contiguous plans stream shard payloads as they land in
+// global order; striped plans interleave after the last shard lands.
+//
+// Observability: every lifecycle step (dispatch / exit / timeout / retry
+// / speculate / complete / done) is reported through an event callback as
+// a typed DriveEvent that also renders as one JSON line — the CLI's
+// --events log — and the final DriveReport carries per-shard attempt
+// statistics (the CLI's --progress table).
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/shard.hpp"
+#include "util/table.hpp"
+
+namespace wdag::core {
+
+/// Knobs of the drive loop.
+struct DriveOptions {
+  /// Concurrent worker subprocesses; 0 = min(shards, hardware threads).
+  std::size_t workers = 0;
+  /// Retries allowed per shard AFTER its first attempt; exceeding this
+  /// fails the whole drive (no partial merge is ever produced).
+  std::size_t max_retries = 2;
+  /// Per-attempt hard timeout in seconds; 0 disables. A timed-out
+  /// attempt is killed and counts as a failure (then retried).
+  double timeout_seconds = 0.0;
+  /// Base retry backoff in seconds, doubled per consecutive failure of
+  /// the same shard.
+  double backoff_seconds = 0.25;
+  /// Straggler threshold: once >= `speculate_min_completed` shards have
+  /// completed, a shard whose sole attempt has run longer than
+  /// speculate_factor x the median completed-shard time gets ONE
+  /// speculative duplicate attempt. 0 disables speculation.
+  double speculate_factor = 0.0;
+  /// Completed shards required before speculation engages (>= 1).
+  std::size_t speculate_min_completed = 1;
+  /// Path of the wdag binary the workers execute (required).
+  std::string wdag_binary;
+  /// Scratch directory for manifests and per-attempt shard outputs
+  /// (required; must exist).
+  std::string work_dir;
+  /// --threads forwarded to every worker (0 = worker default).
+  std::size_t worker_threads = 0;
+  /// --schedule forwarded to every worker.
+  Schedule worker_schedule = Schedule::kFixed;
+  /// Keep the per-attempt shard files after a successful drive (default:
+  /// the drive deletes the files it created).
+  bool keep_outputs = false;
+};
+
+/// One lifecycle event of a drive, also renderable as a JSON line.
+/// Kinds: "dispatch", "speculate" (a speculative dispatch), "exit" (an
+/// attempt failed: non-zero exit or invalid output), "timeout", "retry"
+/// (a re-dispatch was scheduled), "complete" (a shard finished with a
+/// validated output), "done" (the drive finished).
+struct DriveEvent {
+  std::string kind;
+  std::size_t shard = 0;
+  std::size_t attempt = 0;        ///< 0-based attempt number of the shard
+  double at_seconds = 0.0;        ///< time since drive start
+  double elapsed_seconds = 0.0;   ///< attempt (or drive, for "done") runtime
+  int exit_code = 0;              ///< child exit code where applicable
+  std::string detail;             ///< human-readable context (may be empty)
+
+  /// The event as a single JSON line (stable key order, no newline).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Observer of drive lifecycle events; called from the drive loop thread.
+using DriveEventFn = std::function<void(const DriveEvent&)>;
+
+/// Per-shard outcome statistics.
+struct DriveShardStats {
+  std::size_t shard = 0;
+  std::size_t attempts = 0;    ///< dispatches, speculative ones included
+  std::size_t retries = 0;     ///< failed attempts that were re-dispatched
+  bool speculated = false;     ///< a speculative duplicate was launched
+  double seconds = 0.0;        ///< runtime of the winning attempt
+  std::size_t rows = 0;        ///< validated rows merged from this shard
+};
+
+/// Outcome of a successful drive.
+struct DriveReport {
+  std::vector<DriveShardStats> shards;  ///< indexed by shard
+  std::size_t retries = 0;              ///< total re-dispatches
+  std::size_t speculations = 0;         ///< total speculative dispatches
+  double wall_seconds = 0.0;
+
+  /// Per-shard summary (the CLI's --progress table).
+  [[nodiscard]] util::Table progress_table() const;
+};
+
+/// Executes every shard of `plan` via worker subprocesses and streams the
+/// validated merge into `out` (byte-identical to the unsharded streaming
+/// CSV of the plan's request). Throws wdag::InternalError when a shard
+/// exhausts its retry budget or the platform cannot spawn subprocesses;
+/// on failure nothing further is written to `out` and all live workers
+/// are killed. `on_event` (optional) observes every lifecycle event.
+DriveReport drive(const ShardPlan& plan, const DriveOptions& options,
+                  std::ostream& out, const DriveEventFn& on_event = {});
+
+}  // namespace wdag::core

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "api/strategy.hpp"
 #include "paths/load.hpp"
 
 namespace wdag::core {
@@ -11,7 +12,8 @@ RwaResult solve_rwa(const graph::Digraph& g,
                     paths::RoutePolicy policy, const SolveOptions& options) {
   RwaResult res;
   res.routed = paths::route_requests(g, requests, policy);
-  res.assignment = solve(res.routed, options);
+  res.assignment = api::solve_with(api::builtin_registry(), res.routed,
+                                   options, options.force, options.scratch);
   return res;
 }
 
@@ -21,7 +23,7 @@ std::string rwa_report(const RwaResult& r) {
   os << "requests:    " << r.routed.size() << '\n'
      << "load (pi):   " << r.assignment.load << '\n'
      << "wavelengths: " << r.assignment.wavelengths << '\n'
-     << "method:      " << method_name(r.assignment.method) << '\n'
+     << "method:      " << r.assignment.strategy_name << '\n'
      << "optimal:     " << (r.assignment.optimal ? "proven" : "not proven")
      << '\n';
   for (std::size_t i = 0; i < r.routed.size(); ++i) {

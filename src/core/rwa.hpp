@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "api/request.hpp"
 #include "core/solver.hpp"
 #include "paths/route.hpp"
 
@@ -15,7 +16,7 @@ namespace wdag::core {
 /// A fully-solved RWA instance.
 struct RwaResult {
   paths::DipathFamily routed;          ///< one dipath per request, in order
-  SolveResult assignment;              ///< wavelength assignment of `routed`
+  api::SolveResponse assignment;       ///< wavelength assignment of `routed`
   /// Wavelength of request i (alias of assignment.coloring[i]).
   [[nodiscard]] std::uint32_t wavelength(std::size_t i) const {
     return assignment.coloring.at(i);

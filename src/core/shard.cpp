@@ -1,6 +1,7 @@
 #include "core/shard.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <istream>
 #include <map>
@@ -56,6 +57,13 @@ std::string hex16(std::uint64_t v) {
 /// fields, in a fixed order. Never change existing field spellings: the
 /// hash identifies plans across processes and machines.
 std::string canonical_spec(const ShardSpec& spec) {
+  // A non-finite density would canonicalize — and later JSON-emit — as
+  // "inf"/"nan", which is not valid JSON and round-trips as garbage.
+  // Reject at canonicalization time so no plan or manifest can ever
+  // carry it.
+  WDAG_REQUIRE(std::isfinite(spec.params.density),
+               "ShardSpec: params.density must be finite, got " +
+                   fmt_double(spec.params.density));
   std::string s = "wdag-shard-spec;v";
   s += std::to_string(kShardFormatVersion);
   s += ";family=" + spec.family;
@@ -82,11 +90,16 @@ std::string canonical_spec(const ShardSpec& spec) {
 }
 
 std::uint64_t plan_id_of(std::uint64_t request_hash, std::size_t count,
-                         std::size_t shards) {
-  return fnv1a("wdag-shard-plan;v" + std::to_string(kShardFormatVersion) +
-               ";request=" + hex16(request_hash) +
-               ";count=" + std::to_string(count) +
-               ";shards=" + std::to_string(shards));
+                         std::size_t shards, ShardLayout layout) {
+  std::string s = "wdag-shard-plan;v" + std::to_string(kShardFormatVersion) +
+                  ";request=" + hex16(request_hash) +
+                  ";count=" + std::to_string(count) +
+                  ";shards=" + std::to_string(shards);
+  // Contiguous plans keep their pre-striping ids; only striped plans
+  // extend the domain. A striped manifest therefore never collides with
+  // a contiguous one of the same request.
+  if (layout == ShardLayout::kStriped) s += ";layout=striped";
+  return fnv1a(s);
 }
 
 using util::append_json_string;
@@ -253,6 +266,13 @@ class JsonParser {
   std::size_t pos_ = 0;
 };
 
+const JsonValue* opt_field(const JsonValue& obj, const std::string& key) {
+  WDAG_REQUIRE(obj.kind == JsonValue::Kind::kObject,
+               "shard manifest: expected a JSON object");
+  const auto it = obj.object.find(key);
+  return it == obj.object.end() ? nullptr : &it->second;
+}
+
 const JsonValue& req_field(const JsonValue& obj, const std::string& key) {
   WDAG_REQUIRE(obj.kind == JsonValue::Kind::kObject,
                "shard manifest: expected a JSON object");
@@ -316,6 +336,17 @@ std::uint64_t req_hex(const JsonValue& obj, const std::string& key) {
 // Plan
 // ---------------------------------------------------------------------------
 
+std::string_view layout_name(ShardLayout layout) {
+  return layout == ShardLayout::kStriped ? "striped" : "contiguous";
+}
+
+ShardLayout parse_layout(std::string_view name) {
+  if (name == "contiguous") return ShardLayout::kContiguous;
+  if (name == "striped") return ShardLayout::kStriped;
+  throw InvalidArgument("shard layout must be 'contiguous' or 'striped', got '" +
+                        std::string(name) + "'");
+}
+
 std::uint64_t shard_request_hash(const ShardSpec& spec) {
   return fnv1a(canonical_spec(spec));
 }
@@ -337,11 +368,12 @@ ShardRange shard_range(std::size_t count, std::size_t shards,
   return {begin, begin + len};
 }
 
-ShardPlan::ShardPlan(ShardSpec spec, std::size_t shards)
+ShardPlan::ShardPlan(ShardSpec spec, std::size_t shards, ShardLayout layout)
     : spec_(std::move(spec)),
       shards_(shards),
+      layout_(layout),
       request_hash_(shard_request_hash(spec_)),
-      id_(plan_id_of(request_hash_, spec_.count, shards_)) {
+      id_(plan_id_of(request_hash_, spec_.count, shards_, layout_)) {
   WDAG_REQUIRE(shards_ >= 1, "ShardPlan: shards must be >= 1");
   // An empty shard's output is indistinguishable from a missing shard at
   // merge time; insist every shard has at least one instance.
@@ -353,6 +385,15 @@ ShardPlan::ShardPlan(ShardSpec spec, std::size_t shards)
 }
 
 ShardRange ShardPlan::range(std::size_t index) const {
+  if (layout_ == ShardLayout::kStriped) {
+    WDAG_REQUIRE(index < shards_,
+                 "ShardPlan: shard " + std::to_string(index) +
+                     " out of range for " + std::to_string(shards_) +
+                     " shards");
+    // Shard `index` covers {index, index + K, ...} < count; the manifest
+    // range records the enclosing [index, count) span.
+    return {std::min(index, spec_.count), spec_.count};
+  }
   return shard_range(spec_.count, shards_, index);
 }
 
@@ -362,6 +403,7 @@ ShardManifest ShardPlan::manifest(std::size_t index) const {
   m.request_hash = request_hash_;
   m.shard = index;
   m.shards = shards_;
+  m.layout = layout_;
   m.range = range(index);
   m.spec = spec_;
   return m;
@@ -378,6 +420,11 @@ std::string manifest_to_json(const ShardManifest& m) {
   s += ",\"request_hash\":\"" + hex16(m.request_hash) + "\"";
   s += ",\"shard\":" + std::to_string(m.shard);
   s += ",\"shards\":" + std::to_string(m.shards);
+  // Contiguous manifests keep the exact pre-striping byte layout; only
+  // striped ones carry the extra field.
+  if (m.layout == ShardLayout::kStriped) {
+    s += ",\"layout\":\"striped\"";
+  }
   s += ",\"begin\":" + std::to_string(m.range.begin);
   s += ",\"end\":" + std::to_string(m.range.end);
   s += ",\"count\":" + std::to_string(m.spec.count);
@@ -427,6 +474,11 @@ ShardManifest parse_manifest(std::string_view json) {
   m.request_hash = req_hex(root, "request_hash");
   m.shard = req_u64(root, "shard");
   m.shards = req_u64(root, "shards");
+  if (const JsonValue* layout = opt_field(root, "layout")) {
+    WDAG_REQUIRE(layout->kind == JsonValue::Kind::kString,
+                 "shard manifest: field 'layout' must be a string");
+    m.layout = parse_layout(layout->text);
+  }
   m.range.begin = req_u64(root, "begin");
   m.range.end = req_u64(root, "end");
   m.spec.count = req_u64(root, "count");
@@ -461,6 +513,17 @@ ShardManifest parse_manifest(std::string_view json) {
                "shard manifest: range [" + std::to_string(m.range.begin) +
                    ", " + std::to_string(m.range.end) +
                    ") does not fit count " + std::to_string(m.spec.count));
+  if (m.layout == ShardLayout::kStriped) {
+    // A striped shard's range is fully determined by its index: it covers
+    // every shards-th index of [shard, count).
+    WDAG_REQUIRE(m.range.begin == std::min(m.shard, m.spec.count) &&
+                     m.range.end == m.spec.count,
+                 "shard manifest: striped shard " + std::to_string(m.shard) +
+                     " must record range [" + std::to_string(m.shard) + ", " +
+                     std::to_string(m.spec.count) + "), got [" +
+                     std::to_string(m.range.begin) + ", " +
+                     std::to_string(m.range.end) + ")");
+  }
 
   // The recorded ids must agree with the ones this build recomputes from
   // the parsed request — a hand-edited manifest (say, a changed seed with
@@ -473,7 +536,7 @@ ShardManifest parse_manifest(std::string_view json) {
         ") — edited manifest?");
   }
   const std::uint64_t plan_id = plan_id_of(request_hash, m.spec.count,
-                                           m.shards);
+                                           m.shards, m.layout);
   if (plan_id != m.plan_id) {
     throw InvalidArgument("shard manifest: recorded plan id " +
                           hex16(m.plan_id) +
@@ -490,6 +553,8 @@ ShardManifest parse_manifest(std::string_view json) {
 std::string shard_csv_header(const ShardManifest& m) {
   return std::string(kShardHeaderTag) + manifest_to_json(m) + "\n";
 }
+
+std::string_view shard_csv_column_header() { return kCsvColumnHeader; }
 
 ShardCsv read_shard_csv(std::istream& in, const std::string& name) {
   std::ostringstream buf;
@@ -535,8 +600,10 @@ ShardCsv read_shard_csv(std::istream& in, const std::string& name) {
 
   // Count the rows and check each one's leading index field against the
   // global index it must carry — catching truncation, reordering, and
-  // rows from the wrong range in one pass.
+  // rows from the wrong range in one pass. Striped shards advance by
+  // their stride instead of 1.
   std::size_t expected = shard.manifest.range.begin;
+  const std::size_t stride = shard.manifest.stride();
   std::size_t pos = 0;
   while (pos < shard.rows.size()) {
     const std::size_t eol = shard.rows.find('\n', pos);
@@ -558,77 +625,93 @@ ShardCsv read_shard_csv(std::istream& in, const std::string& name) {
            ", expected " + std::to_string(expected) +
            " (truncated or corrupt shard?)");
     }
-    ++expected;
+    expected += stride;
     ++shard.row_count;
     pos = eol + 1;
   }
 
-  if (shard.row_count != shard.manifest.range.size()) {
+  if (shard.row_count != shard.manifest.instance_count()) {
     fail("holds " + std::to_string(shard.row_count) + " rows but covers [" +
          std::to_string(shard.manifest.range.begin) + ", " +
-         std::to_string(shard.manifest.range.end) + ") — expected " +
-         std::to_string(shard.manifest.range.size()) +
+         std::to_string(shard.manifest.range.end) + ") stride " +
+         std::to_string(stride) + " — expected " +
+         std::to_string(shard.manifest.instance_count()) +
          " (truncated shard?)");
   }
   return shard;
 }
 
-std::string merge_shard_csv(const std::vector<ShardCsv>& shards) {
-  WDAG_REQUIRE(!shards.empty(), "merge_shard_csv: no shards to merge");
+namespace {
 
-  // One plan only: same plan id, request hash, shard count and global
-  // instance count everywhere. parse_manifest already bound the id to the
-  // request, so comparing ids compares requests.
-  const ShardManifest& first = shards.front().manifest;
-  for (const ShardCsv& s : shards) {
-    const ShardManifest& m = s.manifest;
+/// Validates that `manifests` (paired with their row payloads by the
+/// caller) form the complete shard set of ONE plan, and returns the
+/// position of shard i in the input at slot i. Shared by the CSV and
+/// JSON merges so their guarantees can never drift.
+std::vector<std::size_t> validate_shard_set(
+    const std::vector<const ShardManifest*>& manifests, const char* what) {
+  WDAG_REQUIRE(!manifests.empty(), std::string(what) + ": no shards to merge");
+
+  // One plan only: same plan id, request hash, shard count, layout and
+  // global instance count everywhere. parse_manifest already bound the
+  // id to the request, so comparing ids compares requests.
+  const ShardManifest& first = *manifests.front();
+  for (const ShardManifest* mp : manifests) {
+    const ShardManifest& m = *mp;
     if (m.plan_id != first.plan_id || m.request_hash != first.request_hash ||
-        m.shards != first.shards || m.spec.count != first.spec.count) {
+        m.shards != first.shards || m.spec.count != first.spec.count ||
+        m.layout != first.layout) {
       throw InvalidArgument(
-          "merge_shard_csv: shards come from different plans (plan " +
+          std::string(what) + ": shards come from different plans (plan " +
           hex16(first.plan_id) + " vs " + hex16(m.plan_id) +
           ") — refusing a mixed merge");
     }
   }
 
   // Every shard index 0..K-1 exactly once.
-  std::vector<const ShardCsv*> by_index(first.shards, nullptr);
-  for (const ShardCsv& s : shards) {
-    const std::size_t i = s.manifest.shard;
+  std::vector<std::size_t> by_index(first.shards,
+                                    static_cast<std::size_t>(-1));
+  for (std::size_t pos = 0; pos < manifests.size(); ++pos) {
+    const std::size_t i = manifests[pos]->shard;
     WDAG_ASSERT(i < first.shards, "shard index escaped parse validation");
-    if (by_index[i] != nullptr) {
-      throw InvalidArgument("merge_shard_csv: duplicate shard " +
+    if (by_index[i] != static_cast<std::size_t>(-1)) {
+      throw InvalidArgument(std::string(what) + ": duplicate shard " +
                             std::to_string(i) + " of " +
                             std::to_string(first.shards));
     }
-    by_index[i] = &s;
+    by_index[i] = pos;
   }
   for (std::size_t i = 0; i < by_index.size(); ++i) {
-    if (by_index[i] == nullptr) {
-      throw InvalidArgument("merge_shard_csv: missing shard " +
+    if (by_index[i] == static_cast<std::size_t>(-1)) {
+      throw InvalidArgument(std::string(what) + ": missing shard " +
                             std::to_string(i) + " of " +
                             std::to_string(first.shards) +
                             " — refusing a partial merge");
     }
   }
 
-  // Ranges must chain gaplessly over [0, count). Overlaps and gaps can
-  // only come from tampered manifests (plan ranges are arithmetic), but
-  // a silent partial/duplicated merge is exactly the failure mode this
-  // tool exists to prevent.
+  if (first.layout == ShardLayout::kStriped) {
+    // Striped ranges are fully index-determined and already validated in
+    // parse_manifest; presence of every shard implies full coverage.
+    return by_index;
+  }
+
+  // Contiguous ranges must chain gaplessly over [0, count). Overlaps and
+  // gaps can only come from tampered manifests (plan ranges are
+  // arithmetic), but a silent partial/duplicated merge is exactly the
+  // failure mode this tool exists to prevent.
   std::size_t expected_begin = 0;
   for (std::size_t i = 0; i < by_index.size(); ++i) {
-    const ShardRange& r = by_index[i]->manifest.range;
+    const ShardRange& r = manifests[by_index[i]]->range;
     if (r.begin < expected_begin) {
       throw InvalidArgument(
-          "merge_shard_csv: shard " + std::to_string(i) + " range [" +
+          std::string(what) + ": shard " + std::to_string(i) + " range [" +
           std::to_string(r.begin) + ", " + std::to_string(r.end) +
           ") overlaps the previous shard (which ends at " +
           std::to_string(expected_begin) + ")");
     }
     if (r.begin > expected_begin) {
       throw InvalidArgument(
-          "merge_shard_csv: gap before shard " + std::to_string(i) +
+          std::string(what) + ": gap before shard " + std::to_string(i) +
           ": indices [" + std::to_string(expected_begin) + ", " +
           std::to_string(r.begin) + ") are covered by no shard");
     }
@@ -636,19 +719,174 @@ std::string merge_shard_csv(const std::vector<ShardCsv>& shards) {
   }
   if (expected_begin != first.spec.count) {
     throw InvalidArgument(
-        "merge_shard_csv: shards cover [0, " +
+        std::string(what) + ": shards cover [0, " +
         std::to_string(expected_begin) + ") but the plan has " +
         std::to_string(first.spec.count) + " instances");
   }
+  return by_index;
+}
 
-  std::size_t total = std::string(kCsvColumnHeader).size() + 1;
-  for (const ShardCsv* s : by_index) total += s->rows.size();
+/// Reassembles per-shard row payloads (newline-terminated lines, ascending
+/// within each shard) into global index order: concatenation for
+/// contiguous plans, a round-robin interleave for striped ones. `rows[i]`
+/// must be shard i's payload.
+std::string assemble_rows(const std::vector<const std::string*>& rows,
+                          ShardLayout layout, std::size_t count,
+                          std::string_view prefix) {
+  std::size_t total = prefix.size();
+  for (const std::string* r : rows) total += r->size();
   std::string merged;
   merged.reserve(total);
-  merged += kCsvColumnHeader;
-  merged += '\n';
-  for (const ShardCsv* s : by_index) merged += s->rows;
+  merged += prefix;
+  if (layout == ShardLayout::kContiguous) {
+    for (const std::string* r : rows) merged += *r;
+    return merged;
+  }
+  // Striped: global index g lives in shard g % K, and each shard's rows
+  // are already in ascending global order — one cursor per shard walks
+  // every payload exactly once.
+  const std::size_t k = rows.size();
+  std::vector<std::size_t> cursor(k, 0);
+  for (std::size_t g = 0; g < count; ++g) {
+    const std::size_t s = g % k;
+    const std::string& payload = *rows[s];
+    const std::size_t eol = payload.find('\n', cursor[s]);
+    WDAG_ASSERT(eol != std::string::npos,
+                "striped merge ran out of validated rows");
+    merged.append(payload, cursor[s], eol + 1 - cursor[s]);
+    cursor[s] = eol + 1;
+  }
   return merged;
+}
+
+}  // namespace
+
+std::string merge_shard_csv(const std::vector<ShardCsv>& shards) {
+  std::vector<const ShardManifest*> manifests;
+  manifests.reserve(shards.size());
+  for (const ShardCsv& s : shards) manifests.push_back(&s.manifest);
+  const std::vector<std::size_t> by_index =
+      validate_shard_set(manifests, "merge_shard_csv");
+
+  std::vector<const std::string*> rows;
+  rows.reserve(by_index.size());
+  for (const std::size_t pos : by_index) rows.push_back(&shards[pos].rows);
+  const std::string prefix = std::string(kCsvColumnHeader) + "\n";
+  return assemble_rows(rows, shards.front().manifest.layout,
+                       shards.front().manifest.spec.count, prefix);
+}
+
+// ---------------------------------------------------------------------------
+// Shard JSON-lines reading and merging
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Parses the leading global index of a `{"index":G,...}` row line;
+/// returns size_t(-1) when the line is not a row object.
+std::size_t row_object_index(std::string_view line) {
+  constexpr std::string_view kPrefix = "{\"index\":";
+  if (line.substr(0, kPrefix.size()) != kPrefix) {
+    return static_cast<std::size_t>(-1);
+  }
+  std::size_t pos = kPrefix.size();
+  std::size_t value = 0;
+  bool any = false;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(line[pos] - '0');
+    ++pos;
+    any = true;
+  }
+  if (!any || pos >= line.size() || (line[pos] != ',' && line[pos] != '}')) {
+    return static_cast<std::size_t>(-1);
+  }
+  return value;
+}
+
+}  // namespace
+
+ShardJson read_shard_json(std::istream& in, const std::string& name) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const auto fail = [&name](const std::string& what) -> void {
+    throw InvalidArgument("shard JSON '" + name + "': " + what);
+  };
+
+  if (text.empty() || text.front() != '{') {
+    fail("missing leading manifest line (not a shard JSON output?)");
+  }
+  if (text.back() != '\n') {
+    fail("file does not end with a newline (truncated?)");
+  }
+
+  const std::size_t header_end = text.find('\n');
+  ShardJson shard;
+  shard.manifest =
+      parse_manifest(std::string_view(text).substr(0, header_end));
+
+  // Row objects in stride order, then exactly one aggregate report line.
+  std::size_t expected = shard.manifest.range.begin;
+  const std::size_t stride = shard.manifest.stride();
+  const std::size_t want = shard.manifest.instance_count();
+  std::size_t pos = header_end + 1;
+  const std::size_t rows_begin = pos;
+  while (shard.row_count < want) {
+    if (pos >= text.size()) {
+      fail("holds " + std::to_string(shard.row_count) +
+           " rows — expected " + std::to_string(want) +
+           " (truncated shard?)");
+    }
+    const std::size_t eol = text.find('\n', pos);
+    WDAG_ASSERT(eol != std::string::npos, "shard json lost its newline");
+    const std::size_t index =
+        row_object_index(std::string_view(text).substr(pos, eol - pos));
+    if (index != expected) {
+      fail("row " + std::to_string(shard.row_count) + " carries index " +
+           (index == static_cast<std::size_t>(-1)
+                ? std::string("<unparsable>")
+                : std::to_string(index)) +
+           ", expected " + std::to_string(expected) +
+           " (truncated or corrupt shard?)");
+    }
+    expected += stride;
+    ++shard.row_count;
+    pos = eol + 1;
+  }
+  shard.rows = text.substr(rows_begin, pos - rows_begin);
+
+  // The per-shard aggregate report closes the file. It is validated and
+  // dropped here: an aggregate over a partial index set can never appear
+  // byte-identically in the merged output.
+  if (pos >= text.size()) {
+    fail("missing trailing aggregate report line (truncated?)");
+  }
+  const std::size_t tail_end = text.find('\n', pos);
+  const std::string_view tail =
+      std::string_view(text).substr(pos, tail_end - pos);
+  if (tail.empty() || tail.front() != '{' ||
+      row_object_index(tail) != static_cast<std::size_t>(-1)) {
+    fail("expected the trailing aggregate report line, found an extra row");
+  }
+  if (tail_end + 1 != text.size()) {
+    fail("trailing data after the aggregate report line");
+  }
+  return shard;
+}
+
+std::string merge_shard_json(const std::vector<ShardJson>& shards) {
+  std::vector<const ShardManifest*> manifests;
+  manifests.reserve(shards.size());
+  for (const ShardJson& s : shards) manifests.push_back(&s.manifest);
+  const std::vector<std::size_t> by_index =
+      validate_shard_set(manifests, "merge_shard_json");
+
+  std::vector<const std::string*> rows;
+  rows.reserve(by_index.size());
+  for (const std::size_t pos : by_index) rows.push_back(&shards[pos].rows);
+  return assemble_rows(rows, shards.front().manifest.layout,
+                       shards.front().manifest.spec.count, {});
 }
 
 }  // namespace wdag::core

@@ -2,8 +2,6 @@
 
 #include <utility>
 
-#include "api/strategy.hpp"
-
 namespace wdag::core {
 
 std::string_view builtin_strategy_name(StrategyId id) {
@@ -30,10 +28,6 @@ std::vector<std::string> builtin_strategy_names() {
   return names;
 }
 
-std::string method_name(Method m) {
-  return std::string(builtin_strategy_name(strategy_id(m)));
-}
-
 void SolveScratch::first_touch() {
   // A modest synthetic build sized like a typical workload instance: the
   // move-assignment replaces the arena's storage with memory allocated —
@@ -46,22 +40,6 @@ void SolveScratch::first_touch() {
     edges.emplace_back(v - 1, v);
   }
   conflict_graph = conflict::ConflictGraph(kWarmVertices, edges);
-}
-
-SolveResult solve(const paths::DipathFamily& family,
-                  const SolveOptions& options) {
-  std::optional<StrategyId> force;
-  if (options.force.has_value()) force = strategy_id(*options.force);
-  api::SolveResponse resp = api::solve_with(
-      api::builtin_registry(), family, options, force, options.scratch);
-  SolveResult res;
-  res.coloring = std::move(resp.coloring);
-  res.wavelengths = resp.wavelengths;
-  res.load = resp.load;
-  res.method = static_cast<Method>(resp.strategy);
-  res.optimal = resp.optimal;
-  res.report = resp.report;
-  return res;
 }
 
 }  // namespace wdag::core

@@ -1,5 +1,6 @@
 #pragma once
-// Top-level wavelength-assignment solver — the legacy single-call facade.
+// Strategy identity and per-solve knobs shared by the core batch engine
+// and the public API's pluggable strategy registry (api/strategy.hpp).
 //
 // Dispatch follows the structural classification of the host graph:
 //
@@ -10,12 +11,9 @@
 //                               conflict graph is small.
 //
 // Every result carries the load lower bound and an optimality verdict.
-//
-// DEPRECATION NOTE: the dispatch now lives in the pluggable strategy
-// registry of the public API (api/strategy.hpp, api/engine.hpp; umbrella
-// header wdag/wdag.hpp). solve() below is a thin shim over the built-in
-// registry kept so pre-Engine call sites continue to compile; new code
-// should construct an api::Engine and call submit()/run_batch().
+// The single-call entry points are api::solve_with (one instance against
+// a registry) and api::Engine::submit / run_batch (wdag/wdag.hpp); the
+// pre-registry core::solve / core::Method shims were removed in 0.2.0.
 
 #include <cstdint>
 #include <optional>
@@ -42,31 +40,12 @@ inline constexpr StrategyId kStrategyExact = 3;
 /// Number of built-in strategies present in every registry.
 inline constexpr std::size_t kBuiltinStrategyCount = 4;
 
-/// DEPRECATED: closed enumeration of the built-in strategies, kept so
-/// pre-registry call sites still compile. The enumerator values equal the
-/// built-in StrategyIds, so static_cast between the two is exact. New
-/// code should address strategies by id or name through the registry.
-enum class Method : StrategyId {
-  kTheorem1 = kStrategyTheorem1,      ///< constructive equality w == pi
-  kSplitMerge = kStrategySplitMerge,  ///< UPP split-merge (Theorem 6)
-  kDsatur = kStrategyDsatur,          ///< DSATUR on the conflict graph
-  kExact = kStrategyExact,            ///< exact branch-and-bound
-};
-
-/// The StrategyId of a legacy Method value.
-constexpr StrategyId strategy_id(Method m) {
-  return static_cast<StrategyId>(m);
-}
-
 /// Display name of a built-in strategy id ("theorem1", "split-merge",
 /// "dsatur", "exact"); "unknown" past the built-ins.
 std::string_view builtin_strategy_name(StrategyId id);
 
 /// Display names of the built-in strategies, indexed by StrategyId.
 std::vector<std::string> builtin_strategy_names();
-
-/// DEPRECATED alias of builtin_strategy_name for reports.
-std::string method_name(Method m);
 
 /// Reusable buffers a caller may hand to solve() to amortize allocations
 /// across many instances. One arena per worker thread (it is not
@@ -94,33 +73,13 @@ struct SolveOptions {
   std::size_t exact_threshold = 48;
   /// Node budget handed to the exact solver.
   std::size_t exact_node_budget = 20'000'000;
-  /// Force a specific built-in (bypasses dispatch); kTheorem1/kSplitMerge
-  /// still check their structural preconditions. The Engine generalizes
-  /// this to any registered strategy via SolveRequest::force_strategy.
-  std::optional<Method> force;
+  /// Force a specific built-in strategy id (bypasses dispatch);
+  /// kTheorem1/kSplitMerge still check their structural preconditions.
+  /// The Engine generalizes this to any registered strategy via
+  /// SolveRequest::force_strategy.
+  std::optional<StrategyId> force;
   /// Optional per-worker scratch arena (not owned; may be null).
   SolveScratch* scratch = nullptr;
 };
-
-/// A solved instance (legacy result shape; api::SolveResponse is the
-/// registry-aware equivalent).
-struct SolveResult {
-  conflict::Coloring coloring;   ///< wavelength per path id
-  std::size_t wavelengths = 0;   ///< colors used
-  std::size_t load = 0;          ///< pi(G,P), always a lower bound on w
-  Method method = Method::kTheorem1;
-  bool optimal = false;          ///< true when wavelengths is provably w(G,P)
-  dag::DagReport report;         ///< structural classification of the host
-};
-
-/// Solves the wavelength assignment problem for `family`.
-/// The returned coloring is always valid; `optimal` reports whether the
-/// number of wavelengths is provably minimum (it always is when the host
-/// has no internal cycle, by the Main Theorem).
-///
-/// DEPRECATED shim over api::solve_with on the built-in registry; prefer
-/// api::Engine::submit (wdag/wdag.hpp).
-SolveResult solve(const paths::DipathFamily& family,
-                  const SolveOptions& options = {});
 
 }  // namespace wdag::core

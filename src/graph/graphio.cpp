@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <sstream>
+#include <stdexcept>
 
 #include "graph/properties.hpp"
 #include "util/check.hpp"
@@ -47,8 +48,17 @@ Digraph parse_edge_list(const std::string& text) {
                      " has trailing tokens");
     auto resolve = [&](const std::string& tok) -> VertexId {
       if (is_number(tok)) {
-        const unsigned long id = std::stoul(tok);
-        WDAG_REQUIRE(id < (1UL << 31), "parse_edge_list: vertex id too large");
+        unsigned long id = 0;
+        try {
+          id = std::stoul(tok);
+        } catch (const std::out_of_range&) {
+          WDAG_REQUIRE(false, "parse_edge_list: line " +
+                                  std::to_string(line_no) + ": vertex id '" +
+                                  tok + "' is out of range");
+        }
+        WDAG_REQUIRE(id < (1UL << 31),
+                     "parse_edge_list: line " + std::to_string(line_no) +
+                         ": vertex id '" + tok + "' is too large");
         return static_cast<VertexId>(id);
       }
       return b.vertex(tok);

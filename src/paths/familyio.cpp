@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <sstream>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "paths/dipath.hpp"
@@ -38,24 +40,43 @@ bool is_number(const std::string& s) {
   }
   return true;
 }
+
+/// `tok` is all digits; parses it or dies with the line-numbered diagnostic
+/// every other malformed input gets (std::stoul alone throws a bare
+/// std::out_of_range on tokens exceeding unsigned long).
+unsigned long parse_numeric_vertex(const std::string& tok,
+                                   std::size_t line_no) {
+  unsigned long id = 0;
+  try {
+    id = std::stoul(tok);
+  } catch (const std::out_of_range&) {
+    WDAG_REQUIRE(false, "parse_instance_text: line " +
+                            std::to_string(line_no) + ": vertex id '" + tok +
+                            "' is out of range");
+  }
+  WDAG_REQUIRE(id < (1UL << 31),
+               "parse_instance_text: line " + std::to_string(line_no) +
+                   ": vertex id '" + tok + "' is too large");
+  return id;
+}
 }  // namespace
 
 ParsedInstance parse_instance_text(const std::string& text) {
   DigraphBuilder b;
-  std::vector<std::vector<std::string>> path_lines;
-
-  auto resolve = [&](const std::string& tok) -> VertexId {
-    if (is_number(tok)) {
-      const unsigned long id = std::stoul(tok);
-      WDAG_REQUIRE(id < (1UL << 31), "parse_instance_text: vertex id too big");
-      return static_cast<VertexId>(id);
-    }
-    return b.vertex(tok);
-  };
+  // Each path line keeps its 1-based line number so the deferred
+  // resolution pass below can still point at the offending line.
+  std::vector<std::pair<std::size_t, std::vector<std::string>>> path_lines;
 
   std::istringstream is(text);
   std::string line;
   std::size_t line_no = 0;
+
+  auto resolve = [&](const std::string& tok) -> VertexId {
+    if (is_number(tok)) {
+      return static_cast<VertexId>(parse_numeric_vertex(tok, line_no));
+    }
+    return b.vertex(tok);
+  };
   while (std::getline(is, line)) {
     ++line_no;
     const auto hash = line.find('#');
@@ -81,7 +102,7 @@ ParsedInstance parse_instance_text(const std::string& text) {
       WDAG_REQUIRE(tokens.size() >= 2,
                    "parse_instance_text: line " + std::to_string(line_no) +
                        ": path needs at least two vertices");
-      path_lines.push_back(std::move(tokens));
+      path_lines.emplace_back(line_no, std::move(tokens));
     } else {
       WDAG_REQUIRE(false, "parse_instance_text: line " +
                               std::to_string(line_no) + ": unknown keyword '" +
@@ -93,14 +114,16 @@ ParsedInstance parse_instance_text(const std::string& text) {
   out.graph = std::make_shared<const Digraph>(b.build());
   out.family = DipathFamily(*out.graph);
   const Digraph& g = *out.graph;
-  for (const auto& tokens : path_lines) {
+  for (const auto& [path_line_no, tokens] : path_lines) {
     std::vector<VertexId> walk;
     walk.reserve(tokens.size());
     for (const auto& tok : tokens) {
       if (is_number(tok)) {
-        const unsigned long id = std::stoul(tok);
+        const unsigned long id = parse_numeric_vertex(tok, path_line_no);
         WDAG_REQUIRE(id < g.num_vertices(),
-                     "parse_instance_text: path vertex id out of range");
+                     "parse_instance_text: line " +
+                         std::to_string(path_line_no) + ": path vertex id '" +
+                         tok + "' out of range");
         walk.push_back(static_cast<VertexId>(id));
       } else {
         const auto v = g.vertex_by_name(tok);

@@ -1,5 +1,7 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/check.hpp"
@@ -19,7 +21,13 @@ Cli::Cli(int argc, const char* const* argv) {
     WDAG_REQUIRE(!arg.empty(), "Cli: bare '--' is not a valid flag");
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      std::string value = arg.substr(eq + 1);
+      // `--a=--b` is a flag swallowed as a value, never a real value:
+      // no flag in this tool takes a `--`-prefixed string.
+      WDAG_REQUIRE(value.rfind("--", 0) != 0,
+                   "Cli: flag --" + arg.substr(0, eq) + " swallowed flag '" +
+                       value + "' as its value");
+      flags_[arg.substr(0, eq)] = std::move(value);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       flags_[arg] = argv[++i];
     } else {
@@ -39,10 +47,14 @@ std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const 
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(it->second.c_str(), &end, 10);
   WDAG_REQUIRE(end && *end == '\0' && !it->second.empty(),
                "Cli: flag --" + name + " expects an integer, got '" +
                    it->second + "'");
+  WDAG_REQUIRE(errno != ERANGE,
+               "Cli: flag --" + name + " is out of range: '" + it->second +
+                   "' does not fit a 64-bit integer");
   return v;
 }
 
@@ -50,9 +62,13 @@ double Cli::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(it->second.c_str(), &end);
   WDAG_REQUIRE(end && *end == '\0' && !it->second.empty(),
                "Cli: flag --" + name + " expects a number, got '" +
+                   it->second + "'");
+  WDAG_REQUIRE(errno != ERANGE && std::isfinite(v),
+               "Cli: flag --" + name + " expects a finite number, got '" +
                    it->second + "'");
   return v;
 }

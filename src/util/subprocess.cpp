@@ -1,0 +1,166 @@
+#include "util/subprocess.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <string_view>
+
+#include "util/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WDAG_HAVE_SUBPROCESS 1
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+extern char** environ;
+#endif
+
+namespace wdag::util {
+
+#if WDAG_HAVE_SUBPROCESS
+
+namespace {
+
+/// The child environment: the parent's, minus unset_env, with the
+/// options' pairs overriding. Returns owning storage plus the char*
+/// vector posix_spawn wants.
+std::vector<std::string> build_env(const SubprocessOptions& options) {
+  std::vector<std::string> env;
+  const auto removed = [&options](std::string_view name) {
+    for (const auto& u : options.unset_env) {
+      if (name == u) return true;
+    }
+    for (const auto& [k, v] : options.env) {
+      if (name == k) return true;  // overridden below
+    }
+    return false;
+  };
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    const std::string_view entry(*e);
+    const std::size_t eq = entry.find('=');
+    if (eq != std::string_view::npos && removed(entry.substr(0, eq))) {
+      continue;
+    }
+    env.emplace_back(entry);
+  }
+  for (const auto& [k, v] : options.env) {
+    env.push_back(k + "=" + v);
+  }
+  return env;
+}
+
+int code_from_status(int status) {
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return 128;  // stopped/continued never reach here (no WUNTRACED)
+}
+
+}  // namespace
+
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
+                             const SubprocessOptions& options) {
+  WDAG_REQUIRE(!argv.empty(), "Subprocess: argv must not be empty");
+
+  std::vector<std::string> env = build_env(options);
+  std::vector<char*> argv_ptrs;
+  argv_ptrs.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    argv_ptrs.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv_ptrs.push_back(nullptr);
+  std::vector<char*> env_ptrs;
+  env_ptrs.reserve(env.size() + 1);
+  for (const std::string& e : env) {
+    env_ptrs.push_back(const_cast<char*>(e.c_str()));
+  }
+  env_ptrs.push_back(nullptr);
+
+  pid_t pid = -1;
+  const bool use_path = argv[0].find('/') == std::string::npos;
+  const int rc =
+      use_path ? ::posix_spawnp(&pid, argv[0].c_str(), nullptr, nullptr,
+                                argv_ptrs.data(), env_ptrs.data())
+               : ::posix_spawn(&pid, argv[0].c_str(), nullptr, nullptr,
+                               argv_ptrs.data(), env_ptrs.data());
+  if (rc != 0) {
+    throw InternalError("Subprocess: cannot spawn '" + argv[0] +
+                        "': " + std::strerror(rc));
+  }
+  Subprocess p;
+  p.pid_ = pid;
+  return p;
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(other.pid_), exit_code_(other.exit_code_) {
+  other.pid_ = -1;
+  other.exit_code_.reset();
+}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    pid_ = other.pid_;
+    exit_code_ = other.exit_code_;
+    other.pid_ = -1;
+    other.exit_code_.reset();
+  }
+  return *this;
+}
+
+std::optional<int> Subprocess::poll() {
+  if (exit_code_.has_value()) return exit_code_;
+  if (pid_ < 0) return std::nullopt;
+  int status = 0;
+  const pid_t r = ::waitpid(static_cast<pid_t>(pid_), &status, WNOHANG);
+  if (r == 0) return std::nullopt;  // still running
+  if (r < 0) {
+    throw InternalError("Subprocess: waitpid(" + std::to_string(pid_) +
+                        ") failed: " + std::strerror(errno));
+  }
+  exit_code_ = code_from_status(status);
+  return exit_code_;
+}
+
+int Subprocess::wait() {
+  if (exit_code_.has_value()) return *exit_code_;
+  WDAG_REQUIRE(pid_ >= 0, "Subprocess: wait() on an empty process handle");
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(static_cast<pid_t>(pid_), &status, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r < 0) {
+    throw InternalError("Subprocess: waitpid(" + std::to_string(pid_) +
+                        ") failed: " + std::strerror(errno));
+  }
+  exit_code_ = code_from_status(status);
+  return *exit_code_;
+}
+
+void Subprocess::kill() {
+  if (pid_ < 0 || exit_code_.has_value()) return;
+  ::kill(static_cast<pid_t>(pid_), SIGKILL);
+}
+
+#else  // !WDAG_HAVE_SUBPROCESS
+
+Subprocess Subprocess::spawn(const std::vector<std::string>&,
+                             const SubprocessOptions&) {
+  throw InternalError("Subprocess: unsupported on this platform");
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(other.pid_), exit_code_(other.exit_code_) {}
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  pid_ = other.pid_;
+  exit_code_ = other.exit_code_;
+  return *this;
+}
+std::optional<int> Subprocess::poll() { return exit_code_; }
+int Subprocess::wait() { return exit_code_.value_or(-1); }
+void Subprocess::kill() {}
+
+#endif
+
+}  // namespace wdag::util

@@ -1,0 +1,65 @@
+#pragma once
+// Minimal child-process management for the shard driver (core/driver.cpp):
+// spawn an argv with optional environment edits, poll for exit without
+// blocking, and kill stragglers. POSIX-only — the driver is the only
+// consumer, and it degrades with a clear error elsewhere.
+//
+// No pipes: driver children write their results to files named in their
+// argv, so the parent only needs liveness, exit codes and kill.
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wdag::util {
+
+/// Environment edits applied to a spawned child (on top of the parent's
+/// inherited environment).
+struct SubprocessOptions {
+  /// Variables to set (overriding inherited values of the same name).
+  std::vector<std::pair<std::string, std::string>> env;
+  /// Variables to remove from the inherited environment.
+  std::vector<std::string> unset_env;
+};
+
+/// One spawned child process. Movable, not copyable; the destructor does
+/// NOT kill or reap — call kill()/wait() explicitly (the driver owns the
+/// lifecycle decisions).
+class Subprocess {
+ public:
+  /// Spawns `argv` (argv[0] is the executable, resolved via PATH when it
+  /// contains no '/'). Throws wdag::InternalError when the spawn fails
+  /// or on non-POSIX platforms.
+  static Subprocess spawn(const std::vector<std::string>& argv,
+                          const SubprocessOptions& options = {});
+
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  ~Subprocess() = default;
+
+  /// Non-blocking: the exit code once the child has exited, else nullopt.
+  /// A child killed by signal N reports 128 + N (shell convention).
+  /// Idempotent after exit (the code is cached at reap time).
+  [[nodiscard]] std::optional<int> poll();
+
+  /// Blocks until the child exits; returns its exit code (as poll()).
+  int wait();
+
+  /// Sends SIGKILL. Safe to call repeatedly or after exit; the child
+  /// still must be reaped via poll()/wait().
+  void kill();
+
+  /// OS process id (for diagnostics/logging).
+  [[nodiscard]] long pid() const { return pid_; }
+
+ private:
+  Subprocess() = default;
+
+  long pid_ = -1;
+  std::optional<int> exit_code_;
+};
+
+}  // namespace wdag::util

@@ -26,8 +26,9 @@
 #include "api/sink.hpp"
 #include "api/strategy.hpp"
 
-// --- Solvers (legacy single-call facade + RWA + batch + sharding) ---------
+// --- Solvers (RWA + batch + sharding + the shard drive) -------------------
 #include "core/batch.hpp"
+#include "core/driver.hpp"
 #include "core/rwa.hpp"
 #include "core/shard.hpp"
 #include "core/solver.hpp"
@@ -76,6 +77,12 @@ using api::SolverStrategy;
 using api::StrategyContext;
 using api::StrategyRegistry;
 using api::StrategyResult;
+using core::DriveEvent;
+using core::DriveOptions;
+using core::DriveReport;
+using core::ShardCsv;
+using core::ShardJson;
+using core::ShardLayout;
 using core::ShardManifest;
 using core::ShardPlan;
 using core::ShardRange;

@@ -3,16 +3,29 @@
 // across modules, plus the mixed-regime instance stream the randomized
 // cross-check tiers sample from.
 
+#include <optional>
 #include <vector>
 
+#include "api/strategy.hpp"
+#include "core/solver.hpp"
 #include "gen/family_gen.hpp"
 #include "gen/instance.hpp"
 #include "gen/random_dag.hpp"
 #include "gen/upp_gen.hpp"
 #include "graph/digraph.hpp"
+#include "paths/family.hpp"
 #include "util/rng.hpp"
 
 namespace wdag::test {
+
+/// One-instance solve against the built-in registry — the test-suite
+/// shorthand since the pre-registry core::solve shim was removed in 0.2.
+inline api::SolveResponse solve_builtin(
+    const paths::DipathFamily& family,
+    const core::SolveOptions& options = {},
+    std::optional<core::StrategyId> force = std::nullopt) {
+  return api::solve_with(api::builtin_registry(), family, options, force);
+}
 
 /// Chain 0 -> 1 -> ... -> n-1.
 inline graph::Digraph chain(std::size_t n) {

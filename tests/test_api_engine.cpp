@@ -162,17 +162,17 @@ TEST(EngineSubmitTest, InlineFamilyGetsTheorem1OnNoInternalCycleHosts) {
   EXPECT_TRUE(conflict::is_valid_assignment(inst.family, r.coloring));
 }
 
-TEST(EngineSubmitTest, AgreesWithLegacySolveAcrossEveryRegime) {
+TEST(EngineSubmitTest, AgreesWithDirectSolveAcrossEveryRegime) {
   Engine engine(EngineOptions{});
   util::Xoshiro256 rng(20260730);
   for (std::size_t i = 0; i < 40; ++i) {
     const gen::Instance inst = test::mixed_regime_instance(rng, i);
     const SolveResponse resp = engine.submit(SolveRequest::of(inst.family));
-    const core::SolveResult legacy = core::solve(inst.family);
-    EXPECT_EQ(resp.strategy, core::strategy_id(legacy.method)) << i;
-    EXPECT_EQ(resp.wavelengths, legacy.wavelengths) << i;
-    EXPECT_EQ(resp.load, legacy.load) << i;
-    EXPECT_EQ(resp.optimal, legacy.optimal) << i;
+    const SolveResponse direct = test::solve_builtin(inst.family);
+    EXPECT_EQ(resp.strategy, direct.strategy) << i;
+    EXPECT_EQ(resp.wavelengths, direct.wavelengths) << i;
+    EXPECT_EQ(resp.load, direct.load) << i;
+    EXPECT_EQ(resp.optimal, direct.optimal) << i;
   }
 }
 
@@ -183,10 +183,10 @@ TEST(EngineSubmitTest, GeneratedRequestMatchesTheWorkloadFactory) {
 
   util::Xoshiro256 rng(7);
   const gen::Instance manual = gen::workload_instance("c5", {}, rng);
-  const core::SolveResult legacy = core::solve(manual.family);
-  EXPECT_EQ(via_engine.wavelengths, legacy.wavelengths);
-  EXPECT_EQ(via_engine.load, legacy.load);
-  EXPECT_EQ(via_engine.strategy, core::strategy_id(legacy.method));
+  const SolveResponse direct = test::solve_builtin(manual.family);
+  EXPECT_EQ(via_engine.wavelengths, direct.wavelengths);
+  EXPECT_EQ(via_engine.load, direct.load);
+  EXPECT_EQ(via_engine.strategy, direct.strategy);
 }
 
 TEST(EngineSubmitTest, FileRequestRoundTripsAnInstance) {
@@ -337,7 +337,7 @@ TEST(EngineStrategyTest, BatchStatsAreRegistrySized) {
   EXPECT_EQ(report.strategy_names[id], "rainbow");
   EXPECT_EQ(report.count(id), 6u);
   EXPECT_EQ(report.count("rainbow"), 6u);
-  EXPECT_EQ(report.count(core::Method::kTheorem1), 0u);
+  EXPECT_EQ(report.count(core::kStrategyTheorem1), 0u);
   EXPECT_EQ(report.failure_count, 0u);
   // The custom strategy shows up in the rendered histogram and rows.
   const std::string histogram = report.histogram_table().to_csv();

@@ -92,16 +92,20 @@ TEST(CsvStreamSinkTest, ByteIdenticalToLegacyCsvAcrossThreadsAndSeeds) {
   }
 }
 
-TEST(CsvStreamSinkTest, LegacyStreamCsvOptionProducesTheSameBytes) {
+TEST(CsvStreamSinkTest, FileBackedSinkProducesTheSameBytes) {
   const std::string path = testing::TempDir() + "/wdag_api_stream.csv";
   EngineOptions options;
   options.threads = 4;
   Engine engine(options);
 
-  BatchRequest via_option = request_for(4242);
-  via_option.options.stream_csv = path;
-  via_option.options.keep_entries = false;
-  (void)engine.run_batch(via_option);
+  BatchRequest streamed = request_for(4242);
+  streamed.options.keep_entries = false;
+  {
+    std::ofstream out(path);
+    CsvStreamSink sink(out);
+    streamed.sinks = {&sink};
+    (void)engine.run_batch(streamed);
+  }
 
   EXPECT_EQ(slurp(path), legacy_csv(4242));
   std::remove(path.c_str());

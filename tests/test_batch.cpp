@@ -20,6 +20,9 @@
 #include "conflict/coloring.hpp"
 #include "conflict/conflict_graph.hpp"
 #include "conflict/exact_color.hpp"
+#include "api/engine.hpp"
+#include "api/request.hpp"
+#include "api/sink.hpp"
 #include "core/batch.hpp"
 #include "gen/family_gen.hpp"
 #include "gen/instance.hpp"
@@ -35,7 +38,7 @@ namespace {
 using namespace wdag;
 using core::BatchOptions;
 using core::BatchReport;
-using core::Method;
+using core::StrategyId;
 using core::SolveOptions;
 using gen::Instance;
 using util::Xoshiro256;
@@ -117,14 +120,15 @@ TEST(BatchCrossCheckTest, RandomizedInstancesSatisfySolverInvariants) {
   EXPECT_GE(exact_checked, kInstances / 4);
 }
 
-TEST(BatchCrossCheckTest, DispatchHistogramSpansMultipleMethods) {
+TEST(BatchCrossCheckTest, DispatchHistogramSpansMultipleStrategies) {
   const std::vector<Instance> workload = build_workload(120, 99);
   const std::vector<paths::DipathFamily> families = families_of(workload);
   const BatchReport report = core::solve_batch(families);
   std::size_t methods_hit = 0;
-  for (const Method m : {Method::kTheorem1, Method::kSplitMerge,
-                         Method::kDsatur, Method::kExact}) {
-    if (report.count(m) > 0) ++methods_hit;
+  for (const StrategyId id :
+       {core::kStrategyTheorem1, core::kStrategySplitMerge,
+        core::kStrategyDsatur, core::kStrategyExact}) {
+    if (report.count(id) > 0) ++methods_hit;
   }
   EXPECT_GE(methods_hit, 2u);
   EXPECT_EQ(report.failure_count, 0u);
@@ -167,9 +171,10 @@ TEST(BatchReportTest, AggregatesCountsAndPercentiles) {
   const BatchReport report = core::solve_batch(families);
 
   std::size_t total = report.failure_count;
-  for (const Method m : {Method::kTheorem1, Method::kSplitMerge,
-                         Method::kDsatur, Method::kExact}) {
-    total += report.count(m);
+  for (const StrategyId id :
+       {core::kStrategyTheorem1, core::kStrategySplitMerge,
+        core::kStrategyDsatur, core::kStrategyExact}) {
+    total += report.count(id);
   }
   EXPECT_EQ(total, report.entries.size());
   EXPECT_LE(report.latency.p50, report.latency.p90);
@@ -264,12 +269,25 @@ TEST(BatchStreamingTest, StreamedCsvMatchesInMemoryCsvAtAnyThreadCount) {
   const std::string want = reference.rows_table(false).to_csv();
 
   for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
-    BatchOptions streaming = in_memory;
-    streaming.threads = threads;
-    streaming.keep_entries = false;
-    streaming.stream_csv = path;
-    const BatchReport report = core::solve_generated_batch(
-        97, mixed_instance, SolveOptions{}, streaming);
+    api::EngineOptions engine_opts;
+    engine_opts.threads = threads;
+    api::Engine engine(engine_opts);
+
+    api::BatchRequest request;
+    request.generate = mixed_instance;
+    request.count = 97;
+    request.options = in_memory;
+    request.options.threads = 0;  // the engine's pool runs the batch
+    request.options.keep_entries = false;
+
+    BatchReport report;
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      ASSERT_TRUE(out.good()) << path;
+      api::CsvStreamSink sink(out);
+      request.sinks = {&sink};
+      report = engine.run_batch(request);
+    }
     EXPECT_EQ(slurp(path), want) << "threads=" << threads;
     EXPECT_TRUE(report.entries.empty());
     EXPECT_EQ(report.instance_count, 97u);
@@ -294,9 +312,10 @@ TEST(BatchStreamingTest, DroppedEntriesKeepAggregatesExact) {
   EXPECT_EQ(lean.optimal_count, full.optimal_count);
   EXPECT_EQ(lean.total_wavelengths, full.total_wavelengths);
   EXPECT_EQ(lean.total_load, full.total_load);
-  for (const Method m : {Method::kTheorem1, Method::kSplitMerge,
-                         Method::kDsatur, Method::kExact}) {
-    EXPECT_EQ(lean.count(m), full.count(m));
+  for (const StrategyId id :
+       {core::kStrategyTheorem1, core::kStrategySplitMerge,
+        core::kStrategyDsatur, core::kStrategyExact}) {
+    EXPECT_EQ(lean.count(id), full.count(id));
   }
 }
 

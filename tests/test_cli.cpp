@@ -74,6 +74,43 @@ TEST(CliTest, BareDoubleDashThrows) {
 TEST(CliTest, NegativeNumbers) {
   const auto cli = parse({"prog", "--n=-5"});
   EXPECT_EQ(cli.get_int("n", 0), -5);
+  const auto space = parse({"prog", "--p", "-0.5"});
+  EXPECT_DOUBLE_EQ(space.get_double("p", 0), -0.5);
+}
+
+// Regression: strtoll saturates on overflow and only reports it via errno,
+// so "9223372036854775808" used to parse silently as INT64_MAX.
+TEST(CliTest, IntOverflowThrows) {
+  const auto cli = parse({"prog", "--n=9223372036854775808"});
+  EXPECT_THROW((void)cli.get_int("n", 0), wdag::InvalidArgument);
+  const auto under = parse({"prog", "--n=-9223372036854775809"});
+  EXPECT_THROW((void)under.get_int("n", 0), wdag::InvalidArgument);
+}
+
+// Regression: strtod turns "1e999" into +inf with errno=ERANGE, and
+// accepts "inf"/"nan" outright; none of those are usable flag values.
+TEST(CliTest, DoubleOverflowAndNonFiniteThrow) {
+  for (const char* bad : {"--p=1e999", "--p=-1e999", "--p=inf", "--p=nan"}) {
+    const auto cli = parse({"prog", bad});
+    EXPECT_THROW((void)cli.get_double("p", 0), wdag::InvalidArgument)
+        << bad;
+  }
+  // Small-but-representable values must keep parsing.
+  const auto tiny = parse({"prog", "--p=1e-300"});
+  EXPECT_DOUBLE_EQ(tiny.get_double("p", 0), 1e-300);
+}
+
+// Regression: `--a=--b` silently stored "--b" as the value of --a, hiding
+// the typo'd flag; the space form `--a --b` already treats --a as boolean.
+TEST(CliTest, EqualsSyntaxRejectsSwallowedFlag) {
+  EXPECT_THROW(parse({"prog", "--out=--events"}), wdag::InvalidArgument);
+}
+
+TEST(CliTest, SpaceSyntaxDoesNotSwallowTheNextFlag) {
+  const auto cli = parse({"prog", "--out", "--events", "log.jsonl"});
+  EXPECT_TRUE(cli.has("out"));
+  EXPECT_EQ(cli.get("out", "x"), "");  // boolean, not "--events"
+  EXPECT_EQ(cli.get("events", ""), "log.jsonl");
 }
 
 }  // namespace

@@ -1,0 +1,233 @@
+// core::drive — the fault-tolerant shard driver behind `wdag drive`.
+//
+// These tests exercise the real subprocess path: they spawn the installed
+// wdag CLI (`shard run`) as worker children, so they need the binary's
+// path in WDAG_CLI_BIN (the CTest registration passes
+// $<TARGET_FILE:wdag_cli>). Without it the suite skips rather than fails:
+// the drive-vs-batch byte-identity is also covered end-to-end by the
+// drive_fault_injection CMake tests.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "wdag/wdag.hpp"
+
+namespace {
+
+using namespace wdag;
+
+const char* cli_bin() { return std::getenv("WDAG_CLI_BIN"); }
+
+ShardSpec drive_spec(std::size_t count = 24) {
+  ShardSpec spec;
+  spec.family = "random-upp";
+  spec.count = count;
+  spec.seed = 909;
+  return spec;
+}
+
+/// The unsharded reference bytes of `spec` (one in-process engine).
+std::string reference_csv(const ShardSpec& spec) {
+  Engine engine(EngineOptions{.threads = 2, .solve = {}});
+  std::ostringstream os;
+  CsvStreamSink sink(os);
+  BatchRequest request =
+      BatchRequest::generated(spec.family, spec.count, spec.params);
+  request.options.seed = spec.seed;
+  request.options.keep_entries = false;
+  request.sinks = {&sink};
+  (void)engine.run_batch(request);
+  return os.str();
+}
+
+/// A fresh scratch dir under the test tmpdir.
+std::string fresh_work_dir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "/wdag_drive_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+core::DriveOptions base_options(const std::string& work_dir) {
+  core::DriveOptions options;
+  options.wdag_binary = cli_bin();
+  options.work_dir = work_dir;
+  options.workers = 2;
+  options.backoff_seconds = 0.01;  // keep retry tests fast
+  return options;
+}
+
+TEST(DriveTest, MergedBytesMatchTheUnshardedRun) {
+  if (!cli_bin()) GTEST_SKIP() << "WDAG_CLI_BIN not set";
+  const ShardSpec spec = drive_spec();
+  const std::string want = reference_csv(spec);
+  for (const auto layout :
+       {core::ShardLayout::kContiguous, core::ShardLayout::kStriped}) {
+    const ShardPlan plan(spec, 3, layout);
+    std::ostringstream os;
+    const core::DriveReport report = core::drive(
+        plan, base_options(fresh_work_dir(
+                  std::string("ok_") + std::string(layout_name(layout)))),
+        os);
+    EXPECT_EQ(os.str(), want) << layout_name(layout);
+    ASSERT_EQ(report.shards.size(), 3u);
+    std::size_t rows = 0;
+    for (const auto& s : report.shards) rows += s.rows;
+    EXPECT_EQ(rows, spec.count);
+    EXPECT_EQ(report.retries, 0u);
+  }
+}
+
+TEST(DriveTest, InjectedFailureIsRetriedAndStillByteIdentical) {
+  if (!cli_bin()) GTEST_SKIP() << "WDAG_CLI_BIN not set";
+  const ShardSpec spec = drive_spec();
+  const std::string want = reference_csv(spec);
+  const ShardPlan plan(spec, 4);
+
+  ::setenv("WDAG_DRIVE_FAIL_SHARD", "2", 1);
+  std::vector<core::DriveEvent> events;
+  std::ostringstream os;
+  core::DriveReport report;
+  try {
+    report = core::drive(plan, base_options(fresh_work_dir("retry")), os,
+                         [&](const core::DriveEvent& e) {
+                           events.push_back(e);
+                         });
+  } catch (...) {
+    ::unsetenv("WDAG_DRIVE_FAIL_SHARD");
+    throw;
+  }
+  ::unsetenv("WDAG_DRIVE_FAIL_SHARD");
+
+  EXPECT_EQ(os.str(), want);
+  EXPECT_GE(report.retries, 1u);
+  EXPECT_EQ(report.shards[2].retries, 1u);
+  EXPECT_GE(report.shards[2].attempts, 2u);
+
+  bool saw_retry = false, saw_exit = false, saw_done = false;
+  for (const auto& e : events) {
+    if (e.kind == "retry" && e.shard == 2) saw_retry = true;
+    if (e.kind == "exit" && e.shard == 2) {
+      saw_exit = true;
+      EXPECT_NE(e.exit_code, 0);
+    }
+    if (e.kind == "done") saw_done = true;
+    // Every event renders as one JSON line carrying its kind.
+    EXPECT_NE(e.to_json().find("\"ev\":\"" + e.kind + "\""),
+              std::string::npos);
+  }
+  EXPECT_TRUE(saw_retry);
+  EXPECT_TRUE(saw_exit);
+  EXPECT_TRUE(saw_done);
+}
+
+TEST(DriveTest, ExhaustedRetriesFailTheDriveWithoutPartialOutput) {
+  if (!cli_bin()) GTEST_SKIP() << "WDAG_CLI_BIN not set";
+  const ShardSpec spec = drive_spec(8);
+  const ShardPlan plan(spec, 2);
+  core::DriveOptions options = base_options(fresh_work_dir("exhaust"));
+  options.max_retries = 0;  // first failure is fatal
+  // Shard 0 is the FIRST flushed shard of a contiguous plan: if the
+  // stream leaked anything before the failure it would show here.
+  ::setenv("WDAG_DRIVE_FAIL_SHARD", "0", 1);
+  std::ostringstream os;
+  EXPECT_THROW((void)core::drive(plan, options, os), wdag::InternalError);
+  ::unsetenv("WDAG_DRIVE_FAIL_SHARD");
+  EXPECT_TRUE(os.str().empty()) << "partial merge leaked: " << os.str();
+}
+
+TEST(DriveTest, StragglerIsSpeculatedAndOutputStaysByteIdentical) {
+  if (!cli_bin()) GTEST_SKIP() << "WDAG_CLI_BIN not set";
+  const ShardSpec spec = drive_spec();
+  const std::string want = reference_csv(spec);
+  const ShardPlan plan(spec, 4);
+  core::DriveOptions options = base_options(fresh_work_dir("spec"));
+  options.workers = 5;  // leave a slot free for the speculative attempt
+  options.speculate_factor = 3.0;
+  options.speculate_min_completed = 2;
+
+  ::setenv("WDAG_DRIVE_SLOW_SHARD", "1:1500", 1);
+  std::vector<core::DriveEvent> events;
+  std::ostringstream os;
+  core::DriveReport report;
+  try {
+    report = core::drive(plan, options, os, [&](const core::DriveEvent& e) {
+      events.push_back(e);
+    });
+  } catch (...) {
+    ::unsetenv("WDAG_DRIVE_SLOW_SHARD");
+    throw;
+  }
+  ::unsetenv("WDAG_DRIVE_SLOW_SHARD");
+
+  EXPECT_EQ(os.str(), want);
+  EXPECT_GE(report.speculations, 1u);
+  EXPECT_TRUE(report.shards[1].speculated);
+  bool saw_speculate = false;
+  for (const auto& e : events) {
+    if (e.kind == "speculate" && e.shard == 1) saw_speculate = true;
+  }
+  EXPECT_TRUE(saw_speculate);
+}
+
+TEST(DriveTest, TimeoutKillsAndRetries) {
+  if (!cli_bin()) GTEST_SKIP() << "WDAG_CLI_BIN not set";
+  const ShardSpec spec = drive_spec(12);
+  const std::string want = reference_csv(spec);
+  const ShardPlan plan(spec, 2);
+  core::DriveOptions options = base_options(fresh_work_dir("timeout"));
+  options.timeout_seconds = 0.5;
+  // Attempt 0 of shard 1 sleeps past the timeout; the retry runs clean
+  // (the hook is forwarded only to the first attempt).
+  ::setenv("WDAG_DRIVE_SLOW_SHARD", "1:5000", 1);
+  std::vector<core::DriveEvent> events;
+  std::ostringstream os;
+  core::DriveReport report;
+  try {
+    report = core::drive(plan, options, os, [&](const core::DriveEvent& e) {
+      events.push_back(e);
+    });
+  } catch (...) {
+    ::unsetenv("WDAG_DRIVE_SLOW_SHARD");
+    throw;
+  }
+  ::unsetenv("WDAG_DRIVE_SLOW_SHARD");
+
+  EXPECT_EQ(os.str(), want);
+  EXPECT_GE(report.shards[1].retries, 1u);
+  bool saw_timeout = false;
+  for (const auto& e : events) {
+    if (e.kind == "timeout" && e.shard == 1) saw_timeout = true;
+  }
+  EXPECT_TRUE(saw_timeout);
+}
+
+TEST(DriveTest, ValidatesItsOptions) {
+  const ShardPlan plan(drive_spec(), 2);
+  std::ostringstream os;
+  core::DriveOptions no_binary;
+  no_binary.work_dir = testing::TempDir();
+  EXPECT_THROW((void)core::drive(plan, no_binary, os),
+               wdag::InvalidArgument);
+  core::DriveOptions no_dir;
+  no_dir.wdag_binary = "/bin/true";
+  EXPECT_THROW((void)core::drive(plan, no_dir, os), wdag::InvalidArgument);
+}
+
+TEST(DriveReportTest, ProgressTableHasOneRowPerShard) {
+  core::DriveReport report;
+  report.shards = {{0, 1, 0, false, 0.5, 12}, {1, 3, 2, true, 1.5, 12}};
+  report.retries = 2;
+  report.speculations = 1;
+  const util::Table t = report.progress_table();
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("shard"), std::string::npos);
+}
+
+}  // namespace

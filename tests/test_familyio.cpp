@@ -73,4 +73,35 @@ TEST(FamilyIoTest, NumericVertices) {
   EXPECT_EQ(parsed.family.path(0).length(), 2u);
 }
 
+// Regression: an arc or path vertex beyond unsigned long used to escape
+// as a bare std::out_of_range from std::stoul instead of the line-numbered
+// InvalidArgument every other malformed input gets.
+TEST(FamilyIoTest, OversizedVertexIdGetsALineNumberedDiagnostic) {
+  const std::string text =
+      "arc 0 1\n"
+      "arc 1 18446744073709551616\n";  // ULONG_MAX + 1
+  try {
+    parse_instance_text(text);
+    FAIL() << "expected InvalidArgument";
+  } catch (const wdag::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+}
+
+TEST(FamilyIoTest, OversizedPathVertexGetsALineNumberedDiagnostic) {
+  const std::string text =
+      "arc 0 1\n"
+      "path 0 99999999999999999999\n";
+  try {
+    parse_instance_text(text);
+    FAIL() << "expected InvalidArgument";
+  } catch (const wdag::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+}
+
 }  // namespace

@@ -67,4 +67,31 @@ TEST(GraphIoTest, EmptyTextYieldsEmptyGraph) {
   EXPECT_EQ(g.num_arcs(), 0u);
 }
 
+// Regression: numeric ids beyond unsigned long used to escape as a bare
+// std::out_of_range from std::stoul with no hint of the offending line.
+TEST(GraphIoTest, OversizedVertexIdGetsALineNumberedDiagnostic) {
+  const std::string text = "0 1\n1 99999999999999999999999999\n";
+  try {
+    parse_edge_list(text);
+    FAIL() << "expected InvalidArgument";
+  } catch (const wdag::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+}
+
+// Ids that fit unsigned long but exceed the VertexId budget get the same
+// line-numbered treatment instead of a silent narrowing cast.
+TEST(GraphIoTest, TooLargeVertexIdGetsALineNumberedDiagnostic) {
+  try {
+    parse_edge_list("0 4294967295\n");
+    FAIL() << "expected InvalidArgument";
+  } catch (const wdag::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("too large"), std::string::npos) << what;
+  }
+}
+
 }  // namespace

@@ -13,6 +13,7 @@
 #include "gen/random_dag.hpp"
 #include "gen/upp_gen.hpp"
 #include "graph/graphio.hpp"
+#include "helpers.hpp"
 #include "graph/reachability.hpp"
 #include "paths/load.hpp"
 #include "paths/route.hpp"
@@ -73,8 +74,8 @@ TEST(IntegrationTest, SolverAgreesWithTheorem1OnEqualityRegime) {
   const auto g = wdag::gen::random_out_tree(rng, 40);
   const auto fam = wdag::gen::random_walk_family(rng, g, 60, 1, 7);
   const auto direct = wdag::core::color_equal_load(fam);
-  const auto dispatched = wdag::core::solve(fam);
-  EXPECT_EQ(dispatched.method, wdag::core::Method::kTheorem1);
+  const auto dispatched = wdag::test::solve_builtin(fam);
+  EXPECT_EQ(dispatched.strategy, wdag::core::kStrategyTheorem1);
   EXPECT_EQ(direct.wavelengths, dispatched.wavelengths);
   EXPECT_EQ(direct.load, dispatched.load);
 }
@@ -84,7 +85,7 @@ TEST(IntegrationTest, AllToAllOnUppCycleNetwork) {
   const auto skel = wdag::gen::upp_one_cycle_skeleton(
       wdag::gen::UppCycleParams{2, 1, 1, 1});
   const auto fam = wdag::gen::all_to_all_family(*skel.graph);
-  const auto res = wdag::core::solve(fam);
+  const auto res = wdag::test::solve_builtin(fam);
   EXPECT_TRUE(wdag::conflict::is_valid_assignment(fam, res.coloring));
   EXPECT_GE(res.wavelengths, res.load);
   EXPECT_LE(res.wavelengths, (4 * res.load + 2) / 3);
@@ -110,7 +111,7 @@ TEST(IntegrationTest, LargeLayeredStress) {
   const auto fam = wdag::gen::random_request_family(rng, g, 300);
   wdag::core::SolveOptions opt;
   opt.exact_threshold = 0;
-  const auto res = wdag::core::solve(fam, opt);
+  const auto res = wdag::test::solve_builtin(fam, opt);
   EXPECT_TRUE(wdag::conflict::is_valid_assignment(fam, res.coloring));
   EXPECT_GE(res.wavelengths, res.load);
 }

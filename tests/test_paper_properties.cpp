@@ -15,6 +15,7 @@
 #include "dag/internal_cycle.hpp"
 #include "gen/family_gen.hpp"
 #include "gen/paper_instances.hpp"
+#include "helpers.hpp"
 #include "gen/random_dag.hpp"
 #include "gen/upp_gen.hpp"
 #include "paths/load.hpp"
@@ -141,7 +142,7 @@ TEST(SolverConsistency, OptimalFlagNeverLies) {
     const auto g = wdag::gen::random_dag(rng, 14, 0.2);
     if (g.num_arcs() == 0) continue;
     const auto fam = wdag::gen::random_walk_family(rng, g, 12, 1, 4);
-    const auto res = wdag::core::solve(fam);
+    const auto res = wdag::test::solve_builtin(fam);
     const auto chi = chromatic_number(ConflictGraph(fam));
     ASSERT_TRUE(chi.proven);
     EXPECT_GE(res.wavelengths, chi.chromatic_number);

@@ -21,7 +21,7 @@ TEST(RwaTest, ChainRequests) {
   const std::vector<Request> reqs = {{0, 3}, {1, 4}, {2, 5}, {0, 5}};
   const auto res = solve_rwa(g, reqs, RoutePolicy::kUnique);
   ASSERT_EQ(res.routed.size(), 4u);
-  EXPECT_EQ(res.assignment.method, Method::kTheorem1);
+  EXPECT_EQ(res.assignment.strategy, kStrategyTheorem1);
   EXPECT_TRUE(res.assignment.optimal);
   // All four requests cross arc 2 -> 3: load 4, so 4 wavelengths.
   EXPECT_EQ(res.assignment.load, 4u);

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -345,6 +346,165 @@ TEST(ShardMergeErrorTest, RejectsTruncatedShardFiles) {
   EXPECT_THROW((void)parse_shard("index,method\n0,x\n", "plain-csv"),
                InvalidArgument);
   EXPECT_THROW((void)parse_shard("", "empty"), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Spec validation, striped layouts, and the JSON-lines pipeline
+// ---------------------------------------------------------------------------
+
+// Regression: a NaN/inf density canonicalized — and was emitted into
+// manifests — as invalid JSON; the hash now rejects it at the source.
+TEST(ShardSpecTest, RejectsNonFiniteParams) {
+  ShardSpec spec = test_spec();
+  spec.params.density = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)core::shard_request_hash(spec), InvalidArgument);
+  EXPECT_THROW(ShardPlan(spec, 2), InvalidArgument);
+  spec.params.density = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(ShardPlan(spec, 2), InvalidArgument);
+}
+
+TEST(ShardPlanTest, StripedPlanDiffersFromContiguousAndRoundTrips) {
+  const ShardPlan contiguous(test_spec(), 3);
+  const ShardPlan striped(test_spec(), 3, core::ShardLayout::kStriped);
+  EXPECT_EQ(contiguous.request_hash(), striped.request_hash());
+  EXPECT_NE(contiguous.id(), striped.id()) << "layout must change the plan id";
+
+  const ShardManifest m = striped.manifest(1);
+  EXPECT_EQ(m.layout, core::ShardLayout::kStriped);
+  EXPECT_EQ(m.range.begin, 1u);
+  EXPECT_EQ(m.range.end, kCount);
+  EXPECT_EQ(m.stride(), 3u);
+  EXPECT_EQ(m.instance_count(), kCount / 3);
+
+  const ShardManifest back = core::parse_manifest(core::manifest_to_json(m));
+  EXPECT_EQ(back.layout, core::ShardLayout::kStriped);
+  EXPECT_EQ(back.plan_id, striped.id());
+  EXPECT_EQ(back.range, m.range);
+}
+
+TEST(ShardMergeTest, StripedMergedBytesMatchUnsharded) {
+  const std::string reference = unsharded_csv(2);
+  for (const std::size_t shards : {2u, 5u}) {
+    const ShardPlan plan(test_spec(), shards, core::ShardLayout::kStriped);
+    std::vector<core::ShardCsv> parts;
+    for (std::size_t i = 0; i < shards; ++i) {
+      EngineOptions options;
+      options.threads = (i % 2 == 0) ? 1 : 4;
+      Engine engine(options);
+      std::ostringstream os;
+      os << core::shard_csv_header(plan.manifest(i));
+      CsvStreamSink sink(os);
+      BatchRequest request = BatchRequest::generated(
+          plan.spec().family, plan.spec().count, plan.spec().params);
+      request.options.seed = plan.spec().seed;
+      request.options.chunk = 4;
+      request.options.keep_entries = false;
+      request.sinks = {&sink};
+      (void)engine.run_shard(request, i, shards,
+                             core::ShardLayout::kStriped);
+      parts.push_back(parse_shard(os.str(), "striped" + std::to_string(i)));
+    }
+    EXPECT_EQ(core::merge_shard_csv(parts), reference)
+        << "striped shards=" << shards;
+  }
+}
+
+TEST(ShardMergeErrorTest, RejectsMixedLayouts) {
+  const ShardPlan contiguous(test_spec(), 2);
+  const ShardPlan striped(test_spec(), 2, core::ShardLayout::kStriped);
+  // Same request, different layouts => different plan ids: the plan-id
+  // check refuses before any row surgery happens.
+  std::string striped_text = core::shard_csv_header(striped.manifest(1));
+  striped_text += "index,method,paths,load,wavelengths,optimal\n";
+  for (std::size_t i = 1; i < kCount; i += 2) {
+    striped_text += std::to_string(i) + ",theorem1,1,1,1,1\n";
+  }
+  expect_merge_error(
+      {parse_shard(fabricated_shard_text(contiguous.manifest(0)), "c0"),
+       parse_shard(striped_text, "s1")},
+      "different plans");
+}
+
+/// A well-formed shard JSON-lines text for `manifest`: manifest line, one
+/// synthetic row object per covered index, one aggregate report line.
+std::string fabricated_shard_json(const ShardManifest& manifest) {
+  std::string text = core::manifest_to_json(manifest) + "\n";
+  for (std::size_t i = manifest.range.begin; i < manifest.range.end;
+       i += manifest.stride()) {
+    text += "{\"index\":" + std::to_string(i) + ",\"wavelengths\":1}\n";
+  }
+  text += "{\"instances\":" + std::to_string(manifest.instance_count()) +
+          "}\n";
+  return text;
+}
+
+core::ShardJson parse_shard_json(const std::string& text,
+                                 const std::string& name) {
+  std::istringstream in(text);
+  return core::read_shard_json(in, name);
+}
+
+TEST(ShardJsonTest, ReadValidatesAndDropsTheAggregateLine) {
+  const ShardPlan plan(test_spec(), 3);
+  const ShardManifest m = plan.manifest(1);
+  const core::ShardJson shard =
+      parse_shard_json(fabricated_shard_json(m), "j1");
+  EXPECT_EQ(shard.row_count, m.instance_count());
+  EXPECT_EQ(shard.rows.find("{\"instances\""), std::string::npos)
+      << "aggregate line leaked into the row bytes";
+  EXPECT_NE(shard.rows.find("{\"index\":" +
+                            std::to_string(m.range.begin) + ","),
+            std::string::npos);
+}
+
+TEST(ShardJsonTest, MergeReassemblesRowsInGlobalIndexOrder) {
+  const ShardPlan plan(test_spec(), 3, core::ShardLayout::kStriped);
+  std::vector<core::ShardJson> parts;
+  for (std::size_t i = 0; i < 3; ++i) {
+    parts.push_back(parse_shard_json(
+        fabricated_shard_json(plan.manifest(i)), "j" + std::to_string(i)));
+  }
+  const std::string merged = core::merge_shard_json(parts);
+  std::istringstream in(merged);
+  std::string line;
+  std::size_t expected = 0;
+  while (std::getline(in, line)) {
+    const std::string want = "{\"index\":" + std::to_string(expected) + ",";
+    EXPECT_EQ(line.substr(0, want.size()), want);
+    ++expected;
+  }
+  EXPECT_EQ(expected, kCount);
+}
+
+TEST(ShardJsonTest, RejectsTruncationAndMissingAggregate) {
+  const ShardPlan plan(test_spec(), 2);
+  const ShardManifest m = plan.manifest(0);
+  const std::string text = fabricated_shard_json(m);
+
+  // Drop the aggregate line: the reader calls that a truncation.
+  const std::size_t last_line =
+      text.rfind('\n', text.size() - 2) + 1;
+  EXPECT_THROW((void)parse_shard_json(text.substr(0, last_line), "no-agg"),
+               InvalidArgument);
+
+  // Replace the aggregate with one more row object: also rejected.
+  std::string extra_row = text.substr(0, last_line);
+  extra_row += "{\"index\":999,\"wavelengths\":1}\n";
+  EXPECT_THROW((void)parse_shard_json(extra_row, "extra-row"),
+               InvalidArgument);
+
+  // Trailing bytes after the aggregate are rejected too.
+  EXPECT_THROW((void)parse_shard_json(text + "garbage\n", "tail"),
+               InvalidArgument);
+
+  // A row carrying the wrong global index is named by position.
+  std::string wrong = core::manifest_to_json(m) + "\n";
+  for (std::size_t i = 0; i < m.range.size(); ++i) {
+    wrong += "{\"index\":" + std::to_string(i + 1) + ",\"w\":1}\n";
+  }
+  wrong += "{\"instances\":1}\n";
+  EXPECT_THROW((void)parse_shard_json(wrong, "wrong-index"),
+               InvalidArgument);
 }
 
 TEST(ShardMergeErrorTest, RejectsRowsWithTheWrongIndices) {

@@ -1,4 +1,5 @@
-// Tests for the top-level dispatching solver.
+// Tests for the canonical solve pipeline (api::solve_with over the
+// built-in registry) — dispatch, forcing, certification, domain checks.
 
 #include <gtest/gtest.h>
 
@@ -22,8 +23,8 @@ TEST(SolverTest, DispatchesToTheorem1OnCleanDags) {
   DipathFamily fam(g);
   fam.add(Dipath({0, 1, 2}));
   fam.add(Dipath({1, 2, 3}));
-  const auto res = solve(fam);
-  EXPECT_EQ(res.method, Method::kTheorem1);
+  const auto res = wdag::test::solve_builtin(fam);
+  EXPECT_EQ(res.strategy, kStrategyTheorem1);
   EXPECT_TRUE(res.optimal);
   EXPECT_EQ(res.wavelengths, res.load);
   EXPECT_TRUE(res.report.wavelengths_equal_load());
@@ -31,10 +32,11 @@ TEST(SolverTest, DispatchesToTheorem1OnCleanDags) {
 
 TEST(SolverTest, DispatchesToSplitMergeOnUppCycles) {
   const auto inst = wdag::gen::theorem2_instance(3);
-  const auto res = solve(inst.family);
-  // Exact certification may upgrade the method; either way the coloring is
-  // valid and uses at most ceil(4/3 * pi) colors.
-  EXPECT_TRUE(res.method == Method::kSplitMerge || res.method == Method::kExact);
+  const auto res = wdag::test::solve_builtin(inst.family);
+  // Exact certification may upgrade the strategy; either way the coloring
+  // is valid and uses at most ceil(4/3 * pi) colors.
+  EXPECT_TRUE(res.strategy == kStrategySplitMerge ||
+              res.strategy == kStrategyExact);
   EXPECT_TRUE(wdag::conflict::is_valid_assignment(inst.family, res.coloring));
   EXPECT_EQ(res.wavelengths, 3u);  // chi(C7) == 3, and 3 == ceil(4/3 * 2)
 }
@@ -43,69 +45,67 @@ TEST(SolverTest, DispatchesToDsaturOnGeneralDags) {
   const auto inst = wdag::gen::figure3_instance();
   SolveOptions opt;
   opt.exact_threshold = 0;  // keep the heuristic result
-  const auto res = solve(inst.family, opt);
-  EXPECT_EQ(res.method, Method::kDsatur);
+  const auto res = wdag::test::solve_builtin(inst.family, opt);
+  EXPECT_EQ(res.strategy, kStrategyDsatur);
   EXPECT_TRUE(wdag::conflict::is_valid_assignment(inst.family, res.coloring));
 }
 
 TEST(SolverTest, ExactCertificationUpgradesSmallInstances) {
   const auto inst = wdag::gen::figure3_instance();
-  const auto res = solve(inst.family);  // default options allow exact
+  const auto res =
+      wdag::test::solve_builtin(inst.family);  // default options allow exact
   EXPECT_EQ(res.wavelengths, 3u);
   EXPECT_TRUE(res.optimal);
-  EXPECT_EQ(res.method, Method::kExact);
+  EXPECT_EQ(res.strategy, kStrategyExact);
 }
 
-TEST(SolverTest, ForcedMethodIsRespected) {
+TEST(SolverTest, ForcedStrategyIsRespected) {
   const auto g = wdag::test::chain(5);
   DipathFamily fam(g);
   fam.add(Dipath({0, 1}));
   fam.add(Dipath({1, 2}));
-  for (const Method m :
-       {Method::kTheorem1, Method::kSplitMerge, Method::kDsatur, Method::kExact}) {
-    SolveOptions opt;
-    opt.force = m;
-    const auto res = solve(fam, opt);
-    EXPECT_EQ(res.wavelengths, 2u) << method_name(m);
+  for (const StrategyId id : {kStrategyTheorem1, kStrategySplitMerge,
+                              kStrategyDsatur, kStrategyExact}) {
+    const auto res = wdag::test::solve_builtin(fam, {}, id);
+    EXPECT_EQ(res.wavelengths, 2u) << builtin_strategy_name(id);
     EXPECT_TRUE(wdag::conflict::is_valid_assignment(fam, res.coloring));
   }
 }
 
 TEST(SolverTest, ForcedTheorem1StillChecksDomain) {
   const auto inst = wdag::gen::figure3_instance();
-  SolveOptions opt;
-  opt.force = Method::kTheorem1;
-  EXPECT_THROW(solve(inst.family, opt), wdag::DomainError);
+  EXPECT_THROW(wdag::test::solve_builtin(inst.family, {}, kStrategyTheorem1),
+               wdag::DomainError);
 }
 
 TEST(SolverTest, RejectsNonDagHosts) {
   const auto g = wdag::test::directed_triangle();
   DipathFamily fam(g);
   fam.add(Dipath({0}));
-  EXPECT_THROW(solve(fam), wdag::DomainError);
+  EXPECT_THROW(wdag::test::solve_builtin(fam), wdag::DomainError);
 }
 
 TEST(SolverTest, Figure1NeedsKColors) {
   // The unbounded-ratio example: pi == 2 but w == k.
   for (std::size_t k : {3u, 5u, 7u}) {
     const auto inst = wdag::gen::figure1_pathological(k);
-    const auto res = solve(inst.family);
+    const auto res = wdag::test::solve_builtin(inst.family);
     EXPECT_EQ(res.load, 2u);
     EXPECT_EQ(res.wavelengths, k);
     EXPECT_TRUE(res.optimal);  // exact certification fires (small instance)
   }
 }
 
-TEST(SolverTest, MethodNames) {
-  EXPECT_EQ(method_name(Method::kTheorem1), "theorem1");
-  EXPECT_EQ(method_name(Method::kSplitMerge), "split-merge");
-  EXPECT_EQ(method_name(Method::kDsatur), "dsatur");
-  EXPECT_EQ(method_name(Method::kExact), "exact");
+TEST(SolverTest, BuiltinStrategyNames) {
+  EXPECT_EQ(builtin_strategy_name(kStrategyTheorem1), "theorem1");
+  EXPECT_EQ(builtin_strategy_name(kStrategySplitMerge), "split-merge");
+  EXPECT_EQ(builtin_strategy_name(kStrategyDsatur), "dsatur");
+  EXPECT_EQ(builtin_strategy_name(kStrategyExact), "exact");
 }
 
 TEST(SolverTest, ReportIsPopulated) {
   const auto inst = wdag::gen::havet_instance();
-  const auto res = solve(inst.family);
+  const auto res = wdag::test::solve_builtin(inst.family);
   EXPECT_TRUE(res.report.is_dag);
   EXPECT_TRUE(res.report.is_upp);
   EXPECT_EQ(res.report.internal_cycles, 1u);
@@ -117,7 +117,7 @@ TEST(SolverTest, RandomDagsAlwaysGetValidColorings) {
     const auto g = wdag::gen::random_dag(rng, 20, 0.15);
     if (g.num_arcs() == 0) continue;
     const auto fam = wdag::gen::random_walk_family(rng, g, 18, 1, 5);
-    const auto res = solve(fam);
+    const auto res = wdag::test::solve_builtin(fam);
     EXPECT_TRUE(wdag::conflict::is_valid_assignment(fam, res.coloring));
     EXPECT_GE(res.wavelengths, res.load);
   }

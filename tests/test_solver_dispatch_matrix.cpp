@@ -1,7 +1,7 @@
 // Parameterized matrix locking the solver's dispatch contract
-// (src/core/solver.hpp): every structural regime of every generator family
-// must land on its documented Method, and all four Method outcomes must be
-// reachable.
+// (api::solve_with over the built-in registry): every structural regime of
+// every generator family must land on its documented strategy, and all
+// four built-in outcomes must be reachable.
 //
 //   no internal cycle        -> kTheorem1 (always optimal)
 //   UPP + internal cycles    -> kSplitMerge (exact certification disabled)
@@ -28,17 +28,22 @@
 namespace {
 
 using namespace wdag;
-using core::Method;
+using core::StrategyId;
 using core::SolveOptions;
+using core::kStrategyTheorem1;
+using core::kStrategySplitMerge;
+using core::kStrategyDsatur;
+using core::kStrategyExact;
+using wdag::test::solve_builtin;
 using gen::Instance;
 
-/// One cell of the dispatch matrix: a generator family plus the method the
-/// solver must pick for it (under the given exact-certification cutoff).
+/// One cell of the dispatch matrix: a generator family plus the strategy
+/// the solver must pick for it (under the given certification cutoff).
 struct DispatchCase {
   std::string name;                       ///< test-name suffix
   std::function<Instance()> make;         ///< builds the instance
   std::size_t exact_threshold;            ///< SolveOptions::exact_threshold
-  Method expected;                        ///< required dispatch outcome
+  StrategyId expected;                    ///< required dispatch outcome
   bool expect_optimal;                    ///< must the result be certified?
 };
 
@@ -85,15 +90,15 @@ Instance grid_instance() {
 class SolverDispatchMatrixTest
     : public ::testing::TestWithParam<DispatchCase> {};
 
-TEST_P(SolverDispatchMatrixTest, DispatchesToDocumentedMethod) {
+TEST_P(SolverDispatchMatrixTest, DispatchesToDocumentedStrategy) {
   const DispatchCase& c = GetParam();
   const Instance inst = c.make();
   SolveOptions options;
   options.exact_threshold = c.exact_threshold;
-  const auto result = core::solve(inst.family, options);
+  const auto result = solve_builtin(inst.family, options);
 
-  EXPECT_EQ(result.method, c.expected)
-      << "got " << core::method_name(result.method);
+  EXPECT_EQ(result.strategy, c.expected)
+      << "got " << result.strategy_name;
   if (c.expect_optimal) {
     EXPECT_TRUE(result.optimal);
   }
@@ -101,7 +106,7 @@ TEST_P(SolverDispatchMatrixTest, DispatchesToDocumentedMethod) {
   EXPECT_TRUE(conflict::is_valid_assignment(inst.family, result.coloring));
   EXPECT_GE(result.wavelengths, result.load);
   // Theorem 1 dispatch additionally certifies equality with the load.
-  if (result.method == Method::kTheorem1) {
+  if (result.strategy == kStrategyTheorem1) {
     EXPECT_EQ(result.wavelengths, result.load);
     EXPECT_TRUE(result.report.wavelengths_equal_load());
   }
@@ -113,101 +118,96 @@ INSTANTIATE_TEST_SUITE_P(
         // --- kTheorem1: every internal-cycle-free family, regardless of
         //     the certification cutoff (the structural proof wins).
         DispatchCase{"Theorem1_RandomOutTree", tree_instance, 0,
-                     Method::kTheorem1, true},
+                     kStrategyTheorem1, true},
         DispatchCase{"Theorem1_RepairedRandomDag", repaired_dag_instance, 0,
-                     Method::kTheorem1, true},
+                     kStrategyTheorem1, true},
         DispatchCase{"Theorem1_SpineWithLeaves", spine_instance, 48,
-                     Method::kTheorem1, true},
+                     kStrategyTheorem1, true},
         // --- kSplitMerge: UPP hosts with internal cycles, certification off.
         DispatchCase{"SplitMerge_Theorem2Gadget",
                      [] { return gen::theorem2_instance(3); }, 0,
-                     Method::kSplitMerge, false},
+                     kStrategySplitMerge, false},
         DispatchCase{"SplitMerge_RandomUppOneCycle", upp_cycle_instance, 0,
-                     Method::kSplitMerge, false},
+                     kStrategySplitMerge, false},
         DispatchCase{"SplitMerge_HavetWagnerGraph",
                      [] { return gen::havet_instance(); }, 0,
-                     Method::kSplitMerge, false},
+                     kStrategySplitMerge, false},
         // --- kDsatur: general (non-UPP) hosts with internal cycles,
         //     certification off.
         DispatchCase{"Dsatur_Figure3", [] { return gen::figure3_instance(); },
-                     0, Method::kDsatur, false},
-        DispatchCase{"Dsatur_GridRequests", grid_instance, 0, Method::kDsatur,
+                     0, kStrategyDsatur, false},
+        DispatchCase{"Dsatur_GridRequests", grid_instance, 0, kStrategyDsatur,
                      false},
         DispatchCase{"Dsatur_Figure1Pathological",
                      [] { return gen::figure1_pathological(6); }, 0,
-                     Method::kDsatur, false},
+                     kStrategyDsatur, false},
         // --- kExact: small conflict graphs upgrade under default options.
         DispatchCase{"Exact_Figure3Certified",
                      [] { return gen::figure3_instance(); }, 48,
-                     Method::kExact, true},
+                     kStrategyExact, true},
         DispatchCase{"Exact_Theorem2Certified",
                      [] { return gen::theorem2_instance(2); }, 48,
-                     Method::kExact, true},
+                     kStrategyExact, true},
         DispatchCase{"Exact_Figure1Certified",
                      [] { return gen::figure1_pathological(5); }, 48,
-                     Method::kExact, true}),
+                     kStrategyExact, true}),
     [](const ::testing::TestParamInfo<DispatchCase>& info) {
       return info.param.name;
     });
 
-// Forcing a method bypasses dispatch for every family where the method's
-// structural preconditions hold.
-class SolverForcedMethodTest : public ::testing::TestWithParam<Method> {};
+// Forcing a strategy bypasses dispatch for every family where the
+// strategy's structural preconditions hold.
+class SolverForcedStrategyTest : public ::testing::TestWithParam<StrategyId> {
+};
 
-TEST_P(SolverForcedMethodTest, ForcedMethodProducesValidColorings) {
-  const Method forced = GetParam();
+TEST_P(SolverForcedStrategyTest, ForcedStrategyProducesValidColorings) {
+  const StrategyId forced = GetParam();
   util::Xoshiro256 rng(29);
   Instance inst = Instance::over(gen::random_out_tree(rng, 16));
   inst.family = gen::random_request_family(rng, *inst.graph, 12);
-  SolveOptions options;
-  options.force = forced;
-  const auto result = core::solve(inst.family, options);
-  EXPECT_EQ(result.method, forced);
+  const auto result = solve_builtin(inst.family, {}, forced);
+  EXPECT_EQ(result.strategy, forced);
   EXPECT_TRUE(conflict::is_valid_assignment(inst.family, result.coloring));
   EXPECT_GE(result.wavelengths, result.load);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllMethods, SolverForcedMethodTest,
-                         ::testing::Values(Method::kTheorem1,
-                                           Method::kSplitMerge,
-                                           Method::kDsatur, Method::kExact),
-                         [](const ::testing::TestParamInfo<Method>& info) {
+INSTANTIATE_TEST_SUITE_P(AllStrategies, SolverForcedStrategyTest,
+                         ::testing::Values(kStrategyTheorem1,
+                                           kStrategySplitMerge,
+                                           kStrategyDsatur, kStrategyExact),
+                         [](const ::testing::TestParamInfo<StrategyId>& info) {
                            // gtest param names must be alphanumeric, so the
                            // display names ("split-merge") are out.
-                           switch (info.param) {
-                             case Method::kTheorem1: return "Theorem1";
-                             case Method::kSplitMerge: return "SplitMerge";
-                             case Method::kDsatur: return "Dsatur";
-                             case Method::kExact: return "Exact";
-                           }
-                           return "Unknown";
+                           return std::string(
+                               info.param == kStrategyTheorem1 ? "Theorem1"
+                               : info.param == kStrategySplitMerge
+                                   ? "SplitMerge"
+                               : info.param == kStrategyDsatur ? "Dsatur"
+                                                               : "Exact");
                          });
 
 // Structural preconditions survive forcing: Theorem 1 refuses hosts with
 // internal cycles, split-merge refuses non-UPP hosts.
-TEST(SolverDispatchContractTest, ForcedStructuralMethodsCheckTheirDomain) {
-  SolveOptions force_t1;
-  force_t1.force = Method::kTheorem1;
-  EXPECT_THROW(core::solve(gen::figure3_instance().family, force_t1),
+TEST(SolverDispatchContractTest, ForcedStructuralStrategiesCheckTheirDomain) {
+  EXPECT_THROW(solve_builtin(gen::figure3_instance().family, {},
+                             kStrategyTheorem1),
                wdag::DomainError);
-
-  SolveOptions force_sm;
-  force_sm.force = Method::kSplitMerge;
-  EXPECT_THROW(core::solve(gen::figure3_instance().family, force_sm),
+  EXPECT_THROW(solve_builtin(gen::figure3_instance().family, {},
+                             kStrategySplitMerge),
                wdag::DomainError);
 }
 
 // The exact upgrade must never fire above the cutoff: a conflict graph
-// larger than exact_threshold keeps the heuristic method.
+// larger than exact_threshold keeps the heuristic strategy.
 TEST(SolverDispatchContractTest, ExactUpgradeRespectsThreshold) {
   const Instance inst = gen::figure1_pathological(12);  // 12-vertex K_12
   SolveOptions options;
   options.exact_threshold = 11;
-  const auto result = core::solve(inst.family, options);
-  EXPECT_EQ(result.method, Method::kDsatur);
+  const auto result = solve_builtin(inst.family, options);
+  EXPECT_EQ(result.strategy, kStrategyDsatur);
   options.exact_threshold = 12;
-  const auto upgraded = core::solve(inst.family, options);
-  EXPECT_EQ(upgraded.method, Method::kExact);
+  const auto upgraded = solve_builtin(inst.family, options);
+  EXPECT_EQ(upgraded.strategy, kStrategyExact);
   EXPECT_TRUE(upgraded.optimal);
 }
 

@@ -1,0 +1,93 @@
+// util::Subprocess — the child-process primitive under the shard driver:
+// spawn/wait round-trips, exit-code plumbing (including the 128+signal
+// convention for killed children), non-blocking poll, environment edits,
+// and spawn-failure diagnostics.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/subprocess.hpp"
+
+namespace {
+
+using wdag::util::Subprocess;
+using wdag::util::SubprocessOptions;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(SubprocessTest, WaitReturnsTheChildExitCode) {
+  auto ok = Subprocess::spawn({"/bin/sh", "-c", "exit 0"});
+  EXPECT_EQ(ok.wait(), 0);
+  auto fail = Subprocess::spawn({"/bin/sh", "-c", "exit 7"});
+  EXPECT_EQ(fail.wait(), 7);
+}
+
+TEST(SubprocessTest, PollIsNonBlockingAndIdempotentAfterExit) {
+  auto child = Subprocess::spawn({"/bin/sh", "-c", "sleep 0.2"});
+  // Immediately after spawn the child is almost certainly still alive;
+  // either way poll() must not block for the full sleep.
+  const auto start = std::chrono::steady_clock::now();
+  (void)child.poll();
+  const auto first_poll = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(first_poll, std::chrono::milliseconds(100));
+
+  while (!child.poll()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(*child.poll(), 0);  // cached after reap
+  EXPECT_EQ(child.wait(), 0);
+}
+
+TEST(SubprocessTest, KilledChildrenReport128PlusSignal) {
+  auto child = Subprocess::spawn({"/bin/sh", "-c", "sleep 30"});
+  child.kill();
+  EXPECT_EQ(child.wait(), 128 + SIGKILL);
+  child.kill();  // safe after exit
+  EXPECT_EQ(child.wait(), 128 + SIGKILL);
+}
+
+TEST(SubprocessTest, EnvEditsReachTheChild) {
+  const std::string path = testing::TempDir() + "/wdag_subproc_env.txt";
+  SubprocessOptions options;
+  options.env = {{"WDAG_TEST_SET", "alpha"}};
+  options.unset_env = {"WDAG_TEST_UNSET"};
+  ::setenv("WDAG_TEST_UNSET", "should-vanish", 1);
+  ::setenv("WDAG_TEST_INHERIT", "kept", 1);
+  auto child = Subprocess::spawn(
+      {"/bin/sh", "-c",
+       "printf '%s|%s|%s' \"$WDAG_TEST_SET\" \"$WDAG_TEST_UNSET\" "
+       "\"$WDAG_TEST_INHERIT\" > " + path},
+      options);
+  EXPECT_EQ(child.wait(), 0);
+  EXPECT_EQ(slurp(path), "alpha||kept");
+  ::unsetenv("WDAG_TEST_UNSET");
+  ::unsetenv("WDAG_TEST_INHERIT");
+}
+
+TEST(SubprocessTest, SpawnFailureThrows) {
+  EXPECT_THROW(
+      (void)Subprocess::spawn({"/nonexistent/wdag-no-such-binary"}),
+      wdag::InternalError);
+  EXPECT_THROW((void)Subprocess::spawn({}), wdag::InvalidArgument);
+}
+
+TEST(SubprocessTest, MoveTransfersOwnership) {
+  auto child = Subprocess::spawn({"/bin/sh", "-c", "exit 3"});
+  Subprocess moved = std::move(child);
+  EXPECT_EQ(moved.wait(), 3);
+}
+
+}  // namespace

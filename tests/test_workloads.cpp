@@ -7,6 +7,7 @@
 #include "core/solver.hpp"
 #include "dag/classify.hpp"
 #include "gen/workloads.hpp"
+#include "helpers.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -25,7 +26,7 @@ TEST(WorkloadsTest, EveryNamedFamilyBuildsASolvableInstance) {
     ASSERT_NE(inst.graph, nullptr) << name;
     EXPECT_GT(inst.graph->num_vertices(), 0u) << name;
     // Every family must produce an instance the dispatcher accepts.
-    const auto result = core::solve(inst.family);
+    const auto result = test::solve_builtin(inst.family);
     EXPECT_TRUE(conflict::is_valid_assignment(inst.family, result.coloring))
         << name;
     EXPECT_GE(result.wavelengths, result.load) << name;
