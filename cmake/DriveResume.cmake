@@ -1,0 +1,146 @@
+# Drive crash-resume check, CLI level: a `wdag drive` whose DRIVER is
+# SIGKILLed mid-run (WDAG_DRIVE_KILL_DRIVER_AFTER) must leave a durable
+# journal plus atomically committed shard outputs behind, and a second
+# run with `--resume` must skip the journaled shards (event-log proof)
+# and still produce bytes identical to the equivalent single-process
+# `batch --stream-csv` run. A third `--resume` run over the finished
+# work dir must skip everything and append (not truncate) the shared
+# event log. Registered as one ctest entry per (K, T) cell of the
+# K in {2,5} x T in {1,4} matrix (see the top-level CMakeLists.txt).
+#
+# Invoked as:
+#   cmake -DWDAG_CLI=<path> -DWDAG_WORK_DIR=<dir> -DWDAG_SHARDS=K
+#         -DWDAG_THREADS=T -P DriveResume.cmake
+
+foreach(var WDAG_CLI WDAG_WORK_DIR WDAG_SHARDS WDAG_THREADS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "drive-resume: ${var} must be defined")
+  endif()
+endforeach()
+
+set(gen random-upp)
+set(count 120)
+set(seed 3131)
+
+file(REMOVE_RECURSE "${WDAG_WORK_DIR}")
+file(MAKE_DIRECTORY "${WDAG_WORK_DIR}")
+
+function(run_or_die)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc ERROR_VARIABLE err
+                  OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "drive-resume: '${ARGN}' failed (${rc}):\n${err}")
+  endif()
+endfunction()
+
+# The unsharded reference bytes.
+run_or_die("${WDAG_CLI}" batch --gen ${gen} --count ${count} --seed ${seed}
+           --threads ${WDAG_THREADS} --stream-csv "${WDAG_WORK_DIR}/ref.csv")
+
+# Phase 1 — the crash: the driver SIGKILLs itself after committing half
+# the shards (rounded up, so at least one is journaled and, with K >= 2,
+# at least one is not). workers=1 serializes completions so the count is
+# deterministic.
+math(EXPR kill_after "(${WDAG_SHARDS} + 1) / 2")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "WDAG_DRIVE_KILL_DRIVER_AFTER=${kill_after}"
+          "${WDAG_CLI}" drive --gen ${gen} --count ${count} --seed ${seed}
+          --shards ${WDAG_SHARDS} --threads ${WDAG_THREADS}
+          --workers 1 --backoff 0.05
+          --work-dir "${WDAG_WORK_DIR}/scratch"
+          --events "${WDAG_WORK_DIR}/ev-crash.jsonl"
+          --out "${WDAG_WORK_DIR}/crash.csv"
+  RESULT_VARIABLE crash_rc OUTPUT_QUIET ERROR_QUIET)
+if(crash_rc EQUAL 0)
+  message(FATAL_ERROR
+    "drive-resume: the SIGKILLed driver reported success "
+    "(shards=${WDAG_SHARDS}, threads=${WDAG_THREADS})")
+endif()
+if(NOT EXISTS "${WDAG_WORK_DIR}/scratch/drive.journal")
+  message(FATAL_ERROR
+    "drive-resume: the killed drive left no journal behind "
+    "(shards=${WDAG_SHARDS}, threads=${WDAG_THREADS})")
+endif()
+file(READ "${WDAG_WORK_DIR}/ev-crash.jsonl" crash_events)
+string(FIND "${crash_events}" "\"ev\":\"complete\"" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR
+    "drive-resume: no shard completed before the injected driver kill:\n"
+    "${crash_events}")
+endif()
+
+# Phase 2 — the resume: journaled shards must be revived (a "resume"
+# event each), none of them re-dispatched, and the merged bytes must
+# match the unsharded reference.
+run_or_die("${WDAG_CLI}" drive --gen ${gen} --count ${count} --seed ${seed}
+           --shards ${WDAG_SHARDS} --threads ${WDAG_THREADS}
+           --workers 2 --backoff 0.05 --resume --keep-work
+           --work-dir "${WDAG_WORK_DIR}/scratch"
+           --events "${WDAG_WORK_DIR}/ev-resume.jsonl"
+           --out "${WDAG_WORK_DIR}/resume.csv")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WDAG_WORK_DIR}/resume.csv" "${WDAG_WORK_DIR}/ref.csv"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "drive-resume: resumed output differs from the unsharded --stream-csv "
+    "bytes (shards=${WDAG_SHARDS}, threads=${WDAG_THREADS})")
+endif()
+
+file(READ "${WDAG_WORK_DIR}/ev-resume.jsonl" resume_events)
+string(REGEX MATCH "\"ev\":\"resume\",\"shard\":([0-9]+)" m
+       "${resume_events}")
+if(NOT m)
+  message(FATAL_ERROR
+    "drive-resume: no journaled shard was skipped on --resume "
+    "(shards=${WDAG_SHARDS}, threads=${WDAG_THREADS}):\n${resume_events}")
+endif()
+set(revived ${CMAKE_MATCH_1})
+string(FIND "${resume_events}" "\"ev\":\"dispatch\",\"shard\":${revived},"
+       redispatched)
+if(NOT redispatched EQUAL -1)
+  message(FATAL_ERROR
+    "drive-resume: shard ${revived} was journaled yet re-dispatched "
+    "(shards=${WDAG_SHARDS}, threads=${WDAG_THREADS}):\n${resume_events}")
+endif()
+
+# Phase 3 — resume over a finished work dir: every shard revives, bytes
+# still match, and the events file (same path as phase 2) grows by
+# appending rather than being truncated.
+run_or_die("${WDAG_CLI}" drive --gen ${gen} --count ${count} --seed ${seed}
+           --shards ${WDAG_SHARDS} --threads ${WDAG_THREADS}
+           --workers 2 --backoff 0.05 --resume --keep-work
+           --work-dir "${WDAG_WORK_DIR}/scratch"
+           --events "${WDAG_WORK_DIR}/ev-resume.jsonl"
+           --out "${WDAG_WORK_DIR}/resume2.csv")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WDAG_WORK_DIR}/resume2.csv" "${WDAG_WORK_DIR}/ref.csv"
+  RESULT_VARIABLE diff2)
+if(NOT diff2 EQUAL 0)
+  message(FATAL_ERROR
+    "drive-resume: second resume's output differs from the reference "
+    "(shards=${WDAG_SHARDS}, threads=${WDAG_THREADS})")
+endif()
+
+file(READ "${WDAG_WORK_DIR}/ev-resume.jsonl" appended_events)
+string(REGEX MATCHALL "\"ev\":\"done\"" dones "${appended_events}")
+list(LENGTH dones done_count)
+if(done_count LESS 2)
+  message(FATAL_ERROR
+    "drive-resume: --events was truncated instead of appended "
+    "(${done_count} done events):\n${appended_events}")
+endif()
+string(FIND "${appended_events}" "${WDAG_SHARDS} resumed" all_resumed)
+if(all_resumed EQUAL -1)
+  message(FATAL_ERROR
+    "drive-resume: second resume did not revive all ${WDAG_SHARDS} "
+    "shards:\n${appended_events}")
+endif()
+
+message(STATUS "drive-resume: byte-identical after driver kill + resume "
+               "at shards=${WDAG_SHARDS} threads=${WDAG_THREADS}")

@@ -65,7 +65,8 @@ int usage(std::ostream& os) {
         "  wdag drive --gen NAME --count N --shards K --work-dir DIR\n"
         "             [--layout L] [--workers W] [--max-retries R]\n"
         "             [--timeout SEC] [--backoff SEC] [--speculate F]\n"
-        "             [--events PATH] [--progress] [--out PATH|-]\n"
+        "             [--fail-fast N] [--resume] [--events PATH]\n"
+        "             [--progress] [--out PATH|-]\n"
         "\n"
         "generators (--gen):\n"
         "  random-upp   mixed random UPP workload: trees, one- and\n"
@@ -163,13 +164,24 @@ int usage(std::ostream& os) {
         "  --speculate F  re-execute a shard still running after F x the\n"
         "                 median completed-shard time; the first validated\n"
         "                 result wins (default 0 = off)\n"
+        "  --fail-fast N  abort after N consecutive failed attempts spanning\n"
+        "                 distinct shards — a systemic fault, not one bad\n"
+        "                 shard (default 8, 0 = off)\n"
+        "  --resume       reuse the validated shard outputs journaled in\n"
+        "                 --work-dir by a crashed or interrupted drive of\n"
+        "                 the SAME plan: each journaled output is\n"
+        "                 re-validated, verified shards are skipped, only\n"
+        "                 the remainder runs; merged bytes stay identical\n"
+        "                 to an uninterrupted run\n"
         "  --events PATH  append one JSON line per lifecycle event\n"
-        "                 (dispatch/exit/timeout/retry/speculate/complete)\n"
-        "                 to PATH ('-' = stderr)\n"
+        "                 (dispatch/exit/timeout/retry/speculate/complete/\n"
+        "                 resume/quarantine/interrupt/done) to PATH\n"
+        "                 ('-' = stderr); opened in append mode, flushed\n"
+        "                 per line\n"
         "  --progress     print the per-shard attempts/retries/timing table\n"
         "                 after the drive\n"
-        "  --keep-work    keep the manifests and per-attempt shard files in\n"
-        "                 --work-dir after a successful drive\n"
+        "  --keep-work    keep the manifests, committed shard files and the\n"
+        "                 journal in --work-dir after a successful drive\n"
         "  --wdag-bin P   worker binary to execute (default: this binary)\n"
         "\n"
         "environment:\n"
@@ -636,9 +648,7 @@ int cmd_shard_merge(const Cli& cli) {
     std::vector<wdag::core::ShardCsv> shards;
     shards.reserve(pos.size() - 2);
     for (std::size_t i = 2; i < pos.size(); ++i) {
-      std::ifstream in(pos[i]);
-      WDAG_REQUIRE(in.good(), "cannot open shard output '" + pos[i] + "'");
-      shards.push_back(wdag::core::read_shard_csv(in, pos[i]));
+      shards.push_back(wdag::core::read_shard_csv_file(pos[i]));
     }
     merged = wdag::core::merge_shard_csv(shards);
   }
@@ -669,9 +679,23 @@ int cmd_drive(const Cli& cli) {
   WDAG_REQUIRE(retries >= 0, "--max-retries must be >= 0, got " +
                                  std::to_string(retries));
   options.max_retries = static_cast<std::size_t>(retries);
+  // Numeric schedule knobs are rejected HERE, at parse time, with a
+  // usage error — a negative timeout/backoff/speculate would otherwise
+  // surface as an internal drive failure long after parsing.
   options.timeout_seconds = cli.get_double("timeout", 0.0);
+  WDAG_REQUIRE(options.timeout_seconds >= 0.0,
+               "--timeout must be >= 0 seconds (0 = off)");
   options.backoff_seconds = cli.get_double("backoff", 0.25);
+  WDAG_REQUIRE(options.backoff_seconds >= 0.0,
+               "--backoff must be >= 0 seconds");
   options.speculate_factor = cli.get_double("speculate", 0.0);
+  WDAG_REQUIRE(options.speculate_factor >= 0.0,
+               "--speculate must be >= 0 (0 = off)");
+  const std::int64_t fail_fast = cli.get_int("fail-fast", 8);
+  WDAG_REQUIRE(fail_fast >= 0, "--fail-fast must be >= 0 (0 = off), got " +
+                                   std::to_string(fail_fast));
+  options.fail_fast = static_cast<std::size_t>(fail_fast);
+  options.resume = cli.has("resume");
   options.worker_threads = args.batch.threads;
   options.worker_schedule = args.batch.schedule;
   options.keep_outputs = cli.has("keep-work");
@@ -698,7 +722,10 @@ int cmd_drive(const Cli& cli) {
     if (events_path == "-") {
       events_out = &std::cerr;
     } else {
-      events_file.open(events_path);
+      // Append, never truncate: a resumed drive's log continues the
+      // crashed run's, and the per-line flush below means the tail
+      // survives a crash — exactly when the log matters.
+      events_file.open(events_path, std::ios::app);
       WDAG_REQUIRE(events_file.good(),
                    "cannot open events file '" + events_path + "'");
       events_out = &events_file;
@@ -721,8 +748,15 @@ int cmd_drive(const Cli& cli) {
     out = &file;
   }
 
-  const wdag::core::DriveReport report =
-      wdag::core::drive(plan, options, *out, on_event);
+  wdag::core::DriveReport report;
+  try {
+    report = wdag::core::drive(plan, options, *out, on_event);
+  } catch (const wdag::core::DriveInterrupted& e) {
+    // Graceful shutdown: the work dir is resumable; exit like a shell
+    // child killed by the signal so wrappers see the interruption.
+    std::cerr << "wdag: " << e.what() << "\n";
+    return 128 + e.signal();
+  }
 
   // Keep stdout clean when the merged CSV streamed to it.
   std::ostream& info = out_path == "-" ? std::cerr : std::cout;
@@ -730,7 +764,8 @@ int cmd_drive(const Cli& cli) {
   info << "drive: " << plan.shards() << " shards ("
        << wdag::core::layout_name(plan.layout()) << ") -> " << out_path
        << ": " << report.retries << " retries, " << report.speculations
-       << " speculations, " << report.wall_seconds << "s\n";
+       << " speculations, " << report.resumed << " resumed, "
+       << report.wall_seconds << "s\n";
   return 0;
 }
 

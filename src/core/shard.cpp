@@ -3,15 +3,27 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <istream>
 #include <map>
 #include <sstream>
 #include <utility>
 
+#include "core/json_min.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
 
 namespace wdag::core {
+
+using minjson::JsonParser;
+using minjson::JsonValue;
+using minjson::hex16;
+using minjson::opt_field;
+using minjson::req_double;
+using minjson::req_field;
+using minjson::req_hex;
+using minjson::req_str;
+using minjson::req_u64;
 
 namespace {
 
@@ -43,13 +55,6 @@ std::uint64_t fnv1a(std::string_view s) {
 std::string fmt_double(double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-std::string hex16(std::uint64_t v) {
-  char buf[20];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(v));
   return buf;
 }
 
@@ -103,232 +108,6 @@ std::uint64_t plan_id_of(std::uint64_t request_hash, std::size_t count,
 }
 
 using util::append_json_string;
-
-// ---------------------------------------------------------------------------
-// Minimal JSON parsing — just enough for the manifest format this file
-// emits (objects, strings, numbers, booleans; one nesting level in
-// practice). Numbers keep their raw text so 64-bit integers parse
-// exactly.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Kind { kString, kNumber, kBool, kObject };
-  Kind kind = Kind::kString;
-  std::string text;  ///< string value, or raw number text
-  bool boolean = false;
-  std::map<std::string, JsonValue> object;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after value");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw InvalidArgument("shard manifest JSON: " + what + " at offset " +
-                          std::to_string(pos_));
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '"') return string();
-    if (c == 't' || c == 'f') return boolean();
-    if (c == '-' || (c >= '0' && c <= '9')) return number();
-    fail("unexpected character");
-  }
-
-  JsonValue object() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      skip_ws();
-      JsonValue key = string();
-      skip_ws();
-      expect(':');
-      v.object.emplace(std::move(key.text), value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue string() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kString;
-    expect('"');
-    for (;;) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return v;
-      if (c != '\\') {
-        v.text += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': v.text += '"'; break;
-        case '\\': v.text += '\\'; break;
-        case '/': v.text += '/'; break;
-        case 'n': v.text += '\n'; break;
-        case 'r': v.text += '\r'; break;
-        case 't': v.text += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f')
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F')
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("invalid \\u escape");
-          }
-          if (code > 0x7F) fail("non-ASCII \\u escape unsupported");
-          v.text += static_cast<char>(code);
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue boolean() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kBool;
-    if (text_.substr(pos_, 4) == "true") {
-      v.boolean = true;
-      pos_ += 4;
-    } else if (text_.substr(pos_, 5) == "false") {
-      pos_ += 5;
-    } else {
-      fail("expected boolean");
-    }
-    return v;
-  }
-
-  JsonValue number() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
-            text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected number");
-    v.text = std::string(text_.substr(start, pos_ - start));
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-const JsonValue* opt_field(const JsonValue& obj, const std::string& key) {
-  WDAG_REQUIRE(obj.kind == JsonValue::Kind::kObject,
-               "shard manifest: expected a JSON object");
-  const auto it = obj.object.find(key);
-  return it == obj.object.end() ? nullptr : &it->second;
-}
-
-const JsonValue& req_field(const JsonValue& obj, const std::string& key) {
-  WDAG_REQUIRE(obj.kind == JsonValue::Kind::kObject,
-               "shard manifest: expected a JSON object");
-  const auto it = obj.object.find(key);
-  if (it == obj.object.end()) {
-    throw InvalidArgument("shard manifest: missing field '" + key + "'");
-  }
-  return it->second;
-}
-
-std::uint64_t req_u64(const JsonValue& obj, const std::string& key) {
-  const JsonValue& v = req_field(obj, key);
-  WDAG_REQUIRE(v.kind == JsonValue::Kind::kNumber,
-               "shard manifest: field '" + key + "' must be a number");
-  try {
-    return std::stoull(v.text);
-  } catch (const std::exception&) {
-    throw InvalidArgument("shard manifest: field '" + key +
-                          "' is not a valid integer: " + v.text);
-  }
-}
-
-double req_double(const JsonValue& obj, const std::string& key) {
-  const JsonValue& v = req_field(obj, key);
-  WDAG_REQUIRE(v.kind == JsonValue::Kind::kNumber,
-               "shard manifest: field '" + key + "' must be a number");
-  try {
-    return std::stod(v.text);
-  } catch (const std::exception&) {
-    throw InvalidArgument("shard manifest: field '" + key +
-                          "' is not a valid number: " + v.text);
-  }
-}
-
-std::string req_str(const JsonValue& obj, const std::string& key) {
-  const JsonValue& v = req_field(obj, key);
-  WDAG_REQUIRE(v.kind == JsonValue::Kind::kString,
-               "shard manifest: field '" + key + "' must be a string");
-  return v.text;
-}
-
-std::uint64_t req_hex(const JsonValue& obj, const std::string& key) {
-  const std::string s = req_str(obj, key);
-  try {
-    std::size_t used = 0;
-    const std::uint64_t v = std::stoull(s, &used, 16);
-    WDAG_REQUIRE(used == s.size() && !s.empty(),
-                 "shard manifest: field '" + key + "' is not a hex id");
-    return v;
-  } catch (const InvalidArgument&) {
-    throw;
-  } catch (const std::exception&) {
-    throw InvalidArgument("shard manifest: field '" + key +
-                          "' is not a hex id: " + s);
-  }
-}
 
 }  // namespace
 
@@ -639,6 +418,12 @@ ShardCsv read_shard_csv(std::istream& in, const std::string& name) {
          " (truncated shard?)");
   }
   return shard;
+}
+
+ShardCsv read_shard_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  WDAG_REQUIRE(in.good(), "cannot open shard output '" + path + "'");
+  return read_shard_csv(in, path);
 }
 
 namespace {

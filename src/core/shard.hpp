@@ -202,6 +202,11 @@ struct ShardCsv {
 [[nodiscard]] ShardCsv read_shard_csv(std::istream& in,
                                       const std::string& name);
 
+/// Opens `path` and validates it through read_shard_csv. Throws
+/// wdag::InvalidArgument naming the path when the file cannot be opened,
+/// plus every read_shard_csv failure mode.
+[[nodiscard]] ShardCsv read_shard_csv_file(const std::string& path);
+
 /// Validates that `shards` are the complete shard set of ONE plan — same
 /// plan id and request hash, every index 0..K-1 present exactly once, and
 /// full gap-free coverage of [0, count) — then reassembles their rows

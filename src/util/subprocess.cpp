@@ -1,15 +1,20 @@
 #include "util/subprocess.hpp"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string_view>
+#include <utility>
 
 #include "util/check.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define WDAG_HAVE_SUBPROCESS 1
+#include <fcntl.h>
 #include <signal.h>
 #include <spawn.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -143,6 +148,133 @@ void Subprocess::kill() {
   ::kill(static_cast<pid_t>(pid_), SIGKILL);
 }
 
+long current_process_id() { return static_cast<long>(::getpid()); }
+
+namespace {
+
+/// Loop write(2) until every byte of `data` is written; returns false
+/// (with errno set) on a non-EINTR failure.
+bool write_fully(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// fsync the directory holding `path` so a rename into it survives a
+/// crash. Best effort: some filesystems refuse to open or fsync a
+/// directory — the rename is still atomic, just not power-loss durable.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string dir =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw InternalError("write_file_atomic: cannot open '" + tmp +
+                        "': " + std::strerror(errno));
+  }
+  std::string why;
+  if (!write_fully(fd, content)) {
+    why = std::string("write failed: ") + std::strerror(errno);
+  } else if (::fsync(fd) != 0) {
+    why = std::string("fsync failed: ") + std::strerror(errno);
+  }
+  ::close(fd);
+  if (why.empty() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    why = std::string("rename to '") + path + "' failed: " +
+          std::strerror(errno);
+  }
+  if (!why.empty()) {
+    ::unlink(tmp.c_str());
+    throw InternalError("write_file_atomic: '" + tmp + "': " + why);
+  }
+  fsync_parent_dir(path);
+}
+
+void commit_file(const std::string& tmp_path, const std::string& final_path) {
+  const int fd = ::open(tmp_path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw InternalError("commit_file: cannot open '" + tmp_path +
+                        "': " + std::strerror(errno));
+  }
+  const int frc = ::fsync(fd);
+  const int ferr = errno;
+  ::close(fd);
+  if (frc != 0) {
+    throw InternalError("commit_file: fsync('" + tmp_path +
+                        "') failed: " + std::strerror(ferr));
+  }
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    throw InternalError("commit_file: rename('" + tmp_path + "' -> '" +
+                        final_path + "') failed: " + std::strerror(errno));
+  }
+  fsync_parent_dir(final_path);
+}
+
+DurableAppendFile::DurableAppendFile(const std::string& path, bool truncate)
+    : path_(path) {
+  // O_RDWR (not O_WRONLY): the torn-tail check below preads the last byte.
+  const int flags =
+      O_RDWR | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    throw InternalError("DurableAppendFile: cannot open '" + path +
+                        "': " + std::strerror(errno));
+  }
+  if (!truncate) {
+    // Self-heal a torn tail: if a crash interrupted the previous owner's
+    // last append, terminate that fragment so the next line starts
+    // clean (the fragment itself stays unparsable and is skipped by
+    // readers — it never swallows a valid neighbour).
+    struct stat st{};
+    char last = '\n';
+    if (::fstat(fd_, &st) == 0 && st.st_size > 0 &&
+        ::pread(fd_, &last, 1, st.st_size - 1) == 1 && last != '\n') {
+      (void)write_fully(fd_, "\n");
+    }
+  }
+}
+
+void DurableAppendFile::append_line(std::string_view line) {
+  WDAG_REQUIRE(fd_ >= 0, "DurableAppendFile: append_line on a closed file");
+  std::string buf;
+  buf.reserve(line.size() + 1);
+  buf.append(line);
+  buf += '\n';
+  if (!write_fully(fd_, buf)) {
+    throw InternalError("DurableAppendFile: write to '" + path_ +
+                        "' failed: " + std::strerror(errno));
+  }
+  if (::fsync(fd_) != 0) {
+    throw InternalError("DurableAppendFile: fsync('" + path_ +
+                        "') failed: " + std::strerror(errno));
+  }
+}
+
+void DurableAppendFile::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
 #else  // !WDAG_HAVE_SUBPROCESS
 
 Subprocess Subprocess::spawn(const std::vector<std::string>&,
@@ -161,6 +293,63 @@ std::optional<int> Subprocess::poll() { return exit_code_; }
 int Subprocess::wait() { return exit_code_.value_or(-1); }
 void Subprocess::kill() {}
 
+long current_process_id() { return 0; }
+
+// Without fsync the atomic-write helpers degrade to plain
+// write-then-rename: still atomic against a process crash, not against
+// power loss (the documented best effort).
+void write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      throw InternalError("write_file_atomic: cannot write '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw InternalError("write_file_atomic: rename to '" + path +
+                        "' failed");
+  }
+}
+
+void commit_file(const std::string& tmp_path, const std::string& final_path) {
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    throw InternalError("commit_file: rename('" + tmp_path + "' -> '" +
+                        final_path + "') failed");
+  }
+}
+
+DurableAppendFile::DurableAppendFile(const std::string& path, bool) {
+  throw InternalError("DurableAppendFile: unsupported on this platform ('" +
+                      path + "')");
+}
+void DurableAppendFile::append_line(std::string_view) {
+  throw InternalError("DurableAppendFile: unsupported on this platform");
+}
+void DurableAppendFile::close() { fd_ = -1; }
+
 #endif
+
+DurableAppendFile::DurableAppendFile(DurableAppendFile&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+DurableAppendFile& DurableAppendFile::operator=(
+    DurableAppendFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+DurableAppendFile::~DurableAppendFile() { close(); }
 
 }  // namespace wdag::util

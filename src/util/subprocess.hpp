@@ -6,9 +6,14 @@
 //
 // No pipes: driver children write their results to files named in their
 // argv, so the parent only needs liveness, exit codes and kill.
+//
+// Also home to the file-durability helpers (write_file_atomic,
+// commit_file, DurableAppendFile) the driver's crash-safe commit and
+// journal layers are built on — they share this file's POSIX guard.
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -60,6 +65,64 @@ class Subprocess {
 
   long pid_ = -1;
   std::optional<int> exit_code_;
+};
+
+/// Numeric id of the CURRENT process. Used to make scratch file names
+/// crash-unique (an orphan of a dead driver can never collide with a
+/// live one's paths). Returns 0 where the platform has no notion of one.
+[[nodiscard]] long current_process_id();
+
+// ---------------------------------------------------------------------------
+// File durability (the drive's commit layer): a file that exists under
+// its final name is always complete, because every writer goes through
+// tmp-write -> fsync -> rename -> fsync(parent dir). On platforms
+// without fsync the helpers still write-and-rename (best effort,
+// documented) — atomicity survives process crashes, not power loss.
+// ---------------------------------------------------------------------------
+
+/// Writes `content` to `path` atomically: the bytes go to `path + ".tmp"`,
+/// are fsync'd, and the tmp file is renamed over `path` (then the parent
+/// directory is fsync'd so the rename itself is durable). On failure
+/// `path` is untouched and the tmp file is removed; throws
+/// wdag::InternalError.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+/// Durably promotes an existing, fully written file to its final name:
+/// fsyncs `tmp_path`'s bytes, renames it over `final_path`, fsyncs the
+/// parent directory. After this returns, `final_path` is complete even
+/// across a crash. Throws wdag::InternalError when `tmp_path` cannot be
+/// opened or renamed.
+void commit_file(const std::string& tmp_path, const std::string& final_path);
+
+/// Append-only line writer with per-line durability: every append_line()
+/// writes `line` plus '\n' in ONE write(2) and fsyncs before returning —
+/// the drive journal's writer. Opening an existing file whose last byte
+/// is not '\n' (a torn tail from a crash mid-append) first restores the
+/// newline so the torn line stays isolated instead of corrupting the
+/// next append. Move-only; the destructor closes without throwing.
+class DurableAppendFile {
+ public:
+  DurableAppendFile() = default;
+  /// Opens `path` for appending, creating it if missing; `truncate`
+  /// starts the file empty instead (a fresh journal). Throws
+  /// wdag::InternalError when the file cannot be opened.
+  explicit DurableAppendFile(const std::string& path, bool truncate = false);
+  DurableAppendFile(DurableAppendFile&& other) noexcept;
+  DurableAppendFile& operator=(DurableAppendFile&& other) noexcept;
+  DurableAppendFile(const DurableAppendFile&) = delete;
+  DurableAppendFile& operator=(const DurableAppendFile&) = delete;
+  ~DurableAppendFile();
+
+  /// Appends `line` + '\n', then fsyncs. Throws wdag::InternalError on a
+  /// short write, fsync failure, or a closed file.
+  void append_line(std::string_view line);
+
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;  ///< for diagnostics only
 };
 
 }  // namespace wdag::util

@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -221,13 +223,276 @@ TEST(DriveTest, ValidatesItsOptions) {
 
 TEST(DriveReportTest, ProgressTableHasOneRowPerShard) {
   core::DriveReport report;
-  report.shards = {{0, 1, 0, false, 0.5, 12}, {1, 3, 2, true, 1.5, 12}};
+  report.shards = {{0, 1, 0, false, false, 0.5, 12},
+                   {1, 3, 2, true, true, 1.5, 12}};
   report.retries = 2;
   report.speculations = 1;
   const util::Table t = report.progress_table();
   EXPECT_EQ(t.rows(), 2u);
   const std::string text = t.to_text();
   EXPECT_NE(text.find("shard"), std::string::npos);
+  EXPECT_NE(text.find("resumed"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Crash safety: atomic commit, durable journal, resume, quarantine.
+// ---------------------------------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Runs a keep-outputs drive of `plan` into `dir`, leaving committed
+/// shard files + journal behind for a resume test.
+std::string seed_completed_drive(const ShardPlan& plan,
+                                 const std::string& dir) {
+  core::DriveOptions options = base_options(dir);
+  options.keep_outputs = true;
+  std::ostringstream os;
+  (void)core::drive(plan, options, os);
+  return os.str();
+}
+
+TEST(DriveResumeTest, CommittedOutputsAreAtomicallyNamed) {
+  if (!cli_bin()) GTEST_SKIP() << "WDAG_CLI_BIN not set";
+  const ShardSpec spec = drive_spec();
+  const ShardPlan plan(spec, 3);
+  const std::string dir = fresh_work_dir("atomic");
+  (void)seed_completed_drive(plan, dir);
+
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/shard." + std::to_string(s) +
+                                        ".csv"));
+  }
+  EXPECT_TRUE(std::filesystem::exists(
+      dir + "/" + std::string(core::kDriveJournalFile)));
+  // Every attempt wrote to a *.tmp path and was renamed on commit: a
+  // successful keep-outputs drive leaves no torn intermediates behind.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp")
+        << "uncommitted attempt file leaked: " << entry.path();
+  }
+}
+
+TEST(DriveResumeTest, ResumeSkipsJournaledShardsAndKeepsBytes) {
+  if (!cli_bin()) GTEST_SKIP() << "WDAG_CLI_BIN not set";
+  const ShardSpec spec = drive_spec();
+  const std::string want = reference_csv(spec);
+  const ShardPlan plan(spec, 3);
+  const std::string dir = fresh_work_dir("resume");
+  ASSERT_EQ(seed_completed_drive(plan, dir), want);
+
+  core::DriveOptions options = base_options(dir);
+  options.resume = true;
+  std::vector<core::DriveEvent> events;
+  std::ostringstream os;
+  const core::DriveReport report =
+      core::drive(plan, options, os,
+                  [&](const core::DriveEvent& e) { events.push_back(e); });
+
+  EXPECT_EQ(os.str(), want);
+  EXPECT_EQ(report.resumed, 3u);
+  for (const auto& s : report.shards) EXPECT_TRUE(s.resumed);
+  std::size_t resumes = 0, dispatches = 0;
+  for (const auto& e : events) {
+    if (e.kind == "resume") ++resumes;
+    if (e.kind == "dispatch" || e.kind == "speculate") ++dispatches;
+  }
+  EXPECT_EQ(resumes, 3u);
+  EXPECT_EQ(dispatches, 0u) << "a journaled shard was re-executed";
+}
+
+TEST(DriveResumeTest, JournalFromADifferentPlanIsRejected) {
+  if (!cli_bin()) GTEST_SKIP() << "WDAG_CLI_BIN not set";
+  const ShardPlan plan(drive_spec(), 3);
+  const std::string dir = fresh_work_dir("foreign");
+  (void)seed_completed_drive(plan, dir);
+
+  ShardSpec other = drive_spec();
+  other.seed = 910;  // different request -> different plan id
+  const ShardPlan other_plan(other, 3);
+  core::DriveOptions options = base_options(dir);
+  options.resume = true;
+  std::ostringstream os;
+  EXPECT_THROW((void)core::drive(other_plan, options, os),
+               wdag::InvalidArgument);
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(DriveResumeTest, CorruptedShardOutputIsRerunNotTrusted) {
+  if (!cli_bin()) GTEST_SKIP() << "WDAG_CLI_BIN not set";
+  const ShardSpec spec = drive_spec();
+  const std::string want = reference_csv(spec);
+  const ShardPlan plan(spec, 3);
+  const std::string dir = fresh_work_dir("corrupt");
+  ASSERT_EQ(seed_completed_drive(plan, dir), want);
+
+  // Truncate shard 1's committed file: its journal entry still claims
+  // completion, but the entry is a hint — re-validation must fail and
+  // the shard must re-run.
+  const std::string victim = dir + "/shard.1.csv";
+  const std::string full = slurp(victim);
+  ASSERT_FALSE(full.empty());
+  std::ofstream(victim, std::ios::trunc) << full.substr(0, full.size() / 2);
+
+  core::DriveOptions options = base_options(dir);
+  options.resume = true;
+  std::vector<core::DriveEvent> events;
+  std::ostringstream os;
+  const core::DriveReport report =
+      core::drive(plan, options, os,
+                  [&](const core::DriveEvent& e) { events.push_back(e); });
+
+  EXPECT_EQ(os.str(), want);
+  EXPECT_EQ(report.resumed, 2u);
+  EXPECT_FALSE(report.shards[1].resumed);
+  bool skipped = false, redispatched = false;
+  for (const auto& e : events) {
+    if (e.kind == "resume-skip" && e.shard == 1) skipped = true;
+    if (e.kind == "dispatch" && e.shard == 1) redispatched = true;
+  }
+  EXPECT_TRUE(skipped);
+  EXPECT_TRUE(redispatched);
+}
+
+TEST(DriveResumeTest, ResumeOnEmptyWorkDirIsAFreshStart) {
+  if (!cli_bin()) GTEST_SKIP() << "WDAG_CLI_BIN not set";
+  const ShardSpec spec = drive_spec();
+  const std::string want = reference_csv(spec);
+  const ShardPlan plan(spec, 3);
+  core::DriveOptions options = base_options(fresh_work_dir("fresh"));
+  options.resume = true;  // nothing to resume: must behave like a fresh run
+  std::ostringstream os;
+  const core::DriveReport report = core::drive(plan, options, os);
+  EXPECT_EQ(os.str(), want);
+  EXPECT_EQ(report.resumed, 0u);
+}
+
+TEST(DriveResumeTest, HeaderOnlyJournalResumesNothing) {
+  if (!cli_bin()) GTEST_SKIP() << "WDAG_CLI_BIN not set";
+  const ShardSpec spec = drive_spec();
+  const std::string want = reference_csv(spec);
+  const ShardPlan plan(spec, 3);
+  const std::string dir = fresh_work_dir("headeronly");
+  (void)seed_completed_drive(plan, dir);
+
+  // Zero completed shards journaled == a fresh drive.
+  const std::string journal =
+      dir + "/" + std::string(core::kDriveJournalFile);
+  const std::string contents = slurp(journal);
+  const std::size_t first_line = contents.find('\n');
+  ASSERT_NE(first_line, std::string::npos);
+  std::ofstream(journal, std::ios::trunc)
+      << contents.substr(0, first_line + 1);
+
+  core::DriveOptions options = base_options(dir);
+  options.resume = true;
+  std::ostringstream os;
+  const core::DriveReport report = core::drive(plan, options, os);
+  EXPECT_EQ(os.str(), want);
+  EXPECT_EQ(report.resumed, 0u);
+}
+
+TEST(DriveQuarantineTest, SystemicFailuresFailFast) {
+  if (!cli_bin()) GTEST_SKIP() << "WDAG_CLI_BIN not set";
+  const ShardSpec spec = drive_spec(16);
+  const ShardPlan plan(spec, 4);
+  core::DriveOptions options = base_options(fresh_work_dir("sick"));
+  // Every worker "succeeds" without writing output — validation fails on
+  // every shard, which is systemic, so fail_fast must abort long before
+  // 4 shards x (10+1) attempts burn down.
+  options.wdag_binary = "/bin/true";
+  options.max_retries = 10;
+  options.fail_fast = 5;
+  options.backoff_seconds = 0.0;
+
+  std::vector<core::DriveEvent> events;
+  std::ostringstream os;
+  std::string message;
+  try {
+    (void)core::drive(plan, options, os,
+                      [&](const core::DriveEvent& e) { events.push_back(e); });
+    FAIL() << "a drive that can never validate output must throw";
+  } catch (const wdag::InternalError& e) {
+    message = e.what();
+  }
+  EXPECT_NE(message.find("systemic"), std::string::npos) << message;
+
+  std::size_t failures = 0;
+  bool quarantined = false;
+  for (const auto& e : events) {
+    if (e.kind == "exit") ++failures;
+    if (e.kind == "quarantine") quarantined = true;
+  }
+  EXPECT_TRUE(quarantined);
+  EXPECT_LT(failures, 4u * 11u)
+      << "fail-fast did not cut the retry burn-down short";
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(DriveQuarantineTest, SingleShardFailuresStayWithTheRetryBudget) {
+  if (!cli_bin()) GTEST_SKIP() << "WDAG_CLI_BIN not set";
+  const ShardSpec spec = drive_spec();
+  const std::string want = reference_csv(spec);
+  const ShardPlan plan(spec, 4);
+  core::DriveOptions options = base_options(fresh_work_dir("local"));
+  options.fail_fast = 1;  // would trip instantly if same-shard runs counted
+
+  ::setenv("WDAG_DRIVE_FAIL_SHARD", "2", 1);
+  std::ostringstream os;
+  core::DriveReport report;
+  try {
+    report = core::drive(plan, options, os);
+  } catch (...) {
+    ::unsetenv("WDAG_DRIVE_FAIL_SHARD");
+    throw;
+  }
+  ::unsetenv("WDAG_DRIVE_FAIL_SHARD");
+
+  EXPECT_EQ(os.str(), want);
+  EXPECT_GE(report.shards[2].retries, 1u);
+}
+
+TEST(DriveInterruptTest, InterruptedDriveIsResumable) {
+  if (!cli_bin()) GTEST_SKIP() << "WDAG_CLI_BIN not set";
+  const ShardSpec spec = drive_spec();
+  const std::string want = reference_csv(spec);
+  const ShardPlan plan(spec, 3);
+  const std::string dir = fresh_work_dir("interrupt");
+
+  // workers=1 serializes completions; SIGINT lands right after the first
+  // one, so at least one shard is journaled and at least one is not.
+  core::DriveOptions options = base_options(dir);
+  options.workers = 1;
+  std::ostringstream os1;
+  bool raised = false;
+  bool interrupted = false;
+  try {
+    (void)core::drive(plan, options, os1, [&](const core::DriveEvent& e) {
+      if (e.kind == "complete" && !raised) {
+        raised = true;
+        std::raise(SIGINT);
+      }
+    });
+  } catch (const core::DriveInterrupted& e) {
+    interrupted = true;
+    EXPECT_EQ(e.signal(), SIGINT);
+    EXPECT_NE(std::string(e.what()).find("--resume"), std::string::npos);
+  }
+  ASSERT_TRUE(interrupted);
+  EXPECT_TRUE(std::filesystem::exists(
+      dir + "/" + std::string(core::kDriveJournalFile)));
+
+  core::DriveOptions resume = base_options(dir);
+  resume.resume = true;
+  std::ostringstream os2;
+  const core::DriveReport report = core::drive(plan, resume, os2);
+  EXPECT_EQ(os2.str(), want);
+  EXPECT_GE(report.resumed, 1u);
+  EXPECT_LT(report.resumed, 3u);
 }
 
 }  // namespace

@@ -90,4 +90,61 @@ TEST(SubprocessTest, MoveTransfersOwnership) {
   EXPECT_EQ(moved.wait(), 3);
 }
 
+// ---------------------------------------------------------------------------
+// Durability helpers under the drive journal / atomic output commit.
+// ---------------------------------------------------------------------------
+
+TEST(FsDurabilityTest, WriteFileAtomicWritesAndReplaces) {
+  const std::string path = testing::TempDir() + "/wdag_atomic.txt";
+  wdag::util::write_file_atomic(path, "first\n");
+  EXPECT_EQ(slurp(path), "first\n");
+  wdag::util::write_file_atomic(path, "second\n");
+  EXPECT_EQ(slurp(path), "second\n");
+  // The staging file was renamed away, never left behind.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
+TEST(FsDurabilityTest, CommitFileRenamesIntoPlace) {
+  const std::string tmp = testing::TempDir() + "/wdag_commit.csv.tmp";
+  const std::string final_path = testing::TempDir() + "/wdag_commit.csv";
+  std::remove(final_path.c_str());
+  std::ofstream(tmp, std::ios::binary) << "rows\n";
+  wdag::util::commit_file(tmp, final_path);
+  EXPECT_EQ(slurp(final_path), "rows\n");
+  EXPECT_FALSE(std::ifstream(tmp).good());
+  // A vanished staging file cannot be committed.
+  EXPECT_THROW(wdag::util::commit_file(tmp, final_path),
+               wdag::InternalError);
+}
+
+TEST(FsDurabilityTest, DurableAppendFileAppendsAcrossReopens) {
+  const std::string path = testing::TempDir() + "/wdag_journal.jsonl";
+  {
+    wdag::util::DurableAppendFile f(path, /*truncate=*/true);
+    ASSERT_TRUE(f.is_open());
+    f.append_line("one");
+  }
+  {
+    wdag::util::DurableAppendFile f(path);  // reopen keeps prior lines
+    f.append_line("two");
+  }
+  EXPECT_EQ(slurp(path), "one\ntwo\n");
+
+  // A torn tail (crash mid-append) is terminated on reopen so the next
+  // line never concatenates onto the fragment.
+  std::ofstream(path, std::ios::binary | std::ios::app) << "torn";
+  {
+    wdag::util::DurableAppendFile f(path);
+    f.append_line("three");
+  }
+  EXPECT_EQ(slurp(path), "one\ntwo\ntorn\nthree\n");
+
+  // Truncate mode starts empty.
+  {
+    wdag::util::DurableAppendFile f(path, /*truncate=*/true);
+    f.append_line("fresh");
+  }
+  EXPECT_EQ(slurp(path), "fresh\n");
+}
+
 }  // namespace
