@@ -1,0 +1,242 @@
+// Open-loop load generator for `wdag serve`, emitting one BENCH_serve
+// JSON record (stdout + --out file) and self-gating on the admission
+// contract.
+//
+// Two phases against in-process servers over loopback TCP:
+//
+//   sustained  solve requests issued on a fixed open-loop schedule
+//              (--rate per second for --seconds), independent of
+//              completions — the arrival process does not slow down when
+//              the server does, which is what makes p99 honest. Gates:
+//              zero errors, zero rejections, every request answered.
+//
+//   overload   a burst of worker-occupying requests against a tiny
+//              admission queue (capacity 4). The bounded queue must turn
+//              the excess into immediate queue_full rejections while the
+//              ACCEPTED requests keep a bounded p99 (<= kOverloadP99Ms) —
+//              rejection instead of latency collapse, the load-shedding
+//              contract stated in serve/admission.hpp.
+//
+// Deliberately free of the google-benchmark dependency (plain sockets
+// and timers), so it builds wherever the library does.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/json_min.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/build_info.hpp"
+#include "util/cli.hpp"
+#include "util/socket.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Tally {
+  std::mutex mutex;
+  std::vector<double> ok_ms;  ///< latency of every "ok" response
+  std::size_t ok = 0;
+  std::size_t queue_full = 0;
+  std::size_t other_rejected = 0;
+  std::size_t errors = 0;
+
+  void record(const std::string& response, double ms) {
+    const wdag::serve::WireReply reply = wdag::serve::parse_reply(response);
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (reply.status == "ok") {
+      ++ok;
+      ok_ms.push_back(ms);
+    } else if (reply.status == "rejected" && reply.detail == "queue_full") {
+      ++queue_full;
+    } else if (reply.status == "rejected") {
+      ++other_rejected;
+    } else {
+      ++errors;
+    }
+  }
+
+  void record_failure() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    ++errors;
+  }
+};
+
+/// One request, one connection, outcome into the tally.
+void fire(int port, const std::string& line, Tally& tally) {
+  wdag::util::Timer timer;
+  try {
+    const std::string response = wdag::serve::request_once(
+        "127.0.0.1", static_cast<std::uint16_t>(port), line,
+        /*timeout_ms=*/30'000);
+    tally.record(response, timer.millis());
+  } catch (const std::exception&) {
+    tally.record_failure();
+  }
+}
+
+/// The phase summary as a nested JSON object.
+std::string phase_json(Tally& tally, std::size_t sent, double wall_seconds) {
+  const wdag::core::LatencyStats latency =
+      wdag::core::latency_stats(tally.ok_ms);
+  wdag::core::minjson::JsonWriter w;
+  w.field("sent", sent)
+      .field("ok", tally.ok)
+      .field("rejected_queue_full", tally.queue_full)
+      .field("rejected_other", tally.other_rejected)
+      .field("errors", tally.errors)
+      .field("wall_seconds", wall_seconds)
+      .field("throughput_rps",
+             wall_seconds > 0 ? static_cast<double>(tally.ok) / wall_seconds
+                              : 0.0)
+      .field("p50_ms", latency.p50)
+      .field("p90_ms", latency.p90)
+      .field("p99_ms", latency.p99)
+      .field("max_ms", latency.max);
+  return std::move(w).str();
+}
+
+/// Accepted-request p99 ceiling under overload: queue capacity 4 jobs of
+/// kSleepMs each in front of a request bounds its wait near 5 x kSleepMs;
+/// the ceiling leaves generous headroom for CI scheduling noise while
+/// still catching unbounded buffering (which would push p99 toward
+/// burst_size x kSleepMs).
+constexpr double kOverloadP99Ms = 1000.0;
+constexpr double kSleepMs = 20.0;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wdag::util::ignore_sigpipe();
+  const wdag::util::Cli cli(argc, argv);
+  const double seconds = cli.get_double("seconds", 3.0);
+  const double rate = cli.get_double("rate", 40.0);
+  const std::string out_path = cli.get("out", "BENCH_serve.json");
+  const int senders = static_cast<int>(cli.get_int("senders", 4));
+
+  // --- sustained phase ----------------------------------------------------
+  wdag::serve::ServeOptions sustained_options;
+  sustained_options.port = 0;
+  sustained_options.queue_capacity = 64;
+  sustained_options.engine_threads = 1;
+  wdag::serve::Server sustained_server(sustained_options);
+  sustained_server.start();
+
+  const std::size_t total =
+      static_cast<std::size_t>(std::max(1.0, seconds * rate));
+  Tally sustained;
+  wdag::util::Timer sustained_timer;
+  {
+    const Clock::time_point start = Clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(senders));
+    for (int t = 0; t < senders; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = static_cast<std::size_t>(t); i < total;
+             i += static_cast<std::size_t>(senders)) {
+          // Open loop: request i fires at its scheduled slot no matter
+          // how the previous ones fared.
+          std::this_thread::sleep_until(
+              start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(
+                              static_cast<double>(i) / rate)));
+          wdag::serve::WireRequest request;
+          request.gen.family = (i % 3 == 0) ? "random-upp" : "tree";
+          request.gen.seed = i + 1;
+          fire(sustained_server.port(),
+               wdag::serve::request_to_json(request), sustained);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const double sustained_wall = sustained_timer.seconds();
+  sustained_server.request_stop();
+  sustained_server.join();
+
+  // --- overload phase -----------------------------------------------------
+  wdag::serve::ServeOptions overload_options;
+  overload_options.port = 0;
+  overload_options.queue_capacity = 4;
+  overload_options.engine_threads = 1;
+  overload_options.enable_test_hooks = true;  // sleep = deterministic cost
+  wdag::serve::Server overload_server(overload_options);
+  overload_server.start();
+
+  const std::size_t burst = 96;
+  Tally overload;
+  wdag::util::Timer overload_timer;
+  {
+    char line[64];
+    std::snprintf(line, sizeof(line), "{\"type\":\"sleep\",\"millis\":%g}",
+                  kSleepMs);
+    const std::string sleep_line = line;
+    std::vector<std::thread> threads;
+    threads.reserve(8);
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&] {
+        for (std::size_t i = 0; i < burst / 8; ++i) {
+          fire(overload_server.port(), sleep_line, overload);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const double overload_wall = overload_timer.seconds();
+  overload_server.request_stop();
+  overload_server.join();
+
+  // --- record + gates -----------------------------------------------------
+  const std::string sustained_json =
+      phase_json(sustained, total, sustained_wall);
+  const std::string overload_json = phase_json(overload, burst, overload_wall);
+  const double overload_p99 =
+      wdag::core::latency_stats(overload.ok_ms).p99;
+
+  wdag::core::minjson::JsonWriter record;
+  record.field("bench", "serve_load")
+      .field("version", wdag::util::version())
+      .field("rate_rps", rate)
+      .field("seconds", seconds)
+      .field_raw("sustained", sustained_json)
+      .field_raw("overload", overload_json);
+  const std::string line = std::move(record).str();
+  std::cout << line << "\n";
+  if (!out_path.empty() && out_path != "-") {
+    std::ofstream out(out_path);
+    out << line << "\n";
+  }
+
+  int failures = 0;
+  const auto gate = [&failures](bool pass, const char* what) {
+    if (!pass) {
+      std::cerr << "bench_serve_load GATE FAILED: " << what << "\n";
+      ++failures;
+    }
+  };
+  gate(sustained.errors == 0, "sustained phase had errors");
+  gate(sustained.queue_full == 0 && sustained.other_rejected == 0,
+       "sustained phase was rejected (queue too small for the rate)");
+  gate(sustained.ok == total, "sustained phase lost requests");
+  gate(overload.errors == 0, "overload phase had errors");
+  gate(overload.queue_full > 0,
+       "overload produced no queue_full rejections (queue not bounded?)");
+  gate(overload.ok + overload.queue_full + overload.other_rejected == burst,
+       "overload phase lost requests");
+  gate(overload_p99 <= kOverloadP99Ms,
+       "overload accepted-request p99 exceeded the bound (latency "
+       "collapse instead of rejection)");
+  return failures == 0 ? 0 : 1;
+}

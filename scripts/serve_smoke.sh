@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# End-to-end smoke for `wdag serve` / `wdag request` (the CI serve job).
+#
+#   1. starts a server with a small admission queue and a --port-file,
+#   2. fires CONCURRENT `wdag request` solves and field-compares each
+#      response against `wdag solve --json -` with the same flags+seed
+#      (timing stripped — everything else must match byte for byte),
+#   3. parks the worker with sleep requests (WDAG_SERVE_TEST_HOOKS) and
+#      overflows the queue, asserting immediate queue_full rejections
+#      and that the stats endpoint — still answering mid-overload —
+#      reports the reject counters,
+#   4. SIGTERMs the server and asserts a graceful drain: exit status 0
+#      and the drain summary line.
+#
+# Usage: scripts/serve_smoke.sh [path/to/wdag]   (default ./build/wdag)
+
+set -euo pipefail
+
+WDAG="${1:-./build/wdag}"
+TMP="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
+
+# Timing is the one legitimately nondeterministic field in a solve
+# response; everything before/after it is pinned.
+strip_timing() { sed -E 's/,"millis":[0-9.eE+-]+//'; }
+
+# --- 1. server up ---------------------------------------------------------
+# Queue 4: big enough that four concurrent solves all admit even if the
+# worker has not popped yet, small enough to overflow on cue in step 3.
+WDAG_SERVE_TEST_HOOKS=1 "$WDAG" serve --port 0 --queue 4 \
+  --port-file "$TMP/port" > "$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do [ -s "$TMP/port" ] && break; sleep 0.1; done
+[ -s "$TMP/port" ] || fail "server never wrote its --port-file"
+PORT="$(cat "$TMP/port")"
+echo "serve_smoke: server pid $SERVER_PID on port $PORT"
+
+# --- 2. concurrent served solves == local solves --------------------------
+SEEDS="3 5 7 11"
+REQ_PIDS=""
+for seed in $SEEDS; do
+  "$WDAG" request --port "$PORT" --type solve \
+    --gen tree --seed "$seed" > "$TMP/served.$seed" &
+  REQ_PIDS="$REQ_PIDS $!"
+done
+for pid in $REQ_PIDS; do
+  wait "$pid" || fail "a concurrent solve request exited nonzero"
+done
+
+for seed in $SEEDS; do
+  "$WDAG" solve --gen tree --seed "$seed" \
+    --json "$TMP/local-raw.$seed" > /dev/null
+  strip_timing < "$TMP/local-raw.$seed" > "$TMP/local.$seed"
+  strip_timing < "$TMP/served.$seed" > "$TMP/served-stripped.$seed"
+  cmp "$TMP/local.$seed" "$TMP/served-stripped.$seed" \
+    || fail "served solve (seed $seed) differs from local wdag solve"
+done
+echo "serve_smoke: served responses field-match local solves ($SEEDS)"
+
+# A served batch answers ok too (same engine path as `wdag batch`).
+"$WDAG" request --port "$PORT" --type batch \
+  --gen random-upp --count 20 --seed 7 > "$TMP/batch.json" \
+  || fail "served batch request did not answer ok"
+grep -q '"instances":20' "$TMP/batch.json" \
+  || fail "served batch response missing instance count"
+
+# --- 3. overload: bounded queue rejects, stats stays live -----------------
+# One sleep occupies the single worker, four fill the queue, the other
+# three must bounce IMMEDIATELY with `rejected: queue_full` (exit 3).
+SLEEP_PIDS=""
+for _ in 1 2 3 4 5 6 7 8; do
+  "$WDAG" request --port "$PORT" --type sleep --millis 400 \
+    > /dev/null 2>&1 &
+  SLEEP_PIDS="$SLEEP_PIDS $!"
+done
+sleep 0.3   # everyone connected: worker busy, queue full, rest bounced
+
+rejects=0
+"$WDAG" request --port "$PORT" --type sleep --millis 1 \
+  > "$TMP/bounced.json" 2>&1 || rejects=$?
+[ "$rejects" -eq 3 ] || fail "expected exit 3 (rejected) under overload, got $rejects"
+grep -q '"reason":"queue_full"' "$TMP/bounced.json" \
+  || fail "overflow request was not rejected with queue_full"
+
+# Stats answers out-of-band while the worker is parked.
+"$WDAG" request --port "$PORT" --type stats > "$TMP/stats.json" \
+  || fail "stats request failed during overload"
+grep -q '"version":' "$TMP/stats.json" || fail "stats missing version"
+grep -q '"queue-capacity":4' "$TMP/stats.json" \
+  || fail "stats missing queue capacity"
+full="$(sed -E 's/.*"rejected-queue-full":([0-9]+).*/\1/' "$TMP/stats.json")"
+[ "$full" -ge 1 ] || fail "stats rejected-queue-full is $full, expected >= 1"
+echo "serve_smoke: bounded queue rejected $full overflow request(s), stats live"
+for pid in $SLEEP_PIDS; do   # let the parked sleeps finish before the drain
+  wait "$pid" || true        # the bounced ones exited 3 — that's the point
+done
+
+# --- 4. graceful drain on SIGTERM -----------------------------------------
+# Park one more sleep so the drain has admitted work to finish.
+"$WDAG" request --port "$PORT" --type sleep --millis 300 > /dev/null 2>&1 &
+PARKED_PID=$!
+sleep 0.1
+kill -TERM "$SERVER_PID"
+rc=0
+wait "$SERVER_PID" || rc=$?
+SERVER_PID=""
+[ "$rc" -eq 0 ] || fail "server exited $rc on SIGTERM, expected a clean 0"
+grep -q "drained and stopped" "$TMP/server.log" \
+  || fail "server log has no drain summary line"
+wait "$PARKED_PID" \
+  || fail "in-flight request was abandoned by the drain instead of answered"
+
+echo "serve_smoke: OK"

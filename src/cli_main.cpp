@@ -16,6 +16,14 @@
 //                 worker subprocesses with per-shard timeout, bounded
 //                 retry + backoff, speculative re-execution of
 //                 stragglers, and a streaming validated merge
+//   wdag serve  — persistent solve service on TCP: newline-delimited JSON
+//                 requests through a bounded admission queue (overload
+//                 rejects, never buffers) into one warm engine, with
+//                 per-request deadlines, a live /stats endpoint and
+//                 graceful SIGINT/SIGTERM drain
+//   wdag request — client for wdag serve: send one request (from flags
+//                 or a file), print the response line, exit 0/3/4 for
+//                 ok/rejected/error
 //
 // Every generated workload is a deterministic function of --seed: the batch
 // engine seeds each instance from (seed, GLOBAL index), so identical seeds
@@ -24,6 +32,7 @@
 // shards the index range was split into.
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -67,6 +76,12 @@ int usage(std::ostream& os) {
         "             [--timeout SEC] [--backoff SEC] [--speculate F]\n"
         "             [--fail-fast N] [--resume] [--events PATH]\n"
         "             [--progress] [--out PATH|-]\n"
+        "  wdag serve [--host H] [--port P] [--queue N] [--deadline-ms D]\n"
+        "             [--threads T] [--port-file PATH] [solver flags]\n"
+        "  wdag request --port P [--host H] [--type T] [--id ID]\n"
+        "             [--gen NAME ...] [--count N] [--deadline-ms D]\n"
+        "             [--req-file FILE] [--timeout-ms MS] [solver flags]\n"
+        "  wdag --version\n"
         "\n"
         "generators (--gen):\n"
         "  random-upp   mixed random UPP workload: trees, one- and\n"
@@ -101,6 +116,9 @@ int usage(std::ostream& os) {
         "  --file PATH    solve an instance file instead of --gen\n"
         "  --show-coloring    print the wavelength of every path\n"
         "  --dump         print the solved instance in instance-text form\n"
+        "  solve --json PATH    also write the verdict as one JSON line\n"
+        "                 ('-' = stdout) — the same object a served solve\n"
+        "                 request returns, for field-level comparison\n"
         "\n"
         "batch flags:\n"
         "  --count N      instances in the batch (default 100)\n"
@@ -184,10 +202,40 @@ int usage(std::ostream& os) {
         "                 journal in --work-dir after a successful drive\n"
         "  --wdag-bin P   worker binary to execute (default: this binary)\n"
         "\n"
+        "serve flags:\n"
+        "  --host H       listen / connect address (default 127.0.0.1)\n"
+        "  --port P       TCP port; serve: 0 picks an ephemeral port\n"
+        "                 (default 0), request: required\n"
+        "  --queue N      admission queue capacity (default 64); a full\n"
+        "                 queue answers 'rejected: queue_full' immediately\n"
+        "                 instead of buffering without bound\n"
+        "  --deadline-ms D   serve: default deadline for requests that\n"
+        "                 carry none; request: this request's deadline.\n"
+        "                 A request whose deadline expires while queued is\n"
+        "                 answered 'rejected: deadline' without solving\n"
+        "                 (default 0 = none)\n"
+        "  --port-file PATH   write the bound port to PATH once listening\n"
+        "                 (scripts wait for the file, then connect)\n"
+        "\n"
+        "request flags:\n"
+        "  --type T       solve | batch | stats (default solve)\n"
+        "  --id ID        client tag echoed in the response\n"
+        "  --req-file F   send the first line of F verbatim instead of\n"
+        "                 building the request from the flags\n"
+        "  --timeout-ms MS   give up when no response arrives within MS\n"
+        "                 (default 30000)\n"
+        "\n"
+        "global flags:\n"
+        "  --help         print this help and exit 0\n"
+        "  --version      print 'wdag VERSION (build-type, arch)' and exit\n"
+        "\n"
         "environment:\n"
         "  WDAG_AFFINITY  pin pool workers to CPUs (Linux): 'on' pins\n"
         "                 worker i to cpu i, a comma list '0,2,4' cycles\n"
-        "                 through those CPUs; unset/'off' leaves the OS free\n";
+        "                 through those CPUs; unset/'off' leaves the OS free\n"
+        "  WDAG_SERVE_TEST_HOOKS   when set, wdag serve also honors 'sleep'\n"
+        "                 requests that occupy the worker for a fixed time\n"
+        "                 (deterministic backpressure in tests)\n";
   return 2;
 }
 
@@ -340,6 +388,12 @@ int cmd_solve(const Cli& cli) {
   }
   if (cli.has("dump")) {
     std::cout << wdag::paths::to_instance_text(family);
+  }
+  if (cli.has("json")) {
+    // The serve wire object, so `wdag solve --json` output is
+    // field-comparable with a served solve of the same flags + seed.
+    write_output(cli.get("json", "-"),
+                 wdag::serve::solve_response_json("", response) + "\n");
   }
   return 0;
 }
@@ -769,6 +823,133 @@ int cmd_drive(const Cli& cli) {
   return 0;
 }
 
+// SIGINT/SIGTERM flag of `wdag serve` (the PR 7 drive pattern): the
+// handler only flips the flag; the accept loop polls it every tick and
+// then DRAINS — in-flight and admitted work completes, new work is
+// refused, and serve exits 0. Contrast with drive, which exits
+// 128+signal: a served drain is the intended shutdown, not an abort.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void serve_signal_handler(int) { g_serve_stop = 1; }
+
+int cmd_serve(const Cli& cli) {
+  wdag::ServeOptions options;
+  options.host = cli.get("host", "127.0.0.1");
+  const std::int64_t port = cli.get_int("port", 0);
+  WDAG_REQUIRE(port >= 0 && port <= 65535,
+               "--port must be in [0, 65535] (0 = ephemeral), got " +
+                   std::to_string(port));
+  options.port = static_cast<std::uint16_t>(port);
+  const std::int64_t queue = cli.get_int("queue", 64);
+  WDAG_REQUIRE(queue >= 1, "--queue must be >= 1, got " +
+                               std::to_string(queue));
+  options.queue_capacity = static_cast<std::size_t>(queue);
+  options.default_deadline_ms = cli.get_double("deadline-ms", 0.0);
+  WDAG_REQUIRE(options.default_deadline_ms >= 0.0,
+               "--deadline-ms must be >= 0 (0 = none)");
+  const std::int64_t threads = cli.get_int("threads", 0);
+  WDAG_REQUIRE(threads >= 0,
+               "--threads must be >= 0 (0 = hardware concurrency), got " +
+                   std::to_string(threads));
+  options.engine_threads = static_cast<std::size_t>(threads);
+  options.solve.exact_threshold =
+      static_cast<std::size_t>(cli.get_int("exact-threshold", 48));
+  options.solve.exact_node_budget =
+      static_cast<std::size_t>(cli.get_int("exact-budget", 20'000'000));
+  options.enable_test_hooks =
+      std::getenv("WDAG_SERVE_TEST_HOOKS") != nullptr;
+
+  g_serve_stop = 0;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  options.external_stop = [] { return g_serve_stop != 0; };
+
+  const std::string host = options.host;
+  const std::size_t capacity = options.queue_capacity;
+  wdag::Server server(std::move(options));
+  if (cli.has("port-file")) {
+    // Write-then-rename so a script that saw the file appear never reads
+    // a half-written port number.
+    const std::string path = cli.get("port-file", "");
+    WDAG_REQUIRE(!path.empty(), "--port-file requires a path");
+    const std::string tmp = path + ".tmp";
+    write_output(tmp, std::to_string(server.port()) + "\n");
+    std::filesystem::rename(tmp, path);
+  }
+  std::cout << "wdag serve: listening on " << host << ":" << server.port()
+            << " (queue " << capacity << ")" << std::endl;
+  server.run();
+  std::cout << "wdag serve: drained and stopped ("
+            << server.stats().solved() << " solves, "
+            << server.stats().batches() << " batches, "
+            << (server.stats().rejected_queue_full() +
+                server.stats().rejected_deadline() +
+                server.stats().rejected_shutdown())
+            << " rejected)" << std::endl;
+  return 0;
+}
+
+int cmd_request(const Cli& cli) {
+  const std::string host = cli.get("host", "127.0.0.1");
+  const std::int64_t port = cli.get_int("port", 0);
+  WDAG_REQUIRE(port >= 1 && port <= 65535,
+               "request requires --port P (1..65535)");
+  const std::int64_t timeout_ms = cli.get_int("timeout-ms", 30'000);
+  WDAG_REQUIRE(timeout_ms >= 1, "--timeout-ms must be >= 1, got " +
+                                    std::to_string(timeout_ms));
+
+  std::string line;
+  if (cli.has("req-file")) {
+    const std::string path = cli.get("req-file", "");
+    std::ifstream in(path);
+    WDAG_REQUIRE(in.good(), "cannot open request file '" + path + "'");
+    while (std::getline(in, line) && line.empty()) {
+    }
+    WDAG_REQUIRE(!line.empty(),
+                 "request file '" + path + "' has no request line");
+    // Parse locally first so a malformed file fails here with a usage
+    // error, not as a served 'error' response.
+    (void)wdag::serve::parse_request(line);
+  } else {
+    wdag::serve::WireRequest request;
+    const std::string type = cli.get("type", "solve");
+    if (type == "solve") request.kind = wdag::serve::RequestKind::kSolve;
+    else if (type == "batch") request.kind = wdag::serve::RequestKind::kBatch;
+    else if (type == "stats") request.kind = wdag::serve::RequestKind::kStats;
+    else if (type == "sleep") request.kind = wdag::serve::RequestKind::kSleep;
+    else throw wdag::InvalidArgument("--type must be solve | batch | stats, got '" +
+                                     type + "'");
+    request.id = cli.get("id", "");
+    request.deadline_ms = cli.get_double("deadline-ms", 0.0);
+    WDAG_REQUIRE(request.deadline_ms >= 0.0,
+                 "--deadline-ms must be >= 0 (0 = none)");
+    if (request.kind == wdag::serve::RequestKind::kSolve ||
+        request.kind == wdag::serve::RequestKind::kBatch) {
+      const CommonArgs args = read_common_args(cli, 100);
+      WDAG_REQUIRE(!args.gen.family.empty(),
+                   "request --type " + type + " requires --gen NAME");
+      request.gen = args.gen;
+      request.count = args.count;
+      request.force = args.force;
+      if (cli.has("exact-threshold") || cli.has("exact-budget")) {
+        request.solve = args.solve;
+      }
+    } else if (request.kind == wdag::serve::RequestKind::kSleep) {
+      request.sleep_ms = cli.get_double("millis", 0.0);
+    }
+    line = wdag::serve::request_to_json(request);
+  }
+
+  const std::string response = wdag::serve::request_once(
+      host, static_cast<std::uint16_t>(port), line,
+      static_cast<int>(timeout_ms));
+  std::cout << response << "\n";
+  const wdag::serve::WireReply reply = wdag::serve::parse_reply(response);
+  if (reply.status == "ok") return 0;
+  if (reply.status == "rejected") return 3;
+  return 4;
+}
+
 int cmd_shard(const Cli& cli) {
   const std::vector<std::string>& pos = cli.positional();
   if (pos.size() < 2) {
@@ -786,10 +967,18 @@ int cmd_shard(const Cli& cli) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Process-wide, before anything can write to a socket or pipe: a peer
+  // that disappears mid-write must surface as a failed write, never kill
+  // the process (regression-tested by serve_sigpipe).
+  wdag::util::ignore_sigpipe();
   try {
     const Cli cli(argc, argv);
     if (cli.has("help")) {
       usage(std::cout);
+      return 0;
+    }
+    if (cli.has("version")) {
+      std::cout << wdag::util::build_info_line() << "\n";
       return 0;
     }
     if (cli.positional().empty()) return usage(std::cerr);
@@ -799,6 +988,8 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(cli);
     if (command == "shard") return cmd_shard(cli);
     if (command == "drive") return cmd_drive(cli);
+    if (command == "serve") return cmd_serve(cli);
+    if (command == "request") return cmd_request(cli);
     std::cerr << "unknown command '" << command << "'\n";
     return usage(std::cerr);
   } catch (const std::exception& e) {

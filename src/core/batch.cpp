@@ -198,42 +198,10 @@ std::size_t rank_index(std::size_t n, double q) {
 }
 
 /// Fills the latency summary from an unsorted sample, partially
-/// reordering it in place. Three nth_element selections over shrinking
-/// tails replace the former full sort — the same nearest-rank values at
-/// O(n) instead of O(n log n), which is what the profile showed at
-/// --count 100000 (sorting 100k doubles per report).
+/// reordering it in place (core::latency_stats, the shared selection
+/// machinery).
 void fill_latency(BatchReport& report, std::vector<double>& latencies) {
-  if (latencies.empty()) return;
-  double sum = 0.0;
-  for (const double l : latencies) sum += l;
-  const std::size_t n = latencies.size();
-  report.latency.mean = sum / static_cast<double>(n);
-  const std::size_t i50 = rank_index(n, 0.50);
-  const std::size_t i90 = rank_index(n, 0.90);
-  const std::size_t i99 = rank_index(n, 0.99);
-  const auto begin = latencies.begin();
-  // After each selection the pivot slot holds its exact order statistic
-  // and everything right of it is >=, so the next (strictly larger) rank
-  // only needs the tail past the pivot — which also leaves the already-
-  // selected slots untouched for the reads below.
-  std::nth_element(begin, begin + static_cast<std::ptrdiff_t>(i50),
-                   latencies.end());
-  if (i90 > i50) {
-    std::nth_element(begin + static_cast<std::ptrdiff_t>(i50) + 1,
-                     begin + static_cast<std::ptrdiff_t>(i90),
-                     latencies.end());
-  }
-  if (i99 > i90) {
-    std::nth_element(begin + static_cast<std::ptrdiff_t>(i90) + 1,
-                     begin + static_cast<std::ptrdiff_t>(i99),
-                     latencies.end());
-  }
-  report.latency.p50 = latencies[i50];
-  report.latency.p90 = latencies[i90];
-  report.latency.p99 = latencies[i99];
-  report.latency.max =
-      *std::max_element(begin + static_cast<std::ptrdiff_t>(i99),
-                        latencies.end());
+  report.latency = latency_stats(latencies);
 }
 
 /// Fills the aggregate fields of a report whose entries are complete.
@@ -268,6 +236,39 @@ std::string_view name_of(const std::vector<std::string>& names,
 }
 
 }  // namespace
+
+LatencyStats latency_stats(std::vector<double>& samples) {
+  LatencyStats stats;
+  if (samples.empty()) return stats;
+  double sum = 0.0;
+  for (const double l : samples) sum += l;
+  const std::size_t n = samples.size();
+  stats.mean = sum / static_cast<double>(n);
+  const std::size_t i50 = rank_index(n, 0.50);
+  const std::size_t i90 = rank_index(n, 0.90);
+  const std::size_t i99 = rank_index(n, 0.99);
+  const auto begin = samples.begin();
+  // After each selection the pivot slot holds its exact order statistic
+  // and everything right of it is >=, so the next (strictly larger) rank
+  // only needs the tail past the pivot — which also leaves the already-
+  // selected slots untouched for the reads below.
+  std::nth_element(begin, begin + static_cast<std::ptrdiff_t>(i50),
+                   samples.end());
+  if (i90 > i50) {
+    std::nth_element(begin + static_cast<std::ptrdiff_t>(i50) + 1,
+                     begin + static_cast<std::ptrdiff_t>(i90), samples.end());
+  }
+  if (i99 > i90) {
+    std::nth_element(begin + static_cast<std::ptrdiff_t>(i90) + 1,
+                     begin + static_cast<std::ptrdiff_t>(i99), samples.end());
+  }
+  stats.p50 = samples[i50];
+  stats.p90 = samples[i90];
+  stats.p99 = samples[i99];
+  stats.max = *std::max_element(begin + static_cast<std::ptrdiff_t>(i99),
+                                samples.end());
+  return stats;
+}
 
 std::string_view schedule_name(Schedule schedule) {
   return schedule == Schedule::kStealing ? "stealing" : "fixed";

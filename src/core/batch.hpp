@@ -133,6 +133,12 @@ struct LatencyStats {
   double max = 0.0;
 };
 
+/// Latency summary of an unsorted millisecond sample, partially
+/// reordering `samples` in place (three chained nth_element selections —
+/// O(n), not a sort). Zeroed stats for an empty sample. Shared by the
+/// batch report aggregation and the serve /stats endpoint.
+[[nodiscard]] LatencyStats latency_stats(std::vector<double>& samples);
+
 /// Aggregated outcome of a batch solve.
 struct BatchReport {
   std::vector<BatchEntry> entries;      ///< indexed by instance order; empty

@@ -1,11 +1,17 @@
 #pragma once
 
-// Minimal JSON parsing shared by the shard-manifest reader (shard.cpp)
-// and the drive-journal reader (driver.cpp): objects, strings, numbers,
-// booleans — one nesting level in practice. Numbers keep their raw text
-// so 64-bit integers parse exactly. Every entry point takes a `context`
-// string that prefixes diagnostics ("shard manifest", "drive journal")
+// Minimal JSON parsing shared by the shard-manifest reader (shard.cpp),
+// the drive-journal reader (driver.cpp) and the serve wire protocol
+// (serve/protocol.cpp): objects, strings, numbers, booleans — shallow
+// nesting in practice. Numbers keep their raw text so 64-bit integers
+// parse exactly. Every entry point takes a `context` string that
+// prefixes diagnostics ("shard manifest", "drive journal", "request")
 // so errors name the artifact that failed, not the parser.
+//
+// JsonWriter is the matching single-line emitter: stable key order (the
+// caller's call order), string escaping, raw-number passthrough — the
+// writer side of the serve protocol and anything else that must emit
+// exactly what JsonParser accepts.
 //
 // INTERNAL header: not part of the public surface (never reachable from
 // wdag/wdag.hpp, not in WDAG_PUBLIC_HEADERS) — include from .cpp files
@@ -186,6 +192,95 @@ class JsonParser {
   std::string_view text_;
   std::string_view context_;
   std::size_t pos_ = 0;
+};
+
+/// Builds one JSON object (or a nested one) as a single line, in the
+/// exact key order of the field() calls. Strings are escaped to the
+/// subset JsonParser reads back (ASCII control bytes as \u00XX); numbers
+/// are emitted via snprintf with enough digits to round-trip doubles.
+class JsonWriter {
+ public:
+  JsonWriter() { out_.push_back('{'); }
+
+  JsonWriter& field(std::string_view key, std::string_view value) {
+    begin_field(key);
+    append_string(value);
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonWriter& field(std::string_view key, bool value) {
+    begin_field(key);
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, std::uint64_t value) {
+    begin_field(key);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, int value) {
+    begin_field(key);
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d", value);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, double value) {
+    begin_field(key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out_ += buf;
+    return *this;
+  }
+  /// Verbatim JSON (an already-rendered nested object, for example).
+  JsonWriter& field_raw(std::string_view key, std::string_view json) {
+    begin_field(key);
+    out_.append(json);
+    return *this;
+  }
+
+  /// The finished object. The writer is spent after this call.
+  [[nodiscard]] std::string str() && {
+    out_.push_back('}');
+    return std::move(out_);
+  }
+
+ private:
+  void begin_field(std::string_view key) {
+    if (out_.size() > 1) out_.push_back(',');
+    append_string(key);
+    out_.push_back(':');
+  }
+
+  void append_string(std::string_view s) {
+    out_.push_back('"');
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out_ += buf;
+          } else {
+            out_.push_back(c);
+          }
+      }
+    }
+    out_.push_back('"');
+  }
+
+  std::string out_;
 };
 
 inline const JsonValue* opt_field(const JsonValue& obj, const std::string& key,

@@ -1,0 +1,50 @@
+#include "serve/admission.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace wdag::serve {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity) : capacity_(capacity) {
+  WDAG_REQUIRE(capacity >= 1, "admission queue capacity must be >= 1");
+}
+
+bool AdmissionQueue::try_push(Job&& job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || jobs_.size() >= capacity_) return false;
+    jobs_.push_back(std::move(job));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+std::optional<Job> AdmissionQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) return std::nullopt;
+  Job job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return job;
+}
+
+void AdmissionQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool AdmissionQueue::is_closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+}  // namespace wdag::serve

@@ -1,0 +1,74 @@
+#pragma once
+// Admission control of `wdag serve`: a bounded FIFO between the session
+// threads (producers) and the worker loop (consumer).
+//
+// The load-shedding contract is in the queue's shape, not in policy
+// code: try_push NEVER blocks and NEVER grows the queue past its
+// capacity — a full queue is an immediate `rejected: queue_full` back
+// to the client, so overload degrades into fast rejections instead of
+// unbounded buffering and latency collapse (the same bounded-buffer
+// discipline as the batch driver's reorder window). Deadlines are
+// stamped at admission and re-checked when the worker pops the job; a
+// job that aged out while queued is answered `rejected: deadline`
+// without touching the engine.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace wdag::serve {
+
+/// One admitted request travelling from a session thread to the worker.
+struct Job {
+  WireRequest request;
+  /// When the job entered the queue (queue-wait accounting).
+  std::chrono::steady_clock::time_point enqueued_at;
+  /// Absolute deadline; meaningful only when has_deadline.
+  std::chrono::steady_clock::time_point deadline;
+  bool has_deadline = false;
+  /// Fulfilled with the single-line JSON response; the session thread
+  /// blocks on the matching future. Every admitted job's promise IS
+  /// fulfilled: shutdown drains and SERVICES the backlog (admission was
+  /// a promise to answer), while requests arriving after close bounce
+  /// straight back as `rejected: shutdown`.
+  std::promise<std::string> reply;
+};
+
+/// Bounded MPSC job queue (mutex + condvar; capacity fixed at birth).
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity);
+
+  /// Admits the job unless the queue is full or closed. Returns true on
+  /// admission (the job was moved in); false leaves `job` untouched so
+  /// the caller can answer the rejection itself. Never blocks.
+  [[nodiscard]] bool try_push(Job&& job);
+
+  /// Next job, FIFO. Blocks until a job arrives or the queue is closed;
+  /// nullopt only when closed AND drained — the worker's exit signal.
+  [[nodiscard]] std::optional<Job> pop();
+
+  /// Closes admission: subsequent try_push fails, pop drains what is
+  /// left then returns nullopt. Idempotent.
+  void close();
+
+  [[nodiscard]] bool is_closed() const;
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Job> jobs_;
+  bool closed_ = false;
+};
+
+}  // namespace wdag::serve

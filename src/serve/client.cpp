@@ -1,0 +1,41 @@
+#include "serve/client.hpp"
+
+#include <chrono>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace wdag::serve {
+
+Session::Session(const std::string& host, std::uint16_t port)
+    : conn_(util::TcpConn::connect(host, port)) {}
+
+std::string Session::exchange(std::string_view request_line, int timeout_ms) {
+  if (!conn_.write_line(request_line)) {
+    throw InternalError("serve client: server closed the connection");
+  }
+  // read_line's timeout is per poll wait; bound the TOTAL wait here so a
+  // stalled server cannot park the client forever.
+  util::Timer timer;
+  std::string line;
+  for (;;) {
+    const int remaining_ms =
+        timeout_ms - static_cast<int>(timer.millis());
+    if (remaining_ms <= 0) {
+      throw InternalError("serve client: response timed out");
+    }
+    const util::ReadStatus status = conn_.read_line(line, remaining_ms);
+    if (status == util::ReadStatus::kLine) return line;
+    if (status == util::ReadStatus::kClosed) {
+      throw InternalError("serve client: server closed the connection");
+    }
+  }
+}
+
+std::string request_once(const std::string& host, std::uint16_t port,
+                         std::string_view request_line, int timeout_ms) {
+  Session session(host, port);
+  return session.exchange(request_line, timeout_ms);
+}
+
+}  // namespace wdag::serve

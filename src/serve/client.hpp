@@ -1,0 +1,38 @@
+#pragma once
+// Client side of the serve wire protocol: one connection, one request
+// line, one response line. `wdag request` and the serve tests/bench are
+// all thin layers over request_once / Session.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/socket.hpp"
+
+namespace wdag::serve {
+
+/// A persistent client connection issuing request/response exchanges in
+/// sequence (the protocol is strictly one response per request line).
+class Session {
+ public:
+  /// Connects to a running server. Throws wdag::InternalError when the
+  /// connection is refused.
+  Session(const std::string& host, std::uint16_t port);
+
+  /// Sends one request line and returns the response line. Throws
+  /// wdag::InternalError when the server hangs up or the response does
+  /// not arrive within `timeout_ms`.
+  [[nodiscard]] std::string exchange(std::string_view request_line,
+                                     int timeout_ms = 30000);
+
+ private:
+  util::TcpConn conn_;
+};
+
+/// Connect, exchange one request, disconnect.
+[[nodiscard]] std::string request_once(const std::string& host,
+                                       std::uint16_t port,
+                                       std::string_view request_line,
+                                       int timeout_ms = 30000);
+
+}  // namespace wdag::serve

@@ -1,0 +1,270 @@
+#include "serve/protocol.hpp"
+
+#include <string>
+#include <utility>
+
+#include "core/batch.hpp"
+#include "core/json_min.hpp"
+#include "util/check.hpp"
+
+namespace wdag::serve {
+namespace {
+
+using core::minjson::JsonParser;
+using core::minjson::JsonValue;
+using core::minjson::JsonWriter;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw InvalidArgument("request: " + what);
+}
+
+std::uint64_t num_u64(const JsonValue& v, const std::string& key) {
+  if (v.kind != JsonValue::Kind::kNumber || v.text.empty() ||
+      v.text[0] == '-') {
+    fail("field '" + key + "' must be a non-negative integer");
+  }
+  try {
+    return std::stoull(v.text);
+  } catch (const std::exception&) {
+    fail("field '" + key + "' is not a valid integer: " + v.text);
+  }
+}
+
+double num_double(const JsonValue& v, const std::string& key) {
+  if (v.kind != JsonValue::Kind::kNumber) {
+    fail("field '" + key + "' must be a number");
+  }
+  try {
+    return std::stod(v.text);
+  } catch (const std::exception&) {
+    fail("field '" + key + "' is not a valid number: " + v.text);
+  }
+}
+
+double num_nonneg(const JsonValue& v, const std::string& key) {
+  const double d = num_double(v, key);
+  if (!(d >= 0.0)) fail("field '" + key + "' must be >= 0");
+  return d;
+}
+
+std::string str_val(const JsonValue& v, const std::string& key) {
+  if (v.kind != JsonValue::Kind::kString) {
+    fail("field '" + key + "' must be a string");
+  }
+  return v.text;
+}
+
+std::size_t size_val(const JsonValue& v, const std::string& key) {
+  return static_cast<std::size_t>(num_u64(v, key));
+}
+
+/// The request's optional id leads every response when present.
+JsonWriter response_head(std::string_view id, std::string_view status) {
+  JsonWriter w;
+  if (!id.empty()) w.field("id", id);
+  w.field("status", status);
+  return w;
+}
+
+}  // namespace
+
+std::string_view kind_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kSolve: return "solve";
+    case RequestKind::kBatch: return "batch";
+    case RequestKind::kStats: return "stats";
+    case RequestKind::kSleep: return "sleep";
+  }
+  return "unknown";
+}
+
+std::string request_to_json(const WireRequest& request) {
+  JsonWriter w;
+  w.field("type", kind_name(request.kind));
+  if (!request.id.empty()) w.field("id", request.id);
+  if (request.kind == RequestKind::kSolve ||
+      request.kind == RequestKind::kBatch) {
+    w.field("gen", request.gen.family);
+    w.field("seed", request.gen.seed);
+    if (request.kind == RequestKind::kBatch) w.field("count", request.count);
+    if (request.force) w.field("force", *request.force);
+    if (request.solve) {
+      w.field("exact-threshold", request.solve->exact_threshold);
+      w.field("exact-budget", request.solve->exact_node_budget);
+    }
+    // Generator knobs are emitted only when they differ from the
+    // WorkloadParams defaults — the parser fills the same defaults back
+    // in, so the round trip is exact and the lines stay short.
+    const gen::WorkloadParams d{};
+    const gen::WorkloadParams& p = request.gen.params;
+    if (p.paths != d.paths) w.field("paths", p.paths);
+    if (p.size != d.size) w.field("size", p.size);
+    if (p.density != d.density) w.field("density", p.density);
+    if (p.k != d.k) w.field("k", p.k);
+    if (p.run_len != d.run_len) w.field("run-len", p.run_len);
+    if (p.chain != d.chain) w.field("chain", p.chain);
+    if (p.layers != d.layers) w.field("layers", p.layers);
+    if (p.width != d.width) w.field("width-l", p.width);
+    if (p.rows != d.rows) w.field("rows-g", p.rows);
+    if (p.cols != d.cols) w.field("cols", p.cols);
+    if (p.dim != d.dim) w.field("dim", p.dim);
+    if (p.stages != d.stages) w.field("stages", p.stages);
+    if (p.h != d.h) w.field("h", p.h);
+  }
+  if (request.kind == RequestKind::kSleep && request.sleep_ms > 0) {
+    w.field("millis", request.sleep_ms);
+  }
+  if (request.deadline_ms > 0) w.field("deadline-ms", request.deadline_ms);
+  return std::move(w).str();
+}
+
+WireRequest parse_request(std::string_view line) {
+  const JsonValue root = JsonParser(line, "request").parse();
+  if (root.kind != JsonValue::Kind::kObject) fail("expected a JSON object");
+
+  const JsonValue* type = core::minjson::opt_field(root, "type", "request");
+  if (type == nullptr) fail("missing field 'type'");
+  const std::string type_name = str_val(*type, "type");
+
+  WireRequest r;
+  if (type_name == "solve") r.kind = RequestKind::kSolve;
+  else if (type_name == "batch") r.kind = RequestKind::kBatch;
+  else if (type_name == "stats") r.kind = RequestKind::kStats;
+  else if (type_name == "sleep") r.kind = RequestKind::kSleep;
+  else fail("unknown request type '" + type_name + "'");
+
+  const bool workload =
+      r.kind == RequestKind::kSolve || r.kind == RequestKind::kBatch;
+  core::SolveOptions solve{};
+  bool have_solve = false;
+  gen::WorkloadParams& p = r.gen.params;
+
+  for (const auto& [key, value] : root.object) {
+    if (key == "type") continue;
+    if (key == "id") {
+      r.id = str_val(value, key);
+    } else if (key == "deadline-ms") {
+      r.deadline_ms = num_nonneg(value, key);
+    } else if (r.kind == RequestKind::kSleep && key == "millis") {
+      r.sleep_ms = num_nonneg(value, key);
+    } else if (workload && key == "gen") {
+      r.gen.family = str_val(value, key);
+    } else if (workload && key == "seed") {
+      r.gen.seed = num_u64(value, key);
+    } else if (r.kind == RequestKind::kBatch && key == "count") {
+      r.count = size_val(value, key);
+      if (r.count == 0) fail("field 'count' must be >= 1");
+    } else if (workload && key == "force") {
+      r.force = str_val(value, key);
+    } else if (workload && key == "exact-threshold") {
+      solve.exact_threshold = size_val(value, key);
+      have_solve = true;
+    } else if (workload && key == "exact-budget") {
+      solve.exact_node_budget = size_val(value, key);
+      have_solve = true;
+    } else if (workload && key == "paths") {
+      p.paths = size_val(value, key);
+    } else if (workload && key == "size") {
+      p.size = size_val(value, key);
+    } else if (workload && key == "density") {
+      p.density = num_nonneg(value, key);
+    } else if (workload && key == "k") {
+      p.k = size_val(value, key);
+    } else if (workload && key == "run-len") {
+      p.run_len = size_val(value, key);
+    } else if (workload && key == "chain") {
+      p.chain = size_val(value, key);
+    } else if (workload && key == "layers") {
+      p.layers = size_val(value, key);
+    } else if (workload && key == "width-l") {
+      p.width = size_val(value, key);
+    } else if (workload && key == "rows-g") {
+      p.rows = size_val(value, key);
+    } else if (workload && key == "cols") {
+      p.cols = size_val(value, key);
+    } else if (workload && key == "dim") {
+      p.dim = size_val(value, key);
+    } else if (workload && key == "stages") {
+      p.stages = size_val(value, key);
+    } else if (workload && key == "h") {
+      p.h = size_val(value, key);
+    } else {
+      fail("unknown key '" + key + "' for a " + std::string(kind_name(r.kind)) +
+           " request");
+    }
+  }
+
+  if (have_solve) r.solve = solve;
+  if (workload && r.gen.family.empty()) fail("missing field 'gen'");
+  return r;
+}
+
+std::string solve_response_json(std::string_view id,
+                                const api::SolveResponse& r) {
+  JsonWriter w = response_head(id, "ok");
+  w.field("type", "solve")
+      .field("strategy", r.strategy_name)
+      .field("paths", r.paths)
+      .field("load", r.load)
+      .field("wavelengths", r.wavelengths)
+      .field("optimal", r.optimal)
+      .field("millis", r.millis);
+  return std::move(w).str();
+}
+
+std::string batch_response_json(std::string_view id,
+                                const core::BatchReport& r) {
+  JsonWriter latency;
+  latency.field("mean", r.latency.mean)
+      .field("p50", r.latency.p50)
+      .field("p90", r.latency.p90)
+      .field("p99", r.latency.p99)
+      .field("max", r.latency.max);
+  JsonWriter w = response_head(id, "ok");
+  w.field("type", "batch")
+      .field("instances", r.instance_count)
+      .field("failures", r.failure_count)
+      .field("optimal", r.optimal_count)
+      .field("total-wavelengths", r.total_wavelengths)
+      .field("total-load", r.total_load)
+      .field("wall-seconds", r.wall_seconds)
+      .field("instances-per-second", r.instances_per_second())
+      .field_raw("latency-ms", std::move(latency).str());
+  return std::move(w).str();
+}
+
+std::string sleep_response_json(std::string_view id, double millis) {
+  JsonWriter w = response_head(id, "ok");
+  w.field("type", "sleep").field("millis", millis);
+  return std::move(w).str();
+}
+
+std::string rejected_response_json(std::string_view id,
+                                   std::string_view reason) {
+  JsonWriter w = response_head(id, "rejected");
+  w.field("reason", reason);
+  return std::move(w).str();
+}
+
+std::string error_response_json(std::string_view id,
+                                std::string_view message) {
+  JsonWriter w = response_head(id, "error");
+  w.field("message", message);
+  return std::move(w).str();
+}
+
+WireReply parse_reply(std::string_view line) {
+  const JsonValue root = JsonParser(line, "response").parse();
+  WireReply reply;
+  reply.status = core::minjson::req_str(root, "status", "response");
+  if (const JsonValue* reason =
+          core::minjson::opt_field(root, "reason", "response")) {
+    reply.detail = str_val(*reason, "reason");
+  } else if (const JsonValue* message =
+                 core::minjson::opt_field(root, "message", "response")) {
+    reply.detail = str_val(*message, "message");
+  }
+  return reply;
+}
+
+}  // namespace wdag::serve

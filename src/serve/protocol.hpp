@@ -1,0 +1,103 @@
+#pragma once
+// The wire protocol of `wdag serve`: newline-delimited JSON, one request
+// object in, one response object out, over a plain TCP connection.
+//
+// A request names its kind in `type` — "solve", "batch" or "stats" (plus
+// the test-hook "sleep", honored only by servers that enable hooks) —
+// and carries the SAME workload vocabulary as the CLI: the generator
+// knobs use their exact flag spellings ("gen", "seed", "paths",
+// "run-len", "width-l", ...), so a request line is a `wdag solve`
+// command re-spelled as JSON and nothing more. Unknown keys are
+// rejected, not ignored: a typoed knob must fail loudly, never solve a
+// silently different instance.
+//
+// Responses carry `status`: "ok" (plus the kind-specific payload),
+// "rejected" (with `reason`: "queue_full" | "deadline" | "shutdown" —
+// the admission-control outcomes), or "error" (with `message`). Every
+// response echoes the request's optional `id`, so a client multiplexing
+// requests can match answers. docs/SERVING.md is the field-level
+// reference.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "api/request.hpp"
+#include "core/solver.hpp"
+
+namespace wdag::serve {
+
+/// What a request asks the server to do.
+enum class RequestKind {
+  kSolve,  ///< solve one generated instance
+  kBatch,  ///< run a generated batch through the engine pool
+  kStats,  ///< report live server statistics (answered out-of-band)
+  kSleep,  ///< occupy the worker (test hook; needs enable_test_hooks)
+};
+
+/// Display name of a request kind: "solve" / "batch" / "stats" / "sleep".
+[[nodiscard]] std::string_view kind_name(RequestKind kind);
+
+/// One parsed request line.
+struct WireRequest {
+  RequestKind kind = RequestKind::kSolve;
+  /// Client-chosen tag echoed verbatim in the response (may be empty).
+  std::string id;
+  /// Workload of solve/batch requests (family, knobs, seed).
+  api::GeneratorSpec gen;
+  /// Instances of a batch request.
+  std::size_t count = 100;
+  /// Bypass dispatch with a registered strategy name.
+  std::optional<std::string> force;
+  /// Solver knobs; the engine defaults apply when absent.
+  std::optional<core::SolveOptions> solve;
+  /// Per-request deadline in milliseconds from admission; 0 = use the
+  /// server default (which may itself be "none").
+  double deadline_ms = 0.0;
+  /// Milliseconds a "sleep" request occupies the worker.
+  double sleep_ms = 0.0;
+};
+
+/// The request as its canonical single-line JSON (what `wdag request`
+/// sends). parse_request(request_to_json(r)) reproduces r exactly.
+[[nodiscard]] std::string request_to_json(const WireRequest& request);
+
+/// Parses one request line. Throws wdag::InvalidArgument on malformed
+/// JSON, an unknown `type`, an unknown key, or an out-of-domain value.
+[[nodiscard]] WireRequest parse_request(std::string_view line);
+
+// --- Response builders (single-line JSON) ----------------------------------
+
+/// status "ok", type "solve": strategy, paths, load, wavelengths,
+/// optimal, millis.
+[[nodiscard]] std::string solve_response_json(std::string_view id,
+                                              const api::SolveResponse& r);
+
+/// status "ok", type "batch": instances, failures, optimal, totals,
+/// latency percentiles, wall seconds, throughput.
+[[nodiscard]] std::string batch_response_json(std::string_view id,
+                                              const core::BatchReport& r);
+
+/// status "ok", type "sleep" (the test hook's acknowledgement).
+[[nodiscard]] std::string sleep_response_json(std::string_view id,
+                                              double millis);
+
+/// status "rejected" with the admission-control `reason`.
+[[nodiscard]] std::string rejected_response_json(std::string_view id,
+                                                 std::string_view reason);
+
+/// status "error" with a human-readable `message`.
+[[nodiscard]] std::string error_response_json(std::string_view id,
+                                              std::string_view message);
+
+/// The response fields every client decision needs, parsed from any
+/// response line: the status plus the rejection reason / error message
+/// (empty for "ok"). Throws wdag::InvalidArgument on non-response JSON.
+struct WireReply {
+  std::string status;  ///< "ok" | "rejected" | "error"
+  std::string detail;  ///< reason / message; empty for "ok"
+};
+[[nodiscard]] WireReply parse_reply(std::string_view line);
+
+}  // namespace wdag::serve

@@ -1,0 +1,195 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "serve/protocol.hpp"
+#include "util/timer.hpp"
+
+namespace wdag::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Accept / read poll tick: stop flags are noticed within one tick.
+constexpr int kTickMs = 200;
+
+Clock::duration millis_duration(double ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+std::string service_job(api::Engine& engine, Job& job, ServeStats& stats,
+                        bool enable_test_hooks) {
+  const WireRequest& req = job.request;
+  try {
+    // Deadline first: a job that aged out while queued is answered
+    // without touching the engine — the cheap path under overload.
+    if (job.has_deadline && Clock::now() > job.deadline) {
+      stats.on_rejected_deadline();
+      return rejected_response_json(req.id, "deadline");
+    }
+    switch (req.kind) {
+      case RequestKind::kSolve: {
+        api::SolveRequest solve;
+        solve.generator = req.gen;
+        solve.force_strategy = req.force;
+        solve.options = req.solve;
+        util::Timer timer;
+        const api::SolveResponse response = engine.submit(solve);
+        stats.on_solved(response.strategy_name, timer.millis());
+        return solve_response_json(req.id, response);
+      }
+      case RequestKind::kBatch: {
+        api::BatchRequest batch;
+        batch.generator = req.gen;
+        batch.count = req.count;
+        batch.force_strategy = req.force;
+        batch.solve = req.solve;
+        batch.options.seed = req.gen.seed;
+        batch.options.keep_entries = false;
+        util::Timer timer;
+        const core::BatchReport report = engine.run_batch(batch);
+        stats.on_batch(timer.millis());
+        return batch_response_json(req.id, report);
+      }
+      case RequestKind::kSleep: {
+        if (!enable_test_hooks) {
+          stats.on_error();
+          return error_response_json(
+              req.id, "sleep requests require a server with test hooks");
+        }
+        std::this_thread::sleep_for(millis_duration(req.sleep_ms));
+        return sleep_response_json(req.id, req.sleep_ms);
+      }
+      case RequestKind::kStats:
+        break;  // answered out-of-band by the session; never queued
+    }
+    stats.on_error();
+    return error_response_json(req.id, "request kind cannot be queued");
+  } catch (const std::exception& e) {
+    stats.on_error();
+    return error_response_json(req.id, e.what());
+  }
+}
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      listener_(util::TcpListener::listen(options_.host, options_.port)),
+      engine_(api::EngineOptions{options_.engine_threads, options_.solve}),
+      queue_(options_.queue_capacity),
+      started_at_(Clock::now()) {}
+
+Server::~Server() {
+  request_stop();
+  join();
+  // run() joins worker and sessions before returning; if run() was never
+  // entered nothing was spawned.
+}
+
+std::uint16_t Server::port() const {
+  return static_cast<std::uint16_t>(listener_.port());
+}
+
+void Server::run() {
+  worker_ = std::thread(&Server::worker_loop, this);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (options_.external_stop && options_.external_stop()) break;
+    auto conn = listener_.accept(kTickMs);
+    if (!conn) continue;
+    stats_.on_connection();
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions_.emplace_back(&Server::session_loop, this, std::move(*conn));
+  }
+  // Graceful drain: refuse new work, service the admitted backlog, then
+  // join. Sessions blocked on a future are released by the worker drain
+  // and exit on their next read tick.
+  stop_.store(true, std::memory_order_relaxed);
+  queue_.close();
+  worker_.join();
+  const std::lock_guard<std::mutex> lock(sessions_mutex_);
+  for (std::thread& session : sessions_) session.join();
+  sessions_.clear();
+}
+
+void Server::start() { run_thread_ = std::thread(&Server::run, this); }
+
+void Server::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+}
+
+void Server::join() {
+  if (run_thread_.joinable()) run_thread_.join();
+}
+
+void Server::worker_loop() {
+  while (auto job = queue_.pop()) {
+    stats_.on_dequeued();
+    std::string response =
+        service_job(engine_, *job, stats_, options_.enable_test_hooks);
+    job->reply.set_value(std::move(response));
+  }
+}
+
+void Server::session_loop(util::TcpConn conn) {
+  std::string line;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const util::ReadStatus status = conn.read_line(line, kTickMs);
+    if (status == util::ReadStatus::kTimeout) continue;
+    if (status == util::ReadStatus::kClosed) return;
+    if (line.empty()) continue;
+
+    stats_.on_request();
+    std::string response;
+    try {
+      WireRequest request = parse_request(line);
+      if (request.kind == RequestKind::kStats) {
+        stats_.on_stats();
+        const double uptime =
+            std::chrono::duration<double>(Clock::now() - started_at_).count();
+        response =
+            stats_.to_json(uptime, queue_.depth(), queue_.capacity());
+      } else {
+        Job job;
+        job.request = std::move(request);
+        job.enqueued_at = Clock::now();
+        const double deadline_ms = job.request.deadline_ms > 0
+                                       ? job.request.deadline_ms
+                                       : options_.default_deadline_ms;
+        if (deadline_ms > 0) {
+          job.has_deadline = true;
+          job.deadline = job.enqueued_at + millis_duration(deadline_ms);
+        }
+        const std::string id = job.request.id;
+        std::future<std::string> reply = job.reply.get_future();
+        if (stop_.load(std::memory_order_relaxed)) {
+          stats_.on_rejected_shutdown();
+          response = rejected_response_json(id, "shutdown");
+        } else if (!queue_.try_push(std::move(job))) {
+          if (queue_.is_closed()) {
+            stats_.on_rejected_shutdown();
+            response = rejected_response_json(id, "shutdown");
+          } else {
+            stats_.on_rejected_queue_full();
+            response = rejected_response_json(id, "queue_full");
+          }
+        } else {
+          stats_.on_admitted();
+          response = reply.get();
+        }
+      }
+    } catch (const std::exception& e) {
+      stats_.on_error();
+      response = error_response_json("", e.what());
+    }
+    // A client that hung up mid-response is not an error worth keeping
+    // the session for — write_all absorbs EPIPE (SIGPIPE is ignored
+    // process-wide) and we just close our side.
+    if (!conn.write_line(response)) return;
+  }
+}
+
+}  // namespace wdag::serve

@@ -1,0 +1,82 @@
+#include "serve/stats.hpp"
+
+#include <utility>
+
+#include "core/batch.hpp"
+#include "core/json_min.hpp"
+#include "util/build_info.hpp"
+
+namespace wdag::serve {
+
+void ServeStats::on_solved(std::string_view strategy, double service_ms) {
+  solved_.fetch_add(1, order());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++strategy_counts_[std::string(strategy)];
+  if (latency_ring_.size() < kLatencyWindow) {
+    latency_ring_.push_back(service_ms);
+  } else {
+    latency_ring_[ring_next_] = service_ms;
+    ring_next_ = (ring_next_ + 1) % kLatencyWindow;
+  }
+}
+
+void ServeStats::on_batch(double service_ms) {
+  batches_.fetch_add(1, order());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (latency_ring_.size() < kLatencyWindow) {
+    latency_ring_.push_back(service_ms);
+  } else {
+    latency_ring_[ring_next_] = service_ms;
+    ring_next_ = (ring_next_ + 1) % kLatencyWindow;
+  }
+}
+
+std::string ServeStats::to_json(double uptime_seconds,
+                                std::size_t queue_depth,
+                                std::size_t queue_capacity) const {
+  std::map<std::string, std::uint64_t> histogram;
+  std::vector<double> samples;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    histogram = strategy_counts_;
+    samples = latency_ring_;
+  }
+
+  core::minjson::JsonWriter strategies;
+  for (const auto& [name, count] : histogram) strategies.field(name, count);
+
+  const core::LatencyStats latency = core::latency_stats(samples);
+  core::minjson::JsonWriter latency_json;
+  latency_json.field("count", samples.size())
+      .field("mean", latency.mean)
+      .field("p50", latency.p50)
+      .field("p90", latency.p90)
+      .field("p99", latency.p99)
+      .field("max", latency.max);
+
+  core::minjson::JsonWriter w;
+  w.field("status", "ok")
+      .field("type", "stats")
+      .field("version", util::version())
+      .field("build", util::build_type())
+      .field("arch", util::build_arch())
+      .field("uptime-seconds", uptime_seconds)
+      .field("queue-depth", queue_depth)
+      .field("queue-capacity", queue_capacity)
+      .field("connections", connections_.load(order()))
+      .field("received", received_.load(order()))
+      .field("stats-served", stats_served_.load(order()))
+      .field("admitted", admitted_.load(order()))
+      .field("dequeued", dequeued_.load(order()))
+      .field("solved", solved_.load(order()))
+      .field("batches", batches_.load(order()))
+      .field("rejected-queue-full", rejected_queue_full_.load(order()))
+      .field("rejected-deadline", rejected_deadline_.load(order()))
+      .field("rejected-shutdown", rejected_shutdown_.load(order()))
+      .field("errors", errors_.load(order()))
+      .field_raw("strategies", std::move(strategies).str())
+      .field_raw("latency-ms", std::move(latency_json).str());
+  return std::move(w).str();
+}
+
+}  // namespace wdag::serve

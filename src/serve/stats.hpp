@@ -1,0 +1,102 @@
+#pragma once
+// Live counters of a running `wdag serve` instance, rendered on demand
+// by a "stats" request. Counter bumps come from session threads and the
+// worker loop concurrently; the /stats snapshot must stay cheap and
+// must keep answering while the admission queue is full — that is the
+// whole point of an out-of-band stats path.
+//
+// Counts are relaxed atomics (each is an independent monotone counter;
+// a snapshot taken mid-burst may be off by in-flight increments, which
+// is fine for monitoring). The per-strategy dispatch histogram and the
+// latency reservoir need composite updates, so they sit behind one
+// mutex taken only on solve completion and on snapshot.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wdag::serve {
+
+/// Thread-safe statistics of one server. All counters start at zero.
+class ServeStats {
+ public:
+  /// Most recent service latencies retained for the percentile snapshot
+  /// (a bounded ring: old samples are overwritten, counters never stop).
+  static constexpr std::size_t kLatencyWindow = 65536;
+
+  ServeStats() { latency_ring_.reserve(1024); }
+
+  // --- bumps (any thread) --------------------------------------------------
+  void on_connection() { connections_.fetch_add(1, order()); }
+  void on_request() { received_.fetch_add(1, order()); }
+  void on_stats() { stats_served_.fetch_add(1, order()); }
+  /// A job passed admission (it sits in the queue now).
+  void on_admitted() { admitted_.fetch_add(1, order()); }
+  /// The worker picked a job up (it left the queue).
+  void on_dequeued() { dequeued_.fetch_add(1, order()); }
+  void on_rejected_queue_full() { rejected_queue_full_.fetch_add(1, order()); }
+  void on_rejected_deadline() { rejected_deadline_.fetch_add(1, order()); }
+  void on_rejected_shutdown() { rejected_shutdown_.fetch_add(1, order()); }
+  void on_error() { errors_.fetch_add(1, order()); }
+
+  /// A solve request completed: count it under its winning strategy and
+  /// record its service latency.
+  void on_solved(std::string_view strategy, double service_ms);
+
+  /// A batch request completed (per-strategy counts stay per-instance
+  /// inside the batch report; the histogram here tracks served solves).
+  void on_batch(double service_ms);
+
+  // --- snapshot ------------------------------------------------------------
+  std::uint64_t received() const { return received_.load(order()); }
+  std::uint64_t admitted() const { return admitted_.load(order()); }
+  std::uint64_t dequeued() const { return dequeued_.load(order()); }
+  std::uint64_t solved() const { return solved_.load(order()); }
+  std::uint64_t batches() const { return batches_.load(order()); }
+  std::uint64_t rejected_queue_full() const {
+    return rejected_queue_full_.load(order());
+  }
+  std::uint64_t rejected_deadline() const {
+    return rejected_deadline_.load(order());
+  }
+  std::uint64_t rejected_shutdown() const {
+    return rejected_shutdown_.load(order());
+  }
+  std::uint64_t errors() const { return errors_.load(order()); }
+
+  /// The full stats object as single-line JSON: version/build fields,
+  /// uptime, queue occupancy, every counter, the per-strategy dispatch
+  /// histogram (nested object), and p50/p90/p99 service latency over the
+  /// retained window (core::latency_stats on a copy of the ring).
+  [[nodiscard]] std::string to_json(double uptime_seconds,
+                                    std::size_t queue_depth,
+                                    std::size_t queue_capacity) const;
+
+ private:
+  static constexpr std::memory_order order() {
+    return std::memory_order_relaxed;
+  }
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> stats_served_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> dequeued_{0};
+  std::atomic<std::uint64_t> solved_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> rejected_queue_full_{0};
+  std::atomic<std::uint64_t> rejected_deadline_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> errors_{0};
+
+  mutable std::mutex mutex_;  ///< guards the histogram and the ring
+  std::map<std::string, std::uint64_t> strategy_counts_;
+  std::vector<double> latency_ring_;  ///< grows to kLatencyWindow, then wraps
+  std::size_t ring_next_ = 0;         ///< overwrite cursor once full
+};
+
+}  // namespace wdag::serve

@@ -1,0 +1,34 @@
+#include "util/build_info.hpp"
+
+// CMake defines these on this translation unit; the fallbacks keep a
+// bare `c++ src/**/*.cpp` build honest about what it does not know.
+#ifndef WDAG_VERSION_STRING
+#define WDAG_VERSION_STRING "0.0.0-unversioned"
+#endif
+#ifndef WDAG_BUILD_TYPE_STRING
+#define WDAG_BUILD_TYPE_STRING "unknown"
+#endif
+#ifndef WDAG_ARCH_STRING
+#define WDAG_ARCH_STRING "unknown"
+#endif
+
+namespace wdag::util {
+
+std::string_view version() { return WDAG_VERSION_STRING; }
+
+std::string_view build_type() { return WDAG_BUILD_TYPE_STRING; }
+
+std::string_view build_arch() { return WDAG_ARCH_STRING; }
+
+std::string build_info_line() {
+  std::string line = "wdag ";
+  line += version();
+  line += " (";
+  line += build_type();
+  line += ", ";
+  line += build_arch();
+  line += ")";
+  return line;
+}
+
+}  // namespace wdag::util

@@ -1,0 +1,29 @@
+#pragma once
+// Build identity of this wdag binary/library: the project version plus
+// the build type and architecture flags it was compiled with. Backs
+// `wdag --version` and the `version`/`build` fields of the serve /stats
+// response, so a fleet of servers can be audited for mixed builds.
+//
+// The values are baked in at compile time via -D definitions on
+// build_info.cpp (see CMakeLists.txt); the header defaults keep
+// non-CMake builds compiling.
+
+#include <string>
+#include <string_view>
+
+namespace wdag::util {
+
+/// Semantic version of the wdag project, e.g. "0.2.1".
+[[nodiscard]] std::string_view version();
+
+/// Build configuration, e.g. "Release" or "Debug".
+[[nodiscard]] std::string_view build_type();
+
+/// Target architecture, e.g. "x86_64" — with "+native" appended when the
+/// build opted into WDAG_NATIVE_ARCH.
+[[nodiscard]] std::string_view build_arch();
+
+/// One-line identity, e.g. "wdag 0.2.1 (Release, x86_64)".
+[[nodiscard]] std::string build_info_line();
+
+}  // namespace wdag::util

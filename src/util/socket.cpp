@@ -1,0 +1,241 @@
+#include "util/socket.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace wdag::util {
+
+void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw InternalError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw InvalidArgument("not a numeric IPv4 address: '" + host + "'");
+  }
+  return addr;
+}
+
+/// Waits for readability; true when the fd is ready within the timeout.
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+// --- TcpConn ---------------------------------------------------------------
+
+TcpConn TcpConn::connect(const std::string& host, int port) {
+  const sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket()");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("cannot connect to " + host + ":" + std::to_string(port));
+  }
+  return TcpConn(fd);
+}
+
+TcpConn::TcpConn(TcpConn&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+TcpConn::~TcpConn() { close(); }
+
+void TcpConn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+ReadStatus TcpConn::read_line(std::string& line, int timeout_ms) {
+  if (fd_ < 0) return ReadStatus::kClosed;
+  for (;;) {
+    // A buffered full line is served without touching the socket, so
+    // pipelined requests drain before the next recv.
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return ReadStatus::kLine;
+    }
+    if (buffer_.size() > max_line()) return ReadStatus::kClosed;
+    if (!wait_readable(fd_, timeout_ms)) return ReadStatus::kTimeout;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return ReadStatus::kClosed;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::kClosed;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool TcpConn::write_all(std::string_view data) {
+  if (fd_ < 0) return false;
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE/ECONNRESET: the peer is gone
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool TcpConn::write_line(std::string_view line) {
+  std::string out;
+  out.reserve(line.size() + 1);
+  out.append(line);
+  out.push_back('\n');
+  return write_all(out);
+}
+
+// --- TcpListener -----------------------------------------------------------
+
+TcpListener TcpListener::listen(const std::string& host, int port) {
+  const sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket()");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("cannot bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, 128) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno("listen()");
+  }
+  TcpListener l;
+  l.fd_ = fd;
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    l.port_ = ntohs(bound.sin_port);
+  } else {
+    l.port_ = port;
+  }
+  return l;
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(other.port_) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = other.port_;
+  }
+  return *this;
+}
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<TcpConn> TcpListener::accept(int timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  if (!wait_readable(fd_, timeout_ms)) return std::nullopt;
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return std::nullopt;
+  return TcpConn(fd);
+}
+
+}  // namespace wdag::util
+
+#else  // non-POSIX
+
+namespace wdag::util {
+
+void ignore_sigpipe() {}
+
+TcpConn TcpConn::connect(const std::string&, int) {
+  throw InternalError("TCP sockets require a POSIX platform");
+}
+TcpConn::TcpConn(TcpConn&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {}
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  fd_ = other.fd_;
+  buffer_ = std::move(other.buffer_);
+  return *this;
+}
+TcpConn::~TcpConn() = default;
+void TcpConn::close() { fd_ = -1; }
+ReadStatus TcpConn::read_line(std::string&, int) { return ReadStatus::kClosed; }
+bool TcpConn::write_all(std::string_view) { return false; }
+bool TcpConn::write_line(std::string_view) { return false; }
+
+TcpListener TcpListener::listen(const std::string&, int) {
+  throw InternalError("TCP sockets require a POSIX platform");
+}
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {}
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  fd_ = other.fd_;
+  port_ = other.port_;
+  return *this;
+}
+TcpListener::~TcpListener() = default;
+void TcpListener::close() { fd_ = -1; }
+std::optional<TcpConn> TcpListener::accept(int) { return std::nullopt; }
+
+}  // namespace wdag::util
+
+#endif

@@ -53,7 +53,15 @@
 #include "gen/random_dag.hpp"
 #include "gen/workloads.hpp"
 
+// --- The serve subsystem (persistent solve service + client) --------------
+#include "serve/admission.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/stats.hpp"
+
 // --- Utilities used by the examples ---------------------------------------
+#include "util/build_info.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -88,5 +96,8 @@ using core::ShardPlan;
 using core::ShardRange;
 using core::ShardSpec;
 using core::StrategyId;
+using serve::ServeOptions;
+using serve::Server;
+using serve::ServeStats;
 
 }  // namespace wdag

@@ -1,0 +1,98 @@
+// Engine longevity: the serve subsystem keeps ONE api::Engine alive for
+// every request it services (warm per-worker arenas, a cost model that
+// keeps learning). That is only sound if a long-lived engine's answers
+// never drift from a fresh engine's — scratch arenas and the cost model
+// must affect SPEED only, never results. This suite drives one warm
+// engine through hundreds of sequential mixed solve/batch requests via
+// the same serve::service_job path the server's worker uses and pins
+// every response to a fresh engine's, field for field.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "api/engine.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/stats.hpp"
+
+namespace wdag {
+namespace {
+
+using serve::Job;
+using serve::RequestKind;
+
+/// A deterministic mixed request stream: mostly single solves rotating
+/// through the workload families (and through forced strategies now and
+/// then), with a batch every seventh request so the warm engine's cost
+/// model keeps absorbing observations between comparisons.
+Job request_at(std::size_t i) {
+  Job job;
+  if (i % 7 == 3) {
+    job.request.kind = RequestKind::kBatch;
+    job.request.count = 16;
+    job.request.gen.family = (i % 2 == 0) ? "random-upp" : "random-dag";
+    job.request.gen.seed = i * 31 + 1;
+    return job;
+  }
+  job.request.kind = RequestKind::kSolve;
+  static constexpr const char* kFamilies[] = {"random-upp", "tree",
+                                              "random-dag", "grid",
+                                              "layered", "no-internal"};
+  job.request.gen.family = kFamilies[i % 6];
+  job.request.gen.seed = i + 1;
+  if (i % 11 == 5) job.request.force = "dsatur";
+  return job;
+}
+
+/// The response with its trailing timing fields dropped: solve responses
+/// end in "millis", batch responses in "wall-seconds" / throughput /
+/// latency — everything before those is the deterministic payload.
+std::string deterministic_prefix(const std::string& response) {
+  for (const std::string_view timing : {"\"millis\"", "\"wall-seconds\""}) {
+    const std::size_t pos = response.find(timing);
+    if (pos != std::string::npos) return response.substr(0, pos);
+  }
+  return response;
+}
+
+TEST(EngineLongevity, WarmEngineMatchesFreshEngineOverHundredsOfRequests) {
+  api::Engine warm(api::EngineOptions{1, {}});
+  serve::ServeStats warm_stats;
+
+  constexpr std::size_t kRequests = 240;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    Job warm_job = request_at(i);
+    const std::string warm_response =
+        serve::service_job(warm, warm_job, warm_stats, false);
+
+    // A fresh engine sees exactly this one request, cold.
+    api::Engine fresh(api::EngineOptions{1, {}});
+    serve::ServeStats fresh_stats;
+    Job fresh_job = request_at(i);
+    const std::string fresh_response =
+        serve::service_job(fresh, fresh_job, fresh_stats, false);
+
+    ASSERT_EQ(deterministic_prefix(warm_response),
+              deterministic_prefix(fresh_response))
+        << "request " << i << " drifted on the warm engine";
+    ASSERT_EQ(serve::parse_reply(warm_response).status, "ok")
+        << "request " << i << ": " << warm_response;
+  }
+
+  // The stream really exercised both request kinds...
+  EXPECT_GT(warm_stats.solved(), 0u);
+  EXPECT_GT(warm_stats.batches(), 0u);
+  EXPECT_EQ(warm_stats.solved() + warm_stats.batches(), kRequests);
+  EXPECT_EQ(warm_stats.errors(), 0u);
+
+  // ...and the warm engine's cost model kept learning across them: its
+  // observation-weighted cost estimate moved off the cold priors.
+  api::Engine cold(api::EngineOptions{1, {}});
+  EXPECT_NE(warm.cost_model().expected_micros(),
+            cold.cost_model().expected_micros());
+}
+
+}  // namespace
+}  // namespace wdag

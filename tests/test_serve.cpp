@@ -1,0 +1,464 @@
+// The serve subsystem: wire protocol round trips, bounded admission,
+// deadline handling, the live server end to end over loopback TCP, and
+// the SIGPIPE / vanished-client regression.
+//
+// Timing-sensitive behaviors (queue_full, deadline expiry during queue
+// wait) are pinned with the "sleep" test hook — a request that occupies
+// the single worker for a chosen time — so the tests are deterministic
+// instead of racing real solve latencies.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "serve/admission.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/stats.hpp"
+#include "util/check.hpp"
+#include "util/socket.hpp"
+
+namespace wdag {
+namespace {
+
+using serve::AdmissionQueue;
+using serve::Job;
+using serve::RequestKind;
+using serve::WireReply;
+using serve::WireRequest;
+
+// --- protocol --------------------------------------------------------------
+
+TEST(ServeProtocol, SolveRequestRoundTrips) {
+  WireRequest request;
+  request.kind = RequestKind::kSolve;
+  request.id = "r1";
+  request.gen.family = "random-upp";
+  request.gen.seed = 42;
+  request.gen.params.paths = 16;
+  request.gen.params.k = 5;
+  request.force = "dsatur";
+  core::SolveOptions solve;
+  solve.exact_threshold = 12;
+  solve.exact_node_budget = 1000;
+  request.solve = solve;
+  request.deadline_ms = 250.5;
+
+  const WireRequest parsed = serve::parse_request(serve::request_to_json(request));
+  EXPECT_EQ(parsed.kind, RequestKind::kSolve);
+  EXPECT_EQ(parsed.id, "r1");
+  EXPECT_EQ(parsed.gen.family, "random-upp");
+  EXPECT_EQ(parsed.gen.seed, 42u);
+  EXPECT_EQ(parsed.gen.params.paths, 16u);
+  EXPECT_EQ(parsed.gen.params.k, 5u);
+  ASSERT_TRUE(parsed.force.has_value());
+  EXPECT_EQ(*parsed.force, "dsatur");
+  ASSERT_TRUE(parsed.solve.has_value());
+  EXPECT_EQ(parsed.solve->exact_threshold, 12u);
+  EXPECT_EQ(parsed.solve->exact_node_budget, 1000u);
+  EXPECT_DOUBLE_EQ(parsed.deadline_ms, 250.5);
+  // Default knobs are not spelled out on the wire.
+  EXPECT_EQ(serve::request_to_json(request).find("\"size\""), std::string::npos);
+}
+
+TEST(ServeProtocol, BatchRequestRoundTrips) {
+  WireRequest request;
+  request.kind = RequestKind::kBatch;
+  request.gen.family = "tree";
+  request.gen.seed = 7;
+  request.count = 250;
+  const WireRequest parsed = serve::parse_request(serve::request_to_json(request));
+  EXPECT_EQ(parsed.kind, RequestKind::kBatch);
+  EXPECT_EQ(parsed.count, 250u);
+  EXPECT_EQ(parsed.gen.family, "tree");
+  EXPECT_FALSE(parsed.solve.has_value());
+  EXPECT_FALSE(parsed.force.has_value());
+}
+
+TEST(ServeProtocol, RejectsUnknownKeysAndTypes) {
+  EXPECT_THROW(serve::parse_request(R"({"type":"solve","gen":"tree","typo":1})"),
+               InvalidArgument);
+  EXPECT_THROW(serve::parse_request(R"({"type":"evaluate","gen":"tree"})"),
+               InvalidArgument);
+  EXPECT_THROW(serve::parse_request(R"({"gen":"tree"})"), InvalidArgument);
+  // 'count' belongs to batch requests alone.
+  EXPECT_THROW(serve::parse_request(R"({"type":"solve","gen":"tree","count":4})"),
+               InvalidArgument);
+  // A solve/batch request needs its workload.
+  EXPECT_THROW(serve::parse_request(R"({"type":"solve"})"), InvalidArgument);
+  EXPECT_THROW(serve::parse_request("not json"), InvalidArgument);
+  // Negative sizes must not wrap through the unsigned parse.
+  EXPECT_THROW(serve::parse_request(R"({"type":"solve","gen":"tree","paths":-4})"),
+               InvalidArgument);
+}
+
+TEST(ServeProtocol, StatsRequestRejectsWorkloadKeys) {
+  const WireRequest parsed = serve::parse_request(R"({"type":"stats"})");
+  EXPECT_EQ(parsed.kind, RequestKind::kStats);
+  EXPECT_THROW(serve::parse_request(R"({"type":"stats","gen":"tree"})"),
+               InvalidArgument);
+}
+
+TEST(ServeProtocol, ReplyStatusesParse) {
+  const WireReply rejected =
+      serve::parse_reply(serve::rejected_response_json("x", "queue_full"));
+  EXPECT_EQ(rejected.status, "rejected");
+  EXPECT_EQ(rejected.detail, "queue_full");
+  const WireReply error =
+      serve::parse_reply(serve::error_response_json("", "boom \"quoted\""));
+  EXPECT_EQ(error.status, "error");
+  EXPECT_EQ(error.detail, "boom \"quoted\"");
+}
+
+// --- admission queue -------------------------------------------------------
+
+Job make_job(std::string id) {
+  Job job;
+  job.request.kind = RequestKind::kSolve;
+  job.request.id = std::move(id);
+  job.request.gen.family = "tree";
+  job.enqueued_at = std::chrono::steady_clock::now();
+  return job;
+}
+
+TEST(AdmissionQueueTest, BoundedPushAndFifoPop) {
+  AdmissionQueue queue(2);
+  EXPECT_TRUE(queue.try_push(make_job("a")));
+  EXPECT_TRUE(queue.try_push(make_job("b")));
+  // Full: the third admission fails immediately, nothing blocks.
+  EXPECT_FALSE(queue.try_push(make_job("c")));
+  EXPECT_EQ(queue.depth(), 2u);
+
+  auto first = queue.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->request.id, "a");
+  EXPECT_TRUE(queue.try_push(make_job("d")));
+  auto second = queue.pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->request.id, "b");
+}
+
+TEST(AdmissionQueueTest, CloseDrainsThenSignalsExit) {
+  AdmissionQueue queue(4);
+  EXPECT_TRUE(queue.try_push(make_job("a")));
+  queue.close();
+  EXPECT_TRUE(queue.is_closed());
+  EXPECT_FALSE(queue.try_push(make_job("late")));
+  EXPECT_TRUE(queue.pop().has_value());   // the backlog drains...
+  EXPECT_FALSE(queue.pop().has_value());  // ...then pop says stop
+}
+
+TEST(AdmissionQueueTest, CloseReleasesBlockedConsumer) {
+  AdmissionQueue queue(1);
+  std::thread consumer([&queue] { EXPECT_FALSE(queue.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  consumer.join();
+}
+
+// --- service_job -----------------------------------------------------------
+
+TEST(ServiceJob, ExpiredDeadlineRejectsWithoutSolving) {
+  api::Engine engine(api::EngineOptions{1, {}});
+  serve::ServeStats stats;
+  Job job = make_job("late");
+  job.has_deadline = true;
+  job.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  const std::string response = serve::service_job(engine, job, stats, false);
+  const WireReply reply = serve::parse_reply(response);
+  EXPECT_EQ(reply.status, "rejected");
+  EXPECT_EQ(reply.detail, "deadline");
+  EXPECT_EQ(stats.rejected_deadline(), 1u);
+  EXPECT_EQ(stats.solved(), 0u);
+}
+
+TEST(ServiceJob, SolveMatchesDirectEngineSubmit) {
+  api::Engine engine(api::EngineOptions{1, {}});
+  serve::ServeStats stats;
+  Job job = make_job("s");
+  job.request.gen.family = "random-upp";
+  job.request.gen.seed = 11;
+  const std::string response = serve::service_job(engine, job, stats, false);
+
+  api::SolveRequest direct;
+  direct.generator = job.request.gen;
+  const api::SolveResponse expected = engine.submit(direct);
+  // Everything but the latency fields must match the direct submit.
+  const std::string expected_json = serve::solve_response_json("s", expected);
+  EXPECT_EQ(response.substr(0, response.find("\"millis\"")),
+            expected_json.substr(0, expected_json.find("\"millis\"")));
+  EXPECT_EQ(stats.solved(), 1u);
+}
+
+TEST(ServiceJob, SleepNeedsTestHooks) {
+  api::Engine engine(api::EngineOptions{1, {}});
+  serve::ServeStats stats;
+  Job job;
+  job.request.kind = RequestKind::kSleep;
+  job.request.sleep_ms = 1;
+  EXPECT_EQ(serve::parse_reply(serve::service_job(engine, job, stats, false))
+                .status,
+            "error");
+  EXPECT_EQ(serve::parse_reply(serve::service_job(engine, job, stats, true))
+                .status,
+            "ok");
+}
+
+// --- the live server -------------------------------------------------------
+
+serve::ServeOptions test_options(std::size_t queue_capacity = 8,
+                                 bool test_hooks = true) {
+  serve::ServeOptions options;
+  options.port = 0;  // ephemeral
+  options.queue_capacity = queue_capacity;
+  options.engine_threads = 1;
+  options.enable_test_hooks = test_hooks;
+  return options;
+}
+
+TEST(ServeServer, SolvesOverLoopbackAndMatchesLocalEngine) {
+  serve::Server server(test_options());
+  server.start();
+
+  WireRequest request;
+  request.id = "net";
+  request.gen.family = "random-upp";
+  request.gen.seed = 33;
+  const std::string response = serve::request_once(
+      "127.0.0.1", server.port(), serve::request_to_json(request));
+  EXPECT_EQ(serve::parse_reply(response).status, "ok");
+
+  api::Engine local(api::EngineOptions{1, {}});
+  api::SolveRequest direct;
+  direct.generator = request.gen;
+  const std::string expected =
+      serve::solve_response_json("net", local.submit(direct));
+  EXPECT_EQ(response.substr(0, response.find("\"millis\"")),
+            expected.substr(0, expected.find("\"millis\"")));
+
+  server.request_stop();
+  server.join();
+}
+
+TEST(ServeServer, OneConnectionManyRequests) {
+  serve::Server server(test_options());
+  server.start();
+  serve::Session session("127.0.0.1", server.port());
+  for (int i = 0; i < 5; ++i) {
+    WireRequest request;
+    request.gen.family = "tree";
+    request.gen.seed = static_cast<std::uint64_t>(i + 1);
+    EXPECT_EQ(serve::parse_reply(
+                  session.exchange(serve::request_to_json(request)))
+                  .status,
+              "ok");
+  }
+  server.request_stop();
+  server.join();
+  EXPECT_EQ(server.stats().solved(), 5u);
+}
+
+TEST(ServeServer, StatsEndpointReportsCountersWhileBusy) {
+  serve::Server server(test_options());
+  server.start();
+
+  // One served solve populates the dispatch histogram and latency ring.
+  WireRequest solve;
+  solve.gen.family = "random-upp";
+  solve.gen.seed = 3;
+  ASSERT_EQ(serve::parse_reply(
+                serve::request_once("127.0.0.1", server.port(),
+                                    serve::request_to_json(solve)))
+                .status,
+            "ok");
+
+  // Occupy the worker, then ask for stats on a second connection — the
+  // stats path answers out-of-band, so it must respond while the worker
+  // sleeps.
+  serve::Session busy("127.0.0.1", server.port());
+  std::future<std::string> sleeping = std::async(std::launch::async, [&] {
+    return busy.exchange(R"({"type":"sleep","millis":300})", 10000);
+  });
+  for (int tries = 0; tries < 200; ++tries) {
+    if (server.stats().dequeued() >= 2) break;  // the sleep is in service
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const std::string stats = serve::request_once(
+      "127.0.0.1", server.port(), R"({"type":"stats"})", /*timeout_ms=*/2000);
+  EXPECT_EQ(serve::parse_reply(stats).status, "ok");
+  EXPECT_NE(stats.find("\"version\""), std::string::npos);
+  EXPECT_NE(stats.find("\"queue-capacity\":8"), std::string::npos);
+  EXPECT_NE(stats.find("\"solved\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"strategies\":{"), std::string::npos);
+  EXPECT_NE(stats.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(serve::parse_reply(sleeping.get()).status, "ok");
+  server.request_stop();
+  server.join();
+}
+
+TEST(ServeServer, QueueFullRejectsImmediately) {
+  // Capacity 1: one sleeping job occupies the worker, one fills the
+  // queue, the next solve must bounce with queue_full at once.
+  serve::Server server(test_options(/*queue_capacity=*/1));
+  server.start();
+
+  serve::Session sleeper("127.0.0.1", server.port());
+  std::future<std::string> sleeping = std::async(std::launch::async, [&] {
+    return sleeper.exchange(R"({"type":"sleep","millis":600})", 10000);
+  });
+  // Wait until the sleeper occupies the worker (its job LEFT the queue —
+  // otherwise the filler below would bounce off the still-full queue).
+  for (int tries = 0; tries < 200; ++tries) {
+    if (server.stats().dequeued() >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(server.stats().dequeued(), 1u);
+  serve::Session filler("127.0.0.1", server.port());
+  std::future<std::string> filling = std::async(std::launch::async, [&] {
+    return filler.exchange(R"({"type":"sleep","millis":1})", 10000);
+  });
+  // Wait until the filler's job sits admitted in the queue.
+  for (int tries = 0; tries < 200; ++tries) {
+    if (server.stats().admitted() >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(server.stats().admitted(), 2u);
+
+  WireRequest solve;
+  solve.gen.family = "tree";
+  const std::string response = serve::request_once(
+      "127.0.0.1", server.port(), serve::request_to_json(solve));
+  const WireReply reply = serve::parse_reply(response);
+  EXPECT_EQ(reply.status, "rejected");
+  EXPECT_EQ(reply.detail, "queue_full");
+  EXPECT_GE(server.stats().rejected_queue_full(), 1u);
+
+  EXPECT_EQ(serve::parse_reply(sleeping.get()).status, "ok");
+  EXPECT_EQ(serve::parse_reply(filling.get()).status, "ok");
+  server.request_stop();
+  server.join();
+}
+
+TEST(ServeServer, DeadlineExpiredInQueueRejectsWithoutSolving) {
+  serve::Server server(test_options(/*queue_capacity=*/4));
+  server.start();
+
+  // The sleeper occupies the worker for 400ms; a 50ms-deadline solve
+  // admitted behind it MUST age out in the queue and be rejected.
+  serve::Session sleeper("127.0.0.1", server.port());
+  std::future<std::string> sleeping = std::async(std::launch::async, [&] {
+    return sleeper.exchange(R"({"type":"sleep","millis":400})", 10000);
+  });
+  for (int tries = 0; tries < 200; ++tries) {
+    if (server.stats().dequeued() >= 1) break;  // worker holds the sleep
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(server.stats().dequeued(), 1u);
+
+  WireRequest solve;
+  solve.id = "doomed";
+  solve.gen.family = "tree";
+  solve.deadline_ms = 50;
+  const std::string response = serve::request_once(
+      "127.0.0.1", server.port(), serve::request_to_json(solve));
+  const WireReply reply = serve::parse_reply(response);
+  EXPECT_EQ(reply.status, "rejected");
+  EXPECT_EQ(reply.detail, "deadline");
+  EXPECT_EQ(server.stats().rejected_deadline(), 1u);
+  EXPECT_EQ(server.stats().solved(), 0u);
+
+  EXPECT_EQ(serve::parse_reply(sleeping.get()).status, "ok");
+  server.request_stop();
+  server.join();
+}
+
+TEST(ServeServer, GracefulStopDrainsAdmittedWork) {
+  serve::Server server(test_options(/*queue_capacity=*/8));
+  server.start();
+
+  serve::Session sleeper("127.0.0.1", server.port());
+  std::future<std::string> sleeping = std::async(std::launch::async, [&] {
+    return sleeper.exchange(R"({"type":"sleep","millis":200})", 10000);
+  });
+  serve::Session queued("127.0.0.1", server.port());
+  std::future<std::string> waiting = std::async(std::launch::async, [&] {
+    WireRequest solve;
+    solve.id = "drainme";
+    solve.gen.family = "tree";
+    return queued.exchange(serve::request_to_json(solve), 10000);
+  });
+  for (int tries = 0; tries < 200; ++tries) {
+    if (server.stats().admitted() >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(server.stats().admitted(), 2u);
+
+  // Stop mid-sleep: both the in-flight sleep and the admitted solve
+  // must still be answered (drain), not dropped.
+  server.request_stop();
+  EXPECT_EQ(serve::parse_reply(sleeping.get()).status, "ok");
+  EXPECT_EQ(serve::parse_reply(waiting.get()).status, "ok");
+  server.join();
+  EXPECT_EQ(server.stats().solved(), 1u);
+}
+
+TEST(ServeServer, ClientVanishingMidResponseDoesNotKillServer) {
+  // The SIGPIPE regression: a client that sends a request and closes
+  // without reading the response makes the server write into a dead
+  // socket. With SIGPIPE ignored this is a failed write; the server
+  // must keep serving other clients.
+  util::ignore_sigpipe();
+  serve::Server server(test_options());
+  server.start();
+
+  {
+    util::TcpConn ghost = util::TcpConn::connect(
+        "127.0.0.1", server.port());
+    WireRequest solve;
+    solve.gen.family = "random-upp";
+    solve.gen.seed = 5;
+    ASSERT_TRUE(ghost.write_line(serve::request_to_json(solve)));
+    ghost.close();  // gone before the response is written
+  }
+
+  // The server survives and still answers.
+  for (int tries = 0; tries < 100; ++tries) {
+    if (server.stats().solved() >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  WireRequest solve;
+  solve.gen.family = "tree";
+  EXPECT_EQ(serve::parse_reply(
+                serve::request_once("127.0.0.1", server.port(),
+                                    serve::request_to_json(solve)))
+                .status,
+            "ok");
+  server.request_stop();
+  server.join();
+}
+
+TEST(ServeServer, MalformedRequestAnswersErrorAndKeepsSession) {
+  serve::Server server(test_options());
+  server.start();
+  serve::Session session("127.0.0.1", server.port());
+  EXPECT_EQ(serve::parse_reply(session.exchange("this is not json")).status,
+            "error");
+  // Same connection still serves well-formed requests.
+  WireRequest solve;
+  solve.gen.family = "tree";
+  EXPECT_EQ(
+      serve::parse_reply(session.exchange(serve::request_to_json(solve)))
+          .status,
+      "ok");
+  EXPECT_GE(server.stats().errors(), 1u);
+  server.request_stop();
+  server.join();
+}
+
+}  // namespace
+}  // namespace wdag
