@@ -8,7 +8,8 @@ Checks, over the markdown files passed on the command line:
    External (http/https/mailto) targets are skipped — no network here.
 2. CLI flag tables vs --help: every `--flag` documented in a table row
    (a line whose first cell is a backticked flag) must appear in the
-   help text of `wdag solve|batch|sweep|shard|drive|serve|request`, and
+   help text of `wdag solve|batch|sweep|shard|drive|worker|serve|request`,
+   and
    every flag the help
    mentions must be documented in some table — drift in either
    direction fails.
@@ -34,8 +35,8 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 DOC_FLAG_ROW_RE = re.compile(r"^\|\s*`(--[a-z][a-z0-9-]*)`")
 HELP_FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
-CLI_COMMANDS = ["solve", "batch", "sweep", "shard", "drive", "serve",
-                "request"]
+CLI_COMMANDS = ["solve", "batch", "sweep", "shard", "drive", "worker",
+                "serve", "request"]
 
 
 def slugify(heading):

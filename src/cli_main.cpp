@@ -12,10 +12,17 @@
 //                 manifest into a shard CSV (or JSON-lines), `merge`
 //                 validates the shard set and reassembles it to the exact
 //                 bytes of the unsharded --stream-csv run
-//   wdag drive  — execute a whole shard plan through a local pool of
-//                 worker subprocesses with per-shard timeout, bounded
+//   wdag drive  — execute a whole shard plan through a pool of attempt
+//                 slots (local worker subprocesses and/or remote `wdag
+//                 worker` endpoints) with per-shard timeout, bounded
 //                 retry + backoff, speculative re-execution of
-//                 stragglers, and a streaming validated merge
+//                 stragglers, health-probed remote workers, and a
+//                 streaming validated merge
+//   wdag worker — long-lived remote executor of drive attempts: accepts
+//                 a shard manifest as one JSON line over TCP, runs it
+//                 through the embedded engine, validates the output and
+//                 streams it back length-prefixed with an FNV-1a
+//                 checksum; answers health pings while shards run
 //   wdag serve  — persistent solve service on TCP: newline-delimited JSON
 //                 requests through a bounded admission queue (overload
 //                 rejects, never buffers) into one warm engine, with
@@ -49,6 +56,9 @@
 
 #include "wdag/wdag.hpp"
 
+#include "core/transport.hpp"  // internal: drive endpoint parsing
+#include "remote/worker.hpp"   // internal: the `wdag worker` process
+
 namespace {
 
 using wdag::core::BatchOptions;
@@ -72,12 +82,18 @@ int usage(std::ostream& os) {
         "             [--schedule S] [--json PATH] [--quiet]\n"
         "  wdag shard merge --out PATH|- SHARD.csv [SHARD.csv ...]\n"
         "  wdag drive --gen NAME --count N --shards K --work-dir DIR\n"
-        "             [--layout L] [--workers W] [--max-retries R]\n"
-        "             [--timeout SEC] [--backoff SEC] [--speculate F]\n"
-        "             [--fail-fast N] [--resume] [--events PATH]\n"
-        "             [--progress] [--out PATH|-]\n"
+        "             [--layout L] [--workers W|HOST:PORT,...]\n"
+        "             [--max-retries R] [--timeout SEC] [--backoff SEC]\n"
+        "             [--speculate F] [--fail-fast N] [--resume]\n"
+        "             [--events PATH] [--progress] [--out PATH|-]\n"
+        "             [--connect-timeout-ms MS] [--probe-interval SEC]\n"
+        "             [--probe-timeout-ms MS] [--probe-miss-budget N]\n"
+        "  wdag worker [--host H] [--port P] [--threads T] [--schedule S]\n"
+        "             [--idle-timeout-ms MS] [--port-file PATH]\n"
         "  wdag serve [--host H] [--port P] [--queue N] [--deadline-ms D]\n"
-        "             [--threads T] [--port-file PATH] [solver flags]\n"
+        "             [--threads T] [--port-file PATH]\n"
+        "             [--max-connections N] [--idle-timeout-ms MS]\n"
+        "             [solver flags]\n"
         "  wdag request --port P [--host H] [--type T] [--id ID]\n"
         "             [--gen NAME ...] [--count N] [--deadline-ms D]\n"
         "             [--req-file FILE] [--timeout-ms MS] [solver flags]\n"
@@ -171,8 +187,24 @@ int usage(std::ostream& os) {
         "drive flags:\n"
         "  --work-dir D   scratch directory for manifests and per-attempt\n"
         "                 shard outputs (created if missing; required)\n"
-        "  --workers W    concurrent worker subprocesses; 0 = min(shards,\n"
-        "                 hardware threads) (default 0)\n"
+        "  --workers SPEC comma list mixing an integer (local subprocess\n"
+        "                 slots) and HOST:PORT endpoints of remote `wdag\n"
+        "                 worker` processes, e.g. '4', 'h1:9100,h2:9100'\n"
+        "                 or '2,h1:9100'. Default 0 local = min(shards,\n"
+        "                 hardware threads) when no remotes are given;\n"
+        "                 with remotes, 0 local means remote-only (the\n"
+        "                 drive degrades back to local slots if EVERY\n"
+        "                 remote goes unhealthy)\n"
+        "  --connect-timeout-ms MS   dial timeout of every remote attempt\n"
+        "                 (default 1000)\n"
+        "  --probe-interval SEC   seconds between health pings of each\n"
+        "                 remote worker (default 2)\n"
+        "  --probe-timeout-ms MS   per-ping timeout (default 500)\n"
+        "  --probe-miss-budget N   consecutive missed pings before a\n"
+        "                 remote worker leaves rotation; its in-flight\n"
+        "                 attempts re-dispatch elsewhere without burning\n"
+        "                 retry budget, and a later successful ping\n"
+        "                 returns it (default 3)\n"
         "  --max-retries R   retries per shard after its first attempt\n"
         "                 (default 2); exceeding R fails the drive\n"
         "  --timeout SEC  per-attempt timeout; a late worker is killed and\n"
@@ -202,7 +234,16 @@ int usage(std::ostream& os) {
         "                 journal in --work-dir after a successful drive\n"
         "  --wdag-bin P   worker binary to execute (default: this binary)\n"
         "\n"
+        "worker flags (a long-lived remote executor of drive attempts;\n"
+        "shares --host/--port/--port-file/--threads/--schedule semantics):\n"
+        "  --idle-timeout-ms MS   close a session after MS without a\n"
+        "                 complete request line (worker and serve;\n"
+        "                 default 0 = never)\n"
+        "\n"
         "serve flags:\n"
+        "  --max-connections N   live session cap; a connection accepted\n"
+        "                 at the cap is answered 'rejected:\n"
+        "                 max_connections' and closed (default 0 = off)\n"
         "  --host H       listen / connect address (default 127.0.0.1)\n"
         "  --port P       TCP port; serve: 0 picks an ephemeral port\n"
         "                 (default 0), request: required\n"
@@ -235,7 +276,14 @@ int usage(std::ostream& os) {
         "                 through those CPUs; unset/'off' leaves the OS free\n"
         "  WDAG_SERVE_TEST_HOOKS   when set, wdag serve also honors 'sleep'\n"
         "                 requests that occupy the worker for a fixed time\n"
-        "                 (deterministic backpressure in tests)\n";
+        "                 (deterministic backpressure in tests)\n"
+        "  WDAG_WORKER_FAIL_SHARD / WDAG_WORKER_DROP_CONN /\n"
+        "  WDAG_WORKER_CORRUPT_PAYLOAD / WDAG_WORKER_SLOW_HEARTBEAT /\n"
+        "  WDAG_WORKER_STALL_MS   one-shot fault hooks of wdag worker\n"
+        "                 (fail a shard, drop the connection mid-payload,\n"
+        "                 corrupt the payload after checksumming, delay\n"
+        "                 'count:ms' heartbeats, stall the first request)\n"
+        "                 — the remote-drive fault-injection test rig\n";
   return 2;
 }
 
@@ -725,10 +773,53 @@ int cmd_drive(const Cli& cli) {
                              static_cast<std::size_t>(shards), layout);
 
   wdag::core::DriveOptions options;
-  const std::int64_t workers = cli.get_int("workers", 0);
-  WDAG_REQUIRE(workers >= 0, "--workers must be >= 0, got " +
-                                 std::to_string(workers));
-  options.workers = static_cast<std::size_t>(workers);
+  // --workers is a comma list mixing ONE local slot count (a bare
+  // integer) and any number of HOST:PORT remote endpoints; '4',
+  // 'h1:9100,h2:9100' and '2,h1:9100' are all valid.
+  {
+    const std::string spec = cli.get("workers", "0");
+    std::size_t begin = 0;
+    bool saw_local = false;
+    while (begin <= spec.size()) {
+      const std::size_t comma = spec.find(',', begin);
+      const std::string token = spec.substr(
+          begin, comma == std::string::npos ? std::string::npos
+                                            : comma - begin);
+      if (!token.empty()) {
+        if (token.find(':') != std::string::npos) {
+          // Parsed strictly right away: a typo should die as a usage
+          // error here, not as a dial failure mid-drive.
+          (void)wdag::core::TcpTransport::parse_endpoint(token);
+          options.remote_workers.push_back(token);
+        } else {
+          WDAG_REQUIRE(
+              token.find_first_not_of("0123456789") == std::string::npos,
+              "--workers: '" + token +
+                  "' is neither a slot count nor a HOST:PORT endpoint");
+          WDAG_REQUIRE(!saw_local,
+                       "--workers: more than one local slot count in '" +
+                           spec + "'");
+          saw_local = true;
+          options.workers = static_cast<std::size_t>(
+              std::strtoull(token.c_str(), nullptr, 10));
+        }
+      }
+      if (comma == std::string::npos) break;
+      begin = comma + 1;
+    }
+  }
+  const std::int64_t connect_timeout = cli.get_int("connect-timeout-ms", 1000);
+  WDAG_REQUIRE(connect_timeout >= 1, "--connect-timeout-ms must be >= 1");
+  options.connect_timeout_ms = static_cast<int>(connect_timeout);
+  options.probe_interval_seconds = cli.get_double("probe-interval", 2.0);
+  WDAG_REQUIRE(options.probe_interval_seconds > 0.0,
+               "--probe-interval must be > 0 seconds");
+  const std::int64_t probe_timeout = cli.get_int("probe-timeout-ms", 500);
+  WDAG_REQUIRE(probe_timeout >= 1, "--probe-timeout-ms must be >= 1");
+  options.probe_timeout_ms = static_cast<int>(probe_timeout);
+  const std::int64_t miss_budget = cli.get_int("probe-miss-budget", 3);
+  WDAG_REQUIRE(miss_budget >= 1, "--probe-miss-budget must be >= 1");
+  options.probe_miss_budget = static_cast<std::size_t>(miss_budget);
   const std::int64_t retries = cli.get_int("max-retries", 2);
   WDAG_REQUIRE(retries >= 0, "--max-retries must be >= 0, got " +
                                  std::to_string(retries));
@@ -819,7 +910,65 @@ int cmd_drive(const Cli& cli) {
        << wdag::core::layout_name(plan.layout()) << ") -> " << out_path
        << ": " << report.retries << " retries, " << report.speculations
        << " speculations, " << report.resumed << " resumed, "
-       << report.wall_seconds << "s\n";
+       << report.redispatches << " redispatches, " << report.wall_seconds
+       << "s\n";
+  return 0;
+}
+
+// SIGINT/SIGTERM flag of `wdag worker` (the serve pattern: flip a flag,
+// the accept loop polls it every tick and exits cleanly).
+volatile std::sig_atomic_t g_worker_stop = 0;
+
+void worker_signal_handler(int) { g_worker_stop = 1; }
+
+int cmd_worker(const Cli& cli) {
+  wdag::remote::ShardWorkerOptions options;
+  options.host = cli.get("host", "127.0.0.1");
+  const std::int64_t port = cli.get_int("port", 0);
+  WDAG_REQUIRE(port >= 0 && port <= 65535,
+               "--port must be in [0, 65535] (0 = ephemeral), got " +
+                   std::to_string(port));
+  options.port = static_cast<std::uint16_t>(port);
+  const std::int64_t threads = cli.get_int("threads", 0);
+  WDAG_REQUIRE(threads >= 0,
+               "--threads must be >= 0 (0 = hardware concurrency), got " +
+                   std::to_string(threads));
+  options.engine_threads = static_cast<std::size_t>(threads);
+  const std::string schedule = cli.get("schedule", "fixed");
+  if (schedule == "stealing") {
+    options.schedule = wdag::core::Schedule::kStealing;
+  } else {
+    WDAG_REQUIRE(schedule == "fixed",
+                 "--schedule must be 'fixed' or 'stealing', got '" +
+                     schedule + "'");
+  }
+  options.idle_timeout_ms = cli.get_double("idle-timeout-ms", 0.0);
+  WDAG_REQUIRE(options.idle_timeout_ms >= 0.0,
+               "--idle-timeout-ms must be >= 0 (0 = never)");
+  options.hooks = wdag::remote::ShardWorkerHooks::from_env();
+
+  g_worker_stop = 0;
+  std::signal(SIGINT, worker_signal_handler);
+  std::signal(SIGTERM, worker_signal_handler);
+  options.external_stop = [] { return g_worker_stop != 0; };
+
+  const std::string host = options.host;
+  wdag::remote::ShardWorker worker(std::move(options));
+  if (cli.has("port-file")) {
+    // Write-then-rename so a script that saw the file appear never reads
+    // a half-written port number.
+    const std::string path = cli.get("port-file", "");
+    WDAG_REQUIRE(!path.empty(), "--port-file requires a path");
+    const std::string tmp = path + ".tmp";
+    write_output(tmp, std::to_string(worker.port()) + "\n");
+    std::filesystem::rename(tmp, path);
+  }
+  std::cout << "wdag worker: listening on " << host << ":" << worker.port()
+            << std::endl;
+  worker.run();
+  std::cout << "wdag worker: stopped (" << worker.shards_served()
+            << " shards served, " << worker.shards_failed() << " failed, "
+            << worker.pings_answered() << " pings)" << std::endl;
   return 0;
 }
 
@@ -852,6 +1001,14 @@ int cmd_serve(const Cli& cli) {
                "--threads must be >= 0 (0 = hardware concurrency), got " +
                    std::to_string(threads));
   options.engine_threads = static_cast<std::size_t>(threads);
+  const std::int64_t max_connections = cli.get_int("max-connections", 0);
+  WDAG_REQUIRE(max_connections >= 0,
+               "--max-connections must be >= 0 (0 = unlimited), got " +
+                   std::to_string(max_connections));
+  options.max_connections = static_cast<std::size_t>(max_connections);
+  options.idle_timeout_ms = cli.get_double("idle-timeout-ms", 0.0);
+  WDAG_REQUIRE(options.idle_timeout_ms >= 0.0,
+               "--idle-timeout-ms must be >= 0 (0 = never)");
   options.solve.exact_threshold =
       static_cast<std::size_t>(cli.get_int("exact-threshold", 48));
   options.solve.exact_node_budget =
@@ -988,6 +1145,7 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(cli);
     if (command == "shard") return cmd_shard(cli);
     if (command == "drive") return cmd_drive(cli);
+    if (command == "worker") return cmd_worker(cli);
     if (command == "serve") return cmd_serve(cli);
     if (command == "request") return cmd_request(cli);
     std::cerr << "unknown command '" << command << "'\n";

@@ -6,12 +6,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <thread>
 #include <utility>
 
 #include "core/json_min.hpp"
+#include "core/transport.hpp"
 #include "util/check.hpp"
 #include "util/subprocess.hpp"
 #include "util/timer.hpp"
@@ -73,12 +75,13 @@ Hook read_hook(const char* name) {
   return h;
 }
 
-/// One live worker subprocess executing `wdag shard run`.
+/// One live attempt, on whichever transport started it.
 struct Attempt {
-  util::Subprocess proc;
-  std::size_t number;    ///< 0-based attempt counter of the shard
-  double started_at;     ///< drive-clock time of the spawn
-  std::string out_path;  ///< tmp path this attempt writes its shard CSV to
+  std::unique_ptr<TransportAttempt> handle;
+  std::size_t transport;  ///< index into the drive's transport list
+  std::size_t number;     ///< 0-based attempt counter of the shard
+  double started_at;      ///< drive-clock time of the start
+  std::string out_path;   ///< tmp path this attempt writes its shard CSV to
   bool speculative;
 };
 
@@ -96,6 +99,7 @@ struct ShardState {
   ShardCsv result;           ///< the winning validated output
   std::size_t row_count = 0;
   double win_seconds = 0.0;
+  std::string worker;        ///< transport id of the winning attempt
   std::string last_error;
 };
 
@@ -195,6 +199,7 @@ std::string DriveEvent::to_json() const {
   s += ",\"t\":" + fmt_seconds(at_seconds);
   s += ",\"elapsed\":" + fmt_seconds(elapsed_seconds);
   s += ",\"exit\":" + std::to_string(exit_code);
+  if (!worker.empty()) s += ",\"worker\":\"" + json_escape(worker) + "\"";
   if (!detail.empty()) s += ",\"detail\":\"" + json_escape(detail) + "\"";
   s += "}";
   return s;
@@ -203,14 +208,14 @@ std::string DriveEvent::to_json() const {
 util::Table DriveReport::progress_table() const {
   util::Table table("drive",
                     {"shard", "attempts", "retries", "speculated", "resumed",
-                     "seconds", "rows"});
+                     "worker", "seconds", "rows"});
   for (const DriveShardStats& s : shards) {
     table.add_row({static_cast<long long>(s.shard),
                    static_cast<long long>(s.attempts),
                    static_cast<long long>(s.retries),
                    std::string(s.speculated ? "yes" : "no"),
-                   std::string(s.resumed ? "yes" : "no"), s.seconds,
-                   static_cast<long long>(s.rows)});
+                   std::string(s.resumed ? "yes" : "no"), s.worker,
+                   s.seconds, static_cast<long long>(s.rows)});
   }
   return table;
 }
@@ -231,12 +236,39 @@ DriveReport drive(const ShardPlan& plan, const DriveOptions& options,
                "drive: speculate_min_completed must be >= 1");
 
   const std::size_t shard_count = plan.shards();
-  std::size_t workers = options.workers;
-  if (workers == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    workers = std::min<std::size_t>(shard_count, hw == 0 ? 1 : hw);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t default_local_slots =
+      std::max<std::size_t>(1, std::min<std::size_t>(
+                                   shard_count, hw == 0 ? 1 : hw));
+
+  // The transport pool: remote workers first (dispatch prefers them),
+  // the local subprocess pool last. With remotes configured, workers == 0
+  // means "no local slots" — unless every remote goes unhealthy, when the
+  // degradation path below raises emergency local slots rather than
+  // stalling the drive.
+  std::vector<std::unique_ptr<WorkerTransport>> transports;
+  TcpTransport::Config tcp_config;
+  tcp_config.connect_timeout_ms = options.connect_timeout_ms;
+  tcp_config.probe_interval_seconds = options.probe_interval_seconds;
+  tcp_config.probe_timeout_ms = options.probe_timeout_ms;
+  tcp_config.probe_miss_budget = options.probe_miss_budget;
+  for (const std::string& endpoint : options.remote_workers) {
+    transports.push_back(std::make_unique<TcpTransport>(endpoint,
+                                                        tcp_config));
   }
-  if (workers < 1) workers = 1;
+  const std::size_t remote_count = transports.size();
+  std::size_t local_slots = options.workers;
+  if (local_slots == 0 && remote_count == 0) {
+    local_slots = default_local_slots;
+  }
+  LocalTransport::Config local_config;
+  local_config.wdag_binary = options.wdag_binary;
+  local_config.slots = local_slots;
+  local_config.worker_threads = options.worker_threads;
+  local_config.schedule = options.worker_schedule;
+  auto local_owned = std::make_unique<LocalTransport>(local_config);
+  LocalTransport* local = local_owned.get();
+  transports.push_back(std::move(local_owned));
 
   const std::string journal_path =
       options.work_dir + "/" + std::string(kDriveJournalFile);
@@ -260,7 +292,7 @@ DriveReport drive(const ShardPlan& plan, const DriveOptions& options,
   const auto now = [&timer] { return timer.seconds(); };
   const auto emit = [&](std::string kind, std::size_t shard,
                         std::size_t attempt, double elapsed, int exit_code,
-                        std::string detail) {
+                        std::string detail, std::string worker = "") {
     if (!on_event) return;
     DriveEvent ev;
     ev.kind = std::move(kind);
@@ -269,17 +301,21 @@ DriveReport drive(const ShardPlan& plan, const DriveOptions& options,
     ev.at_seconds = now();
     ev.elapsed_seconds = elapsed;
     ev.exit_code = exit_code;
+    ev.worker = std::move(worker);
     ev.detail = std::move(detail);
     on_event(ev);
   };
 
   std::vector<ShardState> st(shard_count);
+  std::vector<std::size_t> in_flight(transports.size(), 0);
   std::size_t live_total = 0;
   std::size_t completed = 0;
   std::size_t committed_this_run = 0;
   std::size_t speculations = 0;
   std::size_t resumed_count = 0;
   std::size_t quarantines = 0;
+  std::size_t redispatches = 0;
+  bool degraded = false;
   std::vector<double> win_times;
   std::size_t next_flush = 0;  ///< contiguous streaming frontier
   bool header_written = false;
@@ -388,6 +424,7 @@ DriveReport drive(const ShardPlan& plan, const DriveOptions& options,
         sh.result = std::move(csv);
         sh.row_count = sh.result.row_count;
         sh.win_seconds = seconds;
+        sh.worker = "journal";
         sh.resumed = true;
         sh.done = true;
         sh.pending = false;
@@ -409,13 +446,15 @@ DriveReport drive(const ShardPlan& plan, const DriveOptions& options,
   }
 
   // Materialize the manifests the workers will run — atomically, so a
-  // manifest a worker can open is always complete.
+  // manifest a worker can open is always complete. The JSON line is kept
+  // in memory too: remote transports send it down the wire verbatim.
   std::vector<std::string> manifest_paths(shard_count);
+  std::vector<std::string> manifest_jsons(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
     manifest_paths[s] =
         options.work_dir + "/manifest." + std::to_string(s) + ".json";
-    util::write_file_atomic(manifest_paths[s],
-                            manifest_to_json(plan.manifest(s)) + "\n");
+    manifest_jsons[s] = manifest_to_json(plan.manifest(s));
+    util::write_file_atomic(manifest_paths[s], manifest_jsons[s] + "\n");
     scratch_files.push_back(manifest_paths[s]);
   }
 
@@ -425,62 +464,70 @@ DriveReport drive(const ShardPlan& plan, const DriveOptions& options,
   if (!journal_reusable) journal.append_line(journal_header_json(plan));
   committed_files.push_back(journal_path);
 
-  const auto kill_all = [&st, &live_total] {
+  const auto kill_all = [&st, &live_total, &in_flight] {
     for (ShardState& sh : st) {
       for (Attempt& a : sh.live) {
-        if (a.proc.pid() < 0) continue;  // moved-from husk
-        a.proc.kill();
-        a.proc.wait();
+        if (!a.handle) continue;  // moved-from husk
+        a.handle->kill();
+        a.handle->wait();
         --live_total;
+        --in_flight[a.transport];
       }
       sh.live.clear();
     }
   };
 
+  /// The first healthy transport with a free slot, remote-first;
+  /// transports.size() when every slot is busy or unhealthy.
+  const auto pick_transport = [&]() -> std::size_t {
+    for (std::size_t t = 0; t < transports.size(); ++t) {
+      if (!transports[t]->healthy()) continue;
+      if (in_flight[t] < transports[t]->slots()) return t;
+    }
+    return transports.size();
+  };
+
   const long self_pid = util::current_process_id();
-  const auto dispatch = [&](std::size_t s, bool speculative) {
+  const auto dispatch = [&](std::size_t s, std::size_t transport,
+                            bool speculative) {
     ShardState& sh = st[s];
     const std::size_t number = sh.attempts;
     // Attempts write to crash-unique tmp paths: the committed name
     // shard.<s>.csv appears only through the post-validation
     // fsync+rename, and an orphan of a crashed previous driver
     // (different pid) can never collide with this drive's attempts.
-    std::string out_path = options.work_dir + "/shard." + std::to_string(s) +
-                           ".a" + std::to_string(number) + ".p" +
-                           std::to_string(self_pid) + ".csv.tmp";
-    // --quiet keeps the workers' inherited stdout clean: the driver may
-    // be streaming the merged CSV there.
-    std::vector<std::string> argv = {options.wdag_binary, "shard",     "run",
-                                     "--manifest",        manifest_paths[s],
-                                     "--out",             out_path,
-                                     "--quiet"};
-    if (options.worker_threads > 0) {
-      argv.emplace_back("--threads");
-      argv.emplace_back(std::to_string(options.worker_threads));
-    }
-    argv.emplace_back("--schedule");
-    argv.emplace_back(schedule_name(options.worker_schedule));
+    AttemptSpec spec;
+    spec.shard = s;
+    spec.number = number;
+    spec.manifest_path = manifest_paths[s];
+    spec.manifest_json = manifest_jsons[s];
+    spec.out_path = options.work_dir + "/shard." + std::to_string(s) + ".a" +
+                    std::to_string(number) + ".p" +
+                    std::to_string(self_pid) + ".csv.tmp";
 
     // Fault-injection hooks reach attempt 0 of their target shard only;
     // every other child gets them stripped so retries succeed. The
     // driver-kill hook is stripped from every child unconditionally.
-    util::SubprocessOptions sp;
-    sp.unset_env = {"WDAG_DRIVE_FAIL_SHARD", "WDAG_DRIVE_SLOW_SHARD",
-                    "WDAG_DRIVE_KILL_DRIVER_AFTER"};
+    // (Remote attempts carry no env: worker-side hooks live in the
+    // worker's own environment.)
+    spec.subprocess.unset_env = {"WDAG_DRIVE_FAIL_SHARD",
+                                 "WDAG_DRIVE_SLOW_SHARD",
+                                 "WDAG_DRIVE_KILL_DRIVER_AFTER"};
     if (fail_hook.set && fail_hook.shard == s && number == 0) {
-      sp.env.emplace_back(fail_hook.name, fail_hook.value);
+      spec.subprocess.env.emplace_back(fail_hook.name, fail_hook.value);
     }
     if (slow_hook.set && slow_hook.shard == s && number == 0) {
-      sp.env.emplace_back(slow_hook.name, slow_hook.value);
+      spec.subprocess.env.emplace_back(slow_hook.name, slow_hook.value);
     }
 
-    Attempt a{util::Subprocess::spawn(argv, sp), number, now(),
-              std::move(out_path), speculative};
+    Attempt a{transports[transport]->start(spec), transport, number, now(),
+              spec.out_path, speculative};
     scratch_files.push_back(a.out_path);
     ++sh.attempts;
     ++live_total;
+    ++in_flight[transport];
     emit(speculative ? "speculate" : "dispatch", s, number, 0.0, 0,
-         "pid " + std::to_string(a.proc.pid()));
+         a.handle->describe(), transports[transport]->id());
     sh.live.push_back(std::move(a));
   };
 
@@ -541,6 +588,67 @@ DriveReport drive(const ShardPlan& plan, const DriveOptions& options,
                      options.work_dir + "' — re-run with --resume");
       }
 
+      // 0b. Remote-worker health: drain the probers' events. A worker
+      //     crossing into unhealthy has its in-flight attempts killed
+      //     and re-queued on the spot — WITHOUT touching sh.failures or
+      //     the retry budget: the shard did nothing wrong, its machine
+      //     did. When the LAST remote goes dark and no local slots were
+      //     configured, raise emergency local slots instead of stalling.
+      for (std::size_t t = 0; t < remote_count; ++t) {
+        for (const ProbeEvent& pe : transports[t]->drain_probe_events()) {
+          const char* kind = pe.kind == ProbeEvent::Kind::kMiss ? "probe-miss"
+                             : pe.kind == ProbeEvent::Kind::kUnhealthy
+                                 ? "unhealthy"
+                                 : "recovered";
+          emit(kind, 0, 0, 0.0, 0, pe.detail, transports[t]->id());
+          if (pe.kind != ProbeEvent::Kind::kUnhealthy) continue;
+          for (ShardState& sh : st) {
+            std::vector<Attempt> keep;
+            keep.reserve(sh.live.size());
+            for (Attempt& a : sh.live) {
+              if (a.transport != t) {
+                keep.push_back(std::move(a));
+                continue;
+              }
+              a.handle->kill();
+              a.handle->wait();
+              --live_total;
+              --in_flight[t];
+              ++redispatches;
+              const std::size_t shard_idx =
+                  static_cast<std::size_t>(&sh - st.data());
+              emit("redispatch", shard_idx, a.number,
+                   now() - a.started_at, 0,
+                   "worker went unhealthy mid-attempt; re-queueing "
+                   "without burning retry budget",
+                   transports[t]->id());
+              if (a.speculative) {
+                sh.speculated = false;  // may speculate again elsewhere
+              } else if (!sh.done) {
+                sh.pending = true;
+                sh.ready_at = 0.0;  // no backoff: the shard is innocent
+              }
+            }
+            sh.live = std::move(keep);
+          }
+        }
+      }
+      if (remote_count > 0 && !degraded && local->slots() == 0) {
+        bool any_remote_healthy = false;
+        for (std::size_t t = 0; t < remote_count; ++t) {
+          if (transports[t]->healthy()) any_remote_healthy = true;
+        }
+        if (!any_remote_healthy) {
+          degraded = true;
+          local->set_slots(default_local_slots);
+          emit("degrade", 0, 0, 0.0, 0,
+               "every remote worker is unhealthy; raising " +
+                   std::to_string(default_local_slots) +
+                   " emergency local slot(s)",
+               local->id());
+        }
+      }
+
       // 1. Stream the merge frontier FIRST: an all-resumed drive must
       //    emit its bytes before the exit check below. Contiguous shards
       //    flush in global order as they land (striped plans interleave
@@ -565,13 +673,15 @@ DriveReport drive(const ShardPlan& plan, const DriveOptions& options,
       //      one shard's.
       if (now() >= quarantine_until) {
         // 2. Dispatch every shard that wants an attempt and cleared its
-        //    backoff, while worker slots remain.
-        for (std::size_t s = 0; s < shard_count && live_total < workers;
-             ++s) {
+        //    backoff, while healthy transport slots remain (remote slots
+        //    are preferred — pick_transport scans them first).
+        for (std::size_t s = 0; s < shard_count; ++s) {
           ShardState& sh = st[s];
           if (sh.done || !sh.pending || now() < sh.ready_at) continue;
+          const std::size_t t = pick_transport();
+          if (t == transports.size()) break;  // all slots busy/unhealthy
           sh.pending = false;
-          dispatch(s, /*speculative=*/false);
+          dispatch(s, t, /*speculative=*/false);
         }
 
         // 3. Speculative re-execution of stragglers: once enough shards
@@ -583,15 +693,16 @@ DriveReport drive(const ShardPlan& plan, const DriveOptions& options,
             !win_times.empty()) {
           const double median = median_of(win_times);
           const double threshold = options.speculate_factor * median;
-          for (std::size_t s = 0; s < shard_count && live_total < workers;
-               ++s) {
+          for (std::size_t s = 0; s < shard_count; ++s) {
             ShardState& sh = st[s];
             if (sh.done || sh.speculated || sh.live.size() != 1) continue;
             const double running = now() - sh.live.front().started_at;
             if (running <= threshold) continue;
+            const std::size_t t = pick_transport();
+            if (t == transports.size()) break;
             sh.speculated = true;
             ++speculations;
-            dispatch(s, /*speculative=*/true);
+            dispatch(s, t, /*speculative=*/true);
           }
         }
       }
@@ -604,23 +715,27 @@ DriveReport drive(const ShardPlan& plan, const DriveOptions& options,
         std::vector<Attempt> still_running;
         still_running.reserve(sh.live.size());
         for (Attempt& a : sh.live) {
+          const std::string worker_id = transports[a.transport]->id();
           if (sh.done) {  // a sibling attempt won this very pass
-            a.proc.kill();
-            a.proc.wait();
+            a.handle->kill();
+            a.handle->wait();
             --live_total;
+            --in_flight[a.transport];
             continue;
           }
-          std::optional<int> code = a.proc.poll();
+          std::optional<int> code = a.handle->poll();
           const double ran = now() - a.started_at;
           if (!code.has_value()) {
             if (options.timeout_seconds > 0.0 &&
                 ran > options.timeout_seconds) {
-              a.proc.kill();
-              a.proc.wait();
+              a.handle->kill();
+              a.handle->wait();
               --live_total;
+              --in_flight[a.transport];
               ++sh.failures;
               sh.last_error = "timed out after " + fmt_seconds(ran) + "s";
-              emit("timeout", s, a.number, ran, 0, sh.last_error);
+              emit("timeout", s, a.number, ran, 0, sh.last_error,
+                   worker_id);
               note_failure(s);
             } else {
               still_running.push_back(std::move(a));
@@ -628,6 +743,7 @@ DriveReport drive(const ShardPlan& plan, const DriveOptions& options,
             continue;
           }
           --live_total;
+          --in_flight[a.transport];
           std::string why;
           if (*code == 0) {
             // Exit 0 alone proves nothing — only a fully validated
@@ -653,6 +769,7 @@ DriveReport drive(const ShardPlan& plan, const DriveOptions& options,
               sh.result = std::move(csv);
               sh.row_count = sh.result.row_count;
               sh.win_seconds = ran;
+              sh.worker = worker_id;
               sh.done = true;
               ++completed;
               ++committed_this_run;
@@ -660,7 +777,8 @@ DriveReport drive(const ShardPlan& plan, const DriveOptions& options,
               consec_failures = 0;  // a success breaks the sick-run
               consec_distinct = false;
               emit("complete", s, a.number, ran, 0,
-                   a.speculative ? "speculative attempt won" : "");
+                   a.speculative ? "speculative attempt won" : "",
+                   worker_id);
               if (kill_driver_after > 0 &&
                   committed_this_run >= kill_driver_after) {
 #ifdef SIGKILL
@@ -673,11 +791,12 @@ DriveReport drive(const ShardPlan& plan, const DriveOptions& options,
               why = e.what();
             }
           } else {
-            why = "exit code " + std::to_string(*code);
+            why = a.handle->failure_detail();
+            if (why.empty()) why = "exit code " + std::to_string(*code);
           }
           ++sh.failures;
           sh.last_error = why;
-          emit("exit", s, a.number, ran, code.value_or(0), why);
+          emit("exit", s, a.number, ran, code.value_or(0), why, worker_id);
           note_failure(s);
         }
         sh.live = std::move(still_running);
@@ -752,18 +871,21 @@ DriveReport drive(const ShardPlan& plan, const DriveOptions& options,
   for (std::size_t s = 0; s < shard_count; ++s) {
     const ShardState& sh = st[s];
     report.shards.push_back({s, sh.attempts, sh.retries, sh.speculated,
-                             sh.resumed, sh.win_seconds, sh.row_count});
+                             sh.resumed, sh.win_seconds, sh.row_count,
+                             sh.worker});
     report.retries += sh.retries;
   }
   report.speculations = speculations;
   report.resumed = resumed_count;
   report.quarantines = quarantines;
+  report.redispatches = redispatches;
   report.wall_seconds = now();
   emit("done", 0, 0, report.wall_seconds, 0,
        std::to_string(shard_count) + " shard(s), " +
            std::to_string(report.retries) + " retry(ies), " +
            std::to_string(report.speculations) + " speculation(s), " +
-           std::to_string(report.resumed) + " resumed");
+           std::to_string(report.resumed) + " resumed, " +
+           std::to_string(report.redispatches) + " redispatch(es)");
   return report;
 }
 

@@ -1,11 +1,13 @@
 #pragma once
-// Fault-tolerant local execution of a full ShardPlan — the `wdag drive`
-// engine (ROADMAP: "Distributed shard driver").
+// Fault-tolerant execution of a full ShardPlan — the `wdag drive` engine
+// (ROADMAP: "Distributed shard driver").
 //
-// drive() runs every shard of a plan through a pool of N worker
-// subprocesses (each invoking `<wdag> shard run` on a generated manifest)
-// and streams the validated merge to an output stream, tolerating the
-// failure modes that stall a hand-dispatched plan:
+// drive() runs every shard of a plan through a pool of attempt slots
+// behind the WorkerTransport abstraction (core/transport.hpp): local
+// slots spawn `<wdag> shard run` subprocesses, remote slots send the
+// manifest to long-lived `wdag worker` peers over TCP. The merge streams
+// to an output stream, tolerating the failure modes that stall a
+// hand-dispatched plan:
 //
 //   * crash / non-zero exit      -> bounded retry with exponential backoff
 //   * hang (per-shard timeout)   -> kill, then retry
@@ -23,6 +25,17 @@
 //                                   after `fail_fast` in a row — a sick
 //                                   machine should not burn every shard's
 //                                   full retry budget
+//   * sick REMOTE worker         -> each TcpTransport pings its worker on
+//                                   an interval; `probe_miss_budget`
+//                                   consecutive misses take it out of
+//                                   rotation and its in-flight attempts
+//                                   are re-dispatched elsewhere WITHOUT
+//                                   burning retry budget; probing
+//                                   continues, so a recovered worker
+//                                   rejoins. When every remote is down
+//                                   and no local slots were configured,
+//                                   the drive degrades to local-only
+//                                   execution instead of stalling
 //   * DRIVER death               -> the drive is a restartable transaction
 //                                   over the work dir: each validated
 //                                   shard output is committed atomically
@@ -79,8 +92,15 @@ inline constexpr int kDriveJournalVersion = 1;
 
 /// Knobs of the drive loop.
 struct DriveOptions {
-  /// Concurrent worker subprocesses; 0 = min(shards, hardware threads).
+  /// Concurrent LOCAL worker subprocesses. 0 = min(shards, hardware
+  /// threads) when `remote_workers` is empty; with remote workers
+  /// configured, 0 means no local slots (remote-only, until degradation
+  /// raises emergency local slots because every remote is unhealthy).
   std::size_t workers = 0;
+  /// Remote `wdag worker` endpoints ("host:port"), one attempt slot
+  /// each, dispatched remote-first behind the same validate-or-retry
+  /// loop as local slots.
+  std::vector<std::string> remote_workers;
   /// Retries allowed per shard AFTER its first attempt; exceeding this
   /// fails the whole drive (no partial merge is ever produced).
   std::size_t max_retries = 2;
@@ -121,6 +141,16 @@ struct DriveOptions {
   /// or interrupted drives always keep committed outputs + journal so
   /// `resume` can reuse them).
   bool keep_outputs = false;
+  /// Dial timeout of every remote attempt and probe connection (ms).
+  int connect_timeout_ms = 1000;
+  /// Seconds between health probes of each remote worker.
+  double probe_interval_seconds = 2.0;
+  /// Per-probe timeout (dial + pong) in ms.
+  int probe_timeout_ms = 500;
+  /// Consecutive probe misses before a remote worker is taken out of
+  /// rotation (its in-flight attempts re-dispatch elsewhere); probing
+  /// continues and a successful probe puts it back.
+  std::size_t probe_miss_budget = 3;
 };
 
 /// One lifecycle event of a drive, also renderable as a JSON line.
@@ -131,7 +161,13 @@ struct DriveOptions {
 /// re-validated and was skipped), "resume-skip" (a journal entry failed
 /// re-validation; its shard re-runs), "quarantine" (systemic failures
 /// paused all dispatch), "interrupt" (SIGINT/SIGTERM ended the drive),
-/// "done" (the drive finished).
+/// "done" (the drive finished). Remote-worker health adds: "probe-miss"
+/// (one failed probe), "unhealthy" (miss budget exhausted; out of
+/// rotation), "recovered" (a probe succeeded; back in rotation),
+/// "redispatch" (an in-flight attempt on a newly unhealthy worker was
+/// killed and its shard re-queued, without burning retry budget), and
+/// "degrade" (every remote is unhealthy and local emergency slots were
+/// raised).
 struct DriveEvent {
   std::string kind;
   std::size_t shard = 0;
@@ -139,6 +175,7 @@ struct DriveEvent {
   double at_seconds = 0.0;        ///< time since drive start
   double elapsed_seconds = 0.0;   ///< attempt (or drive, for "done") runtime
   int exit_code = 0;              ///< child exit code where applicable
+  std::string worker;             ///< transport id ("local", "host:port")
   std::string detail;             ///< human-readable context (may be empty)
 
   /// The event as a single JSON line (stable key order, no newline).
@@ -171,6 +208,9 @@ struct DriveShardStats {
   bool resumed = false;        ///< revived from a previous run's journal
   double seconds = 0.0;        ///< runtime of the winning attempt
   std::size_t rows = 0;        ///< validated rows merged from this shard
+  std::string worker;          ///< transport that produced the winning
+                               ///< attempt ("local", "host:port",
+                               ///< "journal" for resumed shards)
 };
 
 /// Outcome of a successful drive.
@@ -180,6 +220,8 @@ struct DriveReport {
   std::size_t speculations = 0;         ///< total speculative dispatches
   std::size_t resumed = 0;              ///< shards revived from the journal
   std::size_t quarantines = 0;          ///< systemic-failure pauses
+  std::size_t redispatches = 0;         ///< attempts moved off unhealthy
+                                        ///< workers (no retry budget burned)
   double wall_seconds = 0.0;
 
   /// Per-shard summary (the CLI's --progress table).

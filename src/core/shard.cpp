@@ -15,6 +15,15 @@
 
 namespace wdag::core {
 
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 using minjson::JsonParser;
 using minjson::JsonValue;
 using minjson::hex16;
@@ -40,14 +49,7 @@ constexpr std::string_view kShardHeaderTag = "# wdag-shard ";
 // Hashing
 // ---------------------------------------------------------------------------
 
-std::uint64_t fnv1a(std::string_view s) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
+std::uint64_t fnv1a(std::string_view s) { return fnv1a64(s); }
 
 /// Shortest round-trippable decimal of a double: %.17g re-parses to the
 /// same bits with strtod, so hash canonicalization and JSON emission

@@ -89,6 +89,11 @@ struct ShardSpec {
 /// would canonicalize — and emit — as invalid JSON).
 [[nodiscard]] std::uint64_t shard_request_hash(const ShardSpec& spec);
 
+/// The FNV-1a 64-bit hash of raw bytes — the same function the plan /
+/// request hashes build on, exposed for payload checksums (the worker
+/// wire protocol stamps every shard-CSV payload with it).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data);
+
 /// A global index range [begin, end). For striped shards the covered
 /// indices are begin, begin + stride, ... < end rather than every index.
 struct ShardRange {

@@ -101,6 +101,15 @@ void Server::run() {
     auto conn = listener_.accept(kTickMs);
     if (!conn) continue;
     stats_.on_connection();
+    if (options_.max_connections > 0 &&
+        active_.load(std::memory_order_relaxed) >= options_.max_connections) {
+      // Saturated: one clear wire error, then close — the accept loop
+      // never blocks and never grows an unbounded thread herd.
+      stats_.on_rejected_max_connections();
+      conn->write_line(rejected_response_json("", "max_connections"));
+      continue;
+    }
+    active_.fetch_add(1, std::memory_order_relaxed);
     const std::lock_guard<std::mutex> lock(sessions_mutex_);
     sessions_.emplace_back(&Server::session_loop, this, std::move(*conn));
   }
@@ -135,12 +144,26 @@ void Server::worker_loop() {
 }
 
 void Server::session_loop(util::TcpConn conn) {
+  // The cap's gauge must drop on EVERY exit path of the session.
+  struct ActiveGuard {
+    std::atomic<std::size_t>& active;
+    ~ActiveGuard() { active.fetch_sub(1, std::memory_order_relaxed); }
+  } guard{active_};
   std::string line;
+  auto last_activity = Clock::now();
   while (!stop_.load(std::memory_order_relaxed)) {
     const util::ReadStatus status = conn.read_line(line, kTickMs);
-    if (status == util::ReadStatus::kTimeout) continue;
+    if (status == util::ReadStatus::kTimeout) {
+      if (options_.idle_timeout_ms > 0.0 &&
+          Clock::now() - last_activity >
+              millis_duration(options_.idle_timeout_ms)) {
+        return;  // silent client: close and free the session thread
+      }
+      continue;
+    }
     if (status == util::ReadStatus::kClosed) return;
     if (line.empty()) continue;
+    last_activity = Clock::now();
 
     stats_.on_request();
     std::string response;

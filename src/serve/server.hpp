@@ -58,6 +58,16 @@ struct ServeOptions {
   std::size_t engine_threads = 0;
   /// Default solver knobs of the embedded engine.
   core::SolveOptions solve;
+  /// Live session cap; 0 = unlimited. A connection accepted while this
+  /// many sessions are open is answered one clear wire error
+  /// ('rejected: max_connections') and closed — a saturated server
+  /// refuses loudly instead of accumulating session threads without
+  /// bound.
+  std::size_t max_connections = 0;
+  /// Close a session after this long without a complete request line;
+  /// 0 = never. Bounds the thread cost of idle clients (and of peers
+  /// that vanished without a FIN).
+  double idle_timeout_ms = 0.0;
   /// Honor "sleep" requests (deterministic queue-occupancy for tests;
   /// production servers leave this off and reject the type).
   bool enable_test_hooks = false;
@@ -110,7 +120,8 @@ class Server {
   ServeStats stats_;
   std::chrono::steady_clock::time_point started_at_;
 
-  std::atomic<bool> stop_{false};  ///< refuse new work
+  std::atomic<bool> stop_{false};        ///< refuse new work
+  std::atomic<std::size_t> active_{0};   ///< open sessions (the cap's gauge)
   std::thread worker_;
   std::thread run_thread_;         ///< start()'s thread
   std::mutex sessions_mutex_;

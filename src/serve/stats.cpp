@@ -73,6 +73,8 @@ std::string ServeStats::to_json(double uptime_seconds,
       .field("rejected-queue-full", rejected_queue_full_.load(order()))
       .field("rejected-deadline", rejected_deadline_.load(order()))
       .field("rejected-shutdown", rejected_shutdown_.load(order()))
+      .field("rejected-max-connections",
+             rejected_max_connections_.load(order()))
       .field("errors", errors_.load(order()))
       .field_raw("strategies", std::move(strategies).str())
       .field_raw("latency-ms", std::move(latency_json).str());

@@ -41,6 +41,10 @@ class ServeStats {
   void on_rejected_queue_full() { rejected_queue_full_.fetch_add(1, order()); }
   void on_rejected_deadline() { rejected_deadline_.fetch_add(1, order()); }
   void on_rejected_shutdown() { rejected_shutdown_.fetch_add(1, order()); }
+  /// A connection was turned away at accept: the session cap was reached.
+  void on_rejected_max_connections() {
+    rejected_max_connections_.fetch_add(1, order());
+  }
   void on_error() { errors_.fetch_add(1, order()); }
 
   /// A solve request completed: count it under its winning strategy and
@@ -65,6 +69,9 @@ class ServeStats {
   }
   std::uint64_t rejected_shutdown() const {
     return rejected_shutdown_.load(order());
+  }
+  std::uint64_t rejected_max_connections() const {
+    return rejected_max_connections_.load(order());
   }
   std::uint64_t errors() const { return errors_.load(order()); }
 
@@ -91,6 +98,7 @@ class ServeStats {
   std::atomic<std::uint64_t> rejected_queue_full_{0};
   std::atomic<std::uint64_t> rejected_deadline_{0};
   std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> rejected_max_connections_{0};
   std::atomic<std::uint64_t> errors_{0};
 
   mutable std::mutex mutex_;  ///< guards the histogram and the ring

@@ -7,8 +7,10 @@
 #if defined(__unix__) || defined(__APPLE__)
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -38,33 +40,78 @@ sockaddr_in make_addr(const std::string& host, int port) {
   return addr;
 }
 
-/// Waits for readability; true when the fd is ready within the timeout.
-bool wait_readable(int fd, int timeout_ms) {
+/// Waits for the given poll events with a deadline that survives EINTR:
+/// an interrupted poll resumes with the remaining time, so a stray
+/// signal never silently shortens (or un-bounds) the wait. True when
+/// the fd is ready within the timeout.
+bool wait_for(int fd, short events, int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   pollfd p{};
   p.fd = fd;
-  p.events = POLLIN;
+  p.events = events;
+  int remaining = timeout_ms;
   for (;;) {
-    const int rc = ::poll(&p, 1, timeout_ms);
+    const int rc = ::poll(&p, 1, remaining);
     if (rc > 0) return true;
     if (rc == 0) return false;
     if (errno != EINTR) return false;
+    if (timeout_ms < 0) continue;  // infinite wait: just retry
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    remaining = static_cast<int>(left.count());
+    if (remaining <= 0) return false;
   }
+}
+
+/// Waits for readability; true when the fd is ready within the timeout.
+bool wait_readable(int fd, int timeout_ms) {
+  return wait_for(fd, POLLIN, timeout_ms);
 }
 
 }  // namespace
 
 // --- TcpConn ---------------------------------------------------------------
 
-TcpConn TcpConn::connect(const std::string& host, int port) {
+TcpConn TcpConn::connect(const std::string& host, int port,
+                         int connect_timeout_ms) {
   const sockaddr_in addr = make_addr(host, port);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) fail_errno("socket()");
+  const std::string where = host + ":" + std::to_string(port);
+  const auto fail_with = [&](int err, const std::string& what) -> void {
+    ::close(fd);
+    errno = err;
+    fail_errno(what + " " + where);
+  };
+  // Non-blocking connect + poll: ::connect on a blocking socket has no
+  // timeout knob, and a blackholed peer would park the dialer for the
+  // kernel's full SYN retry ladder (minutes).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    fail_with(errno, "fcntl(O_NONBLOCK) dialing");
+  }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
-    const int saved = errno;
-    ::close(fd);
-    errno = saved;
-    fail_errno("cannot connect to " + host + ":" + std::to_string(port));
+    if (errno != EINPROGRESS) {
+      fail_with(errno, "cannot connect to");
+    }
+    if (!wait_for(fd, POLLOUT, connect_timeout_ms)) {
+      ::close(fd);
+      throw InternalError("connect to " + where + " timed out after " +
+                          std::to_string(connect_timeout_ms) + "ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      fail_with(errno, "getsockopt(SO_ERROR) dialing");
+    }
+    if (err != 0) {
+      fail_with(err, "cannot connect to");
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) {
+    fail_with(errno, "fcntl(restore flags) dialing");
   }
   return TcpConn(fd);
 }
@@ -113,6 +160,34 @@ ReadStatus TcpConn::read_line(std::string& line, int timeout_ms) {
     }
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+ReadStatus TcpConn::read_exact(std::string& out, std::size_t total,
+                               int timeout_ms) {
+  if (out.size() >= total) return ReadStatus::kLine;
+  // Bytes already received past the last returned line belong to the
+  // payload — a header line and its payload often share a segment.
+  if (!buffer_.empty()) {
+    const std::size_t take = std::min(buffer_.size(), total - out.size());
+    out.append(buffer_, 0, take);
+    buffer_.erase(0, take);
+    if (out.size() == total) return ReadStatus::kLine;
+  }
+  if (fd_ < 0) return ReadStatus::kClosed;
+  while (out.size() < total) {
+    if (!wait_readable(fd_, timeout_ms)) return ReadStatus::kTimeout;
+    char chunk[16384];
+    const std::size_t want =
+        std::min(total - out.size(), sizeof(chunk));
+    const ssize_t n = ::recv(fd_, chunk, want, 0);
+    if (n == 0) return ReadStatus::kClosed;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::kClosed;
+    }
+    out.append(chunk, static_cast<std::size_t>(n));
+  }
+  return ReadStatus::kLine;
 }
 
 bool TcpConn::write_all(std::string_view data) {
@@ -206,7 +281,7 @@ namespace wdag::util {
 
 void ignore_sigpipe() {}
 
-TcpConn TcpConn::connect(const std::string&, int) {
+TcpConn TcpConn::connect(const std::string&, int, int) {
   throw InternalError("TCP sockets require a POSIX platform");
 }
 TcpConn::TcpConn(TcpConn&& other) noexcept
@@ -219,6 +294,9 @@ TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
 TcpConn::~TcpConn() = default;
 void TcpConn::close() { fd_ = -1; }
 ReadStatus TcpConn::read_line(std::string&, int) { return ReadStatus::kClosed; }
+ReadStatus TcpConn::read_exact(std::string&, std::size_t, int) {
+  return ReadStatus::kClosed;
+}
 bool TcpConn::write_all(std::string_view) { return false; }
 bool TcpConn::write_line(std::string_view) { return false; }
 

@@ -34,13 +34,18 @@ enum class ReadStatus {
   kClosed,   ///< the peer closed (or the connection errored) mid-stream
 };
 
-/// One TCP connection speaking '\n'-delimited lines. Move-only; the
-/// destructor closes the socket.
+/// One TCP connection speaking '\n'-delimited lines (plus raw
+/// length-prefixed payloads via read_exact). Move-only; the destructor
+/// closes the socket.
 class TcpConn {
  public:
-  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
-  /// Throws wdag::InternalError when the connection cannot be made.
-  static TcpConn connect(const std::string& host, int port);
+  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1") with a
+  /// bounded dial: non-blocking connect + poll, so a blackholed peer
+  /// costs at most `connect_timeout_ms` instead of the kernel's
+  /// minutes-long SYN retry ladder. Throws wdag::InternalError when the
+  /// connection cannot be made (including on timeout).
+  static TcpConn connect(const std::string& host, int port,
+                         int connect_timeout_ms = 10'000);
 
   TcpConn() = default;
   TcpConn(TcpConn&& other) noexcept;
@@ -54,6 +59,15 @@ class TcpConn {
   /// an unbounded "line" must not buffer unbounded memory here (the same
   /// bounded-buffering discipline as the admission queue).
   ReadStatus read_line(std::string& line, int timeout_ms);
+
+  /// Appends raw bytes to `out` until it holds `total` bytes, draining
+  /// any bytes already buffered past the last read_line first (a header
+  /// line and its payload may arrive in one segment). Returns kLine once
+  /// out.size() == total, kTimeout when one poll wait expires with the
+  /// payload still short (partial progress is kept in `out`, so callers
+  /// tick in a loop and stay cancellable), kClosed when the peer closes
+  /// mid-payload.
+  ReadStatus read_exact(std::string& out, std::size_t total, int timeout_ms);
 
   /// Writes all of `data`; returns false when the peer is gone
   /// (EPIPE/ECONNRESET) instead of throwing — a vanished client is an

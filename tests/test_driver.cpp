@@ -223,8 +223,8 @@ TEST(DriveTest, ValidatesItsOptions) {
 
 TEST(DriveReportTest, ProgressTableHasOneRowPerShard) {
   core::DriveReport report;
-  report.shards = {{0, 1, 0, false, false, 0.5, 12},
-                   {1, 3, 2, true, true, 1.5, 12}};
+  report.shards = {{0, 1, 0, false, false, 0.5, 12, "local"},
+                   {1, 3, 2, true, true, 1.5, 12, "journal"}};
   report.retries = 2;
   report.speculations = 1;
   const util::Table t = report.progress_table();

@@ -442,6 +442,74 @@ TEST(ServeServer, ClientVanishingMidResponseDoesNotKillServer) {
   server.join();
 }
 
+TEST(ServeServer, MaxConnectionsRejectsAtTheCapAndFreesWithTheSession) {
+  serve::ServeOptions options = test_options();
+  options.max_connections = 1;
+  serve::Server server(options);
+  server.start();
+
+  WireRequest solve;
+  solve.gen.family = "tree";
+  {
+    serve::Session holder("127.0.0.1", server.port());
+    // One exchange proves the holder's session is live (the cap gauge
+    // bumps at accept, which may lag the client-side handshake).
+    ASSERT_EQ(
+        serve::parse_reply(holder.exchange(serve::request_to_json(solve)))
+            .status,
+        "ok");
+
+    // At the cap: the next connection is answered one clear rejection
+    // line and closed — without the server reading a request first.
+    util::TcpConn extra =
+        util::TcpConn::connect("127.0.0.1", server.port(), 1000);
+    std::string line;
+    ASSERT_EQ(extra.read_line(line, 2000), util::ReadStatus::kLine);
+    const WireReply reply = serve::parse_reply(line);
+    EXPECT_EQ(reply.status, "rejected");
+    EXPECT_EQ(reply.detail, "max_connections");
+    EXPECT_GE(server.stats().rejected_max_connections(), 1u);
+  }  // holder hangs up: its session exits and frees the slot
+
+  // The slot comes back once the reaped session's guard runs (within a
+  // read tick); a fresh connection must then be admitted again.
+  std::string status;
+  for (int tries = 0; tries < 100 && status != "ok"; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const std::string response = serve::request_once(
+        "127.0.0.1", server.port(), serve::request_to_json(solve));
+    status = serve::parse_reply(response).status;
+  }
+  EXPECT_EQ(status, "ok");
+  server.request_stop();
+  server.join();
+}
+
+TEST(ServeServer, IdleSessionIsClosedAfterTheTimeout) {
+  serve::ServeOptions options = test_options();
+  options.idle_timeout_ms = 100.0;
+  serve::Server server(options);
+  server.start();
+
+  // A connection that never sends a complete line is reaped (the check
+  // runs on the server's read tick, so allow a generous margin).
+  util::TcpConn silent =
+      util::TcpConn::connect("127.0.0.1", server.port(), 1000);
+  std::string line;
+  EXPECT_EQ(silent.read_line(line, 5000), util::ReadStatus::kClosed);
+
+  // The server itself is alive and still serves talkative clients.
+  WireRequest solve;
+  solve.gen.family = "tree";
+  EXPECT_EQ(serve::parse_reply(
+                serve::request_once("127.0.0.1", server.port(),
+                                    serve::request_to_json(solve)))
+                .status,
+            "ok");
+  server.request_stop();
+  server.join();
+}
+
 TEST(ServeServer, MalformedRequestAnswersErrorAndKeepsSession) {
   serve::Server server(test_options());
   server.start();
