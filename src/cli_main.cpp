@@ -58,6 +58,7 @@
 
 #include "core/transport.hpp"  // internal: drive endpoint parsing
 #include "remote/worker.hpp"   // internal: the `wdag worker` process
+#include "util/simd.hpp"       // internal: --version reports the ISA tier
 
 namespace {
 
@@ -268,9 +269,15 @@ int usage(std::ostream& os) {
         "\n"
         "global flags:\n"
         "  --help         print this help and exit 0\n"
-        "  --version      print 'wdag VERSION (build-type, arch)' and exit\n"
+        "  --version      print 'wdag VERSION (build-type, arch) [simd:\n"
+        "                 tier]' and exit; fails on a bad WDAG_FORCE_ISA,\n"
+        "                 so it doubles as an ISA reachability probe\n"
         "\n"
         "environment:\n"
+        "  WDAG_FORCE_ISA pin the SIMD kernel dispatch to one ISA tier\n"
+        "                 (scalar | sse2 | avx2 | avx512) instead of the\n"
+        "                 highest the CPU supports; an unreachable tier is\n"
+        "                 a usage error, never a silent fallback\n"
         "  WDAG_AFFINITY  pin pool workers to CPUs (Linux): 'on' pins\n"
         "                 worker i to cpu i, a comma list '0,2,4' cycles\n"
         "                 through those CPUs; unset/'off' leaves the OS free\n"
@@ -1135,7 +1142,16 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cli.has("version")) {
-      std::cout << wdag::util::build_info_line() << "\n";
+      // active_tier() resolves the SIMD dispatch (and validates
+      // WDAG_FORCE_ISA, exiting via the catch below when it names an
+      // unknown or unreachable tier) — so `WDAG_FORCE_ISA=x wdag
+      // --version` doubles as the reachability probe CI loops over.
+      // Resolve BEFORE streaming so a rejected override never leaves a
+      // half-printed version line on stdout.
+      const char* tier =
+          wdag::util::simd::tier_name(wdag::util::simd::active_tier());
+      std::cout << wdag::util::build_info_line() << " [simd: " << tier
+                << "]\n";
       return 0;
     }
     if (cli.positional().empty()) return usage(std::cerr);

@@ -80,7 +80,7 @@ std::vector<std::size_t> greedy_clique(const ConflictGraph& cg) {
   });
   for (std::size_t seed : verts) {
     std::vector<std::size_t> clique = {seed};
-    DynamicBitset cand = cg.neighbors(seed);
+    DynamicBitset cand(cg.neighbors(seed));
     for (std::size_t v = cand.find_first(); v < n; v = cand.find_next(v)) {
       bool ok = true;
       for (std::size_t u : clique) {

@@ -1,6 +1,9 @@
 #include "conflict/conflict_graph.hpp"
 
+#include <bit>
+
 #include "util/check.hpp"
+#include "util/simd.hpp"
 
 namespace wdag::conflict {
 
@@ -45,9 +48,14 @@ void ConflictGraph::rebuild(const paths::DipathFamily& family) {
       mask.clear_all();
     }
     for (std::size_t i = 0; i < g; ++i) mask.set_unchecked(ids[i]);
-    for (std::size_t i = 0; i < g; ++i) mask.or_into(rows_[ids[i]]);
+    const util::ConstBitsetView mask_view = mask;
+    util::simd::or_rows(pool_.data(), stride_, ids, g, mask_view.data(),
+                        words);
     // The OR splat put every member on its own row; clear the diagonal.
-    for (std::size_t i = 0; i < g; ++i) rows_[ids[i]].reset(ids[i]);
+    for (std::size_t i = 0; i < g; ++i) {
+      const std::size_t u = ids[i];
+      row(u)[u / 64] &= ~(std::uint64_t{1} << (u % 64));
+    }
   });
   finalize();
 }
@@ -65,17 +73,33 @@ ConflictGraph::ConflictGraph(
 }
 
 void ConflictGraph::reset_rows(std::size_t n) {
-  if (rows_.size() > n) rows_.resize(n);
-  for (auto& row : rows_) row.reset_to_zero(n);
-  while (rows_.size() < n) rows_.emplace_back(n);
+  const std::size_t words = (n + 63) / 64;
+  // Round each row up to a whole 64-byte cache line so every row starts
+  // at the pool's alignment; padding words stay zero forever.
+  const std::size_t stride =
+      (words + (util::kBitsetAlignment / 8 - 1)) &
+      ~(util::kBitsetAlignment / 8 - 1);
+  const std::size_t need = n * stride;
+  if (need > pool_.size()) {
+    pool_ = util::AlignedWords(need);  // freshly zeroed
+  } else {
+    util::simd::zero_words(pool_.data(), need);
+  }
+  n_ = n;
+  stride_ = stride;
 }
 
 void ConflictGraph::finalize() {
-  degrees_.resize(rows_.size());
+  degrees_.resize(n_);
   max_degree_ = 0;
   std::size_t twice = 0;
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
-    const std::size_t d = rows_[i].count();
+  const std::size_t words = (n_ + 63) / 64;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::uint64_t* r = row(i);
+    std::size_t d = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      d += static_cast<std::size_t>(std::popcount(r[w]));
+    }
     degrees_[i] = static_cast<std::uint32_t>(d);
     max_degree_ = std::max(max_degree_, d);
     twice += d;
@@ -84,13 +108,13 @@ void ConflictGraph::finalize() {
 }
 
 void ConflictGraph::add_edge(std::size_t u, std::size_t v) {
-  rows_[u].set_unchecked(v);
-  rows_[v].set_unchecked(u);
+  row(u)[v / 64] |= std::uint64_t{1} << (v % 64);
+  row(v)[u / 64] |= std::uint64_t{1} << (u % 64);
 }
 
 bool ConflictGraph::adjacent(std::size_t u, std::size_t v) const {
   WDAG_REQUIRE(u < size() && v < size(), "ConflictGraph::adjacent: out of range");
-  return u != v && rows_[u].test_unchecked(v);
+  return u != v && ((row(u)[v / 64] >> (v % 64)) & 1) != 0;
 }
 
 }  // namespace wdag::conflict

@@ -10,6 +10,13 @@
 // per-pair bit sets (large groups), falling back to pairwise sets when the
 // group is smaller than a handful of words. Degrees are cached at build
 // time, so degree() and max_degree() are O(1).
+//
+// Adjacency rows live in one contiguous 64-byte-aligned word pool
+// (structure-of-arrays): row u is the `stride_` words starting at
+// u * stride_, with the stride rounded up to a whole cache line so every
+// row starts aligned and the SIMD OR/scan kernels stream full lines.
+// neighbors() hands out non-owning ConstBitsetViews into the pool; they
+// are invalidated by rebuild(), like iterators on a reused container.
 
 #include <cstdint>
 #include <vector>
@@ -33,21 +40,22 @@ class ConflictGraph {
   ConflictGraph(std::size_t n,
                 const std::vector<std::pair<std::size_t, std::size_t>>& edges);
 
-  /// Rebuilds in place for a new family, reusing the row storage. The
-  /// batch engine's per-worker scratch arena calls this so consecutive
-  /// instances in a chunk do not reallocate n adjacency rows each.
+  /// Rebuilds in place for a new family, reusing the row pool. The batch
+  /// engine's per-worker scratch arena calls this so consecutive
+  /// instances in a chunk do not reallocate the adjacency pool each.
   void rebuild(const paths::DipathFamily& family);
 
   /// Number of vertices (dipaths).
-  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  [[nodiscard]] std::size_t size() const { return n_; }
 
   /// True when u and v conflict. u == v returns false.
   [[nodiscard]] bool adjacent(std::size_t u, std::size_t v) const;
 
-  /// Adjacency row of u as a bitset.
-  [[nodiscard]] const util::DynamicBitset& neighbors(std::size_t u) const {
+  /// Adjacency row of u: a view into the shared row pool, valid until the
+  /// next rebuild().
+  [[nodiscard]] util::ConstBitsetView neighbors(std::size_t u) const {
     WDAG_REQUIRE(u < size(), "ConflictGraph::neighbors: out of range");
-    return rows_[u];
+    return {pool_.data() + u * stride_, n_};
   }
 
   /// Degree of u (cached at build time).
@@ -65,13 +73,22 @@ class ConflictGraph {
  private:
   void add_edge(std::size_t u, std::size_t v);
 
-  /// Re-targets rows to n zeroed bitsets of n bits, reusing storage.
+  /// Re-targets the pool to n zeroed rows of n bits, reusing storage.
   void reset_rows(std::size_t n);
 
   /// Computes the cached degrees / max degree / edge count from the rows.
   void finalize();
 
-  std::vector<util::DynamicBitset> rows_;
+  [[nodiscard]] std::uint64_t* row(std::size_t u) {
+    return pool_.data() + u * stride_;
+  }
+  [[nodiscard]] const std::uint64_t* row(std::size_t u) const {
+    return pool_.data() + u * stride_;
+  }
+
+  util::AlignedWords pool_;
+  std::size_t n_ = 0;       ///< vertices; each row is n_ bits wide
+  std::size_t stride_ = 0;  ///< words per row, a multiple of 8 (cache line)
   std::vector<std::uint32_t> degrees_;
   std::size_t max_degree_ = 0;
   std::size_t num_edges_ = 0;

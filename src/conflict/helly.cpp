@@ -89,7 +89,7 @@ std::optional<std::vector<std::size_t>> find_k23(const ConflictGraph& cg) {
   for (std::size_t u = 0; u < n; ++u) {
     for (std::size_t v = u + 1; v < n; ++v) {
       if (cg.adjacent(u, v)) continue;
-      util::DynamicBitset common = cg.neighbors(u);
+      util::DynamicBitset common(cg.neighbors(u));
       common &= cg.neighbors(v);
       const auto cand = common.to_indices();
       if (cand.size() < 3) continue;

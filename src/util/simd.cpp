@@ -1,0 +1,251 @@
+#include "util/simd.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/check.hpp"
+
+#if defined(__x86_64__) || defined(__amd64__)
+#define WDAG_SIMD_X86 1
+#include <emmintrin.h>  // SSE2: the x86-64 ABI baseline, no extra -m flag
+#else
+#define WDAG_SIMD_X86 0
+#endif
+
+namespace wdag::util::simd {
+
+namespace detail {
+// Provided by the per-ISA translation units (simd_avx2.cpp,
+// simd_avx512.cpp); null when the build could not compile that tier.
+const Kernels* avx2_kernels();
+const Kernels* avx512_kernels();
+}  // namespace detail
+
+namespace {
+
+// ------------------------------ scalar --------------------------------
+
+void scalar_or_words(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+void scalar_zero_words(std::uint64_t* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+}
+
+std::size_t scalar_find_not_ones(const std::uint64_t* words, std::size_t from,
+                                 std::size_t n) {
+  for (std::size_t i = from; i < n; ++i) {
+    if (words[i] != ~std::uint64_t{0}) return i;
+  }
+  return n;
+}
+
+void scalar_or_rows(std::uint64_t* pool, std::size_t stride,
+                    const std::uint32_t* ids, std::size_t count,
+                    const std::uint64_t* src, std::size_t words) {
+  for (std::size_t r = 0; r < count; ++r) {
+    std::uint64_t* dst = pool + static_cast<std::size_t>(ids[r]) * stride;
+    for (std::size_t j = 0; j < words; ++j) dst[j] |= src[j];
+  }
+}
+
+constexpr Kernels kScalarKernels{scalar_or_words, scalar_zero_words,
+                                 scalar_find_not_ones, scalar_or_rows};
+
+// ------------------------------- sse2 ---------------------------------
+
+#if WDAG_SIMD_X86
+
+void sse2_or_words(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i a0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    __m128i b0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i a1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i + 2));
+    __m128i b1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 2));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_or_si128(a0, b0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 2),
+                     _mm_or_si128(a1, b1));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+void sse2_zero_words(std::uint64_t* dst, std::size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), zero);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 2), zero);
+  }
+  for (; i < n; ++i) dst[i] = 0;
+}
+
+std::size_t sse2_find_not_ones(const std::uint64_t* words, std::size_t from,
+                               std::size_t n) {
+  const __m128i ones = _mm_set1_epi64x(-1);
+  std::size_t i = from;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(words + i));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi32(v, ones)) != 0xFFFF) {
+      return words[i] != ~std::uint64_t{0} ? i : i + 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (words[i] != ~std::uint64_t{0}) return i;
+  }
+  return n;
+}
+
+void sse2_or_rows(std::uint64_t* pool, std::size_t stride,
+                  const std::uint32_t* ids, std::size_t count,
+                  const std::uint64_t* src, std::size_t words) {
+  for (std::size_t r = 0; r < count; ++r) {
+    sse2_or_words(pool + static_cast<std::size_t>(ids[r]) * stride, src,
+                  words);
+  }
+}
+
+constexpr Kernels kSse2Kernels{sse2_or_words, sse2_zero_words,
+                               sse2_find_not_ones, sse2_or_rows};
+
+#endif  // WDAG_SIMD_X86
+
+// ----------------------------- dispatch -------------------------------
+
+const Kernels* table_for(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar:
+      return &kScalarKernels;
+    case IsaTier::kSse2:
+#if WDAG_SIMD_X86
+      return &kSse2Kernels;
+#else
+      return nullptr;
+#endif
+    case IsaTier::kAvx2:
+      return detail::avx2_kernels();
+    case IsaTier::kAvx512:
+      return detail::avx512_kernels();
+  }
+  return nullptr;
+}
+
+bool cpu_supports(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar:
+      return true;
+#if WDAG_SIMD_X86 && defined(__GNUC__)
+    case IsaTier::kSse2:
+      return true;  // x86-64 ABI baseline
+    case IsaTier::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case IsaTier::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0;
+#endif
+    default:
+      return false;
+  }
+}
+
+bool reachable(IsaTier tier) {
+  return table_for(tier) != nullptr && cpu_supports(tier);
+}
+
+IsaTier parse_force_isa(const char* value) {
+  const std::string v(value);
+  IsaTier tier;
+  if (v == "scalar") {
+    tier = IsaTier::kScalar;
+  } else if (v == "sse2") {
+    tier = IsaTier::kSse2;
+  } else if (v == "avx2") {
+    tier = IsaTier::kAvx2;
+  } else if (v == "avx512") {
+    tier = IsaTier::kAvx512;
+  } else {
+    WDAG_REQUIRE(false, "WDAG_FORCE_ISA='" + v +
+                            "' is not a tier (scalar | sse2 | avx2 | avx512)");
+  }
+  WDAG_REQUIRE(reachable(tier),
+               "WDAG_FORCE_ISA=" + v + " is not reachable on this machine " +
+                   "(CPU/build supports up to '" +
+                   tier_name(detected_tier()) + "')");
+  return tier;
+}
+
+struct DispatchState {
+  IsaTier tier;
+  const Kernels* table;
+};
+
+DispatchState& dispatch_state() {
+  static DispatchState state = [] {
+    IsaTier tier = detected_tier();
+    if (const char* forced = std::getenv("WDAG_FORCE_ISA")) {
+      tier = parse_force_isa(forced);
+    }
+    return DispatchState{tier, table_for(tier)};
+  }();
+  return state;
+}
+
+}  // namespace
+
+const char* tier_name(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar:
+      return "scalar";
+    case IsaTier::kSse2:
+      return "sse2";
+    case IsaTier::kAvx2:
+      return "avx2";
+    case IsaTier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+IsaTier detected_tier() {
+  static const IsaTier best = [] {
+    IsaTier tier = IsaTier::kScalar;
+    for (const IsaTier candidate :
+         {IsaTier::kSse2, IsaTier::kAvx2, IsaTier::kAvx512}) {
+      if (reachable(candidate)) tier = candidate;
+    }
+    return tier;
+  }();
+  return best;
+}
+
+IsaTier active_tier() { return dispatch_state().tier; }
+
+std::vector<IsaTier> reachable_tiers() {
+  std::vector<IsaTier> tiers;
+  for (const IsaTier tier : {IsaTier::kScalar, IsaTier::kSse2, IsaTier::kAvx2,
+                             IsaTier::kAvx512}) {
+    if (reachable(tier)) tiers.push_back(tier);
+  }
+  return tiers;
+}
+
+const Kernels& kernels() { return *dispatch_state().table; }
+
+IsaTier set_active_tier(IsaTier tier) {
+  WDAG_REQUIRE(reachable(tier),
+               std::string("set_active_tier: tier '") + tier_name(tier) +
+                   "' is not reachable on this machine");
+  DispatchState& state = dispatch_state();
+  const IsaTier previous = state.tier;
+  state.tier = tier;
+  state.table = table_for(tier);
+  return previous;
+}
+
+}  // namespace wdag::util::simd

@@ -1,0 +1,132 @@
+#pragma once
+// Runtime-dispatched SIMD kernels for the bitset hot path.
+//
+// INTERNAL header: deliberately absent from WDAG_PUBLIC_HEADERS. Public
+// types (DynamicBitset, ConflictGraph) call these kernels from their .cpp
+// files only, so the dispatch seam never leaks into the installed API.
+//
+// One kernel table per ISA tier (scalar / SSE2 / AVX2 / AVX-512), each
+// compiled in its own translation unit with per-file -m flags so vector
+// instructions cannot leak into portable code. The active table is
+// resolved exactly once, on first use: the highest tier both compiled in
+// and reported by CPUID, optionally overridden by the WDAG_FORCE_ISA
+// environment variable (scalar | sse2 | avx2 | avx512). Forcing a tier
+// the machine or build cannot execute throws wdag::InvalidArgument —
+// silently falling back would let a mislabelled fleet run different code
+// than it claims.
+//
+// Every tier must be byte-for-byte equivalent to the scalar reference;
+// tests/test_simd_kernels.cpp pins that differentially across all
+// reachable tiers, and tests/test_coloring_differential.cpp pins the
+// end-to-end colorings. New kernels follow the same rule: no tier lands
+// without a differential test at every tier (CONTRIBUTING.md).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wdag::util::simd {
+
+/// ISA tiers in strictly increasing capability order. On x86-64, SSE2 is
+/// the ABI baseline, so every x86-64 build reaches at least kSse2;
+/// elsewhere only kScalar is available.
+enum class IsaTier : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+/// Lower-case tier name ("scalar", "sse2", "avx2", "avx512").
+const char* tier_name(IsaTier tier);
+
+/// The dispatched kernel table. All pointers are always non-null.
+/// Word counts are in 64-bit words; all loads/stores are unaligned-safe
+/// (alignment is a performance contract, not a correctness one).
+struct Kernels {
+  /// dst[i] |= src[i] for i in [0, n).
+  void (*or_words)(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t n);
+  /// dst[i] = 0 for i in [0, n).
+  void (*zero_words)(std::uint64_t* dst, std::size_t n);
+  /// First index in [from, n) whose word != ~0, or n when every word in
+  /// the range is all-ones. The zero-scan building block.
+  std::size_t (*find_not_ones)(const std::uint64_t* words, std::size_t from,
+                               std::size_t n);
+  /// For each of the `count` row ids:
+  ///   pool[ids[r] * stride + j] |= src[j] for j in [0, words).
+  /// The ConflictGraph group-OR splat over its structure-of-arrays row
+  /// pool; `stride >= words`.
+  void (*or_rows)(std::uint64_t* pool, std::size_t stride,
+                  const std::uint32_t* ids, std::size_t count,
+                  const std::uint64_t* src, std::size_t words);
+};
+
+/// Highest tier that is both compiled into this binary and supported by
+/// the running CPU. Ignores WDAG_FORCE_ISA.
+IsaTier detected_tier();
+
+/// The tier the process dispatches to: detected_tier() unless
+/// WDAG_FORCE_ISA selects a (reachable) tier. Resolved once, on first
+/// call; throws wdag::InvalidArgument for an unknown or unreachable
+/// WDAG_FORCE_ISA value.
+IsaTier active_tier();
+
+/// Every reachable tier in increasing order (always starts with kScalar).
+std::vector<IsaTier> reachable_tiers();
+
+/// The active tier's kernel table.
+const Kernels& kernels();
+
+/// Swaps the active kernel table (returns the previous tier). Throws
+/// wdag::InvalidArgument when `tier` is not reachable. Test/bench hook
+/// for exercising every tier in one process — NOT thread-safe; call only
+/// while no other thread touches the bitset hot path.
+IsaTier set_active_tier(IsaTier tier);
+
+// ---------------------------------------------------------------------
+// Inline dispatch wrappers with a small-size bypass: below a few words
+// the indirect call costs more than the loop it replaces (first-fit
+// color masks are usually one word), so tiny operands stay scalar.
+// Results are identical by construction; the differential suite covers
+// sizes on both sides of the threshold.
+// ---------------------------------------------------------------------
+
+/// Word counts at or below this run the inline scalar path.
+inline constexpr std::size_t kInlineWords = 4;
+
+inline void or_words(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n) {
+  if (n <= kInlineWords) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+    return;
+  }
+  kernels().or_words(dst, src, n);
+}
+
+inline void zero_words(std::uint64_t* dst, std::size_t n) {
+  if (n <= kInlineWords) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  kernels().zero_words(dst, n);
+}
+
+inline std::size_t find_not_ones(const std::uint64_t* words, std::size_t from,
+                                 std::size_t n) {
+  if (n - from <= kInlineWords) {
+    for (std::size_t i = from; i < n; ++i) {
+      if (words[i] != ~std::uint64_t{0}) return i;
+    }
+    return n;
+  }
+  return kernels().find_not_ones(words, from, n);
+}
+
+inline void or_rows(std::uint64_t* pool, std::size_t stride,
+                    const std::uint32_t* ids, std::size_t count,
+                    const std::uint64_t* src, std::size_t words) {
+  kernels().or_rows(pool, stride, ids, count, src, words);
+}
+
+}  // namespace wdag::util::simd

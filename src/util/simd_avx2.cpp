@@ -1,0 +1,124 @@
+// AVX2 kernel tier. This translation unit is the ONLY one compiled with
+// -mavx2 (see the per-file COMPILE_OPTIONS in CMakeLists.txt), so AVX
+// instructions cannot leak into portable code; the dispatcher only calls
+// these after CPUID confirms avx2. When the toolchain cannot target AVX2
+// the table is null and the tier is simply unreachable.
+
+#include "util/simd.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace wdag::util::simd::detail {
+
+#if defined(__AVX2__)
+
+namespace {
+
+void avx2_or_words(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i a0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i a1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 4));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(a0, b0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 4),
+                        _mm256_or_si256(a1, b1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(a, b));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+void avx2_zero_words(std::uint64_t* dst, std::size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), zero);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 4), zero);
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), zero);
+  }
+  for (; i < n; ++i) dst[i] = 0;
+}
+
+std::size_t avx2_find_not_ones(const std::uint64_t* words, std::size_t from,
+                               std::size_t n) {
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  std::size_t i = from;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    if (_mm256_movemask_epi8(_mm256_cmpeq_epi64(v, ones)) != -1) {
+      for (std::size_t j = i; j < i + 4; ++j) {
+        if (words[j] != ~std::uint64_t{0}) return j;
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    if (words[i] != ~std::uint64_t{0}) return i;
+  }
+  return n;
+}
+
+void avx2_or_rows(std::uint64_t* pool, std::size_t stride,
+                  const std::uint32_t* ids, std::size_t count,
+                  const std::uint64_t* src, std::size_t words) {
+  if (words <= 4 && words > 0) {
+    // One graph row fits a single ymm lane group: keep the source mask in
+    // a register across the whole splat instead of reloading per row.
+    const __m256i mask = [&] {
+      alignas(32) std::uint64_t buf[4] = {0, 0, 0, 0};
+      for (std::size_t j = 0; j < words; ++j) buf[j] = src[j];
+      return _mm256_load_si256(reinterpret_cast<const __m256i*>(buf));
+    }();
+    for (std::size_t r = 0; r < count; ++r) {
+      std::uint64_t* dst = pool + static_cast<std::size_t>(ids[r]) * stride;
+      if (words == 4) {
+        const __m256i a =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                            _mm256_or_si256(a, mask));
+      } else {
+        // Partial row: scalar lanes (no masked 64-bit loads in AVX2 that
+        // are worth the setup for <= 3 words).
+        for (std::size_t j = 0; j < words; ++j) dst[j] |= src[j];
+      }
+    }
+    return;
+  }
+  for (std::size_t r = 0; r < count; ++r) {
+    avx2_or_words(pool + static_cast<std::size_t>(ids[r]) * stride, src,
+                  words);
+  }
+}
+
+constexpr Kernels kAvx2Kernels{avx2_or_words, avx2_zero_words,
+                               avx2_find_not_ones, avx2_or_rows};
+
+}  // namespace
+
+const Kernels* avx2_kernels() { return &kAvx2Kernels; }
+
+#else  // !defined(__AVX2__)
+
+const Kernels* avx2_kernels() { return nullptr; }
+
+#endif
+
+}  // namespace wdag::util::simd::detail

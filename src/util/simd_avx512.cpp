@@ -1,0 +1,110 @@
+// AVX-512 kernel tier. Compiled with -mavx512f (plus nothing else) in its
+// own translation unit; see simd_avx2.cpp for the isolation rationale. The
+// dispatcher only selects this table after CPUID reports avx512f.
+
+#include "util/simd.hpp"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace wdag::util::simd::detail {
+
+#if defined(__AVX512F__)
+
+namespace {
+
+void avx512_or_words(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i a = _mm512_loadu_si512(dst + i);
+    const __m512i b = _mm512_loadu_si512(src + i);
+    _mm512_storeu_si512(dst + i, _mm512_or_si512(a, b));
+  }
+  if (i < n) {
+    const __mmask8 tail =
+        static_cast<__mmask8>((1u << static_cast<unsigned>(n - i)) - 1u);
+    const __m512i a = _mm512_maskz_loadu_epi64(tail, dst + i);
+    const __m512i b = _mm512_maskz_loadu_epi64(tail, src + i);
+    _mm512_mask_storeu_epi64(dst + i, tail, _mm512_or_si512(a, b));
+  }
+}
+
+void avx512_zero_words(std::uint64_t* dst, std::size_t n) {
+  const __m512i zero = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(dst + i, zero);
+  }
+  if (i < n) {
+    const __mmask8 tail =
+        static_cast<__mmask8>((1u << static_cast<unsigned>(n - i)) - 1u);
+    _mm512_mask_storeu_epi64(dst + i, tail, zero);
+  }
+}
+
+std::size_t avx512_find_not_ones(const std::uint64_t* words, std::size_t from,
+                                 std::size_t n) {
+  const __m512i ones = _mm512_set1_epi64(-1);
+  std::size_t i = from;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_loadu_si512(words + i);
+    const __mmask8 miss = _mm512_cmpneq_epu64_mask(v, ones);
+    if (miss != 0) {
+      return i + static_cast<std::size_t>(__builtin_ctz(miss));
+    }
+  }
+  if (i < n) {
+    const __mmask8 tail =
+        static_cast<__mmask8>((1u << static_cast<unsigned>(n - i)) - 1u);
+    // Masked-out lanes load as zero, so exclude them from the miss mask
+    // instead of letting them report a fake non-ones word.
+    const __m512i v = _mm512_maskz_loadu_epi64(tail, words + i);
+    const __mmask8 miss =
+        static_cast<__mmask8>(_mm512_cmpneq_epu64_mask(v, ones) & tail);
+    if (miss != 0) {
+      return i + static_cast<std::size_t>(__builtin_ctz(miss));
+    }
+  }
+  return n;
+}
+
+void avx512_or_rows(std::uint64_t* pool, std::size_t stride,
+                    const std::uint32_t* ids, std::size_t count,
+                    const std::uint64_t* src, std::size_t words) {
+  if (words <= 8 && words > 0) {
+    // The whole source mask fits one zmm: load it once (masked) and splat
+    // it across every row with masked read-modify-writes.
+    const __mmask8 lanes =
+        words == 8
+            ? static_cast<__mmask8>(0xFF)
+            : static_cast<__mmask8>((1u << static_cast<unsigned>(words)) - 1u);
+    const __m512i mask = _mm512_maskz_loadu_epi64(lanes, src);
+    for (std::size_t r = 0; r < count; ++r) {
+      std::uint64_t* dst = pool + static_cast<std::size_t>(ids[r]) * stride;
+      const __m512i a = _mm512_maskz_loadu_epi64(lanes, dst);
+      _mm512_mask_storeu_epi64(dst, lanes, _mm512_or_si512(a, mask));
+    }
+    return;
+  }
+  for (std::size_t r = 0; r < count; ++r) {
+    avx512_or_words(pool + static_cast<std::size_t>(ids[r]) * stride, src,
+                    words);
+  }
+}
+
+constexpr Kernels kAvx512Kernels{avx512_or_words, avx512_zero_words,
+                                 avx512_find_not_ones, avx512_or_rows};
+
+}  // namespace
+
+const Kernels* avx512_kernels() { return &kAvx512Kernels; }
+
+#else  // !defined(__AVX512F__)
+
+const Kernels* avx512_kernels() { return nullptr; }
+
+#endif
+
+}  // namespace wdag::util::simd::detail

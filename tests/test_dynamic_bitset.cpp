@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/check.hpp"
 #include "util/dynamic_bitset.hpp"
 
@@ -207,6 +209,43 @@ TEST(DynamicBitsetTest, ResetToZeroReusesStorage) {
   EXPECT_EQ(b.size(), 300u);
   EXPECT_TRUE(b.none());
   EXPECT_EQ(b.find_first_zero(), 0u);
+}
+
+// Regression: find_next/find_next_zero with a start index at or past
+// size() must return size() for ANY start value. The old implementations
+// incremented before the range check, so i == SIZE_MAX wrapped to 0 and
+// silently restarted the scan from the front — find_next_zero(SIZE_MAX)
+// on an empty mask returned 0, not size().
+TEST(DynamicBitsetTest, FindNextPastEndNeverWrapsAround) {
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{64},
+                              std::size_t{130}}) {
+    DynamicBitset zeros(n);
+    DynamicBitset ones(n);
+    ones.set_all();
+    for (const std::size_t start : {n, n + 1, kMax - 1, kMax}) {
+      EXPECT_EQ(zeros.find_next(start), n) << "n=" << n << " start=" << start;
+      EXPECT_EQ(zeros.find_next_zero(start), n)
+          << "n=" << n << " start=" << start;
+      EXPECT_EQ(ones.find_next(start), n) << "n=" << n << " start=" << start;
+      EXPECT_EQ(ones.find_next_zero(start), n)
+          << "n=" << n << " start=" << start;
+    }
+  }
+}
+
+// Regression: when no zero exists, both zero-scans report size() and
+// never surface the zero tail bits past size() in the last word.
+TEST(DynamicBitsetTest, NoZeroMeansSizeNotTailBits) {
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{63}, std::size_t{65}, std::size_t{257}}) {
+    DynamicBitset b(n);
+    b.set_all();  // tail bits beyond n stay zero in the backing word
+    EXPECT_EQ(b.find_first_zero(), n) << "n=" << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(b.find_next_zero(i), n) << "n=" << n << " i=" << i;
+    }
+  }
 }
 
 TEST(DynamicBitsetTest, WordAccessors) {

@@ -1,0 +1,364 @@
+// Differential suite for the runtime-dispatched SIMD kernels: every
+// reachable ISA tier must produce byte-identical results to the scalar
+// reference on every kernel, across adversarial sizes at word and vector
+// boundaries. This is the contract that lets a tier land at all — see
+// CONTRIBUTING.md. Also pins the find_first_zero / find_next_zero edge
+// semantics (no zero => size(), start index >= size() => size(), never a
+// read past the tail word) that the first-fit coloring loop relies on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/dynamic_bitset.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace simd = wdag::util::simd;
+using wdag::util::AlignedWords;
+using wdag::util::ConstBitsetView;
+using wdag::util::DynamicBitset;
+using wdag::util::Xoshiro256;
+
+namespace {
+
+// Word/xmm/ymm/zmm boundary straddlers, in bits.
+const std::vector<std::size_t> kBitSizes = {0,   1,   63,  64,  65, 255,
+                                            256, 257, 511, 512, 513};
+
+constexpr std::uint64_t kOnes = ~std::uint64_t{0};
+
+std::size_t words_for(std::size_t bits) { return (bits + 63) / 64; }
+
+/// Random words with the tail bits beyond `bits` forced to zero, matching
+/// the DynamicBitset invariant.
+std::vector<std::uint64_t> random_words(Xoshiro256& rng, std::size_t bits) {
+  std::vector<std::uint64_t> w(words_for(bits), 0);
+  for (auto& x : w) x = rng();
+  if (bits % 64 != 0 && !w.empty()) {
+    w.back() &= (std::uint64_t{1} << (bits % 64)) - 1;
+  }
+  return w;
+}
+
+/// Scalar reference implementations, kept deliberately naive.
+void ref_or_words(std::uint64_t* dst, const std::uint64_t* src,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+std::size_t ref_find_not_ones(const std::uint64_t* w, std::size_t from,
+                              std::size_t n) {
+  for (std::size_t i = from; i < n; ++i) {
+    if (w[i] != kOnes) return i;
+  }
+  return n;
+}
+
+/// RAII guard: forces one tier for a scope, restores the previous one.
+class TierGuard {
+ public:
+  explicit TierGuard(simd::IsaTier tier)
+      : previous_(simd::set_active_tier(tier)) {}
+  TierGuard(const TierGuard&) = delete;
+  TierGuard& operator=(const TierGuard&) = delete;
+  ~TierGuard() { simd::set_active_tier(previous_); }
+
+ private:
+  simd::IsaTier previous_;
+};
+
+/// Runs `body(tier)` once per reachable tier with that tier active.
+template <class Fn>
+void for_each_tier(Fn&& body) {
+  for (const simd::IsaTier tier : simd::reachable_tiers()) {
+    TierGuard guard(tier);
+    SCOPED_TRACE(simd::tier_name(tier));
+    body(tier);
+  }
+}
+
+TEST(SimdDispatch, ScalarAlwaysReachableAndOrdered) {
+  const auto tiers = simd::reachable_tiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), simd::IsaTier::kScalar);
+  for (std::size_t i = 1; i < tiers.size(); ++i) {
+    EXPECT_LT(static_cast<int>(tiers[i - 1]), static_cast<int>(tiers[i]));
+  }
+  // The detected tier is the highest reachable one.
+  EXPECT_EQ(tiers.back(), simd::detected_tier());
+}
+
+TEST(SimdDispatch, SetActiveTierRoundTrips) {
+  const simd::IsaTier before = simd::active_tier();
+  const simd::IsaTier prev = simd::set_active_tier(simd::IsaTier::kScalar);
+  EXPECT_EQ(prev, before);
+  EXPECT_EQ(simd::active_tier(), simd::IsaTier::kScalar);
+  simd::set_active_tier(before);
+  EXPECT_EQ(simd::active_tier(), before);
+}
+
+TEST(SimdDispatch, TierNamesAreStable) {
+  EXPECT_STREQ(simd::tier_name(simd::IsaTier::kScalar), "scalar");
+  EXPECT_STREQ(simd::tier_name(simd::IsaTier::kSse2), "sse2");
+  EXPECT_STREQ(simd::tier_name(simd::IsaTier::kAvx2), "avx2");
+  EXPECT_STREQ(simd::tier_name(simd::IsaTier::kAvx512), "avx512");
+}
+
+// ------------------------- kernel differentials ------------------------
+
+TEST(SimdKernels, OrWordsMatchesScalar) {
+  Xoshiro256 rng(0x0A11CE);
+  for_each_tier([&](simd::IsaTier) {
+    for (const std::size_t bits : kBitSizes) {
+      const std::size_t n = words_for(bits);
+      const auto src = random_words(rng, bits);
+      const auto base = random_words(rng, bits);
+      auto expect = base;
+      ref_or_words(expect.data(), src.data(), n);
+
+      // Raw table (no inline small-size bypass) and wrapper both match.
+      auto raw = base;
+      simd::kernels().or_words(raw.data(), src.data(), n);
+      EXPECT_EQ(raw, expect) << "bits=" << bits << " (raw table)";
+
+      auto wrapped = base;
+      simd::or_words(wrapped.data(), src.data(), n);
+      EXPECT_EQ(wrapped, expect) << "bits=" << bits << " (wrapper)";
+    }
+  });
+}
+
+TEST(SimdKernels, ZeroWordsMatchesScalar) {
+  Xoshiro256 rng(0x5EED);
+  for_each_tier([&](simd::IsaTier) {
+    for (const std::size_t bits : kBitSizes) {
+      const std::size_t n = words_for(bits);
+      auto raw = random_words(rng, bits);
+      simd::kernels().zero_words(raw.data(), n);
+      EXPECT_EQ(raw, std::vector<std::uint64_t>(n, 0)) << "bits=" << bits;
+
+      auto wrapped = random_words(rng, bits);
+      simd::zero_words(wrapped.data(), n);
+      EXPECT_EQ(wrapped, std::vector<std::uint64_t>(n, 0)) << "bits=" << bits;
+    }
+  });
+}
+
+TEST(SimdKernels, FindNotOnesMatchesScalar) {
+  Xoshiro256 rng(0xF17D);
+  for_each_tier([&](simd::IsaTier) {
+    for (const std::size_t bits : kBitSizes) {
+      const std::size_t n = words_for(bits);
+      // All-ones words with 0, 1, or 2 random holes, scanned from every
+      // start word — exercises the vector prologue/tail at each offset.
+      for (int holes = 0; holes <= 2; ++holes) {
+        std::vector<std::uint64_t> w(n, kOnes);
+        for (int h = 0; h < holes && n > 0; ++h) {
+          w[rng.below(n)] &= ~(std::uint64_t{1} << rng.below(64));
+        }
+        for (std::size_t from = 0; from <= n; ++from) {
+          const std::size_t expect = ref_find_not_ones(w.data(), from, n);
+          EXPECT_EQ(simd::kernels().find_not_ones(w.data(), from, n), expect)
+              << "bits=" << bits << " from=" << from << " holes=" << holes;
+          EXPECT_EQ(simd::find_not_ones(w.data(), from, n), expect)
+              << "bits=" << bits << " from=" << from << " holes=" << holes;
+        }
+      }
+    }
+  });
+}
+
+TEST(SimdKernels, OrRowsMatchesScalar) {
+  Xoshiro256 rng(0x0E0E5);
+  for_each_tier([&](simd::IsaTier) {
+    for (const std::size_t bits : kBitSizes) {
+      if (bits == 0) continue;  // no rows to splat into
+      const std::size_t words = words_for(bits);
+      // Cache-line stride like the ConflictGraph pool, plus the tight
+      // stride == words case.
+      for (const std::size_t stride : {words, (words + 7) / 8 * 8}) {
+        const std::size_t rows = 17;
+        std::vector<std::uint64_t> pool(rows * stride, 0);
+        for (auto& x : pool) x = rng();
+        const auto src = random_words(rng, bits);
+        std::vector<std::uint32_t> ids;
+        for (std::size_t r = 0; r < rows; r += 1 + rng.below(3)) {
+          ids.push_back(static_cast<std::uint32_t>(r));
+        }
+
+        auto expect = pool;
+        for (const std::uint32_t id : ids) {
+          ref_or_words(expect.data() + id * stride, src.data(), words);
+        }
+        auto got = pool;
+        simd::or_rows(got.data(), stride, ids.data(), ids.size(), src.data(),
+                      words);
+        EXPECT_EQ(got, expect) << "bits=" << bits << " stride=" << stride;
+      }
+    }
+  });
+}
+
+// --------------------- bitset-level differentials ----------------------
+
+TEST(SimdKernels, BitsetZeroScansMatchScalarAcrossTiers) {
+  Xoshiro256 rng(0xB17);
+  for (const std::size_t bits : kBitSizes) {
+    // Random masks plus the adversarial fills.
+    std::vector<DynamicBitset> cases;
+    DynamicBitset ones(bits);
+    ones.set_all();
+    cases.push_back(ones);
+    cases.push_back(DynamicBitset(bits));  // all zeros
+    if (bits > 0) {
+      DynamicBitset hole(bits);
+      hole.set_all();
+      hole.reset(bits - 1);  // single hole in the tail word
+      cases.push_back(hole);
+    }
+    for (int i = 0; i < 8; ++i) {
+      DynamicBitset b(bits);
+      for (std::size_t j = 0; j < bits; ++j) {
+        if (rng.below(2) != 0) b.set_unchecked(j);
+      }
+      cases.push_back(b);
+    }
+
+    for (const DynamicBitset& b : cases) {
+      // Scalar first, as the reference.
+      std::vector<std::size_t> expect_zeros;
+      {
+        TierGuard guard(simd::IsaTier::kScalar);
+        for (std::size_t i = b.find_first_zero(); i < bits;
+             i = b.find_next_zero(i)) {
+          expect_zeros.push_back(i);
+        }
+      }
+      for_each_tier([&](simd::IsaTier) {
+        std::vector<std::size_t> zeros;
+        for (std::size_t i = b.find_first_zero(); i < bits;
+             i = b.find_next_zero(i)) {
+          zeros.push_back(i);
+        }
+        EXPECT_EQ(zeros, expect_zeros) << "bits=" << bits;
+      });
+    }
+  }
+}
+
+TEST(SimdKernels, FindZeroEdgeSemantics) {
+  for_each_tier([&](simd::IsaTier) {
+    for (const std::size_t bits : kBitSizes) {
+      DynamicBitset full(bits);
+      full.set_all();
+      // No zero exists: both scans report size(), not a tail-bit index.
+      EXPECT_EQ(full.find_first_zero(), bits);
+      if (bits > 0) {
+        EXPECT_EQ(full.find_next_zero(0), bits);
+      }
+
+      DynamicBitset empty(bits);
+      // Start index at/past size(): always size(), for any start value.
+      EXPECT_EQ(empty.find_next_zero(bits), bits);
+      EXPECT_EQ(empty.find_next_zero(bits + 1), bits);
+      EXPECT_EQ(empty.find_next_zero(std::numeric_limits<std::size_t>::max()),
+                bits);
+      EXPECT_EQ(full.find_next_zero(bits), bits);
+      EXPECT_EQ(full.find_next(std::numeric_limits<std::size_t>::max()), bits);
+      EXPECT_EQ(empty.find_next(bits), bits);
+
+      if (bits > 1) {
+        // Single zero in the tail word: find it from the front and from
+        // just before it, then confirm exhaustion after it.
+        DynamicBitset hole(bits);
+        hole.set_all();
+        hole.reset(bits - 1);
+        EXPECT_EQ(hole.find_first_zero(), bits - 1);
+        EXPECT_EQ(hole.find_next_zero(bits - 2), bits - 1);
+        EXPECT_EQ(hole.find_next_zero(bits - 1), bits);
+      }
+    }
+  });
+}
+
+TEST(SimdKernels, BitsetOrMatchesAcrossTiers) {
+  Xoshiro256 rng(0x0B5E7);
+  for (const std::size_t bits : kBitSizes) {
+    DynamicBitset a(bits), b(bits);
+    for (std::size_t j = 0; j < bits; ++j) {
+      if (rng.below(2) != 0) a.set_unchecked(j);
+      if (rng.below(2) != 0) b.set_unchecked(j);
+    }
+    DynamicBitset expect;
+    {
+      TierGuard guard(simd::IsaTier::kScalar);
+      expect = a;
+      expect |= b;
+    }
+    for_each_tier([&](simd::IsaTier) {
+      DynamicBitset got = a;
+      got |= b;
+      EXPECT_EQ(got, expect) << "bits=" << bits;
+      DynamicBitset into = a;
+      b.or_into(into);
+      EXPECT_EQ(into, expect) << "bits=" << bits << " (or_into)";
+    });
+  }
+}
+
+// ----------------------------- view + pool -----------------------------
+
+TEST(SimdKernels, ViewRoundTripsThroughOwningBitset) {
+  Xoshiro256 rng(0x71E4);
+  for (const std::size_t bits : kBitSizes) {
+    DynamicBitset b(bits);
+    for (std::size_t j = 0; j < bits; ++j) {
+      if (rng.below(3) == 0) b.set_unchecked(j);
+    }
+    const ConstBitsetView view = b;
+    EXPECT_EQ(view.size(), bits);
+    EXPECT_EQ(view.count(), b.count());
+    EXPECT_EQ(view.find_first(), b.find_first());
+    EXPECT_EQ(view.to_indices(), b.to_indices());
+    const DynamicBitset copy(view);
+    EXPECT_EQ(copy, b);
+  }
+}
+
+TEST(SimdKernels, AlignedWordsIsCacheLineAlignedAndZeroed) {
+  for (const std::size_t words : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{8}, std::size_t{129}}) {
+    AlignedWords buf(words);
+    ASSERT_EQ(buf.size(), words);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) %
+                  wdag::util::kBitsetAlignment,
+              0u);
+    for (std::size_t i = 0; i < words; ++i) EXPECT_EQ(buf.data()[i], 0u);
+    buf.data()[0] = kOnes;
+    buf.zero();
+    EXPECT_EQ(buf.data()[0], 0u);
+    AlignedWords moved(std::move(buf));
+    EXPECT_EQ(moved.size(), words);
+    EXPECT_EQ(buf.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  }
+  const AlignedWords empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.data(), nullptr);
+}
+
+TEST(SimdKernels, SetActiveTierRejectsUnreachable) {
+  // Tiers past the detected one are never reachable.
+  const auto detected = simd::detected_tier();
+  if (detected != simd::IsaTier::kAvx512) {
+    EXPECT_THROW(simd::set_active_tier(simd::IsaTier::kAvx512),
+                 wdag::InvalidArgument);
+  } else {
+    SUCCEED() << "all tiers reachable on this machine";
+  }
+}
+
+}  // namespace
