@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_api_engine.dir/tests/test_api_engine.cpp.o"
+  "CMakeFiles/test_api_engine.dir/tests/test_api_engine.cpp.o.d"
+  "test_api_engine"
+  "test_api_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_api_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_api_sinks.dir/tests/test_api_sinks.cpp.o"
+  "CMakeFiles/test_api_sinks.dir/tests/test_api_sinks.cpp.o.d"
+  "test_api_sinks"
+  "test_api_sinks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_api_sinks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

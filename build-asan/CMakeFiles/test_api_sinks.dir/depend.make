@@ -1,0 +1,2 @@
+# Empty dependencies file for test_api_sinks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch.dir/tests/test_batch.cpp.o"
+  "CMakeFiles/test_batch.dir/tests/test_batch.cpp.o.d"
+  "test_batch"
+  "test_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

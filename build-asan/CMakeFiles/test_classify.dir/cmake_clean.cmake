@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classify.dir/tests/test_classify.cpp.o"
+  "CMakeFiles/test_classify.dir/tests/test_classify.cpp.o.d"
+  "test_classify"
+  "test_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

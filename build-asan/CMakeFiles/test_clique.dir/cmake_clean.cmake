@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clique.dir/tests/test_clique.cpp.o"
+  "CMakeFiles/test_clique.dir/tests/test_clique.cpp.o.d"
+  "test_clique"
+  "test_clique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

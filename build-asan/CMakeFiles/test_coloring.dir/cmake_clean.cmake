@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coloring.dir/tests/test_coloring.cpp.o"
+  "CMakeFiles/test_coloring.dir/tests/test_coloring.cpp.o.d"
+  "test_coloring"
+  "test_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

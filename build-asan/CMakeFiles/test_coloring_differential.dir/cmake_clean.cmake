@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coloring_differential.dir/tests/test_coloring_differential.cpp.o"
+  "CMakeFiles/test_coloring_differential.dir/tests/test_coloring_differential.cpp.o.d"
+  "test_coloring_differential"
+  "test_coloring_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coloring_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conflict_graph.dir/tests/test_conflict_graph.cpp.o"
+  "CMakeFiles/test_conflict_graph.dir/tests/test_conflict_graph.cpp.o.d"
+  "test_conflict_graph"
+  "test_conflict_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conflict_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cycle_basis.dir/tests/test_cycle_basis.cpp.o"
+  "CMakeFiles/test_cycle_basis.dir/tests/test_cycle_basis.cpp.o.d"
+  "test_cycle_basis"
+  "test_cycle_basis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cycle_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

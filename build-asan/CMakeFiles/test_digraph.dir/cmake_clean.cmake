@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_digraph.dir/tests/test_digraph.cpp.o"
+  "CMakeFiles/test_digraph.dir/tests/test_digraph.cpp.o.d"
+  "test_digraph"
+  "test_digraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_digraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dipath.dir/tests/test_dipath.cpp.o"
+  "CMakeFiles/test_dipath.dir/tests/test_dipath.cpp.o.d"
+  "test_dipath"
+  "test_dipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

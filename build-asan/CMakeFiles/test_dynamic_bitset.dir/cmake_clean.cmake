@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_bitset.dir/tests/test_dynamic_bitset.cpp.o"
+  "CMakeFiles/test_dynamic_bitset.dir/tests/test_dynamic_bitset.cpp.o.d"
+  "test_dynamic_bitset"
+  "test_dynamic_bitset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_bitset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dynamic_bitset.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_longevity.dir/tests/test_engine_longevity.cpp.o"
+  "CMakeFiles/test_engine_longevity.dir/tests/test_engine_longevity.cpp.o.d"
+  "test_engine_longevity"
+  "test_engine_longevity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_longevity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

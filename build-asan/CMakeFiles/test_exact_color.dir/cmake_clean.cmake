@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_color.dir/tests/test_exact_color.cpp.o"
+  "CMakeFiles/test_exact_color.dir/tests/test_exact_color.cpp.o.d"
+  "test_exact_color"
+  "test_exact_color.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_color.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

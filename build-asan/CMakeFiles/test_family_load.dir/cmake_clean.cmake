@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_family_load.dir/tests/test_family_load.cpp.o"
+  "CMakeFiles/test_family_load.dir/tests/test_family_load.cpp.o.d"
+  "test_family_load"
+  "test_family_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_family_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_familyio.dir/tests/test_familyio.cpp.o"
+  "CMakeFiles/test_familyio.dir/tests/test_familyio.cpp.o.d"
+  "test_familyio"
+  "test_familyio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_familyio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generators.dir/tests/test_generators.cpp.o"
+  "CMakeFiles/test_generators.dir/tests/test_generators.cpp.o.d"
+  "test_generators"
+  "test_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graphio.dir/tests/test_graphio.cpp.o"
+  "CMakeFiles/test_graphio.dir/tests/test_graphio.cpp.o.d"
+  "test_graphio"
+  "test_graphio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graphio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

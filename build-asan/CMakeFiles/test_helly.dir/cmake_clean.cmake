@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_helly.dir/tests/test_helly.cpp.o"
+  "CMakeFiles/test_helly.dir/tests/test_helly.cpp.o.d"
+  "test_helly"
+  "test_helly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_helly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

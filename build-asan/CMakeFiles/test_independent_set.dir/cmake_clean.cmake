@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_independent_set.dir/tests/test_independent_set.cpp.o"
+  "CMakeFiles/test_independent_set.dir/tests/test_independent_set.cpp.o.d"
+  "test_independent_set"
+  "test_independent_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_independent_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/tests/test_integration.cpp.o"
+  "CMakeFiles/test_integration.dir/tests/test_integration.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

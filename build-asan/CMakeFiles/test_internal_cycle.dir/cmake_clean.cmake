@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_internal_cycle.dir/tests/test_internal_cycle.cpp.o"
+  "CMakeFiles/test_internal_cycle.dir/tests/test_internal_cycle.cpp.o.d"
+  "test_internal_cycle"
+  "test_internal_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_internal_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

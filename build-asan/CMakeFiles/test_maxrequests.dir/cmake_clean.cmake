@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maxrequests.dir/tests/test_maxrequests.cpp.o"
+  "CMakeFiles/test_maxrequests.dir/tests/test_maxrequests.cpp.o.d"
+  "test_maxrequests"
+  "test_maxrequests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maxrequests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oriented_cycle.dir/tests/test_oriented_cycle.cpp.o"
+  "CMakeFiles/test_oriented_cycle.dir/tests/test_oriented_cycle.cpp.o.d"
+  "test_oriented_cycle"
+  "test_oriented_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oriented_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_instances.dir/tests/test_paper_instances.cpp.o"
+  "CMakeFiles/test_paper_instances.dir/tests/test_paper_instances.cpp.o.d"
+  "test_paper_instances"
+  "test_paper_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

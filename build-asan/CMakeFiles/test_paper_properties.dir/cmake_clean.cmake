@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_properties.dir/tests/test_paper_properties.cpp.o"
+  "CMakeFiles/test_paper_properties.dir/tests/test_paper_properties.cpp.o.d"
+  "test_paper_properties"
+  "test_paper_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

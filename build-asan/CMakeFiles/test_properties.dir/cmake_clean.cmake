@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/tests/test_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/tests/test_properties.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reachability.dir/tests/test_reachability.cpp.o"
+  "CMakeFiles/test_reachability.dir/tests/test_reachability.cpp.o.d"
+  "test_reachability"
+  "test_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

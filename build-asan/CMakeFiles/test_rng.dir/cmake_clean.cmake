@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rng.dir/tests/test_rng.cpp.o"
+  "CMakeFiles/test_rng.dir/tests/test_rng.cpp.o.d"
+  "test_rng"
+  "test_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

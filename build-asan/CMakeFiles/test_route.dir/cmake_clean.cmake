@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route.dir/tests/test_route.cpp.o"
+  "CMakeFiles/test_route.dir/tests/test_route.cpp.o.d"
+  "test_route"
+  "test_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

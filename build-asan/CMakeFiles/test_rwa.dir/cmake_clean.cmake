@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rwa.dir/tests/test_rwa.cpp.o"
+  "CMakeFiles/test_rwa.dir/tests/test_rwa.cpp.o.d"
+  "test_rwa"
+  "test_rwa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rwa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

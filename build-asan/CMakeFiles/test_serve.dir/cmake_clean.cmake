@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serve.dir/tests/test_serve.cpp.o"
+  "CMakeFiles/test_serve.dir/tests/test_serve.cpp.o.d"
+  "test_serve"
+  "test_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shard.dir/tests/test_shard.cpp.o"
+  "CMakeFiles/test_shard.dir/tests/test_shard.cpp.o.d"
+  "test_shard"
+  "test_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simd_kernels.dir/tests/test_simd_kernels.cpp.o"
+  "CMakeFiles/test_simd_kernels.dir/tests/test_simd_kernels.cpp.o.d"
+  "test_simd_kernels"
+  "test_simd_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simd_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_socket.dir/tests/test_socket.cpp.o"
+  "CMakeFiles/test_socket.dir/tests/test_socket.cpp.o.d"
+  "test_socket"
+  "test_socket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_socket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

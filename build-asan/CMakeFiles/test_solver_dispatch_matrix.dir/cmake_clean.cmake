@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_dispatch_matrix.dir/tests/test_solver_dispatch_matrix.cpp.o"
+  "CMakeFiles/test_solver_dispatch_matrix.dir/tests/test_solver_dispatch_matrix.cpp.o.d"
+  "test_solver_dispatch_matrix"
+  "test_solver_dispatch_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_dispatch_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

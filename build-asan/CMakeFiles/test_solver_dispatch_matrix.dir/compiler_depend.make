@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_solver_dispatch_matrix.
+# This may be replaced when dependencies are built.

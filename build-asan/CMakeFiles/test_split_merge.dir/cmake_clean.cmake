@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_split_merge.dir/tests/test_split_merge.cpp.o"
+  "CMakeFiles/test_split_merge.dir/tests/test_split_merge.cpp.o.d"
+  "test_split_merge"
+  "test_split_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_split_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subgraph.dir/tests/test_subgraph.cpp.o"
+  "CMakeFiles/test_subgraph.dir/tests/test_subgraph.cpp.o.d"
+  "test_subgraph"
+  "test_subgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subprocess.dir/tests/test_subprocess.cpp.o"
+  "CMakeFiles/test_subprocess.dir/tests/test_subprocess.cpp.o.d"
+  "test_subprocess"
+  "test_subprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table.dir/tests/test_table.cpp.o"
+  "CMakeFiles/test_table.dir/tests/test_table.cpp.o.d"
+  "test_table"
+  "test_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_theorem1.dir/tests/test_theorem1.cpp.o"
+  "CMakeFiles/test_theorem1.dir/tests/test_theorem1.cpp.o.d"
+  "test_theorem1"
+  "test_theorem1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_theorem1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

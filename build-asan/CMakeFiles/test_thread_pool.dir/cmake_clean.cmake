@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_pool.dir/tests/test_thread_pool.cpp.o"
+  "CMakeFiles/test_thread_pool.dir/tests/test_thread_pool.cpp.o.d"
+  "test_thread_pool"
+  "test_thread_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo.dir/tests/test_topo.cpp.o"
+  "CMakeFiles/test_topo.dir/tests/test_topo.cpp.o.d"
+  "test_topo"
+  "test_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

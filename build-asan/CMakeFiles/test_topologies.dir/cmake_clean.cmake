@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topologies.dir/tests/test_topologies.cpp.o"
+  "CMakeFiles/test_topologies.dir/tests/test_topologies.cpp.o.d"
+  "test_topologies"
+  "test_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

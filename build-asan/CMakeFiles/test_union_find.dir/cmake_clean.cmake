@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_union_find.dir/tests/test_union_find.cpp.o"
+  "CMakeFiles/test_union_find.dir/tests/test_union_find.cpp.o.d"
+  "test_union_find"
+  "test_union_find.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_union_find.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

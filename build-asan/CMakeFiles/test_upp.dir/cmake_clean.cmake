@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_upp.dir/tests/test_upp.cpp.o"
+  "CMakeFiles/test_upp.dir/tests/test_upp.cpp.o.d"
+  "test_upp"
+  "test_upp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_upp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

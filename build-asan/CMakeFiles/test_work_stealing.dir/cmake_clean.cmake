@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_work_stealing.dir/tests/test_work_stealing.cpp.o"
+  "CMakeFiles/test_work_stealing.dir/tests/test_work_stealing.cpp.o.d"
+  "test_work_stealing"
+  "test_work_stealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_work_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

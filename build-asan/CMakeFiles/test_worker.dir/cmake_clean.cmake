@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_worker.dir/tests/test_worker.cpp.o"
+  "CMakeFiles/test_worker.dir/tests/test_worker.cpp.o.d"
+  "test_worker"
+  "test_worker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

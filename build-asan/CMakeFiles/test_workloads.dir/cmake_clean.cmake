@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/tests/test_workloads.cpp.o"
+  "CMakeFiles/test_workloads.dir/tests/test_workloads.cpp.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

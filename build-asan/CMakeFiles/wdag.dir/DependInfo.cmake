@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/engine.cpp" "CMakeFiles/wdag.dir/src/api/engine.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/api/engine.cpp.o.d"
+  "/root/repo/src/api/sink.cpp" "CMakeFiles/wdag.dir/src/api/sink.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/api/sink.cpp.o.d"
+  "/root/repo/src/api/strategy.cpp" "CMakeFiles/wdag.dir/src/api/strategy.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/api/strategy.cpp.o.d"
+  "/root/repo/src/conflict/clique.cpp" "CMakeFiles/wdag.dir/src/conflict/clique.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/conflict/clique.cpp.o.d"
+  "/root/repo/src/conflict/coloring.cpp" "CMakeFiles/wdag.dir/src/conflict/coloring.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/conflict/coloring.cpp.o.d"
+  "/root/repo/src/conflict/conflict_graph.cpp" "CMakeFiles/wdag.dir/src/conflict/conflict_graph.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/conflict/conflict_graph.cpp.o.d"
+  "/root/repo/src/conflict/exact_color.cpp" "CMakeFiles/wdag.dir/src/conflict/exact_color.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/conflict/exact_color.cpp.o.d"
+  "/root/repo/src/conflict/helly.cpp" "CMakeFiles/wdag.dir/src/conflict/helly.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/conflict/helly.cpp.o.d"
+  "/root/repo/src/conflict/independent_set.cpp" "CMakeFiles/wdag.dir/src/conflict/independent_set.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/conflict/independent_set.cpp.o.d"
+  "/root/repo/src/core/batch.cpp" "CMakeFiles/wdag.dir/src/core/batch.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/core/batch.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "CMakeFiles/wdag.dir/src/core/cost_model.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/core/cost_model.cpp.o.d"
+  "/root/repo/src/core/driver.cpp" "CMakeFiles/wdag.dir/src/core/driver.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/core/driver.cpp.o.d"
+  "/root/repo/src/core/maxrequests.cpp" "CMakeFiles/wdag.dir/src/core/maxrequests.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/core/maxrequests.cpp.o.d"
+  "/root/repo/src/core/rwa.cpp" "CMakeFiles/wdag.dir/src/core/rwa.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/core/rwa.cpp.o.d"
+  "/root/repo/src/core/shard.cpp" "CMakeFiles/wdag.dir/src/core/shard.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/core/shard.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "CMakeFiles/wdag.dir/src/core/solver.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/core/solver.cpp.o.d"
+  "/root/repo/src/core/split_merge.cpp" "CMakeFiles/wdag.dir/src/core/split_merge.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/core/split_merge.cpp.o.d"
+  "/root/repo/src/core/theorem1.cpp" "CMakeFiles/wdag.dir/src/core/theorem1.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/core/theorem1.cpp.o.d"
+  "/root/repo/src/core/transport.cpp" "CMakeFiles/wdag.dir/src/core/transport.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/core/transport.cpp.o.d"
+  "/root/repo/src/dag/classify.cpp" "CMakeFiles/wdag.dir/src/dag/classify.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/dag/classify.cpp.o.d"
+  "/root/repo/src/dag/cycle_basis.cpp" "CMakeFiles/wdag.dir/src/dag/cycle_basis.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/dag/cycle_basis.cpp.o.d"
+  "/root/repo/src/dag/internal_cycle.cpp" "CMakeFiles/wdag.dir/src/dag/internal_cycle.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/dag/internal_cycle.cpp.o.d"
+  "/root/repo/src/dag/oriented_cycle.cpp" "CMakeFiles/wdag.dir/src/dag/oriented_cycle.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/dag/oriented_cycle.cpp.o.d"
+  "/root/repo/src/dag/upp.cpp" "CMakeFiles/wdag.dir/src/dag/upp.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/dag/upp.cpp.o.d"
+  "/root/repo/src/gen/family_gen.cpp" "CMakeFiles/wdag.dir/src/gen/family_gen.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/gen/family_gen.cpp.o.d"
+  "/root/repo/src/gen/paper_instances.cpp" "CMakeFiles/wdag.dir/src/gen/paper_instances.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/gen/paper_instances.cpp.o.d"
+  "/root/repo/src/gen/random_dag.cpp" "CMakeFiles/wdag.dir/src/gen/random_dag.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/gen/random_dag.cpp.o.d"
+  "/root/repo/src/gen/topologies.cpp" "CMakeFiles/wdag.dir/src/gen/topologies.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/gen/topologies.cpp.o.d"
+  "/root/repo/src/gen/upp_gen.cpp" "CMakeFiles/wdag.dir/src/gen/upp_gen.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/gen/upp_gen.cpp.o.d"
+  "/root/repo/src/gen/workloads.cpp" "CMakeFiles/wdag.dir/src/gen/workloads.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/gen/workloads.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "CMakeFiles/wdag.dir/src/graph/digraph.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/graph/digraph.cpp.o.d"
+  "/root/repo/src/graph/graphio.cpp" "CMakeFiles/wdag.dir/src/graph/graphio.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/graph/graphio.cpp.o.d"
+  "/root/repo/src/graph/properties.cpp" "CMakeFiles/wdag.dir/src/graph/properties.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/graph/properties.cpp.o.d"
+  "/root/repo/src/graph/reachability.cpp" "CMakeFiles/wdag.dir/src/graph/reachability.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/graph/reachability.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "CMakeFiles/wdag.dir/src/graph/subgraph.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/graph/subgraph.cpp.o.d"
+  "/root/repo/src/graph/topo.cpp" "CMakeFiles/wdag.dir/src/graph/topo.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/graph/topo.cpp.o.d"
+  "/root/repo/src/paths/dipath.cpp" "CMakeFiles/wdag.dir/src/paths/dipath.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/paths/dipath.cpp.o.d"
+  "/root/repo/src/paths/family.cpp" "CMakeFiles/wdag.dir/src/paths/family.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/paths/family.cpp.o.d"
+  "/root/repo/src/paths/familyio.cpp" "CMakeFiles/wdag.dir/src/paths/familyio.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/paths/familyio.cpp.o.d"
+  "/root/repo/src/paths/load.cpp" "CMakeFiles/wdag.dir/src/paths/load.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/paths/load.cpp.o.d"
+  "/root/repo/src/paths/route.cpp" "CMakeFiles/wdag.dir/src/paths/route.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/paths/route.cpp.o.d"
+  "/root/repo/src/remote/worker.cpp" "CMakeFiles/wdag.dir/src/remote/worker.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/remote/worker.cpp.o.d"
+  "/root/repo/src/serve/admission.cpp" "CMakeFiles/wdag.dir/src/serve/admission.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/serve/admission.cpp.o.d"
+  "/root/repo/src/serve/client.cpp" "CMakeFiles/wdag.dir/src/serve/client.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/serve/client.cpp.o.d"
+  "/root/repo/src/serve/protocol.cpp" "CMakeFiles/wdag.dir/src/serve/protocol.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/serve/protocol.cpp.o.d"
+  "/root/repo/src/serve/server.cpp" "CMakeFiles/wdag.dir/src/serve/server.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/serve/server.cpp.o.d"
+  "/root/repo/src/serve/stats.cpp" "CMakeFiles/wdag.dir/src/serve/stats.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/serve/stats.cpp.o.d"
+  "/root/repo/src/util/build_info.cpp" "CMakeFiles/wdag.dir/src/util/build_info.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/util/build_info.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "CMakeFiles/wdag.dir/src/util/cli.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/util/cli.cpp.o.d"
+  "/root/repo/src/util/dynamic_bitset.cpp" "CMakeFiles/wdag.dir/src/util/dynamic_bitset.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/util/dynamic_bitset.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/wdag.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/simd.cpp" "CMakeFiles/wdag.dir/src/util/simd.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/util/simd.cpp.o.d"
+  "/root/repo/src/util/simd_avx2.cpp" "CMakeFiles/wdag.dir/src/util/simd_avx2.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/util/simd_avx2.cpp.o.d"
+  "/root/repo/src/util/simd_avx512.cpp" "CMakeFiles/wdag.dir/src/util/simd_avx512.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/util/simd_avx512.cpp.o.d"
+  "/root/repo/src/util/socket.cpp" "CMakeFiles/wdag.dir/src/util/socket.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/util/socket.cpp.o.d"
+  "/root/repo/src/util/subprocess.cpp" "CMakeFiles/wdag.dir/src/util/subprocess.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/util/subprocess.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/wdag.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/wdag.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/util/thread_pool.cpp.o.d"
+  "/root/repo/src/util/union_find.cpp" "CMakeFiles/wdag.dir/src/util/union_find.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/util/union_find.cpp.o.d"
+  "/root/repo/src/util/work_stealing.cpp" "CMakeFiles/wdag.dir/src/util/work_stealing.cpp.o" "gcc" "CMakeFiles/wdag.dir/src/util/work_stealing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdag_cli.dir/src/cli_main.cpp.o"
+  "CMakeFiles/wdag_cli.dir/src/cli_main.cpp.o.d"
+  "wdag"
+  "wdag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdag_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

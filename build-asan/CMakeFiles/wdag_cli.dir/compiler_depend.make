@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wdag_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for wdag_cli.
+# This may be replaced when dependencies are built.
